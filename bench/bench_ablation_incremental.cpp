@@ -1,0 +1,149 @@
+// Ablation — incremental checkpointing (the §6 memory-exclusion
+// optimization applied to DRMS at whole-array granularity).
+//
+// The BT-like application mutates only its solution and rhs fields each
+// iteration; forcing and the lhs work arrays are write-once. A sequence
+// of checkpoints under one prefix is taken with and without incremental
+// mode; the second and later incremental checkpoints skip the unchanged
+// arrays and their simulated streaming time.
+#include <array>
+#include <iostream>
+
+#include "core/drms_context.hpp"
+#include "support/error.hpp"
+#include "rt/task_group.hpp"
+#include "sim/cost_model.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using core::DistArray;
+using core::DistSpec;
+using core::DrmsContext;
+using core::DrmsEnv;
+using core::DrmsProgram;
+using core::Index;
+using support::format_fixed;
+using support::kMiB;
+
+constexpr Index kN = 32;
+constexpr int kTasks = 8;
+constexpr int kCheckpoints = 4;
+
+core::Slice grid_box() {
+  const std::array<Index, 4> lo{0, 0, 0, 0};
+  const std::array<Index, 4> hi{4, kN - 1, kN - 1, kN - 1};
+  return core::Slice::box(lo, hi);
+}
+
+core::AppSegmentModel segment() {
+  core::AppSegmentModel m;
+  m.static_local_bytes = 8 * kMiB;
+  m.private_bytes = kMiB;
+  m.system_bytes = 4 * kMiB;
+  m.text_bytes = kMiB;
+  return m;
+}
+
+struct SequenceResult {
+  std::vector<double> checkpoint_seconds;
+  int skipped_last = 0;
+  std::uint64_t skipped_bytes_last = 0;
+};
+
+SequenceResult run_sequence(bool incremental) {
+  piofs::Volume volume(16);
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  DrmsEnv env;
+  env.volume = &volume;
+  env.cost = &cost;
+  env.incremental = incremental;
+  DrmsProgram program("inc-bench", env, segment(), kTasks);
+
+  SequenceResult result;
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  const auto run = group.run([&](rt::TaskContext& ctx) {
+    DrmsContext drms(program, ctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+
+    std::vector<Index> lo(4, 0);
+    std::vector<Index> hi{4, kN - 1, kN - 1, kN - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    DistArray& rhs = drms.create_array("rhs", lo, hi);
+    DistArray& forcing = drms.create_array("forcing", lo, hi);
+    DistArray& lhs = drms.create_array("lhs", lo, hi);
+    const std::array<int, 4> grid{1, 2, 2, 2};
+    const std::array<Index, 4> shadow{0, 0, 0, 0};
+    const DistSpec spec = DistSpec::block(grid_box(), grid, shadow);
+    for (DistArray* a : {&u, &rhs, &forcing, &lhs}) {
+      drms.distribute(*a, spec);
+      auto view = a->local(ctx.rank()).as_f64();
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        view[i] = static_cast<double>(i % 97) * 0.25;
+      }
+    }
+    ctx.barrier();
+
+    for (int c = 0; c < kCheckpoints; ++c) {
+      // Mutate only u and rhs between checkpoints.
+      for (DistArray* a : {&u, &rhs}) {
+        auto view = a->local(ctx.rank()).as_f64();
+        for (std::size_t i = 0; i < view.size(); ++i) {
+          view[i] = view[i] * 1.01 + 0.125;
+        }
+      }
+      ctx.barrier();
+      (void)drms.reconfig_checkpoint("inc.state");
+      if (ctx.rank() == 0) {
+        result.checkpoint_seconds.push_back(
+            program.last_checkpoint_timing().total_seconds());
+      }
+      ctx.barrier();
+    }
+  });
+  if (!run.completed) {
+    throw support::Error("incremental bench run failed: " +
+                         run.kill_reason);
+  }
+  const auto state = program.incremental_state();
+  result.skipped_last = state.arrays_skipped;
+  result.skipped_bytes_last = state.bytes_skipped;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: incremental DRMS checkpointing\n"
+            << "(4 arrays x "
+            << format_fixed(support::to_mib(5ull * kN * kN * kN * 8), 1)
+            << " MB; only u and rhs change between checkpoints)\n\n";
+
+  const SequenceResult full = run_sequence(false);
+  const SequenceResult inc = run_sequence(true);
+
+  support::TextTable table({"checkpoint #", "full (s)", "incremental (s)",
+                            "saving"});
+  for (int c = 0; c < kCheckpoints; ++c) {
+    const double f = full.checkpoint_seconds[static_cast<std::size_t>(c)];
+    const double i = inc.checkpoint_seconds[static_cast<std::size_t>(c)];
+    table.add_row({std::to_string(c + 1), format_fixed(f, 2),
+                   format_fixed(i, 2),
+                   format_fixed(100.0 * (f - i) / f, 0) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nlast incremental checkpoint skipped "
+            << inc.skipped_last << " arrays ("
+            << support::format_bytes(inc.skipped_bytes_last)
+            << " of streaming avoided).\n"
+            << "The first checkpoint writes everything; later ones skip "
+               "the write-once\narrays — the paper's point that "
+               "memory-exclusion optimizations compose\nwith DRMS "
+               "checkpointing (§6).\n";
+  return 0;
+}

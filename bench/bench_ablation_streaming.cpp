@@ -1,0 +1,169 @@
+// Ablation — design choices of the parallel streaming engine (§3.2):
+//   (a) chunk-size sweep: the paper picks ~1 MB chunks; smaller chunks
+//       inflate per-operation latency, larger ones inflate buffer memory
+//       and reduce parallel slack;
+//   (b) I/O width sweep (serial P=1 ... all tasks): output streaming is
+//       server-limited, input streaming is client-limited;
+//   (c) stripe-width sweep of the underlying volume.
+//
+// Reported times are SIMULATED seconds from the calibrated cost model
+// (google-benchmark's wall clock would measure the host, not the modeled
+// SP), surfaced as custom counters.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "core/streamer.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "sim/cost_model.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using core::DistArray;
+using core::DistSpec;
+using core::Index;
+using core::Slice;
+using support::kMiB;
+
+constexpr Index kN = 48;  // 48^3 doubles ~ 0.84 MiB/component
+constexpr int kComponents = 8;
+
+Slice array_box() {
+  const std::array<Index, 4> lo{0, 0, 0, 0};
+  const std::array<Index, 4> hi{kComponents - 1, kN - 1, kN - 1, kN - 1};
+  return Slice::box(lo, hi);
+}
+
+sim::LoadContext load_for(int tasks) {
+  const auto placement =
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), tasks);
+  sim::LoadContext load;
+  load.busy_server_fraction = placement.busy_server_fraction();
+  load.per_task_resident_bytes = 64 * kMiB;
+  load.max_tasks_per_node = placement.max_tasks_per_node();
+  load.server_count = 16;
+  return load;
+}
+
+/// Simulated seconds to stream the whole array out (or in) once.
+double stream_once(int tasks, int io_tasks, std::uint64_t chunk_bytes,
+                   bool write, int stripe_servers) {
+  piofs::Volume volume(stripe_servers);
+  sim::LoadContext load = load_for(tasks);
+  load.server_count = stripe_servers;
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  DistArray array("a", array_box(), sizeof(double), tasks);
+  volume.create("f");
+
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), tasks));
+  const auto result = group.run([&](rt::TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      const std::array<Index, 4> shadow{0, 1, 1, 1};
+      const std::array<int, 4> grid{1, 1, 2,
+                                    tasks % 2 == 0 ? tasks / 2 : tasks};
+      if (tasks % 2 == 0) {
+        array.install_distribution(
+            DistSpec::block(array_box(), grid, shadow));
+      } else {
+        array.install_distribution(
+            DistSpec::block_auto(array_box(), tasks, shadow));
+      }
+    }
+    ctx.barrier();
+    const core::ArrayStreamer streamer(&cost, load, chunk_bytes);
+    if (write) {
+      streamer.write_section(ctx, array, array_box(), volume.open("f"), 0,
+                             io_tasks);
+    } else {
+      // Populate the file first (zero-time model would need data anyway).
+      if (ctx.rank() == 0) {
+        volume.open("f").write_zeros_at(
+            0, array.global_byte_count());
+      }
+      ctx.barrier();
+      streamer.read_section(ctx, array, array_box(), volume.open("f"), 0,
+                            io_tasks);
+    }
+  });
+  if (!result.completed) {
+    return -1.0;
+  }
+  return result.sim_seconds;
+}
+
+void BM_ChunkSizeSweep(benchmark::State& state) {
+  const auto chunk = static_cast<std::uint64_t>(state.range(0));
+  double sim = 0;
+  for (auto _ : state) {
+    sim = stream_once(16, 16, chunk, /*write=*/true, 16);
+  }
+  state.counters["sim_seconds"] = sim;
+  state.counters["sim_MBps"] =
+      support::to_mib(8ull * kN * kN * kN * kComponents) / sim;
+}
+BENCHMARK(BM_ChunkSizeSweep)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024)  // the paper's choice
+    ->Arg(4 * 1024 * 1024)
+    ->Arg(16 * 1024 * 1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OutputWidthSweep(benchmark::State& state) {
+  const int io_tasks = static_cast<int>(state.range(0));
+  double sim = 0;
+  for (auto _ : state) {
+    sim = stream_once(16, io_tasks, kMiB, /*write=*/true, 16);
+  }
+  state.counters["sim_seconds"] = sim;
+}
+BENCHMARK(BM_OutputWidthSweep)
+    ->Arg(1)   // serial streaming (no seek needed)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InputWidthSweep(benchmark::State& state) {
+  const int io_tasks = static_cast<int>(state.range(0));
+  double sim = 0;
+  for (auto _ : state) {
+    sim = stream_once(16, io_tasks, kMiB, /*write=*/false, 16);
+  }
+  state.counters["sim_seconds"] = sim;
+}
+BENCHMARK(BM_InputWidthSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StripeWidthSweep(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  double sim = 0;
+  for (auto _ : state) {
+    sim = stream_once(8, 8, kMiB, /*write=*/true, servers);
+  }
+  state.counters["sim_seconds"] = sim;
+}
+BENCHMARK(BM_StripeWidthSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

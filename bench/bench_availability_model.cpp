@@ -1,0 +1,165 @@
+// Availability analysis — the Wong & Franklin result ([19]) the paper
+// leans on: "checkpoint/recovery WITHOUT load redistribution has limited
+// use for applications requiring a large number of processors. When
+// recovery with load redistribution is possible, application performance
+// degradation in the presence of failures is negligibly small, as long as
+// the checkpointing and load-redistribution overheads are small."
+//
+// Model: an application needs W hours of useful work on P of N
+// processors. Processor failures are independent with MTBF M per node
+// (exponential), repairs take R hours. Checkpoints cost c hours every tau
+// hours of progress.
+//
+//   rigid    — restart requires exactly P processors: after a failure the
+//              application WAITS for the repair, then resumes from the
+//              last checkpoint.
+//   reconfig — DRMS-style: the application restarts immediately on the
+//              surviving processors (work rate scales with processors),
+//              returning to P when the repair completes.
+//
+// Expected-dilation is estimated by a seeded Monte Carlo simulation of
+// the failure/repair process (10k trials per cell).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <iostream>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using drms::support::Rng;
+using drms::support::format_fixed;
+
+struct Scenario {
+  double work_hours = 100.0;   // useful work at full speed
+  double mtbf_hours = 2000.0;  // per processor
+  double repair_hours = 8.0;
+  double tau_hours = 1.0;      // checkpoint interval (in progress time)
+  double overhead_hours = 0.01;  // checkpoint cost
+  int processors = 16;
+  bool reconfigurable = false;
+};
+
+/// Simulate one run; returns the wall-clock hours to finish.
+double simulate_run(const Scenario& s, Rng& rng) {
+  double wall = 0.0;
+  double progress = 0.0;          // useful work completed
+  double last_checkpoint = 0.0;   // progress at the last checkpoint
+  int up = s.processors;          // processors currently healthy
+  // Repair completion times (wall clock), one per failed processor.
+  std::vector<double> repairs;
+
+  auto draw_failure_gap = [&](int procs) {
+    // Time to the next failure among `procs` processors.
+    const double rate = procs / s.mtbf_hours;
+    double u = rng.next_double();
+    if (u <= 0.0) {
+      u = 1e-12;
+    }
+    return -std::log(u) / rate;
+  };
+
+  while (progress < s.work_hours) {
+    // Next repair completion, if any.
+    const double next_repair =
+        repairs.empty() ? std::numeric_limits<double>::infinity()
+                        : *std::min_element(repairs.begin(), repairs.end());
+    if (up == 0 || (!s.reconfigurable && up < s.processors)) {
+      // Rigid application (or nothing left): wait for the repair.
+      wall = next_repair;
+      repairs.erase(std::min_element(repairs.begin(), repairs.end()));
+      ++up;
+      continue;
+    }
+
+    // Work proceeds at up/P of full speed (reconfigured restart keeps
+    // the surviving processors busy; rigid mode only reaches here with
+    // up == P).
+    const double speed = static_cast<double>(up) / s.processors;
+    // Time until the next interesting event.
+    const double work_left = s.work_hours - progress;
+    const double next_ckpt_progress =
+        last_checkpoint + s.tau_hours - progress;
+    const double to_next_stop = std::min(work_left, next_ckpt_progress);
+    const double run_time = to_next_stop / speed;
+    const double failure_gap = draw_failure_gap(up);
+
+    const double until_repair = next_repair - wall;
+    if (failure_gap < run_time && failure_gap < until_repair) {
+      // A processor fails mid-stretch: progress since the last checkpoint
+      // is lost, the failed node enters repair.
+      wall += failure_gap;
+      progress = last_checkpoint;
+      repairs.push_back(wall + s.repair_hours);
+      --up;
+      continue;
+    }
+    if (until_repair < run_time) {
+      // A repair completes first: partial progress is kept (no restart
+      // needed to grow in this model — DRMS would checkpoint/restart to
+      // expand; the growth overhead is one checkpoint, charged below).
+      progress += speed * until_repair;
+      wall = next_repair;
+      repairs.erase(std::min_element(repairs.begin(), repairs.end()));
+      ++up;
+      if (s.reconfigurable) {
+        wall += s.overhead_hours;  // expand via checkpoint/restart
+      }
+      continue;
+    }
+    // Reached the checkpoint (or the end).
+    wall += run_time;
+    progress += to_next_stop;
+    if (progress < s.work_hours) {
+      wall += s.overhead_hours / speed;
+      last_checkpoint = progress;
+    }
+  }
+  return wall;
+}
+
+double expected_dilation(const Scenario& s, int trials, Rng& rng) {
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    total += simulate_run(s, rng);
+  }
+  return (total / trials) / s.work_hours;
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "Availability model (Wong & Franklin [19]): expected completion\n"
+      << "dilation vs. partition size, rigid restart vs. reconfigurable\n"
+      << "restart (100 h of work, 2000 h/node MTBF, 8 h repairs, 1 h\n"
+      << "checkpoint interval, 36 s checkpoint overhead; 10k trials)\n\n";
+
+  Rng rng(0xD0C5EED);
+  drms::support::TextTable table(
+      {"processors", "rigid dilation", "reconfig dilation", "advantage"});
+  for (const int p : {8, 16, 32, 64, 128, 256}) {
+    Scenario rigid;
+    rigid.processors = p;
+    rigid.reconfigurable = false;
+    Scenario reconfig = rigid;
+    reconfig.reconfigurable = true;
+    const double dr = expected_dilation(rigid, 10000, rng);
+    const double dc = expected_dilation(reconfig, 10000, rng);
+    table.add_row({std::to_string(p), format_fixed(dr, 3),
+                   format_fixed(dc, 3),
+                   format_fixed(100.0 * (dr - dc) / dr, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShapes: the rigid scheme's dilation grows quickly with the\n"
+      << "partition (every failure idles the WHOLE application for the\n"
+      << "repair time), while reconfigurable recovery stays within a few\n"
+      << "percent of failure-free execution — the paper's §7 citation of\n"
+      << "[19] and the motivation for scalable recovery.\n";
+  return 0;
+}

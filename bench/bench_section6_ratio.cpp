@@ -1,0 +1,110 @@
+// Section 6 — the analytical shadow-region model: a grid-based
+// computation over an N^d grid on P = Q^d tasks with shadow width delta
+// keeps (n + 2*delta)^d local points per task (n = N/Q), so task-based
+// (local-view) checkpointing saves r = ((n + 2*delta)/n)^d times more
+// grid data than global-view (DRMS) checkpointing. The paper's example:
+// n = 32, delta = 1, d = 3 gives r = 1.38; for NPB BT class C on 125
+// processors that is ~500 MB of extra data.
+//
+// This bench prints the analytic sweep AND cross-checks the formula
+// against the DistSpec mapped/assigned accounting of the real
+// distribution machinery.
+#include <cmath>
+#include <iostream>
+
+#include "core/dist_spec.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using core::DistSpec;
+using core::Index;
+using core::Slice;
+using support::format_fixed;
+
+double ratio(double n, double delta, int d) {
+  return std::pow((n + 2.0 * delta) / n, d);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Section 6: local-view vs global-view saved grid data\n"
+            << "r = ((n + 2*delta)/n)^d, n = N/P^(1/d)\n\n";
+
+  // --- Analytic sweep over the per-task subgrid size and shadow width.
+  support::TextTable sweep({"n", "delta=1 d=2", "delta=1 d=3",
+                            "delta=2 d=3", "delta=3 d=3"});
+  for (const Index n : {8, 16, 32, 64, 128}) {
+    sweep.add_row({std::to_string(n),
+                   format_fixed(ratio(static_cast<double>(n), 1, 2), 3),
+                   format_fixed(ratio(static_cast<double>(n), 1, 3), 3),
+                   format_fixed(ratio(static_cast<double>(n), 2, 3), 3),
+                   format_fixed(ratio(static_cast<double>(n), 3, 3), 3)});
+  }
+  sweep.print(std::cout);
+
+  // The paper quotes r = 1.38 for n = 32, d = 3; the shadow width it used
+  // is lost in the available text. r(delta=1) = 1.20 and r(delta=2) = 1.42
+  // bracket it; the quoted value corresponds to an effective delta of
+  // ~1.75 (BT mixes shadow widths across its arrays).
+  std::cout << "\nPaper's example (n=32, d=3): r(delta=1) = "
+            << format_fixed(ratio(32, 1, 3), 2) << ", r(delta=2) = "
+            << format_fixed(ratio(32, 2, 3), 2)
+            << "  (paper quotes r = 1.38, i.e. effective delta ~1.75)\n";
+
+  // BT class C: 162^3 grid on 125 (5^3) processors; the paper quotes
+  // ~500 MB of extra local-view data.
+  {
+    const double edge = 162.0;
+    const double procs = 125.0;
+    const double n = edge / std::cbrt(procs);
+    // BT's distributed grid data: 84 MiB at class A's 64^3, scaled.
+    const double grid_mb = 84.0 * std::pow(edge / 64.0, 3);
+    const double extra_quoted = grid_mb * (1.38 - 1.0);
+    const double extra_d2 = grid_mb * (ratio(n, 2, 3) - 1.0);
+    std::cout << "BT class C on 125 processors: n = " << format_fixed(n, 1)
+              << ", grid data = " << format_fixed(grid_mb, 0)
+              << " MB; extra local-view data = "
+              << format_fixed(extra_d2, 0) << " MB at delta=2, "
+              << format_fixed(extra_quoted, 0)
+              << " MB at the paper's r=1.38 (paper: ~500 MB)\n";
+  }
+
+  // --- Cross-check against the real distribution machinery: the ratio of
+  // mapped to assigned element totals of interior tasks approaches r as
+  // P grows (boundary clamping explains the gap at small P).
+  std::cout << "\nCross-check vs DistSpec accounting (64^3 grid, "
+               "delta=1):\n";
+  support::TextTable check(
+      {"P", "n", "analytic r", "measured mapped/assigned", "max task r"});
+  const std::vector<Index> lo(3, 0);
+  const std::vector<Index> hi(3, 63);
+  const Slice box = Slice::box(lo, hi);
+  for (const int procs : {8, 27, 64}) {
+    const std::vector<Index> shadow(3, 1);
+    const DistSpec spec = DistSpec::block_auto(box, procs, shadow);
+    const double measured =
+        static_cast<double>(spec.mapped_element_total()) /
+        static_cast<double>(spec.assigned_element_total());
+    double max_task = 0;
+    for (int t = 0; t < procs; ++t) {
+      max_task = std::max(
+          max_task, static_cast<double>(spec.mapped(t).element_count()) /
+                        static_cast<double>(
+                            spec.assigned(t).element_count()));
+    }
+    const double n = 64.0 / std::cbrt(static_cast<double>(procs));
+    check.add_row({std::to_string(procs), format_fixed(n, 1),
+                   format_fixed(ratio(n, 1, 3), 3),
+                   format_fixed(measured, 3), format_fixed(max_task, 3)});
+  }
+  check.print(std::cout);
+  std::cout << "\nr grows with P at fixed N — task-based checkpointing "
+               "saves ever more\nredundant shadow data as the machine "
+               "scales, while global-view DRMS\ncheckpoints stay at "
+               "exactly the grid size.\n";
+  return 0;
+}

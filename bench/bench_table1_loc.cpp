@@ -1,0 +1,111 @@
+// Table 1 — programming overhead of the DRMS model: lines added to each
+// application to make it reconfigurable/checkpointable (~1% of the
+// source in the paper's 10k-line Fortran NPB codes).
+//
+// Our applications are C++ re-implementations, so this bench reports two
+// things: the paper's original Fortran numbers, and a mechanical count of
+// the DRMS-API call sites in THIS repository's application sources (the
+// same notion of "lines added to conform to the model", at our smaller
+// code scale).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+#ifndef DRMS_SOURCE_DIR
+#define DRMS_SOURCE_DIR "."
+#endif
+
+namespace {
+
+/// A line "conforms to the DRMS programming model" when it invokes the
+/// checkpoint/reconfiguration API or registers replicated state.
+bool is_drms_api_line(const std::string& line) {
+  static const char* kMarkers[] = {
+      "drms.initialize",      ".initialize()",
+      "create_array",         ".distribute(",
+      "reconfig_checkpoint",  "reconfig_chkenable",
+      "register_i64",         "register_f64",
+      "register_u64",         "register_string",
+      "register_custom",      "segment_model",
+      "array_distribution",   "make_program",
+      "refresh_shadows",      "DrmsContext ",
+  };
+  for (const char* marker : kMarkers) {
+    if (line.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct FileCount {
+  int total = 0;
+  int api = 0;
+};
+
+FileCount count_file(const std::string& path) {
+  FileCount c;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++c.total;
+    if (is_drms_api_line(line)) {
+      ++c.api;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 1: source lines added to conform to the DRMS "
+               "programming model\n\n";
+
+  drms::support::TextTable paper(
+      {"Application", "Total source lines", "Lines added", "Overhead"});
+  paper.add_row({"BT (paper, Fortran)", "10973", "107", "0.98%"});
+  paper.add_row({"LU (paper, Fortran)", "9641", "85", "0.88%"});
+  paper.add_row({"SP (paper, Fortran)", "9561", "99", "1.04%"});
+  paper.print(std::cout);
+
+  std::cout << "\nThis repository's application sources (C++):\n";
+  drms::support::TextTable ours(
+      {"File", "Total lines", "DRMS-API lines", "Share"});
+  const std::string base = DRMS_SOURCE_DIR;
+  const std::vector<std::string> files = {
+      base + "/src/apps/solver.cpp",
+      base + "/src/apps/app_spec.cpp",
+      base + "/examples/quickstart.cpp",
+  };
+  int grand_total = 0;
+  int grand_api = 0;
+  for (const auto& path : files) {
+    const FileCount c = count_file(path);
+    if (c.total == 0) {
+      continue;  // file not found (installed layout); skip quietly
+    }
+    grand_total += c.total;
+    grand_api += c.api;
+    ours.add_row({path.substr(base.size() + 1), std::to_string(c.total),
+                  std::to_string(c.api),
+                  drms::support::format_fixed(
+                      100.0 * c.api / c.total, 1) + "%"});
+  }
+  if (grand_total > 0) {
+    ours.add_rule();
+    ours.add_row({"total", std::to_string(grand_total),
+                  std::to_string(grand_api),
+                  drms::support::format_fixed(
+                      100.0 * grand_api / grand_total, 1) + "%"});
+  }
+  ours.print(std::cout);
+  std::cout << "\nThe paper's point stands at either scale: exposing the "
+               "distributed\ndata structures costs a small, localized "
+               "fraction of the application\n(~1% of a 10k-line code).\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 5 — Time to checkpoint and restart DRMS and non-reconfigurable
+// SPMD applications, on 8 and 16 of the 16 SP nodes, mean +- sigma over
+// N runs (paper: 10) in simulated seconds.
+#include <iostream>
+
+#include "harness.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace drms;
+using bench::ExperimentConfig;
+using bench::mean_pm_sigma;
+
+struct PaperCell {
+  int mean, sigma;
+};
+struct PaperRow {
+  const char* app;
+  PaperCell ckpt8_drms, ckpt8_spmd, ckpt16_drms, ckpt16_spmd;
+  PaperCell rst8_drms, rst8_spmd, rst16_drms, rst16_spmd;
+};
+
+// The paper's Table 5 (seconds, mean +- sigma of 10 runs). The published
+// table is partially garbled in the available text; SPMD cells marked by
+// the prose ("BT restart shows a five-fold increase 8->16", "SP only
+// doubles", "LU minimal additional degradation") are reconstructed from
+// those constraints and the size data.
+constexpr PaperRow kPaper[] = {
+    {"BT", {16, 2}, {41, 16}, {20, 2}, {114, 16},
+     {42, 3}, {21, 1}, {32, 5}, {109, 10}},
+    {"LU", {19, 2}, {128, 18}, {18, 4}, {185, 10},
+     {46, 20}, {125, 20}, {31, 3}, {145, 27}},
+    {"SP", {13, 3}, {28, 12}, {16, 2}, {96, 18},
+     {35, 2}, {16, 1}, {26, 2}, {42, 11}},
+};
+
+std::string paper_cell(const PaperCell& c) {
+  return std::to_string(c.mean) + " +- " + std::to_string(c.sigma);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(argc, argv);
+  std::cout << "Table 5: checkpoint and restart times (simulated s), "
+            << args.runs << " runs, class "
+            << apps::to_string(args.problem_class) << "\n\n";
+
+  support::TextTable ckpt({"App", "8PE DRMS", "8PE SPMD", "16PE DRMS",
+                           "16PE SPMD", "paper 8 D/S", "paper 16 D/S"});
+  support::TextTable rst({"App", "8PE DRMS", "8PE SPMD", "16PE DRMS",
+                          "16PE SPMD", "paper 8 D/S", "paper 16 D/S"});
+
+  int i = 0;
+  for (const auto& spec : apps::AppSpec::all()) {
+    bench::ExperimentResult cell[2][2];  // [partition][mode]
+    const int parts[2] = {8, 16};
+    const core::CheckpointMode modes[2] = {core::CheckpointMode::kDrms,
+                                           core::CheckpointMode::kSpmd};
+    for (int p = 0; p < 2; ++p) {
+      for (int m = 0; m < 2; ++m) {
+        ExperimentConfig cfg;
+        cfg.spec = spec;
+        cfg.problem_class = args.problem_class;
+        cfg.tasks = parts[p];
+        cfg.mode = modes[m];
+        cfg.runs = args.runs;
+        cell[p][m] = bench::run_experiment(cfg);
+      }
+    }
+    const PaperRow& paper = kPaper[i++];
+    ckpt.add_row({spec.name,
+                  mean_pm_sigma(cell[0][0].checkpoint_totals()),
+                  mean_pm_sigma(cell[0][1].checkpoint_totals()),
+                  mean_pm_sigma(cell[1][0].checkpoint_totals()),
+                  mean_pm_sigma(cell[1][1].checkpoint_totals()),
+                  paper_cell(paper.ckpt8_drms) + " / " +
+                      paper_cell(paper.ckpt8_spmd),
+                  paper_cell(paper.ckpt16_drms) + " / " +
+                      paper_cell(paper.ckpt16_spmd)});
+    rst.add_row({spec.name,
+                 mean_pm_sigma(cell[0][0].restart_totals()),
+                 mean_pm_sigma(cell[0][1].restart_totals()),
+                 mean_pm_sigma(cell[1][0].restart_totals()),
+                 mean_pm_sigma(cell[1][1].restart_totals()),
+                 paper_cell(paper.rst8_drms) + " / " +
+                     paper_cell(paper.rst8_spmd),
+                 paper_cell(paper.rst16_drms) + " / " +
+                     paper_cell(paper.rst16_spmd)});
+  }
+
+  std::cout << "Checkpoint time (s):\n";
+  ckpt.print(std::cout);
+  std::cout << "\nRestart time (s):\n";
+  rst.print(std::cout);
+  std::cout <<
+      "\nExpected shapes: DRMS checkpoint always beats SPMD and the gap\n"
+      "widens with the partition; DRMS checkpoint rises slightly 8->16\n"
+      "(server co-location) while DRMS restart falls (client-limited\n"
+      "reads); SPMD restart collapses past the buffer-memory threshold\n"
+      "(BT ~5x at 16PE, LU already slow at 8PE, SP roughly doubles); and\n"
+      "below the threshold (BT/SP at 8PE) SPMD restart beats DRMS restart.\n";
+  return 0;
+}

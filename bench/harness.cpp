@@ -1,0 +1,189 @@
+#include "harness.hpp"
+
+#include <cstring>
+
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "sim/cost_model.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace drms::bench {
+
+namespace {
+
+sim::Placement paper_placement(int tasks) {
+  return sim::Placement::one_per_node(sim::Machine::paper_sp16(), tasks);
+}
+
+apps::SolverOptions solver_options(const ExperimentConfig& cfg,
+                                   const std::string& prefix) {
+  apps::SolverOptions options;
+  options.spec = cfg.spec;
+  options.n = apps::grid_size(cfg.problem_class);
+  // Checkpoint at the mid-point of execution, as in §5: two iterations,
+  // SOP after the first.
+  options.iterations = 2;
+  options.checkpoint_every = 1;
+  options.prefix = prefix;
+  options.compute_field_crc = false;
+  return options;
+}
+
+}  // namespace
+
+support::RunningStats ExperimentResult::checkpoint_totals() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.checkpoint.total_seconds());
+  return s;
+}
+support::RunningStats ExperimentResult::restart_totals() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.restart.total_seconds());
+  return s;
+}
+support::RunningStats ExperimentResult::checkpoint_segment() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.checkpoint.segment_seconds);
+  return s;
+}
+support::RunningStats ExperimentResult::checkpoint_arrays() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.checkpoint.arrays_seconds);
+  return s;
+}
+support::RunningStats ExperimentResult::restart_segment() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.restart.segment_seconds);
+  return s;
+}
+support::RunningStats ExperimentResult::restart_arrays() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.restart.arrays_seconds);
+  return s;
+}
+support::RunningStats ExperimentResult::restart_init() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.restart.init_seconds);
+  return s;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  result.config = cfg;
+
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  const std::string prefix = "bench." + cfg.spec.name;
+  const core::Index n = apps::grid_size(cfg.problem_class);
+  result.segment_bytes = cfg.spec.segment_model(n).total();
+  result.arrays_bytes = cfg.spec.arrays_bytes(n);
+
+  for (int run = 0; run < cfg.runs; ++run) {
+    piofs::Volume volume(16);
+    const std::uint64_t seed =
+        cfg.seed + static_cast<std::uint64_t>(run) * 1000003ull;
+    RunMeasurement m;
+
+    // --- Phase 1: run to the mid-point SOP and take the checkpoint.
+    {
+      core::DrmsEnv env;
+      env.volume = &volume;
+      env.cost = &cost;
+      env.jitter = true;
+      env.mode = cfg.mode;
+      const apps::SolverOptions options = solver_options(cfg, prefix);
+      auto program = apps::make_program(options, env, cfg.tasks);
+      rt::TaskGroup group(paper_placement(cfg.tasks), seed);
+      const auto outcome = group.run([&](rt::TaskContext& ctx) {
+        (void)apps::run_solver(*program, ctx, options);
+      });
+      if (!outcome.completed) {
+        throw support::Error("bench checkpoint run failed: " +
+                             outcome.kill_reason);
+      }
+      m.checkpoint = program->last_checkpoint_timing();
+    }
+    if (run == 0) {
+      result.state_bytes =
+          cfg.mode == core::CheckpointMode::kDrms
+              ? core::drms_state_size(volume, prefix)
+              : core::spmd_state_size(volume, prefix);
+    }
+
+    // --- Phase 2: restart from the saved state (stop right away; only
+    // the restore is timed).
+    {
+      core::DrmsEnv env;
+      env.volume = &volume;
+      env.cost = &cost;
+      env.jitter = true;
+      env.mode = cfg.mode;
+      env.restart_prefix = prefix;
+      apps::SolverOptions options = solver_options(cfg, prefix);
+      options.stop_at_iteration = 1;  // resume at it=1, do no more work
+      auto program = apps::make_program(options, env, cfg.tasks);
+      rt::TaskGroup group(paper_placement(cfg.tasks), seed ^ 0xabcdef);
+      const auto outcome = group.run([&](rt::TaskContext& ctx) {
+        (void)apps::run_solver(*program, ctx, options);
+      });
+      if (!outcome.completed) {
+        throw support::Error("bench restart run failed: " +
+                             outcome.kill_reason);
+      }
+      m.restart = program->last_restart_timing();
+    }
+    result.runs.push_back(m);
+  }
+  return result;
+}
+
+std::uint64_t measure_state_size(const apps::AppSpec& spec,
+                                 apps::ProblemClass pc, int tasks,
+                                 core::CheckpointMode mode) {
+  piofs::Volume volume(16);
+  core::DrmsEnv env;
+  env.volume = &volume;
+  env.mode = mode;
+
+  apps::SolverOptions options;
+  options.spec = spec;
+  options.n = apps::grid_size(pc);
+  options.iterations = 2;
+  options.checkpoint_every = 1;
+  options.prefix = "size";
+  options.compute_field_crc = false;
+
+  auto program = apps::make_program(options, env, tasks);
+  rt::TaskGroup group(paper_placement(tasks));
+  const auto outcome = group.run([&](rt::TaskContext& ctx) {
+    (void)apps::run_solver(*program, ctx, options);
+  });
+  if (!outcome.completed) {
+    throw support::Error("state-size run failed: " + outcome.kill_reason);
+  }
+  return mode == core::CheckpointMode::kDrms
+             ? core::drms_state_size(volume, "size")
+             : core::spmd_state_size(volume, "size");
+}
+
+std::string mean_pm_sigma(const support::RunningStats& s, int precision) {
+  return support::format_fixed(s.mean(), precision) + " +- " +
+         support::format_fixed(s.stddev(), precision);
+}
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      args.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--class") == 0 && i + 1 < argc) {
+      const std::string c = argv[++i];
+      if (c == "S") args.problem_class = apps::ProblemClass::kS;
+      if (c == "W") args.problem_class = apps::ProblemClass::kW;
+      if (c == "A") args.problem_class = apps::ProblemClass::kA;
+    }
+  }
+  return args;
+}
+
+}  // namespace drms::bench

@@ -1,0 +1,73 @@
+// Shared harness for the table/figure reproduction benches: runs the
+// BT/LU/SP applications on the simulated 16-node SP with the calibrated
+// PIOFS cost model, takes a blocking checkpoint at mid-execution, restarts
+// from it, and collects the simulated-time components (the measurements
+// behind Tables 3, 5, 6 and Figure 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_spec.hpp"
+#include "apps/solver.hpp"
+#include "core/drms_context.hpp"
+#include "support/stats.hpp"
+
+namespace drms::bench {
+
+struct ExperimentConfig {
+  apps::AppSpec spec;
+  apps::ProblemClass problem_class = apps::ProblemClass::kA;
+  int tasks = 8;
+  core::CheckpointMode mode = core::CheckpointMode::kDrms;
+  /// Timed repetitions (the paper reports mean and sigma over 10 runs).
+  int runs = 10;
+  std::uint64_t seed = 20260704;
+};
+
+/// One run's simulated-time measurements.
+struct RunMeasurement {
+  core::CheckpointTiming checkpoint;
+  core::RestartTiming restart;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::vector<RunMeasurement> runs;
+  /// On-volume size of the saved state (identical across runs).
+  std::uint64_t state_bytes = 0;
+  std::uint64_t segment_bytes = 0;
+  std::uint64_t arrays_bytes = 0;
+
+  [[nodiscard]] support::RunningStats checkpoint_totals() const;
+  [[nodiscard]] support::RunningStats restart_totals() const;
+  [[nodiscard]] support::RunningStats checkpoint_segment() const;
+  [[nodiscard]] support::RunningStats checkpoint_arrays() const;
+  [[nodiscard]] support::RunningStats restart_segment() const;
+  [[nodiscard]] support::RunningStats restart_arrays() const;
+  [[nodiscard]] support::RunningStats restart_init() const;
+};
+
+/// Run the full checkpoint-at-midpoint / restart-from-midpoint experiment
+/// of §5 for one (app, partition, version) cell.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Saved-state size only (no cost model, single run) — for Table 3.
+[[nodiscard]] std::uint64_t measure_state_size(const apps::AppSpec& spec,
+                                               apps::ProblemClass pc,
+                                               int tasks,
+                                               core::CheckpointMode mode);
+
+/// "16.0 +- 2.1" formatting used in the Table 5 cells.
+[[nodiscard]] std::string mean_pm_sigma(const support::RunningStats& s,
+                                        int precision = 0);
+
+/// Parse a "--runs N" / "--class S|W|A" style command line (very small,
+/// shared by the bench mains). Unknown flags are ignored.
+struct BenchArgs {
+  int runs = 10;
+  apps::ProblemClass problem_class = apps::ProblemClass::kA;
+};
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+}  // namespace drms::bench

@@ -1,0 +1,173 @@
+// System-initiated checkpointing for dynamic resource management — the
+// second use of reconfigurable checkpoints that §4 lists (and §8's
+// "efficient resource and job scheduling" discussion):
+//
+//   A long-running LU job occupies 12 of 16 processors, carrying
+//   drms_reconfig_chkenable SOPs. When a high-priority job arrives, the
+//   JSA arms the enabling signal; at its next SOP the LU job checkpoints,
+//   the scheduler stops it, runs the priority job on the freed
+//   processors, and afterwards restarts LU from the system-initiated
+//   checkpoint on a SMALLER partition so both workloads coexist.
+//
+// Build & run:  ./examples/scheduler_checkpoint
+#include <iostream>
+
+#include "apps/solver.hpp"
+#include "support/error.hpp"
+#include "arch/uic.hpp"
+#include "piofs/volume.hpp"
+
+using namespace drms;
+
+namespace {
+
+apps::SolverOutcome run_lu(piofs::Volume& volume, int tasks,
+                           const std::string& restart_from, int stop_at,
+                           arch::JobScheduler* jsa_to_arm) {
+  apps::SolverOptions options;
+  options.spec = apps::AppSpec::lu();
+  options.n = 16;
+  options.iterations = 20;
+  options.checkpoint_every = 4;  // enabling SOP every 4 iterations
+  options.prefix = "lu.sys";
+  options.use_chkenable = true;
+  options.stop_at_iteration = stop_at;
+  if (jsa_to_arm != nullptr) {
+    options.on_iteration = [jsa_to_arm](std::int64_t it,
+                                        rt::TaskContext& ctx) {
+      // "A high-priority job arrives" while LU is at iteration 6; the
+      // JSA arms the enabling signal. The it=8 SOP takes the checkpoint.
+      if (it == 6 && ctx.rank() == 0) {
+        (void)jsa_to_arm->request_checkpoint("LU");
+      }
+    };
+  }
+
+  core::DrmsEnv env;
+  env.volume = &volume;
+  env.restart_prefix = restart_from;
+  auto program = apps::make_program(options, env, tasks);
+
+  apps::SolverOutcome outcome;
+  rt::TaskGroup group(sim::Placement::one_per_node(
+      sim::Machine::paper_sp16(), tasks));
+  const auto result = group.run([&](rt::TaskContext& ctx) {
+    const auto out = apps::run_solver(*program, ctx, options);
+    if (ctx.rank() == 0) {
+      outcome = out;
+    }
+  });
+  if (!result.completed) {
+    throw support::Error("LU run failed: " + result.kill_reason);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "System-initiated checkpointing for scheduling\n\n";
+
+  arch::EventLog log;
+  arch::Cluster cluster(sim::Machine::paper_sp16(), &log);
+  arch::JobScheduler jsa(cluster, &log);
+  piofs::Volume volume(16);
+  arch::Uic uic(cluster, jsa, volume, log);
+
+  // Reference: LU runs its 20 iterations uninterrupted on 12 processors.
+  piofs::Volume ref_volume(16);
+  const auto reference = run_lu(ref_volume, 12, "", -1, nullptr);
+  std::cout << "reference LU (12 tasks): CRC " << std::hex
+            << reference.field_crc << std::dec << "\n\n";
+
+  // Phase 1: LU runs on 12 processors; the JSA arms the enabling signal
+  // at iteration 6; LU checkpoints at the it=8 SOP and the scheduler
+  // stops it right after (stop_at 9 models preemption).
+  std::cout << "phase 1: LU on 12 processors, system checkpoint then "
+               "preemption\n";
+  arch::JobDescriptor lu_job;
+  lu_job.name = "LU";
+  lu_job.min_tasks = 4;
+  lu_job.preferred_tasks = 12;
+  lu_job.checkpoint_prefix = "lu.sys";
+  lu_job.base_env.volume = &volume;
+  auto phase1_slot = std::make_shared<apps::SolverOutcome>();
+  lu_job.make_program = [](core::DrmsEnv env, int tasks) {
+    apps::SolverOptions options;
+    options.spec = apps::AppSpec::lu();
+    options.n = 16;
+    return apps::make_program(options, env, tasks);
+  };
+  lu_job.body = [&jsa, phase1_slot](core::DrmsProgram& program,
+                                    rt::TaskContext& ctx) {
+    apps::SolverOptions options;
+    options.spec = apps::AppSpec::lu();
+    options.n = 16;
+    options.iterations = 20;
+    options.checkpoint_every = 4;
+    options.prefix = "lu.sys";
+    options.use_chkenable = true;
+    options.stop_at_iteration = 9;  // preempted after the it=8 checkpoint
+    options.compute_field_crc = false;
+    options.on_iteration = [&jsa](std::int64_t it, rt::TaskContext& c) {
+      if (it == 6 && c.rank() == 0) {
+        (void)jsa.request_checkpoint("LU");
+      }
+    };
+    (void)apps::run_solver(program, ctx, options);
+    (void)phase1_slot;
+  };
+  const auto phase1 = uic.submit_and_wait(lu_job);
+  std::cout << "  LU preempted; checkpoint on volume: "
+            << (core::checkpoint_exists(volume, "lu.sys") ? "yes" : "NO")
+            << ", processors free again: " << uic.available_processors()
+            << "\n\n";
+  if (!phase1.completed) {
+    return 1;
+  }
+
+  // Phase 2: the high-priority job takes 12 processors...
+  std::cout << "phase 2: priority BT job on 12 processors\n";
+  arch::JobDescriptor priority;
+  priority.name = "BT-priority";
+  priority.min_tasks = 8;
+  priority.preferred_tasks = 12;
+  priority.checkpoint_prefix = "bt.prio";
+  priority.base_env.volume = &volume;
+  priority.make_program = [](core::DrmsEnv env, int tasks) {
+    apps::SolverOptions options;
+    options.spec = apps::AppSpec::bt();
+    options.n = 16;
+    return apps::make_program(options, env, tasks);
+  };
+  priority.body = [](core::DrmsProgram& program, rt::TaskContext& ctx) {
+    apps::SolverOptions options;
+    options.spec = apps::AppSpec::bt();
+    options.n = 16;
+    options.iterations = 4;
+    options.compute_field_crc = false;
+    (void)apps::run_solver(program, ctx, options);
+  };
+  const auto prio_outcome = uic.submit_and_wait(priority);
+  std::cout << "  priority job "
+            << (prio_outcome.completed ? "completed" : "FAILED") << "\n\n";
+
+  // Phase 3: ...while LU restarts from the system checkpoint on only 4
+  // processors (reconfigured restart), and still reproduces the
+  // reference field when it finishes.
+  std::cout << "phase 3: LU restarted on 4 processors from the "
+               "system-initiated checkpoint\n";
+  const auto resumed = run_lu(volume, 4, "lu.sys", -1, nullptr);
+  std::cout << "  resumed at it=" << resumed.start_iteration
+            << " (delta=" << resumed.delta << "), CRC " << std::hex
+            << resumed.field_crc << std::dec
+            << (resumed.field_crc == reference.field_crc ? "  [MATCH]"
+                                                         : "  [FAIL]")
+            << "\n";
+
+  std::cout << "\nevent trace:\n";
+  for (const auto& line : uic.event_trace()) {
+    std::cout << "  " << line << "\n";
+  }
+  return resumed.field_crc == reference.field_crc ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Computational steering (§3, [12]): while the BT-like solver runs, a
+// monitor thread — standing in for a researcher's console or a
+// visualization front end — periodically FETCHES a cross-section of the
+// solution field through the steering channel and prints its statistics,
+// then STORES a perturbed boundary plane back into the running
+// application and watches the injection propagate.
+//
+// Build & run:  ./examples/steering_monitor
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "apps/solver.hpp"
+#include "core/steering.hpp"
+#include "rt/task_group.hpp"
+#include "piofs/volume.hpp"
+#include "support/units.hpp"
+
+using namespace drms;
+using core::Index;
+using core::Range;
+using core::Slice;
+
+namespace {
+
+constexpr Index kN = 16;
+
+struct SectionStats {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+SectionStats stats_of(const std::vector<std::byte>& bytes) {
+  std::vector<double> values(bytes.size() / sizeof(double));
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  SectionStats s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (const double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+/// Mid-plane of component 0: (0, :, :, z = kN/2).
+Slice midplane() {
+  return Slice{{Range::single(0), Range::contiguous(0, kN - 1),
+                Range::contiguous(0, kN - 1), Range::single(kN / 2)}};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Computational steering of the BT-like solver (6 tasks, "
+            << kN << "^3 grid)\n\n";
+
+  piofs::Volume volume(16);
+  core::SteeringChannel channel;
+  std::atomic<std::int64_t> iteration{-1};
+
+  apps::SolverOptions options;
+  options.spec = apps::AppSpec::bt();
+  options.n = kN;
+  options.iterations = 40;
+  options.checkpoint_every = 1000;  // steering demo: no checkpoints
+  options.compute_field_crc = false;
+  options.steering = &channel;
+  options.on_iteration = [&](std::int64_t it, rt::TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      iteration.store(it);
+    }
+    // A touch of wall-clock per iteration so the monitor can interleave.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+
+  core::DrmsEnv env;
+  env.volume = &volume;
+  auto program = apps::make_program(options, env, 6);
+
+  std::thread app_thread([&] {
+    rt::TaskGroup group(
+        sim::Placement::one_per_node(sim::Machine::paper_sp16(), 6));
+    const auto result = group.run([&](rt::TaskContext& ctx) {
+      (void)apps::run_solver(*program, ctx, options);
+    });
+    if (!result.completed) {
+      std::cerr << "solver failed: " << result.kill_reason << "\n";
+    }
+  });
+
+  // Monitor: snapshot the mid-plane a few times as the solution evolves.
+  const Slice plane = midplane();
+  for (int snapshot = 0; snapshot < 3; ++snapshot) {
+    while (iteration.load() < snapshot * 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto bytes = channel.fetch("u", plane).get();
+    const SectionStats s = stats_of(bytes);
+    std::cout << "snapshot at it>=" << snapshot * 5 << ": mid-plane min="
+              << s.min << " max=" << s.max << " mean=" << s.mean << "\n";
+  }
+
+  // Steer: inject a hot spot into the x = 0 boundary plane of comp 0.
+  const Slice boundary{{Range::single(0), Range::single(0),
+                        Range::contiguous(0, kN - 1),
+                        Range::contiguous(0, kN - 1)}};
+  std::vector<double> hot(
+      static_cast<std::size_t>(boundary.element_count()), 25.0);
+  std::vector<std::byte> payload(hot.size() * sizeof(double));
+  std::memcpy(payload.data(), hot.data(), payload.size());
+  channel.store("u", boundary, std::move(payload)).get();
+  std::cout << "\n>>> injected a 25.0 hot spot on the x=0 boundary\n\n";
+
+  // Watch the injection spread into the interior.
+  for (int snapshot = 0; snapshot < 2; ++snapshot) {
+    const std::int64_t target = iteration.load() + 8;
+    while (iteration.load() < target) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto bytes = channel.fetch("u", plane).get();
+    const SectionStats s = stats_of(bytes);
+    std::cout << "post-injection snapshot: mid-plane min=" << s.min
+              << " max=" << s.max << " mean=" << s.mean << "\n";
+  }
+
+  app_thread.join();
+  std::cout << "\nThe mean of the mid-plane rises after the injection — "
+               "the steering\nstore reached the running computation "
+               "without stopping it.\n";
+  return 0;
+}

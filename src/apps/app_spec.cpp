@@ -1,0 +1,174 @@
+#include "apps/app_spec.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/error.hpp"
+
+namespace drms::apps {
+
+using core::Index;
+
+Index grid_size(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS:
+      return 12;
+    case ProblemClass::kW:
+      return 24;
+    case ProblemClass::kA:
+      return 64;
+  }
+  throw support::Error("unknown problem class");
+}
+
+std::string to_string(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS:
+      return "S";
+    case ProblemClass::kW:
+      return "W";
+    case ProblemClass::kA:
+      return "A";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The "system related" storage is identical for all three applications
+/// (Table 4): mostly message-passing buffers.
+constexpr std::uint64_t kSystemBytes = 34'972'228;
+
+AppSpec base(std::string name, std::vector<ArrayDecl> arrays,
+             std::uint64_t private_bytes, std::uint64_t text_bytes) {
+  AppSpec spec;
+  spec.name = std::move(name);
+  spec.arrays = std::move(arrays);
+  spec.private_bytes = private_bytes;
+  spec.system_bytes = kSystemBytes;
+  spec.text_bytes = text_bytes;
+  return spec;
+}
+
+}  // namespace
+
+AppSpec AppSpec::bt() {
+  // 42 components -> 84 MiB of distributed arrays at class A.
+  return base("BT",
+              {{"u", 5},
+               {"rhs", 5},
+               {"forcing", 5},
+               {"us", 1},
+               {"vs", 1},
+               {"ws", 1},
+               {"qs", 1},
+               {"rho_i", 1},
+               {"square", 1},
+               {"lhs_x", 7},
+               {"lhs_y", 7},
+               {"lhs_z", 7}},
+              /*private_bytes=*/5'374'784, /*text_bytes=*/8'388'608);
+}
+
+AppSpec AppSpec::lu() {
+  // 17 components -> 34 MiB at class A; LU keeps its big work arrays
+  // PRIVATE (the paper's explanation for its 44 MB private component).
+  // Table 4 prints LU's private/replicated column as 44,134,872, which is
+  // inconsistent with its own "Total data" of 89,169,924 by exactly 1000
+  // bytes; we use the value implied by the total (44,135,872).
+  AppSpec spec =
+      base("LU", {{"u", 5}, {"rsd", 5}, {"frct", 5}, {"flux", 2}},
+           /*private_bytes=*/44'135'872, /*text_bytes=*/7'340'032);
+  spec.static_halo = {0, 1, 1};  // LU's statics carry no x halo
+  return spec;
+}
+
+AppSpec AppSpec::sp() {
+  // 24 components -> 48 MiB at class A.
+  return base("SP",
+              {{"u", 5},
+               {"rhs", 5},
+               {"forcing", 5},
+               {"us", 1},
+               {"vs", 1},
+               {"ws", 1},
+               {"qs", 1},
+               {"rho_i", 1},
+               {"speed", 1},
+               {"lhs", 3}},
+              /*private_bytes=*/5'621'696, /*text_bytes=*/7'864'320);
+}
+
+AppSpec AppSpec::by_name(const std::string& name) {
+  for (AppSpec spec : all()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  throw support::Error("unknown application: '" + name +
+                       "' (expected BT, LU or SP)");
+}
+
+std::vector<AppSpec> AppSpec::all() { return {bt(), lu(), sp()}; }
+
+int AppSpec::total_components() const {
+  int total = 0;
+  for (const auto& a : arrays) {
+    total += a.components;
+  }
+  return total;
+}
+
+std::uint64_t AppSpec::arrays_bytes(Index n) const {
+  return static_cast<std::uint64_t>(total_components()) *
+         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(n) * sizeof(double);
+}
+
+core::Slice AppSpec::array_box(const ArrayDecl& decl, Index n) const {
+  const std::array<Index, 4> lo{0, 0, 0, 0};
+  const std::array<Index, 4> hi{decl.components - 1, n - 1, n - 1, n - 1};
+  return core::Slice::box(lo, hi);
+}
+
+core::DistSpec AppSpec::array_distribution(const ArrayDecl& decl, Index n,
+                                           int tasks) const {
+  const std::vector<int> spatial = core::factor_grid(tasks, 3);
+  const std::array<int, 4> grid{1, spatial[0], spatial[1], spatial[2]};
+  const std::array<Index, 4> shadow{0, shadow_width, shadow_width,
+                                    shadow_width};
+  return core::DistSpec::block(array_box(decl, n), grid, shadow);
+}
+
+core::AppSegmentModel AppSpec::segment_model(Index n) const {
+  // Static local storage: the largest per-task sum of local-array sizes
+  // at the compile-minimum task count. Fortran dimensions each spatial
+  // axis as (assigned extent + 2*static_halo), with no clamping at the
+  // global boundary — which is why the paper's local sections exceed
+  // 1/min_tasks of the arrays (§5, Table 4).
+  std::vector<std::uint64_t> per_task(static_cast<std::size_t>(min_tasks),
+                                      0);
+  for (const auto& decl : arrays) {
+    const core::DistSpec spec = array_distribution(decl, n, min_tasks);
+    for (int t = 0; t < min_tasks; ++t) {
+      const core::Slice& assigned = spec.assigned(t);
+      std::uint64_t points = static_cast<std::uint64_t>(
+          assigned.range(0).size());  // components
+      for (int axis = 0; axis < 3; ++axis) {
+        points *= static_cast<std::uint64_t>(
+            assigned.range(axis + 1).size() +
+            2 * static_halo[static_cast<std::size_t>(axis)]);
+      }
+      per_task[static_cast<std::size_t>(t)] += points * sizeof(double);
+    }
+  }
+  core::AppSegmentModel model;
+  model.static_local_bytes =
+      *std::max_element(per_task.begin(), per_task.end());
+  model.private_bytes = private_bytes;
+  model.system_bytes = system_bytes;
+  model.text_bytes = text_bytes;
+  return model;
+}
+
+}  // namespace drms::apps

@@ -1,0 +1,93 @@
+// Application descriptors for the three NAS-parallel-benchmark-like
+// solvers used in the paper's evaluation (BT, LU, SP).
+//
+// SUBSTITUTION (documented in DESIGN.md): the real NPB codes are ~10k
+// lines of Fortran CFD each; the evaluation's tables depend on each
+// application's DATA INVENTORY — which arrays are distributed vs private,
+// the shadow widths, and the segment composition — not on the CFD
+// numerics. These descriptors reproduce the inventories of the paper's
+// Tables 3-4:
+//
+//   app | distributed components | arrays MB (class A) | private bytes
+//   BT  | 42                     | 84                  |  5,374,784
+//   LU  | 17                     | 34                  | 44,134,872
+//   SP  | 24                     | 48                  |  5,621,696
+//
+// (One class-A component = 64^3 doubles = 2 MiB. The paper's "local
+// sections" values correspond to shadow width 1 on a {1,2,2} spatial grid
+// at the 4-task compile minimum, which these descriptors reproduce.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_format.hpp"
+#include "core/dist_spec.hpp"
+
+namespace drms::apps {
+
+/// One distributed array of the application: `components` grid fields
+/// stored as a 4-D array (component, x, y, z).
+struct ArrayDecl {
+  std::string name;
+  int components = 1;
+};
+
+/// NPB problem classes used in the paper (class A) and for fast tests.
+enum class ProblemClass { kS, kW, kA };
+
+/// Grid edge length of a problem class (cubic grids, as in the NPB).
+[[nodiscard]] core::Index grid_size(ProblemClass c);
+[[nodiscard]] std::string to_string(ProblemClass c);
+
+struct AppSpec {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  /// Private + replicated data (Table 4, exact paper values for class A).
+  std::uint64_t private_bytes = 0;
+  /// System-library storage (message-passing buffers; same for all apps).
+  std::uint64_t system_bytes = 0;
+  /// Application text segment size (drives the restart "other" component).
+  std::uint64_t text_bytes = 0;
+  /// Compile-time minimum task count (the paper compiled for >= 4).
+  int min_tasks = 4;
+  /// Shadow (ghost) width on each spatial axis.
+  core::Index shadow_width = 1;
+  /// Static halo allocation per spatial axis: Fortran dimensions local
+  /// arrays as (extent + 2*halo) on each axis, unclamped at the global
+  /// boundary. BT/SP allocate halos on all three axes; LU skips the x
+  /// halo. With these, the Table-4 "local sections" values are
+  /// reproduced EXACTLY (e.g. BT: 42 comps * 66*34*34 * 8 B * 4 tasks'
+  /// worth = 25,635,456 bytes per task at the {1,2,2} minimum grid).
+  std::array<core::Index, 3> static_halo{1, 1, 1};
+
+  [[nodiscard]] static AppSpec bt();
+  [[nodiscard]] static AppSpec lu();
+  [[nodiscard]] static AppSpec sp();
+  /// "BT" | "LU" | "SP" (throws on anything else).
+  [[nodiscard]] static AppSpec by_name(const std::string& name);
+  [[nodiscard]] static std::vector<AppSpec> all();
+
+  [[nodiscard]] int total_components() const;
+  /// Bytes of all distributed arrays for grid edge n (the "array" column
+  /// of Table 3).
+  [[nodiscard]] std::uint64_t arrays_bytes(core::Index n) const;
+
+  /// 4-D index space of one declared array: (component, x, y, z).
+  [[nodiscard]] core::Slice array_box(const ArrayDecl& decl,
+                                      core::Index n) const;
+  /// Block distribution of such an array over `tasks`: components
+  /// undistributed, near-cubic spatial grid, shadow on spatial axes only.
+  [[nodiscard]] core::DistSpec array_distribution(const ArrayDecl& decl,
+                                                  core::Index n,
+                                                  int tasks) const;
+
+  /// Full segment model for grid edge n: static local sections computed
+  /// at min_tasks (Fortran static allocation does not shrink with more
+  /// tasks), plus the private/system/text components.
+  [[nodiscard]] core::AppSegmentModel segment_model(core::Index n) const;
+};
+
+}  // namespace drms::apps

@@ -1,0 +1,279 @@
+#include "apps/solver.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "core/redistribute.hpp"
+#include "core/streamer.hpp"
+#include "rt/collectives.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::apps {
+
+using core::DistArray;
+using core::Index;
+using core::Slice;
+
+namespace {
+
+/// Per-application relaxation operator shape. The asymmetric LU weights
+/// stand in for its lower/upper sweeps, SP's wider weights for the
+/// scalar-pentadiagonal system; all remain Jacobi-style so results are
+/// distribution-invariant.
+struct StencilCoef {
+  double wxm, wxp, wym, wyp, wzm, wzp;
+  double source;
+  double dt;
+};
+
+StencilCoef coefficients(const std::string& app) {
+  if (app == "BT") {
+    return {0.11, 0.11, 0.12, 0.12, 0.13, 0.13, 0.015, 0.4};
+  }
+  if (app == "LU") {
+    return {0.15, 0.07, 0.10, 0.06, 0.12, 0.05, 0.020, 0.5};
+  }
+  if (app == "SP") {
+    return {0.09, 0.09, 0.09, 0.09, 0.09, 0.09, 0.010, 0.6};
+  }
+  throw support::Error("no stencil coefficients for app '" + app + "'");
+}
+
+/// Deterministic initial value of array `a`, component c, point (x,y,z) —
+/// a pure function of the global position, so initialization is identical
+/// on every task count.
+double initial_value(int a, Index c, Index x, Index y, Index z) {
+  return 0.1 * static_cast<double>(a + 1) +
+         1e-3 * static_cast<double>(c + 1) +
+         1e-4 * static_cast<double>(x) + 1e-7 * static_cast<double>(y) +
+         1e-10 * static_cast<double>(z);
+}
+
+/// Raw-pointer view of a 4-D (comp,x,y,z) block-distributed local section.
+struct LocalView {
+  double* data = nullptr;
+  Index c0 = 0, x0 = 0, y0 = 0, z0 = 0;  // mapped lower bounds
+  Index sc = 1, sx = 0, sy = 0, sz = 0;  // column-major strides
+
+  [[nodiscard]] double& at(Index c, Index x, Index y, Index z) const {
+    return data[(c - c0) * sc + (x - x0) * sx + (y - y0) * sy +
+                (z - z0) * sz];
+  }
+};
+
+LocalView view_of(DistArray& array, int rank) {
+  core::LocalArray& local = array.local(rank);
+  const Slice& m = local.mapped();
+  DRMS_EXPECTS_MSG(m.rank() == 4, "solver arrays are 4-D");
+  LocalView v;
+  v.data = local.as_f64().data();
+  v.c0 = m.range(0).first();
+  v.x0 = m.range(1).first();
+  v.y0 = m.range(2).first();
+  v.z0 = m.range(3).first();
+  v.sc = 1;
+  v.sx = m.range(0).size();
+  v.sy = v.sx * m.range(1).size();
+  v.sz = v.sy * m.range(2).size();
+  return v;
+}
+
+void fill_initial(DistArray& array, int array_index, int rank) {
+  const Slice& assigned = array.distribution().assigned(rank);
+  if (assigned.empty()) {
+    return;
+  }
+  const LocalView v = view_of(array, rank);
+  const auto& rc = assigned.range(0);
+  const auto& rx = assigned.range(1);
+  const auto& ry = assigned.range(2);
+  const auto& rz = assigned.range(3);
+  for (Index z = rz.first(); z <= rz.last(); ++z) {
+    for (Index y = ry.first(); y <= ry.last(); ++y) {
+      for (Index x = rx.first(); x <= rx.last(); ++x) {
+        for (Index c = rc.first(); c <= rc.last(); ++c) {
+          v.at(c, x, y, z) = initial_value(array_index, c, x, y, z);
+        }
+      }
+    }
+  }
+}
+
+/// One relaxation step: buf = stencil(u) (+ source), then u += dt * buf.
+/// Returns the task-local sum of |buf| for the residual diagnostic.
+double relax(DistArray& u, DistArray& buf, DistArray* forcing,
+             const StencilCoef& k, Index n, int rank) {
+  const Slice& assigned = u.distribution().assigned(rank);
+  if (assigned.empty()) {
+    return 0.0;
+  }
+  const LocalView uv = view_of(u, rank);
+  const LocalView bv = view_of(buf, rank);
+  LocalView fv;
+  if (forcing != nullptr) {
+    fv = view_of(*forcing, rank);
+  }
+  const auto& rc = assigned.range(0);
+  const auto& rx = assigned.range(1);
+  const auto& ry = assigned.range(2);
+  const auto& rz = assigned.range(3);
+
+  double local_abs = 0.0;
+  for (Index z = rz.first(); z <= rz.last(); ++z) {
+    const Index zm = z > 0 ? z - 1 : z;
+    const Index zp = z < n - 1 ? z + 1 : z;
+    for (Index y = ry.first(); y <= ry.last(); ++y) {
+      const Index ym = y > 0 ? y - 1 : y;
+      const Index yp = y < n - 1 ? y + 1 : y;
+      for (Index x = rx.first(); x <= rx.last(); ++x) {
+        const Index xm = x > 0 ? x - 1 : x;
+        const Index xp = x < n - 1 ? x + 1 : x;
+        for (Index c = rc.first(); c <= rc.last(); ++c) {
+          const double center = uv.at(c, x, y, z);
+          double r = k.wxm * (uv.at(c, xm, y, z) - center) +
+                     k.wxp * (uv.at(c, xp, y, z) - center) +
+                     k.wym * (uv.at(c, x, ym, z) - center) +
+                     k.wyp * (uv.at(c, x, yp, z) - center) +
+                     k.wzm * (uv.at(c, x, y, zm) - center) +
+                     k.wzp * (uv.at(c, x, y, zp) - center);
+          if (forcing != nullptr) {
+            r += k.source * fv.at(c, x, y, z);
+          }
+          bv.at(c, x, y, z) = r;
+          local_abs += std::abs(r);
+        }
+      }
+    }
+  }
+  for (Index z = rz.first(); z <= rz.last(); ++z) {
+    for (Index y = ry.first(); y <= ry.last(); ++y) {
+      for (Index x = rx.first(); x <= rx.last(); ++x) {
+        for (Index c = rc.first(); c <= rc.last(); ++c) {
+          uv.at(c, x, y, z) += k.dt * bv.at(c, x, y, z);
+        }
+      }
+    }
+  }
+  return local_abs;
+}
+
+}  // namespace
+
+std::unique_ptr<core::DrmsProgram> make_program(
+    const SolverOptions& options, core::DrmsEnv env, int task_count) {
+  return std::make_unique<core::DrmsProgram>(
+      options.spec.name, env, options.spec.segment_model(options.n),
+      task_count);
+}
+
+SolverOutcome run_solver(core::DrmsProgram& program, rt::TaskContext& ctx,
+                         const SolverOptions& options) {
+  const AppSpec& spec = options.spec;
+  const Index n = options.n;
+  const StencilCoef coef = coefficients(spec.name);
+
+  core::DrmsContext drms(program, ctx);
+  std::int64_t it = 0;
+  double residual = 0.0;
+  drms.store().register_i64("it", &it);
+  drms.store().register_f64("residual", &residual);
+  drms.initialize();
+
+  // Declare and distribute every array of the inventory (Figure 1's
+  // drms_create_distribution + drms_distribute; on a restart, distribute()
+  // also loads the checkpointed contents under the new distribution).
+  std::vector<DistArray*> arrays;
+  arrays.reserve(spec.arrays.size());
+  for (const auto& decl : spec.arrays) {
+    const Slice box = spec.array_box(decl, n);
+    std::vector<Index> lo;
+    std::vector<Index> hi;
+    for (int k = 0; k < box.rank(); ++k) {
+      lo.push_back(box.range(k).first());
+      hi.push_back(box.range(k).last());
+    }
+    DistArray& a = drms.create_array(decl.name, lo, hi);
+    drms.distribute(a, spec.array_distribution(decl, n, ctx.size()));
+    arrays.push_back(&a);
+  }
+  DistArray& u = *arrays[0];
+  DistArray& buf = *arrays[1];
+  DistArray* forcing = arrays.size() > 2 ? arrays[2] : nullptr;
+
+  SolverOutcome out;
+  out.restarted = drms.restarted();
+  out.start_iteration = it;
+  out.delta = drms.delta();
+
+  if (!drms.restarted()) {
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      fill_initial(*arrays[a], static_cast<int>(a), ctx.rank());
+    }
+    ctx.barrier();
+    core::refresh_shadows(ctx, u);
+  }
+
+  const int stop = options.stop_at_iteration >= 0
+                       ? options.stop_at_iteration
+                       : options.iterations;
+  const std::uint64_t points_per_iter =
+      static_cast<std::uint64_t>(
+          u.distribution().assigned(ctx.rank()).element_count());
+
+  while (it < stop) {
+    if (!options.prefix.empty() && it > 0 &&
+        it % options.checkpoint_every == 0) {
+      const core::ReconfigResult r =
+          options.use_chkenable ? drms.reconfig_chkenable(options.prefix)
+                                : drms.reconfig_checkpoint(options.prefix);
+      if (r.checkpoint_written) {
+        ++out.checkpoints_written;
+      }
+    }
+    if (options.on_iteration) {
+      options.on_iteration(it, ctx);
+    }
+    if (options.steering != nullptr) {
+      (void)drms.service_steering(*options.steering);
+    }
+    const double local_abs =
+        relax(u, buf, forcing, coef, n, ctx.rank());
+    if (program.env().cost != nullptr) {
+      drms.charge_compute(
+          program.env().cost->compute_seconds(points_per_iter));
+    }
+    residual = rt::all_reduce_sum(ctx, local_abs);
+    core::refresh_shadows(ctx, u);
+    ++it;
+  }
+  out.residual = residual;
+
+  if (options.compute_field_crc) {
+    // Canonical (distribution-independent) stream of u, CRC'd on rank 0 —
+    // bitwise comparable across task counts and restarts.
+    piofs::Volume& volume = *program.env().volume;
+    const std::string crc_file = spec.name + ".__fieldcrc.tmp";
+    if (ctx.rank() == 0) {
+      volume.create(crc_file);
+    }
+    ctx.barrier();
+    const core::ArrayStreamer streamer(nullptr, {});
+    streamer.write_section(ctx, u, u.global_box(), volume.open(crc_file),
+                           0, 1);
+    ctx.barrier();
+    support::ByteBuffer decision;
+    if (ctx.rank() == 0) {
+      const auto handle = volume.open(crc_file);
+      const auto bytes = handle.read_at(0, handle.size());
+      decision.put_u32(support::crc32c(bytes));
+      volume.remove(crc_file);
+    }
+    rt::broadcast(ctx, decision, 0);
+    decision.rewind();
+    out.field_crc = decision.get_u32();
+  }
+  return out;
+}
+
+}  // namespace drms::apps

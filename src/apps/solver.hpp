@@ -1,0 +1,76 @@
+// The BT/LU/SP-like iterative solvers (one generic engine parameterized by
+// the AppSpec), written against the public DRMS API in the exact shape of
+// the paper's Figure 1:
+//
+//   drms_initialize -> declare + distribute arrays -> main loop with a
+//   schedulable-and-observable point (checkpoint site) every
+//   checkpoint_every iterations.
+//
+// The numerics are a deliberately distribution-invariant Jacobi-type
+// relaxation (documented substitution; see DESIGN.md): each iteration
+// refreshes the shadow regions, evaluates a 7-point stencil of the `u`
+// field into the rhs-like buffer, and applies a pointwise update. Every
+// floating-point operation on a given grid point is identical regardless
+// of the task count, so a field produced by "run, checkpoint, restart on
+// any t2, finish" is bitwise equal to an uninterrupted run — which the
+// tests verify through the canonical-stream CRC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/app_spec.hpp"
+#include "core/drms_context.hpp"
+#include "rt/task_context.hpp"
+
+namespace drms::apps {
+
+struct SolverOptions {
+  AppSpec spec;
+  core::Index n = 12;
+  int iterations = 20;
+  int checkpoint_every = 10;
+  /// Prefix for checkpoints taken at SOPs; empty = SOPs never checkpoint.
+  std::string prefix;
+  /// Stop early after this iteration count (simulates an interruption
+  /// between SOPs); -1 = run to `iterations`.
+  int stop_at_iteration = -1;
+  /// Use the enabling variant (drms_reconfig_chkenable) at SOPs.
+  bool use_chkenable = false;
+  /// Compute the canonical-stream CRC of `u` at the end (costs one serial
+  /// streaming pass; disable in timing-focused benches).
+  bool compute_field_crc = true;
+  /// Called at the top of every iteration, after the SOP (used by the
+  /// failure-injection tests and the fault-recovery example to coordinate
+  /// with the outside world). May block; must tolerate TaskKilled.
+  std::function<void(std::int64_t iteration, rt::TaskContext&)>
+      on_iteration;
+  /// When non-null, the solver services this computational-steering
+  /// channel at every iteration (after the SOP and the hook).
+  core::SteeringChannel* steering = nullptr;
+};
+
+struct SolverOutcome {
+  bool restarted = false;
+  std::int64_t start_iteration = 0;
+  int delta = 0;
+  int checkpoints_written = 0;
+  /// CRC-32C of u's distribution-independent stream (identical on every
+  /// task); 0 when compute_field_crc is off.
+  std::uint32_t field_crc = 0;
+  /// Final residual diagnostic (reduction over the last rhs evaluation).
+  double residual = 0.0;
+};
+
+/// SPMD body: call from every task of a group, with a DrmsProgram built
+/// via make_program(). COLLECTIVE throughout.
+SolverOutcome run_solver(core::DrmsProgram& program, rt::TaskContext& ctx,
+                         const SolverOptions& options);
+
+/// Convenience: a DrmsProgram wired for this app/problem size.
+[[nodiscard]] std::unique_ptr<core::DrmsProgram> make_program(
+    const SolverOptions& options, core::DrmsEnv env, int task_count);
+
+}  // namespace drms::apps

@@ -1,0 +1,72 @@
+#include "arch/events.hpp"
+
+namespace drms::arch {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTcLost:
+      return "TC_LOST";
+    case EventKind::kPoolKilled:
+      return "POOL_KILLED";
+    case EventKind::kJobTerminated:
+      return "JOB_TERMINATED";
+    case EventKind::kUserInformed:
+      return "USER_INFORMED";
+    case EventKind::kTcRestarting:
+      return "TC_RESTARTING";
+    case EventKind::kTcReactivated:
+      return "TC_REACTIVATED";
+    case EventKind::kProcessorsAllocated:
+      return "PROCESSORS_ALLOCATED";
+    case EventKind::kProcessorsReleased:
+      return "PROCESSORS_RELEASED";
+    case EventKind::kJobLaunched:
+      return "JOB_LAUNCHED";
+    case EventKind::kJobRestarted:
+      return "JOB_RESTARTED";
+    case EventKind::kJobCompleted:
+      return "JOB_COMPLETED";
+    case EventKind::kJobFailedNoCheckpoint:
+      return "JOB_FAILED_NO_CHECKPOINT";
+    case EventKind::kCheckpointRequested:
+      return "CHECKPOINT_REQUESTED";
+    case EventKind::kJobPreempted:
+      return "JOB_PREEMPTED";
+    case EventKind::kNodeDrained:
+      return "NODE_DRAINED";
+  }
+  return "UNKNOWN";
+}
+
+void EventLog::record(EventKind kind, std::string detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{kind, std::move(detail)});
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int EventLog::count(EventKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> EventLog::formatted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) {
+    out.push_back(to_string(e.kind) + " " + e.detail);
+  }
+  return out;
+}
+
+}  // namespace drms::arch

@@ -1,0 +1,53 @@
+// Event log of the DRMS infrastructure — every protocol step (TC loss,
+// pool kill, TC reactivation, job launch/restart/completion) is recorded
+// so tests and examples can assert the recovery sequence of §4.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace drms::arch {
+
+enum class EventKind {
+  kTcLost,
+  kPoolKilled,
+  kJobTerminated,
+  kUserInformed,
+  kTcRestarting,
+  kTcReactivated,
+  kProcessorsAllocated,
+  kProcessorsReleased,
+  kJobLaunched,
+  kJobRestarted,
+  kJobCompleted,
+  kJobFailedNoCheckpoint,
+  kCheckpointRequested,
+  kJobPreempted,
+  kNodeDrained,
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+struct Event {
+  EventKind kind;
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  void record(EventKind kind, std::string detail);
+
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] int count(EventKind kind) const;
+  /// First event of the given kind, or nullptr-semantics via empty detail.
+  [[nodiscard]] bool contains(EventKind kind) const { return count(kind) > 0; }
+  /// Render as "KIND detail" lines, for examples.
+  [[nodiscard]] std::vector<std::string> formatted() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace drms::arch

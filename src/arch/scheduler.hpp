@@ -1,0 +1,104 @@
+// The Job Scheduler and Analyzer (JSA): assigns processors to
+// applications and exploits reconfigurable checkpointing in the three
+// ways §4 lists — user-driven checkpoint/restart, system-initiated
+// checkpointing for dynamic resource management (the enabling signal of
+// drms_reconfig_chkenable), and automatic restart of failed applications
+// from their latest checkpoint on whatever processors remain available.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "core/drms_context.hpp"
+#include "piofs/volume.hpp"
+
+namespace drms::arch {
+
+struct JobDescriptor {
+  std::string name;
+  /// Valid task-count range of the application's SOQs (the resource
+  /// section of §2.1).
+  int min_tasks = 1;
+  int preferred_tasks = 8;
+  /// Checkpoint prefix this job writes to / restarts from.
+  std::string checkpoint_prefix;
+  /// When true, the JSA consults the checkpoint catalog and restarts from
+  /// the HIGHEST-SOP state whose app name matches (prefix acts as a
+  /// filter) — the natural policy when the application alternates between
+  /// several prefixes. When false, exactly `checkpoint_prefix` is used.
+  bool restart_from_latest = false;
+  /// Environment template; the JSA fills in restart_prefix per attempt.
+  core::DrmsEnv base_env;
+  /// Build the shared program state for one attempt (given env and task
+  /// count).
+  std::function<std::unique_ptr<core::DrmsProgram>(core::DrmsEnv, int)>
+      make_program;
+  /// SPMD body run by every task of the attempt.
+  std::function<void(core::DrmsProgram&, rt::TaskContext&)> body;
+  /// Give up after this many failure-triggered relaunches.
+  int max_restarts = 5;
+  std::uint64_t seed = 1;
+};
+
+struct JobAttempt {
+  int tasks = 0;
+  bool from_checkpoint = false;
+  bool completed = false;
+  bool killed = false;
+  std::string kill_reason;
+  std::vector<std::string> errors;
+  double sim_seconds = 0.0;
+};
+
+struct JobOutcome {
+  bool completed = false;
+  std::vector<JobAttempt> attempts;
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(Cluster& cluster, EventLog* log);
+
+  /// Run a job to completion, transparently recovering from processor
+  /// failures by restarting from the latest checkpoint on the processors
+  /// still available (reconfigured restart). Blocking.
+  JobOutcome run_job(const JobDescriptor& job);
+
+  /// Arm the system-initiated checkpoint signal on a running job (the
+  /// next drms_reconfig_chkenable SOP will take a checkpoint). Returns
+  /// false when the job is not currently running.
+  bool request_checkpoint(const std::string& job_name);
+
+  /// Preempt a running job: arm its enabling signal, wait until a NEW
+  /// checkpoint lands on the volume (SOP counter advances past
+  /// `min_sop_exclusive`), then kill its pool. The surrounding run_job
+  /// loop relaunches it from that checkpoint — on however many
+  /// processors are then available. Returns false when the job is not
+  /// running or no checkpoint appears within `timeout_ms` of polling.
+  /// Used for scheduler-driven shrinking and node maintenance (§8).
+  bool preempt_job(const std::string& job_name, piofs::Volume& volume,
+                   const std::string& prefix_filter,
+                   std::int64_t min_sop_exclusive, int timeout_ms = 10000);
+
+  /// Drain a node for maintenance: preempt the job running on it (if
+  /// any), then fail the node so allocations avoid it until repair.
+  /// `volume`/`prefix_filter` locate the job's checkpoints as in
+  /// preempt_job.
+  bool drain_node(int node, piofs::Volume& volume,
+                  const std::string& prefix_filter,
+                  std::int64_t min_sop_exclusive, int timeout_ms = 10000);
+
+ private:
+  Cluster& cluster_;
+  EventLog* log_;
+  std::mutex running_mutex_;
+  std::map<std::string, core::DrmsProgram*> running_;
+};
+
+}  // namespace drms::arch

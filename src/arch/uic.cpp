@@ -1,0 +1,52 @@
+#include "arch/uic.hpp"
+
+#include "core/checkpoint_catalog.hpp"
+#include "support/units.hpp"
+
+namespace drms::arch {
+
+Uic::Uic(Cluster& cluster, JobScheduler& scheduler, piofs::Volume& volume,
+         EventLog& log)
+    : cluster_(cluster),
+      scheduler_(scheduler),
+      volume_(volume),
+      log_(log) {}
+
+JobOutcome Uic::submit_and_wait(const JobDescriptor& job) {
+  return scheduler_.run_job(job);
+}
+
+bool Uic::request_checkpoint(const std::string& job_name) {
+  return scheduler_.request_checkpoint(job_name);
+}
+
+void Uic::admin_fail_node(int node) { cluster_.fail_node(node); }
+
+void Uic::admin_repair_node(int node) { cluster_.repair_node(node); }
+
+int Uic::available_processors() const {
+  return cluster_.available_processors();
+}
+
+std::vector<std::string> Uic::list_checkpoint_files(
+    const std::string& prefix) const {
+  return volume_.list(prefix);
+}
+
+std::vector<std::string> Uic::show_checkpoints() const {
+  std::vector<std::string> out;
+  for (const auto& record : core::list_checkpoints(volume_)) {
+    out.push_back(record.prefix + "  " + record.meta.app_name + "  " +
+                  (record.spmd ? "SPMD" : "DRMS") + "  tasks=" +
+                  std::to_string(record.meta.task_count) + "  sop=" +
+                  std::to_string(record.meta.sop) + "  " +
+                  support::format_bytes(record.state_bytes));
+  }
+  return out;
+}
+
+std::vector<std::string> Uic::event_trace() const {
+  return log_.formatted();
+}
+
+}  // namespace drms::arch

@@ -1,0 +1,47 @@
+// User Interface Coordinator — the facade through which end users and
+// administrators interact with the DRMS environment (Figure 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cluster.hpp"
+#include "arch/scheduler.hpp"
+#include "piofs/volume.hpp"
+
+namespace drms::arch {
+
+class Uic {
+ public:
+  Uic(Cluster& cluster, JobScheduler& scheduler, piofs::Volume& volume,
+      EventLog& log);
+
+  /// End user: submit a job and block until it completes (or exhausts its
+  /// restart budget).
+  JobOutcome submit_and_wait(const JobDescriptor& job);
+
+  /// End user: ask the system to checkpoint a running job at its next
+  /// enabling SOP.
+  bool request_checkpoint(const std::string& job_name);
+
+  /// Administrator: inject / repair a processor failure.
+  void admin_fail_node(int node);
+  void admin_repair_node(int node);
+
+  /// Queries.
+  [[nodiscard]] int available_processors() const;
+  [[nodiscard]] std::vector<std::string> list_checkpoint_files(
+      const std::string& prefix) const;
+  /// Human-readable inventory of the checkpointed states on the volume:
+  /// "prefix  app  mode  tasks  sop  size".
+  [[nodiscard]] std::vector<std::string> show_checkpoints() const;
+  [[nodiscard]] std::vector<std::string> event_trace() const;
+
+ private:
+  Cluster& cluster_;
+  JobScheduler& scheduler_;
+  piofs::Volume& volume_;
+  EventLog& log_;
+};
+
+}  // namespace drms::arch

@@ -1,0 +1,8 @@
+/* Compile-only check that drms_c.h is valid C (the binding's contract). */
+#include "capi/drms_c.h"
+
+int drms_c_header_check_anchor(void) {
+  drms_run_options_t options = {0};
+  options.tasks = 1;
+  return DRMS_OK + DRMS_STATUS_CONTINUED + options.tasks - 1;
+}

@@ -1,0 +1,303 @@
+#include "capi/drms_c.h"
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/drms_context.hpp"
+#include "core/redistribute.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+struct drms_volume {
+  drms::piofs::Volume volume;
+  explicit drms_volume(int servers) : volume(servers) {}
+};
+
+struct drms_context {
+  drms::core::DrmsProgram* program;
+  drms::rt::TaskContext* task;
+  drms::core::DrmsContext drms;
+  std::vector<drms::core::DistArray*> arrays;
+  std::string last_error;
+
+  drms_context(drms::core::DrmsProgram& p, drms::rt::TaskContext& t)
+      : program(&p), task(&t), drms(p, t) {}
+};
+
+namespace {
+
+/// Run `body`, translating exceptions into DRMS_ERR + last_error. Kill
+/// requests must keep unwinding the task, so TaskKilled is re-thrown.
+template <typename Fn>
+int guarded(drms_context_t* ctx, Fn&& body) {
+  if (ctx == nullptr) {
+    return DRMS_ERR;
+  }
+  try {
+    body();
+    return DRMS_OK;
+  } catch (const drms::support::TaskKilled&) {
+    throw;
+  } catch (const std::exception& e) {
+    ctx->last_error = e.what();
+    return DRMS_ERR;
+  }
+}
+
+drms::core::DistArray* array_of(drms_context_t* ctx, int array_id) {
+  if (array_id < 0 ||
+      array_id >= static_cast<int>(ctx->arrays.size())) {
+    throw drms::support::Error("invalid array id " +
+                               std::to_string(array_id));
+  }
+  return ctx->arrays[static_cast<std::size_t>(array_id)];
+}
+
+}  // namespace
+
+extern "C" {
+
+drms_volume_t* drms_volume_create(int servers) {
+  if (servers < 1) {
+    return nullptr;
+  }
+  try {
+    return new drms_volume(servers);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void drms_volume_destroy(drms_volume_t* volume) { delete volume; }
+
+int drms_volume_checkpoint_exists(const drms_volume_t* volume,
+                                  const char* prefix) {
+  if (volume == nullptr || prefix == nullptr) {
+    return 0;
+  }
+  return drms::core::checkpoint_exists(volume->volume, prefix) ? 1 : 0;
+}
+
+int drms_run_spmd(drms_volume_t* volume,
+                  const drms_run_options_t* options, drms_task_fn fn,
+                  void* user) {
+  if (volume == nullptr || options == nullptr || fn == nullptr ||
+      options->tasks < 1 || options->app_name == nullptr) {
+    return DRMS_ERR;
+  }
+  try {
+    drms::core::DrmsEnv env;
+    env.volume = &volume->volume;
+    env.restart_prefix =
+        options->restart_prefix != nullptr ? options->restart_prefix : "";
+    env.mode = options->mode == DRMS_MODE_SPMD
+                   ? drms::core::CheckpointMode::kSpmd
+                   : drms::core::CheckpointMode::kDrms;
+    drms::core::AppSegmentModel segment;
+    segment.static_local_bytes = options->static_local_bytes;
+    segment.private_bytes = options->private_bytes;
+    segment.system_bytes = options->system_bytes;
+    segment.text_bytes = options->text_bytes;
+    drms::core::DrmsProgram program(options->app_name, env, segment,
+                                    options->tasks);
+
+    drms::sim::Machine machine = drms::sim::Machine::paper_sp16();
+    if (options->tasks > machine.node_count) {
+      machine.node_count = options->tasks;
+      machine.server_count = options->tasks;
+    }
+    drms::rt::TaskGroup group(
+        drms::sim::Placement::one_per_node(machine, options->tasks));
+    const auto result = group.run([&](drms::rt::TaskContext& task) {
+      drms_context ctx(program, task);
+      fn(&ctx, user);
+    });
+    return result.completed ? DRMS_OK : DRMS_ERR;
+  } catch (...) {
+    return DRMS_ERR;
+  }
+}
+
+int drms_rank(const drms_context_t* ctx) {
+  return ctx == nullptr ? -1 : ctx->task->rank();
+}
+
+int drms_size(const drms_context_t* ctx) {
+  return ctx == nullptr ? -1 : ctx->task->size();
+}
+
+int drms_barrier(drms_context_t* ctx) {
+  return guarded(ctx, [&] { ctx->task->barrier(); });
+}
+
+int drms_register_i64(drms_context_t* ctx, const char* name,
+                      int64_t* var) {
+  return guarded(ctx, [&] {
+    if (name == nullptr || var == nullptr) {
+      throw drms::support::Error("null name or variable");
+    }
+    ctx->drms.store().register_i64(name, var);
+  });
+}
+
+int drms_register_f64(drms_context_t* ctx, const char* name, double* var) {
+  return guarded(ctx, [&] {
+    if (name == nullptr || var == nullptr) {
+      throw drms::support::Error("null name or variable");
+    }
+    ctx->drms.store().register_f64(name, var);
+  });
+}
+
+int drms_initialize(drms_context_t* ctx) {
+  return guarded(ctx, [&] { ctx->drms.initialize(); });
+}
+
+int drms_restarted(const drms_context_t* ctx) {
+  return ctx != nullptr && ctx->drms.restarted() ? 1 : 0;
+}
+
+int drms_create_array(drms_context_t* ctx, const char* name, int rank,
+                      const int64_t* lower, const int64_t* upper,
+                      int* array_id) {
+  return guarded(ctx, [&] {
+    if (name == nullptr || lower == nullptr || upper == nullptr ||
+        array_id == nullptr || rank < 1) {
+      throw drms::support::Error("invalid create_array arguments");
+    }
+    drms::core::DistArray& array = ctx->drms.create_array(
+        name,
+        std::span<const drms::core::Index>(lower,
+                                           static_cast<std::size_t>(rank)),
+        std::span<const drms::core::Index>(upper,
+                                           static_cast<std::size_t>(rank)));
+    // Reuse the id when this task already declared it (idempotent).
+    for (std::size_t i = 0; i < ctx->arrays.size(); ++i) {
+      if (ctx->arrays[i] == &array) {
+        *array_id = static_cast<int>(i);
+        return;
+      }
+    }
+    ctx->arrays.push_back(&array);
+    *array_id = static_cast<int>(ctx->arrays.size()) - 1;
+  });
+}
+
+int drms_distribute_block(drms_context_t* ctx, int array_id,
+                          const int64_t* shadow) {
+  return guarded(ctx, [&] {
+    drms::core::DistArray* array = array_of(ctx, array_id);
+    const int rank = array->global_box().rank();
+    std::vector<drms::core::Index> widths(
+        static_cast<std::size_t>(rank), 0);
+    if (shadow != nullptr) {
+      for (int k = 0; k < rank; ++k) {
+        widths[static_cast<std::size_t>(k)] = shadow[k];
+      }
+    }
+    ctx->drms.distribute(*array,
+                         drms::core::DistSpec::block_auto(
+                             array->global_box(), ctx->task->size(),
+                             widths));
+  });
+}
+
+int drms_array_get(drms_context_t* ctx, int array_id,
+                   const int64_t* point, double* value) {
+  return guarded(ctx, [&] {
+    drms::core::DistArray* array = array_of(ctx, array_id);
+    if (point == nullptr || value == nullptr) {
+      throw drms::support::Error("null point or value");
+    }
+    *value = array->local(ctx->task->rank())
+                 .get_f64(std::span<const drms::core::Index>(
+                     point,
+                     static_cast<std::size_t>(array->global_box().rank())));
+  });
+}
+
+int drms_array_set(drms_context_t* ctx, int array_id,
+                   const int64_t* point, double value) {
+  return guarded(ctx, [&] {
+    drms::core::DistArray* array = array_of(ctx, array_id);
+    if (point == nullptr) {
+      throw drms::support::Error("null point");
+    }
+    array->local(ctx->task->rank())
+        .set_f64(std::span<const drms::core::Index>(
+                     point,
+                     static_cast<std::size_t>(array->global_box().rank())),
+                 value);
+  });
+}
+
+int drms_array_owns(drms_context_t* ctx, int array_id,
+                    const int64_t* point) {
+  if (ctx == nullptr || point == nullptr) {
+    return 0;
+  }
+  try {
+    drms::core::DistArray* array = array_of(ctx, array_id);
+    return array->distribution()
+                   .assigned(ctx->task->rank())
+                   .contains(std::span<const drms::core::Index>(
+                       point, static_cast<std::size_t>(
+                                  array->global_box().rank())))
+               ? 1
+               : 0;
+  } catch (const drms::support::TaskKilled&) {
+    throw;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int drms_refresh_shadows(drms_context_t* ctx, int array_id) {
+  return guarded(ctx, [&] {
+    drms::core::refresh_shadows(*ctx->task, *array_of(ctx, array_id));
+  });
+}
+
+namespace {
+
+int checkpoint_common(drms_context_t* ctx, const char* prefix, int* status,
+                      int* delta, bool enabling) {
+  return guarded(ctx, [&] {
+    if (prefix == nullptr) {
+      throw drms::support::Error("null checkpoint prefix");
+    }
+    const drms::core::ReconfigResult r =
+        enabling ? ctx->drms.reconfig_chkenable(prefix)
+                 : ctx->drms.reconfig_checkpoint(prefix);
+    if (status != nullptr) {
+      *status = r.status == drms::core::CheckpointStatus::kRestarted
+                    ? DRMS_STATUS_RESTARTED
+                    : DRMS_STATUS_CONTINUED;
+    }
+    if (delta != nullptr) {
+      *delta = r.delta;
+    }
+  });
+}
+
+}  // namespace
+
+int drms_reconfig_checkpoint(drms_context_t* ctx, const char* prefix,
+                             int* status, int* delta) {
+  return checkpoint_common(ctx, prefix, status, delta, false);
+}
+
+int drms_reconfig_chkenable(drms_context_t* ctx, const char* prefix,
+                            int* status, int* delta) {
+  return checkpoint_common(ctx, prefix, status, delta, true);
+}
+
+const char* drms_last_error(const drms_context_t* ctx) {
+  return ctx == nullptr ? "null context" : ctx->last_error.c_str();
+}
+
+}  // extern "C"

@@ -1,0 +1,127 @@
+/*
+ * DRMS C binding — the C-language face of the checkpoint/reconfiguration
+ * API (the paper ships C, C++ and Fortran 90 bindings; this is the C
+ * one, and the Fortran mapping follows the same call list as Table 2).
+ *
+ * Model: the embedding (or drms_run_spmd below) runs an SPMD task
+ * function on N tasks; each invocation receives a drms_context_t* that
+ * wraps the task's DRMS state. All collective rules of the C++ API apply.
+ *
+ * Every function returns DRMS_OK (0) on success or DRMS_ERR (-1); the
+ * per-context message from drms_last_error() describes the failure.
+ */
+#ifndef DRMS_C_H
+#define DRMS_C_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define DRMS_OK 0
+#define DRMS_ERR (-1)
+
+/* drms_reconfig_checkpoint status values. */
+#define DRMS_STATUS_CONTINUED 0
+#define DRMS_STATUS_RESTARTED 1
+
+/* Checkpoint modes. */
+#define DRMS_MODE_DRMS 0
+#define DRMS_MODE_SPMD 1
+
+typedef struct drms_volume drms_volume_t;
+typedef struct drms_context drms_context_t;
+
+/* ---- volume management (host side) ------------------------------------ */
+
+/* A PIOFS-like volume striped over `servers` logical servers. */
+drms_volume_t* drms_volume_create(int servers);
+void drms_volume_destroy(drms_volume_t* volume);
+/* 1 if a (DRMS-mode) checkpoint exists under the prefix, else 0. */
+int drms_volume_checkpoint_exists(const drms_volume_t* volume,
+                                  const char* prefix);
+
+/* ---- running an SPMD program ------------------------------------------ */
+
+typedef struct {
+  const char* app_name;
+  int tasks;
+  /* NULL or "" for a fresh start; a checkpoint prefix to restart from. */
+  const char* restart_prefix;
+  int mode; /* DRMS_MODE_DRMS or DRMS_MODE_SPMD */
+  /* Data-segment size model (bytes); zeros are fine for small programs. */
+  uint64_t static_local_bytes;
+  uint64_t private_bytes;
+  uint64_t system_bytes;
+  uint64_t text_bytes;
+} drms_run_options_t;
+
+typedef void (*drms_task_fn)(drms_context_t* ctx, void* user);
+
+/* Run `fn` as an SPMD program over `options->tasks` tasks against the
+ * volume. Blocks until every task finishes. Returns DRMS_ERR when the
+ * group was killed or any task failed. */
+int drms_run_spmd(drms_volume_t* volume,
+                  const drms_run_options_t* options, drms_task_fn fn,
+                  void* user);
+
+/* ---- task-side API (inside drms_task_fn) ------------------------------ */
+
+int drms_rank(const drms_context_t* ctx);
+int drms_size(const drms_context_t* ctx);
+int drms_barrier(drms_context_t* ctx);
+
+/* Register replicated variables BEFORE drms_initialize. */
+int drms_register_i64(drms_context_t* ctx, const char* name,
+                      int64_t* var);
+int drms_register_f64(drms_context_t* ctx, const char* name, double* var);
+
+/* drms_initialize: set up the run time; on a restart, restores the
+ * registered replicated variables from the checkpointed data segment. */
+int drms_initialize(drms_context_t* ctx);
+/* 1 when this run resumed from a checkpoint. */
+int drms_restarted(const drms_context_t* ctx);
+
+/* Declare a distributed array of doubles over the index space
+ * [lower[k], upper[k]], k = 0..rank-1. Returns an array id in *array_id. */
+int drms_create_array(drms_context_t* ctx, const char* name, int rank,
+                      const int64_t* lower, const int64_t* upper,
+                      int* array_id);
+
+/* drms_create_distribution + drms_distribute: block distribution over
+ * all tasks with the given per-axis shadow widths. On a restart the
+ * checkpointed contents are loaded under the new distribution. */
+int drms_distribute_block(drms_context_t* ctx, int array_id,
+                          const int64_t* shadow);
+
+/* Local element access (the point must lie in this task's mapped
+ * section). */
+int drms_array_get(drms_context_t* ctx, int array_id,
+                   const int64_t* point, double* value);
+int drms_array_set(drms_context_t* ctx, int array_id,
+                   const int64_t* point, double value);
+/* 1 if the point is assigned to THIS task. */
+int drms_array_owns(drms_context_t* ctx, int array_id,
+                    const int64_t* point);
+/* Refresh shadow copies from the owning tasks (collective). */
+int drms_refresh_shadows(drms_context_t* ctx, int array_id);
+
+/* drms_reconfig_checkpoint (Table 2): mandatory checkpoint; on the first
+ * call after a restart reports DRMS_STATUS_RESTARTED and the task-count
+ * delta instead of writing. */
+int drms_reconfig_checkpoint(drms_context_t* ctx, const char* prefix,
+                             int* status, int* delta);
+/* drms_reconfig_chkenable (Table 2): checkpoint only when the system has
+ * armed the enabling signal. */
+int drms_reconfig_chkenable(drms_context_t* ctx, const char* prefix,
+                            int* status, int* delta);
+
+/* Description of the most recent failure on this context. */
+const char* drms_last_error(const drms_context_t* ctx);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DRMS_C_H */

@@ -1,0 +1,39 @@
+#include "core/array_fingerprint.hpp"
+
+#include "rt/collectives.hpp"
+#include "support/crc32.hpp"
+
+namespace drms::core {
+
+std::uint32_t array_fingerprint(rt::TaskContext& ctx,
+                                const DistArray& array) {
+  const Slice& assigned = array.distribution().assigned(ctx.rank());
+  support::Crc32c local;
+  std::uint64_t bytes = 0;
+  if (!assigned.empty()) {
+    bytes = static_cast<std::uint64_t>(assigned.element_count()) *
+            array.elem_size();
+    std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+    array.local(ctx.rank()).extract(assigned, buf);
+    local.update(buf);
+  }
+
+  support::ByteBuffer mine;
+  mine.put_u32(local.value());
+  mine.put_u64(bytes);
+  const auto all = rt::gather(ctx, std::move(mine), 0);
+
+  support::ByteBuffer result;
+  if (ctx.rank() == 0) {
+    support::Crc32c combined;
+    for (const auto& contribution : all) {
+      combined.update(contribution.bytes());
+    }
+    result.put_u32(combined.value());
+  }
+  rt::broadcast(ctx, result, 0);
+  result.rewind();
+  return result.get_u32();
+}
+
+}  // namespace drms::core

@@ -1,0 +1,27 @@
+// Content fingerprint of a distributed array — the detection half of
+// incremental checkpointing. The paper (§6, citing Plank et al.'s memory
+// exclusion) notes that optimizations like "incremental checkpointing
+// that saves only modified pages" apply equally to DRMS checkpointing;
+// here the unit of exclusion is a whole distributed array: arrays whose
+// fingerprint is unchanged since the last checkpoint under the same
+// prefix are not rewritten.
+//
+// The fingerprint is the CRC-32C of the rank-ordered list of per-task
+// (assigned-section CRC, byte count) pairs. It is deterministic for a
+// fixed distribution and changes whenever any assigned element changes;
+// it is NOT comparable across different distributions (irrelevant for
+// dirty detection, which happens within one run).
+#pragma once
+
+#include <cstdint>
+
+#include "core/dist_array.hpp"
+#include "rt/task_context.hpp"
+
+namespace drms::core {
+
+/// COLLECTIVE: identical result on every task.
+[[nodiscard]] std::uint32_t array_fingerprint(rt::TaskContext& ctx,
+                                              const DistArray& array);
+
+}  // namespace drms::core

@@ -1,0 +1,196 @@
+#include "core/checkpoint_catalog.hpp"
+
+#include <algorithm>
+
+#include "support/byte_buffer.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+namespace {
+
+/// "foo.bar.meta" -> "foo.bar"; nullopt when not a meta file.
+std::optional<std::string> prefix_of_meta(const std::string& name,
+                                          bool& spmd) {
+  static const std::string kSpmdSuffix = ".spmd.meta";
+  static const std::string kSuffix = ".meta";
+  if (name.size() > kSpmdSuffix.size() &&
+      name.compare(name.size() - kSpmdSuffix.size(), kSpmdSuffix.size(),
+                   kSpmdSuffix) == 0) {
+    spmd = true;
+    return name.substr(0, name.size() - kSpmdSuffix.size());
+  }
+  if (name.size() > kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                   kSuffix) == 0) {
+    spmd = false;
+    return name.substr(0, name.size() - kSuffix.size());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<CheckpointRecord> list_checkpoints(
+    const piofs::Volume& volume, const std::string& prefix_filter) {
+  std::vector<CheckpointRecord> records;
+  for (const auto& name : volume.list(prefix_filter)) {
+    bool spmd = false;
+    const auto prefix = prefix_of_meta(name, spmd);
+    if (!prefix.has_value()) {
+      continue;
+    }
+    CheckpointRecord record;
+    record.prefix = *prefix;
+    record.spmd = spmd;
+    try {
+      record.meta = spmd ? read_spmd_meta(volume, *prefix)
+                         : read_checkpoint_meta(volume, *prefix);
+      record.state_bytes = spmd ? spmd_state_size(volume, *prefix)
+                                : drms_state_size(volume, *prefix);
+    } catch (const support::Error&) {
+      continue;  // torn meta or missing files: not a restart candidate
+    }
+    records.push_back(std::move(record));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const CheckpointRecord& a, const CheckpointRecord& b) {
+              if (a.meta.sop != b.meta.sop) {
+                return a.meta.sop < b.meta.sop;
+              }
+              return a.prefix < b.prefix;
+            });
+  return records;
+}
+
+std::optional<CheckpointRecord> latest_checkpoint(
+    const piofs::Volume& volume, const std::string& app_name,
+    const std::string& prefix_filter) {
+  std::optional<CheckpointRecord> best;
+  for (auto& record : list_checkpoints(volume, prefix_filter)) {
+    if (record.meta.app_name != app_name) {
+      continue;
+    }
+    if (!best.has_value() || record.meta.sop > best->meta.sop) {
+      best = std::move(record);
+    }
+  }
+  return best;
+}
+
+void remove_checkpoint(piofs::Volume& volume,
+                       const CheckpointRecord& record) {
+  if (record.spmd) {
+    volume.remove(spmd_meta_file_name(record.prefix));
+    for (int r = 0; r < record.meta.task_count; ++r) {
+      const std::string file = spmd_task_file_name(record.prefix, r);
+      if (volume.exists(file)) {
+        volume.remove(file);
+      }
+    }
+    return;
+  }
+  volume.remove(meta_file_name(record.prefix));
+  if (volume.exists(segment_file_name(record.prefix))) {
+    volume.remove(segment_file_name(record.prefix));
+  }
+  for (const auto& a : record.meta.arrays) {
+    const std::string file = array_file_name(record.prefix, a.name);
+    if (volume.exists(file)) {
+      volume.remove(file);
+    }
+  }
+}
+
+namespace {
+
+void check(bool condition, const std::string& what, VerifyResult& out) {
+  if (!condition) {
+    out.ok = false;
+    out.problems.push_back(what);
+  }
+}
+
+/// Verify a segment payload of the form [u64 size][u32 crc][body...].
+void verify_sized_crc_record(const piofs::FileHandle& file,
+                             std::uint64_t offset, const std::string& what,
+                             VerifyResult& out) {
+  if (offset + 12 > file.size()) {
+    check(false, what + ": truncated record header", out);
+    return;
+  }
+  drms::support::ByteBuffer head(file.read_at(offset, 12));
+  const std::uint64_t body_size = head.get_u64();
+  const std::uint32_t crc = head.get_u32();
+  if (offset + 12 + body_size > file.size()) {
+    check(false, what + ": truncated record body", out);
+    return;
+  }
+  const auto body = file.read_at(offset + 12, body_size);
+  check(drms::support::crc32c(body) == crc, what + ": CRC mismatch", out);
+}
+
+}  // namespace
+
+VerifyResult verify_checkpoint(const piofs::Volume& volume,
+                               const CheckpointRecord& record) {
+  VerifyResult out;
+  if (record.spmd) {
+    for (int r = 0; r < record.meta.task_count; ++r) {
+      const std::string name = spmd_task_file_name(record.prefix, r);
+      if (!volume.exists(name)) {
+        check(false, name + ": missing", out);
+        continue;
+      }
+      const auto file = volume.open(name);
+      check(file.size() == record.meta.segment_bytes,
+            name + ": unexpected size", out);
+      verify_sized_crc_record(file, 0, name, out);
+    }
+    return out;
+  }
+
+  // DRMS state: the single segment plus one file per array.
+  const std::string seg_name = segment_file_name(record.prefix);
+  if (!volume.exists(seg_name)) {
+    check(false, seg_name + ": missing", out);
+  } else {
+    const auto seg = volume.open(seg_name);
+    check(seg.size() == record.meta.segment_bytes,
+          seg_name + ": unexpected size", out);
+    if (seg.size() >= wire::kSegmentHeaderBytes) {
+      support::ByteBuffer header(
+          seg.read_at(0, wire::kSegmentHeaderBytes));
+      check(header.get_u32() == wire::kSegmentMagic,
+            seg_name + ": bad magic", out);
+      check(header.get_u32() == wire::kSegmentVersion,
+            seg_name + ": bad version", out);
+      (void)header.get_u64();  // replicated size
+      check(header.get_u64() == seg.size(),
+            seg_name + ": header/size mismatch", out);
+      // The replicated payload carries its own sized CRC record.
+      verify_sized_crc_record(seg, wire::kSegmentHeaderBytes, seg_name,
+                              out);
+    } else {
+      check(false, seg_name + ": too small for a header", out);
+    }
+  }
+  for (const auto& a : record.meta.arrays) {
+    const std::string name = array_file_name(record.prefix, a.name);
+    if (!volume.exists(name)) {
+      check(false, name + ": missing", out);
+      continue;
+    }
+    const auto file = volume.open(name);
+    check(file.size() == a.stream_bytes, name + ": unexpected size", out);
+    if (file.size() == a.stream_bytes) {
+      const auto bytes = file.read_at(0, file.size());
+      check(support::crc32c(bytes) == a.stream_crc,
+            name + ": stream CRC mismatch", out);
+    }
+  }
+  return out;
+}
+
+}  // namespace drms::core

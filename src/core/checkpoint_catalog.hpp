@@ -1,0 +1,55 @@
+// Checkpoint catalog — enumerate the checkpointed states present on a
+// volume. The paper allows an application to "maintain multiple
+// checkpointed states concurrently" and to be "restarted from any of
+// them"; the JSA and the UIC use this inventory to pick a restart
+// candidate (normally the highest SOP).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_format.hpp"
+#include "piofs/volume.hpp"
+
+namespace drms::core {
+
+struct CheckpointRecord {
+  std::string prefix;
+  /// True for conventional per-task (SPMD) states, false for DRMS states.
+  bool spmd = false;
+  CheckpointMeta meta;
+  /// Total on-volume bytes of this state.
+  std::uint64_t state_bytes = 0;
+};
+
+/// All checkpointed states under `prefix_filter` (empty = whole volume),
+/// sorted by SOP ascending. States whose meta is unreadable are skipped
+/// (a torn meta is not a restart candidate).
+[[nodiscard]] std::vector<CheckpointRecord> list_checkpoints(
+    const piofs::Volume& volume, const std::string& prefix_filter = "");
+
+/// The restart candidate with the highest SOP for an application name
+/// (all modes considered), if any.
+[[nodiscard]] std::optional<CheckpointRecord> latest_checkpoint(
+    const piofs::Volume& volume, const std::string& app_name,
+    const std::string& prefix_filter = "");
+
+/// Delete every file of one checkpointed state (retention management).
+void remove_checkpoint(piofs::Volume& volume,
+                       const CheckpointRecord& record);
+
+/// Outcome of an offline integrity check of one state.
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+/// Offline integrity verification (no task group needed): every file of
+/// the state is present with the expected size, and each DRMS array file's
+/// contents match the stream CRC recorded in the meta. SPMD states check
+/// the per-task segment CRCs.
+[[nodiscard]] VerifyResult verify_checkpoint(const piofs::Volume& volume,
+                                             const CheckpointRecord& record);
+
+}  // namespace drms::core

@@ -1,0 +1,185 @@
+#include "core/checkpoint_format.hpp"
+
+#include "support/byte_buffer.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x444d4554;  // "DMET"
+constexpr std::uint32_t kMetaVersion = 2;
+
+void serialize_meta(const CheckpointMeta& meta, support::ByteBuffer& out) {
+  support::ByteBuffer body;
+  body.put_u32(kMetaMagic);
+  body.put_u32(kMetaVersion);
+  body.put_string(meta.app_name);
+  body.put_i64(meta.task_count);
+  body.put_i64(meta.sop);
+  body.put_u64(meta.segment_bytes);
+  body.put_u64(meta.arrays.size());
+  for (const auto& a : meta.arrays) {
+    body.put_string(a.name);
+    body.put_u64(a.lower.size());
+    for (std::size_t k = 0; k < a.lower.size(); ++k) {
+      body.put_i64(a.lower[k]);
+      body.put_i64(a.upper[k]);
+    }
+    body.put_u64(a.elem_size);
+    body.put_u64(a.stream_bytes);
+    body.put_u32(a.stream_crc);
+  }
+  out.put_u32(support::crc32c(body.bytes()));
+  out.put_u64(body.size());
+  out.append(body.bytes());
+}
+
+CheckpointMeta deserialize_meta(support::ByteBuffer& in,
+                                const std::string& what) {
+  const std::uint32_t crc = in.get_u32();
+  const std::uint64_t size = in.get_u64();
+  if (in.remaining() < size) {
+    throw support::CorruptCheckpoint(what + ": truncated meta record");
+  }
+  support::ByteBuffer body(std::vector<std::byte>(
+      in.data() + in.cursor(), in.data() + in.cursor() + size));
+  if (support::crc32c(body.bytes()) != crc) {
+    throw support::CorruptCheckpoint(what + ": meta CRC mismatch");
+  }
+  if (body.get_u32() != kMetaMagic) {
+    throw support::CorruptCheckpoint(what + ": bad meta magic");
+  }
+  if (body.get_u32() != kMetaVersion) {
+    throw support::CorruptCheckpoint(what + ": unsupported meta version");
+  }
+  CheckpointMeta meta;
+  meta.app_name = body.get_string();
+  meta.task_count = static_cast<int>(body.get_i64());
+  meta.sop = body.get_i64();
+  meta.segment_bytes = body.get_u64();
+  const std::uint64_t n = body.get_u64();
+  meta.arrays.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ArrayMeta a;
+    a.name = body.get_string();
+    const std::uint64_t rank = body.get_u64();
+    a.lower.resize(rank);
+    a.upper.resize(rank);
+    for (std::uint64_t k = 0; k < rank; ++k) {
+      a.lower[k] = body.get_i64();
+      a.upper[k] = body.get_i64();
+    }
+    a.elem_size = body.get_u64();
+    a.stream_bytes = body.get_u64();
+    a.stream_crc = body.get_u32();
+    meta.arrays.push_back(std::move(a));
+  }
+  return meta;
+}
+
+void write_meta_file(piofs::Volume& volume, const std::string& file,
+                     const CheckpointMeta& meta) {
+  support::ByteBuffer buf;
+  serialize_meta(meta, buf);
+  volume.create(file).write_at(0, buf.bytes());
+}
+
+CheckpointMeta read_meta_file(const piofs::Volume& volume,
+                              const std::string& file) {
+  const piofs::FileHandle handle = volume.open(file);
+  support::ByteBuffer buf(handle.read_at(0, handle.size()));
+  return deserialize_meta(buf, file);
+}
+
+}  // namespace
+
+Slice ArrayMeta::box() const { return Slice::box(lower, upper); }
+
+const ArrayMeta& CheckpointMeta::array(const std::string& name) const {
+  for (const auto& a : arrays) {
+    if (a.name == name) {
+      return a;
+    }
+  }
+  throw support::CorruptCheckpoint("checkpoint has no array named '" +
+                                   name + "'");
+}
+
+std::uint64_t CheckpointMeta::arrays_total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& a : arrays) {
+    total += a.stream_bytes;
+  }
+  return total;
+}
+
+std::string meta_file_name(const std::string& prefix) {
+  return prefix + ".meta";
+}
+std::string segment_file_name(const std::string& prefix) {
+  return prefix + ".segment";
+}
+std::string array_file_name(const std::string& prefix,
+                            const std::string& array_name) {
+  return prefix + ".array." + array_name;
+}
+std::string spmd_meta_file_name(const std::string& prefix) {
+  return prefix + ".spmd.meta";
+}
+std::string spmd_task_file_name(const std::string& prefix, int rank) {
+  return prefix + ".spmd.task" + std::to_string(rank);
+}
+
+void write_checkpoint_meta(piofs::Volume& volume, const std::string& prefix,
+                           const CheckpointMeta& meta) {
+  write_meta_file(volume, meta_file_name(prefix), meta);
+}
+
+CheckpointMeta read_checkpoint_meta(const piofs::Volume& volume,
+                                    const std::string& prefix) {
+  return read_meta_file(volume, meta_file_name(prefix));
+}
+
+bool checkpoint_exists(const piofs::Volume& volume,
+                       const std::string& prefix) {
+  return volume.exists(meta_file_name(prefix));
+}
+
+void write_spmd_meta(piofs::Volume& volume, const std::string& prefix,
+                     const CheckpointMeta& meta) {
+  write_meta_file(volume, spmd_meta_file_name(prefix), meta);
+}
+
+CheckpointMeta read_spmd_meta(const piofs::Volume& volume,
+                              const std::string& prefix) {
+  return read_meta_file(volume, spmd_meta_file_name(prefix));
+}
+
+bool spmd_checkpoint_exists(const piofs::Volume& volume,
+                            const std::string& prefix) {
+  return volume.exists(spmd_meta_file_name(prefix));
+}
+
+std::uint64_t drms_state_size(const piofs::Volume& volume,
+                              const std::string& prefix) {
+  std::uint64_t total = volume.file_size(segment_file_name(prefix));
+  const CheckpointMeta meta = read_checkpoint_meta(volume, prefix);
+  for (const auto& a : meta.arrays) {
+    total += volume.file_size(array_file_name(prefix, a.name));
+  }
+  return total;
+}
+
+std::uint64_t spmd_state_size(const piofs::Volume& volume,
+                              const std::string& prefix) {
+  const CheckpointMeta meta = read_spmd_meta(volume, prefix);
+  std::uint64_t total = 0;
+  for (int r = 0; r < meta.task_count; ++r) {
+    total += volume.file_size(spmd_task_file_name(prefix, r));
+  }
+  return total;
+}
+
+}  // namespace drms::core

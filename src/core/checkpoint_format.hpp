@@ -1,0 +1,120 @@
+// On-volume layout of a checkpointed state and the segment size model.
+//
+// DRMS checkpoint under prefix "ckpt":
+//   ckpt.meta           — application name, task count, SOP counter, array
+//                         table (name, index space, element size, bytes)
+//   ckpt.segment        — data segment of ONE representative task:
+//                         replicated-store payload + logically-sized
+//                         padding for the local array sections, private
+//                         data and system buffers (Table 4's components)
+//   ckpt.array.<name>   — one distribution-independent file per
+//                         distributed array (column-major element stream)
+//
+// SPMD (non-reconfigurable) checkpoint under prefix "ckpt":
+//   ckpt.spmd.meta      — application name, task count, SOP counter
+//   ckpt.spmd.task<r>   — task r's FULL data segment: replicated payload +
+//                         real bytes of all its local array sections
+//                         (including shadows) + padding to the static
+//                         segment size
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/slice.hpp"
+#include "piofs/volume.hpp"
+
+namespace drms::core {
+
+/// On-volume wire-format constants, shared by the writers (checkpoint
+/// engines) and the offline verifier.
+namespace wire {
+inline constexpr std::uint32_t kSegmentMagic = 0x44534547;   // "DSEG"
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::uint64_t kSegmentHeaderBytes = 4 + 4 + 8 + 8;
+inline constexpr std::uint32_t kSpmdSegmentMagic = 0x53534547;  // "SSEG"
+inline constexpr std::uint32_t kSpmdSegmentVersion = 1;
+}  // namespace wire
+
+/// Size model of one task's data segment, mirroring the components of the
+/// paper's Table 4. Sizes are "compiled-in": Fortran static allocation
+/// means they do not shrink when the application runs on more tasks than
+/// its compile-time minimum.
+struct AppSegmentModel {
+  /// Storage for the local sections of the distributed arrays at the
+  /// compile-time minimum task count (shadows included).
+  std::uint64_t static_local_bytes = 0;
+  /// Private and replicated application data.
+  std::uint64_t private_bytes = 0;
+  /// System-library storage (message-passing buffers; ~33 MB on the SP).
+  std::uint64_t system_bytes = 0;
+  /// Application text segment (loaded at restart; not part of the saved
+  /// state).
+  std::uint64_t text_bytes = 0;
+
+  /// Total data-segment size (Table 4's "Total data" column).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return static_local_bytes + private_bytes + system_bytes;
+  }
+};
+
+struct ArrayMeta {
+  std::string name;
+  std::vector<Index> lower;
+  std::vector<Index> upper;
+  std::uint64_t elem_size = 0;
+  std::uint64_t stream_bytes = 0;
+  /// CRC-32C fingerprint of the stream contents, recorded at write time
+  /// and verified when the array is restored.
+  std::uint32_t stream_crc = 0;
+
+  [[nodiscard]] Slice box() const;
+};
+
+struct CheckpointMeta {
+  std::string app_name;
+  /// Tasks that took the checkpoint (restart computes delta against it).
+  int task_count = 0;
+  /// SOP counter at the checkpoint (the how-many-th reconfig_checkpoint
+  /// call this was).
+  std::int64_t sop = 0;
+  std::uint64_t segment_bytes = 0;
+  std::vector<ArrayMeta> arrays;
+
+  [[nodiscard]] const ArrayMeta& array(const std::string& name) const;
+  [[nodiscard]] std::uint64_t arrays_total_bytes() const;
+};
+
+/// ---- file-name helpers ------------------------------------------------------
+[[nodiscard]] std::string meta_file_name(const std::string& prefix);
+[[nodiscard]] std::string segment_file_name(const std::string& prefix);
+[[nodiscard]] std::string array_file_name(const std::string& prefix,
+                                          const std::string& array_name);
+[[nodiscard]] std::string spmd_meta_file_name(const std::string& prefix);
+[[nodiscard]] std::string spmd_task_file_name(const std::string& prefix,
+                                              int rank);
+
+/// ---- meta record I/O ---------------------------------------------------------
+void write_checkpoint_meta(piofs::Volume& volume, const std::string& prefix,
+                           const CheckpointMeta& meta);
+[[nodiscard]] CheckpointMeta read_checkpoint_meta(const piofs::Volume& volume,
+                                                  const std::string& prefix);
+[[nodiscard]] bool checkpoint_exists(const piofs::Volume& volume,
+                                     const std::string& prefix);
+
+void write_spmd_meta(piofs::Volume& volume, const std::string& prefix,
+                     const CheckpointMeta& meta);
+[[nodiscard]] CheckpointMeta read_spmd_meta(const piofs::Volume& volume,
+                                            const std::string& prefix);
+[[nodiscard]] bool spmd_checkpoint_exists(const piofs::Volume& volume,
+                                          const std::string& prefix);
+
+/// Total on-volume size of a saved state (all files under the layout) —
+/// the paper's "size of saved state" metric (Table 3).
+[[nodiscard]] std::uint64_t drms_state_size(const piofs::Volume& volume,
+                                            const std::string& prefix);
+[[nodiscard]] std::uint64_t spmd_state_size(const piofs::Volume& volume,
+                                            const std::string& prefix);
+
+}  // namespace drms::core

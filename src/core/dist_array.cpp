@@ -1,0 +1,64 @@
+#include "core/dist_array.hpp"
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+DistArray::DistArray(std::string name, Slice global_box,
+                     std::size_t elem_size, int task_count)
+    : name_(std::move(name)),
+      box_(std::move(global_box)),
+      elem_size_(elem_size) {
+  DRMS_EXPECTS(!name_.empty());
+  DRMS_EXPECTS(box_.rank() >= 1);
+  DRMS_EXPECTS(elem_size_ > 0);
+  DRMS_EXPECTS(task_count >= 1);
+  locals_.resize(static_cast<std::size_t>(task_count));
+}
+
+void DistArray::install_distribution(const DistSpec& spec) {
+  DRMS_EXPECTS_MSG(spec.task_count() == task_count(),
+                   "distribution task count must match the array's group");
+  DRMS_EXPECTS_MSG(spec.global_box() == box_,
+                   "distribution box must match the array's index space");
+  spec_ = spec;
+  for (int t = 0; t < task_count(); ++t) {
+    const Slice& mapped = spec.mapped(t);
+    if (mapped.empty()) {
+      locals_[static_cast<std::size_t>(t)] = LocalArray();
+    } else {
+      locals_[static_cast<std::size_t>(t)] = LocalArray(mapped, elem_size_);
+    }
+  }
+}
+
+bool DistArray::distributed() const noexcept { return spec_.has_value(); }
+
+const DistSpec& DistArray::distribution() const {
+  DRMS_EXPECTS_MSG(spec_.has_value(),
+                   "array has no distribution installed yet");
+  return *spec_;
+}
+
+LocalArray& DistArray::local(int task) {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  return locals_[static_cast<std::size_t>(task)];
+}
+
+const LocalArray& DistArray::local(int task) const {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  return locals_[static_cast<std::size_t>(task)];
+}
+
+double DistArray::get_f64(std::span<const Index> point) const {
+  const DistSpec& spec = distribution();
+  for (int t = 0; t < task_count(); ++t) {
+    if (spec.assigned(t).contains(point)) {
+      return locals_[static_cast<std::size_t>(t)].get_f64(point);
+    }
+  }
+  throw support::Error("element " + std::string("not assigned to any task") +
+                       " in array '" + name_ + "'");
+}
+
+}  // namespace drms::core

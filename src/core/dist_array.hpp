@@ -1,0 +1,72 @@
+// Distributed arrays (§3.1): an abstract global Cartesian index space
+// whose sections are concretely present in the tasks. The DistArray
+// object holds the global metadata and one LocalArray slot per task;
+// since tasks are threads of one process, the object is shared, with the
+// SPMD discipline that task t only touches slot t (redistribution moves
+// data through the message-passing runtime, never through shared memory).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dist_spec.hpp"
+#include "core/local_array.hpp"
+
+namespace drms::core {
+
+class DistArray {
+ public:
+  /// Declare a distributed array over `global_box` with `elem_size`-byte
+  /// elements, to be distributed among `task_count` tasks. No storage is
+  /// allocated until a distribution is installed.
+  DistArray(std::string name, Slice global_box, std::size_t elem_size,
+            int task_count);
+
+  DistArray(const DistArray&) = delete;
+  DistArray& operator=(const DistArray&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Slice& global_box() const noexcept { return box_; }
+  [[nodiscard]] std::size_t elem_size() const noexcept { return elem_size_; }
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(locals_.size());
+  }
+  [[nodiscard]] Index global_element_count() const noexcept {
+    return box_.element_count();
+  }
+  [[nodiscard]] std::uint64_t global_byte_count() const noexcept {
+    return static_cast<std::uint64_t>(global_element_count()) * elem_size_;
+  }
+
+  /// Install a distribution, (re)allocating every task's local section
+  /// with zero-initialized contents (the paper's drms_distribute on a
+  /// fresh array). Data-preserving redistribution is redistribute() in
+  /// redistribute.hpp. Called by ONE task per group, between barriers; an
+  /// SPMD helper that does exactly that is provided by DrmsContext.
+  void install_distribution(const DistSpec& spec);
+
+  [[nodiscard]] bool distributed() const noexcept;
+  /// Current distribution; throws if none installed.
+  [[nodiscard]] const DistSpec& distribution() const;
+
+  /// Task t's local section (only task t may write it).
+  [[nodiscard]] LocalArray& local(int task);
+  [[nodiscard]] const LocalArray& local(int task) const;
+
+  /// Read an element through the distribution (first task whose assigned
+  /// section contains the point; the copies are consistent by invariant).
+  /// For tests and examples; solvers use LocalArray access.
+  [[nodiscard]] double get_f64(std::span<const Index> point) const;
+
+ private:
+  std::string name_;
+  Slice box_;
+  std::size_t elem_size_;
+  std::optional<DistSpec> spec_;
+  std::vector<LocalArray> locals_;
+};
+
+}  // namespace drms::core

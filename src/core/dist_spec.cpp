@@ -1,0 +1,195 @@
+#include "core/dist_spec.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+std::vector<int> factor_grid(int tasks, int dims) {
+  DRMS_EXPECTS(tasks >= 1);
+  DRMS_EXPECTS(dims >= 1);
+  std::vector<int> grid(static_cast<std::size_t>(dims), 1);
+  // Greedy: peel prime factors from largest to smallest, always assigning
+  // to the currently smallest grid axis — yields near-cubic grids.
+  std::vector<int> primes;
+  int n = tasks;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) {
+    primes.push_back(n);
+  }
+  std::sort(primes.rbegin(), primes.rend());
+  for (const int p : primes) {
+    auto smallest = std::min_element(grid.begin(), grid.end());
+    *smallest *= p;
+  }
+  std::sort(grid.begin(), grid.end());
+  return grid;
+}
+
+DistSpec::DistSpec(Slice global_box, std::vector<TaskSection> sections)
+    : box_(std::move(global_box)), sections_(std::move(sections)) {
+  validate();
+}
+
+void DistSpec::validate() const {
+  DRMS_EXPECTS_MSG(!sections_.empty(), "a distribution needs >= 1 task");
+  DRMS_EXPECTS_MSG(box_.rank() >= 1, "global box must have rank >= 1");
+  for (const auto& s : sections_) {
+    DRMS_EXPECTS_MSG(s.assigned.rank() == box_.rank() &&
+                         s.mapped.rank() == box_.rank(),
+                     "section rank must match the global box rank");
+    DRMS_EXPECTS_MSG(s.mapped.covers(s.assigned),
+                     "assigned section must be a subset of mapped section");
+    DRMS_EXPECTS_MSG(box_.covers(s.mapped),
+                     "mapped section must lie within the global box");
+  }
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sections_.size(); ++j) {
+      DRMS_EXPECTS_MSG(
+          sections_[i].assigned.intersect(sections_[j].assigned).empty(),
+          "assigned sections must be pairwise disjoint");
+    }
+  }
+}
+
+DistSpec DistSpec::block(const Slice& global_box,
+                         std::span<const int> task_grid,
+                         std::span<const Index> shadow) {
+  const int d = global_box.rank();
+  DRMS_EXPECTS_MSG(static_cast<int>(task_grid.size()) == d,
+                   "task grid rank must match array rank");
+  DRMS_EXPECTS_MSG(static_cast<int>(shadow.size()) == d,
+                   "shadow width rank must match array rank");
+  for (int k = 0; k < d; ++k) {
+    DRMS_EXPECTS(task_grid[static_cast<std::size_t>(k)] >= 1);
+    DRMS_EXPECTS(shadow[static_cast<std::size_t>(k)] >= 0);
+    DRMS_EXPECTS_MSG(global_box.range(k).is_contiguous(),
+                     "block distribution requires a contiguous global box");
+  }
+  const int tasks = std::accumulate(task_grid.begin(), task_grid.end(), 1,
+                                    std::multiplies<>());
+
+  std::vector<TaskSection> sections;
+  sections.reserve(static_cast<std::size_t>(tasks));
+  std::vector<int> coord(static_cast<std::size_t>(d), 0);
+  for (int t = 0; t < tasks; ++t) {
+    // Task t's grid coordinate, axis 0 fastest.
+    {
+      int rem = t;
+      for (int k = 0; k < d; ++k) {
+        const int q = task_grid[static_cast<std::size_t>(k)];
+        coord[static_cast<std::size_t>(k)] = rem % q;
+        rem /= q;
+      }
+    }
+    std::vector<Range> assigned;
+    std::vector<Range> mapped;
+    assigned.reserve(static_cast<std::size_t>(d));
+    mapped.reserve(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k) {
+      const Range& axis = global_box.range(k);
+      const Index l = axis.first();
+      const Index n_axis = axis.size();
+      const int q = task_grid[static_cast<std::size_t>(k)];
+      const int c = coord[static_cast<std::size_t>(k)];
+      const Index lo = l + (static_cast<Index>(c) * n_axis) / q;
+      const Index hi = l + (static_cast<Index>(c + 1) * n_axis) / q - 1;
+      assigned.push_back(Range::contiguous(lo, hi));
+      const Index w = shadow[static_cast<std::size_t>(k)];
+      mapped.push_back(Range::contiguous(std::max(l, lo - w),
+                                         std::min(axis.last(), hi + w)));
+    }
+    sections.push_back(
+        TaskSection{Slice(std::move(assigned)), Slice(std::move(mapped))});
+  }
+  DistSpec spec(global_box, std::move(sections));
+  spec.recipe_ = BlockRecipe{std::vector<int>(task_grid.begin(),
+                                              task_grid.end()),
+                             std::vector<Index>(shadow.begin(),
+                                                shadow.end())};
+  return spec;
+}
+
+DistSpec DistSpec::block_auto(const Slice& global_box, int tasks,
+                              std::span<const Index> shadow) {
+  const std::vector<int> grid = factor_grid(tasks, global_box.rank());
+  return block(global_box, grid, shadow);
+}
+
+const TaskSection& DistSpec::section(int task) const {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  return sections_[static_cast<std::size_t>(task)];
+}
+
+std::vector<Slice> DistSpec::assigned_slices() const {
+  std::vector<Slice> out;
+  out.reserve(sections_.size());
+  for (const auto& s : sections_) {
+    out.push_back(s.assigned);
+  }
+  return out;
+}
+
+std::vector<Slice> DistSpec::mapped_slices() const {
+  std::vector<Slice> out;
+  out.reserve(sections_.size());
+  for (const auto& s : sections_) {
+    out.push_back(s.mapped);
+  }
+  return out;
+}
+
+Index DistSpec::mapped_element_total() const noexcept {
+  Index total = 0;
+  for (const auto& s : sections_) {
+    total += s.mapped.element_count();
+  }
+  return total;
+}
+
+Index DistSpec::assigned_element_total() const noexcept {
+  Index total = 0;
+  for (const auto& s : sections_) {
+    total += s.assigned.element_count();
+  }
+  return total;
+}
+
+bool DistSpec::fully_assigned() const {
+  // Assigned sections are disjoint, so coverage holds iff the element
+  // counts add up to the box volume.
+  return assigned_element_total() == box_.element_count();
+}
+
+DistSpec DistSpec::adjust(int new_tasks) const {
+  if (!recipe_.has_value()) {
+    throw support::Error(
+        "drms_adjust: only block distributions can be adjusted "
+        "automatically");
+  }
+  DRMS_EXPECTS(new_tasks >= 1);
+  return block_auto(box_, new_tasks, recipe_->shadow);
+}
+
+std::string DistSpec::to_string() const {
+  std::ostringstream os;
+  os << "dist over " << box_.to_string() << " on " << task_count()
+     << " tasks";
+  for (int t = 0; t < task_count(); ++t) {
+    os << "\n  task " << t << ": assigned "
+       << sections_[static_cast<std::size_t>(t)].assigned.to_string()
+       << " mapped "
+       << sections_[static_cast<std::size_t>(t)].mapped.to_string();
+  }
+  return os.str();
+}
+
+}  // namespace drms::core

@@ -1,0 +1,95 @@
+// Distribution specifications (§3.1): for every task, the MAPPED array
+// section (present in the task's address space) and the ASSIGNED section
+// (the subset whose elements the task's local copy defines). Assigned
+// sections are pairwise disjoint; mapped sections may overlap — that is
+// how shadow (ghost) regions are expressed.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/slice.hpp"
+
+namespace drms::core {
+
+struct TaskSection {
+  Slice assigned;
+  Slice mapped;
+};
+
+/// Near-cubic factorization of `tasks` into `dims` factors (largest factor
+/// in the last axis), in the spirit of MPI_Dims_create. Product == tasks.
+[[nodiscard]] std::vector<int> factor_grid(int tasks, int dims);
+
+class DistSpec {
+ public:
+  /// Explicit construction from per-task sections over a global box.
+  /// Validates the invariants (throws ContractViolation on violation):
+  ///   - every assigned/mapped slice has the box's rank,
+  ///   - assigned[i] * assigned[j] is empty for i != j,
+  ///   - assigned[i] is a subset of mapped[i],
+  ///   - mapped[i] is a subset of the global box.
+  DistSpec(Slice global_box, std::vector<TaskSection> sections);
+
+  /// Block distribution over a `task_grid` of processes (product ==
+  /// tasks), with a per-axis shadow width added to the mapped sections
+  /// (clamped at the global bounds). The paper's drms_create_distribution
+  /// with block distributions along all axes.
+  [[nodiscard]] static DistSpec block(const Slice& global_box,
+                                      std::span<const int> task_grid,
+                                      std::span<const Index> shadow);
+
+  /// Block distribution with an automatically factored task grid.
+  [[nodiscard]] static DistSpec block_auto(const Slice& global_box,
+                                           int tasks,
+                                           std::span<const Index> shadow);
+
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(sections_.size());
+  }
+  [[nodiscard]] const Slice& global_box() const noexcept { return box_; }
+  [[nodiscard]] const TaskSection& section(int task) const;
+  [[nodiscard]] const Slice& assigned(int task) const {
+    return section(task).assigned;
+  }
+  [[nodiscard]] const Slice& mapped(int task) const {
+    return section(task).mapped;
+  }
+
+  /// All assigned (resp. mapped) slices, indexed by task.
+  [[nodiscard]] std::vector<Slice> assigned_slices() const;
+  [[nodiscard]] std::vector<Slice> mapped_slices() const;
+
+  /// Total elements across mapped sections (>= box elements when shadows
+  /// overlap) — the paper's Table 4 "local sections" accounting.
+  [[nodiscard]] Index mapped_element_total() const noexcept;
+  /// Total elements across assigned sections.
+  [[nodiscard]] Index assigned_element_total() const noexcept;
+
+  /// True when the union of assigned sections covers the whole box (every
+  /// element has a defined value).
+  [[nodiscard]] bool fully_assigned() const;
+
+  /// The paper's drms_adjust: recompute this distribution for a new task
+  /// count. Only available for distributions built by block()/block_auto()
+  /// (the recipe is remembered); throws Error otherwise.
+  [[nodiscard]] DistSpec adjust(int new_tasks) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct BlockRecipe {
+    std::vector<int> task_grid;
+    std::vector<Index> shadow;
+  };
+
+  void validate() const;
+
+  Slice box_;
+  std::vector<TaskSection> sections_;
+  std::optional<BlockRecipe> recipe_;
+};
+
+}  // namespace drms::core

@@ -1,0 +1,276 @@
+#include "core/drms_checkpoint.hpp"
+
+#include <algorithm>
+
+#include "core/array_fingerprint.hpp"
+#include "core/streamer.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+namespace {
+
+constexpr std::uint32_t kSegMagic = wire::kSegmentMagic;
+constexpr std::uint32_t kSegVersion = wire::kSegmentVersion;
+
+/// Fixed-size segment header preceding the replicated payload.
+struct SegHeaderFields {
+  std::uint64_t replicated_size = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+constexpr std::uint64_t kSegHeaderBytes = wire::kSegmentHeaderBytes;
+
+support::ByteBuffer make_segment_header(const SegHeaderFields& h) {
+  support::ByteBuffer buf;
+  buf.put_u32(kSegMagic);
+  buf.put_u32(kSegVersion);
+  buf.put_u64(h.replicated_size);
+  buf.put_u64(h.total_bytes);
+  return buf;
+}
+
+SegHeaderFields parse_segment_header(support::ByteBuffer& buf) {
+  if (buf.get_u32() != kSegMagic) {
+    throw support::CorruptCheckpoint("segment file: bad magic");
+  }
+  if (buf.get_u32() != kSegVersion) {
+    throw support::CorruptCheckpoint("segment file: unsupported version");
+  }
+  SegHeaderFields h;
+  h.replicated_size = buf.get_u64();
+  h.total_bytes = buf.get_u64();
+  return h;
+}
+
+}  // namespace
+
+DrmsCheckpoint::DrmsCheckpoint(piofs::Volume& volume,
+                               const sim::CostModel* cost,
+                               sim::LoadContext load, int io_tasks,
+                               std::uint64_t target_chunk_bytes, bool jitter)
+    : volume_(volume),
+      cost_(cost),
+      load_(load),
+      io_tasks_(io_tasks),
+      target_chunk_bytes_(target_chunk_bytes),
+      jitter_(jitter) {}
+
+int DrmsCheckpoint::effective_io_tasks(const rt::TaskContext& ctx) const {
+  if (io_tasks_ <= 0) {
+    return ctx.size();
+  }
+  return std::min(io_tasks_, ctx.size());
+}
+
+CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
+                                       const std::string& prefix,
+                                       const std::string& app_name,
+                                       std::int64_t sop,
+                                       const ReplicatedStore& store,
+                                       std::span<DistArray* const> arrays,
+                                       const AppSegmentModel& segment_model,
+                                       IncrementalState* incremental) {
+  for (DistArray* const a : arrays) {
+    DRMS_EXPECTS_MSG(a != nullptr && a->distributed(),
+                     "every array must be distributed before checkpointing");
+  }
+  CheckpointTiming timing;
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+
+  // --- Phase 1: one representative task writes the shared data segment.
+  support::ByteBuffer replicated;
+  store.serialize(replicated);
+  const std::uint64_t payload_end = kSegHeaderBytes + replicated.size();
+  const std::uint64_t total_bytes =
+      std::max(segment_model.total(), payload_end);
+
+  if (ctx.rank() == 0) {
+    piofs::FileHandle seg = volume_.create(segment_file_name(prefix));
+    const support::ByteBuffer header = make_segment_header(
+        SegHeaderFields{replicated.size(), total_bytes});
+    seg.write_at(0, header.bytes());
+    seg.write_at(kSegHeaderBytes, replicated.bytes());
+    if (total_bytes > payload_end) {
+      // The private/system/local-section components of the data segment:
+      // logically written (time and size accounted), stored sparsely.
+      seg.write_zeros_at(payload_end, total_bytes - payload_end);
+    }
+  }
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->single_write_seconds(total_bytes, load_,
+                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  timing.segment_seconds = ctx.sim_time() - t0;
+
+  // --- Phase 2: stream every distributed array, in sequence.
+  const double t1 = ctx.sim_time();
+
+  // Incremental dirty detection: an array keeps its existing file when
+  // its fingerprint matches the one recorded at the previous checkpoint
+  // under this prefix AND that file is present with the expected size.
+  // The decision is derived from collective-identical values, so every
+  // task takes the same branch.
+  std::vector<bool> skip(arrays.size(), false);
+  std::vector<std::uint32_t> fingerprints(arrays.size(), 0);
+  std::vector<std::uint32_t> previous_crcs(arrays.size(), 0);
+  if (incremental != nullptr) {
+    const bool same_prefix = incremental->prefix == prefix;
+    // Stream CRCs of the previous checkpoint, for arrays we may keep.
+    if (same_prefix && checkpoint_exists(volume_, prefix)) {
+      const CheckpointMeta previous = read_checkpoint_meta(volume_, prefix);
+      for (std::size_t i = 0; i < arrays.size(); ++i) {
+        for (const auto& am : previous.arrays) {
+          if (am.name == arrays[i]->name()) {
+            previous_crcs[i] = am.stream_crc;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      fingerprints[i] = array_fingerprint(ctx, *arrays[i]);
+      if (!same_prefix) {
+        continue;
+      }
+      const auto it = incremental->fingerprints.find(arrays[i]->name());
+      if (it == incremental->fingerprints.end() ||
+          it->second != fingerprints[i]) {
+        continue;
+      }
+      const std::string file_name =
+          array_file_name(prefix, arrays[i]->name());
+      skip[i] = volume_.exists(file_name) &&
+                volume_.file_size(file_name) ==
+                    arrays[i]->global_byte_count();
+    }
+  }
+
+  if (ctx.rank() == 0) {
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      if (!skip[i]) {
+        volume_.create(array_file_name(prefix, arrays[i]->name()));
+      }
+    }
+  }
+  ctx.barrier();
+
+  const ArrayStreamer streamer(cost_, load_, target_chunk_bytes_, jitter_);
+  const int writers = effective_io_tasks(ctx);
+  CheckpointMeta meta;
+  meta.app_name = app_name;
+  meta.task_count = ctx.size();
+  meta.sop = sop;
+  meta.segment_bytes = total_bytes;
+  int skipped = 0;
+  std::uint64_t skipped_bytes = 0;
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    DistArray* const a = arrays[i];
+    std::uint64_t bytes = a->global_byte_count();
+    std::uint32_t crc = 0;
+    if (skip[i]) {
+      ++skipped;
+      skipped_bytes += bytes;
+      // The file is untouched; carry the CRC it was written with.
+      crc = previous_crcs[i];
+    } else {
+      piofs::FileHandle file =
+          volume_.open(array_file_name(prefix, a->name()));
+      bytes = streamer.write_section(ctx, *a, a->global_box(), file, 0,
+                                     writers, &crc);
+    }
+    ArrayMeta am;
+    am.name = a->name();
+    for (int k = 0; k < a->global_box().rank(); ++k) {
+      am.lower.push_back(a->global_box().range(k).first());
+      am.upper.push_back(a->global_box().range(k).last());
+    }
+    am.elem_size = a->elem_size();
+    am.stream_bytes = bytes;
+    am.stream_crc = crc;
+    meta.arrays.push_back(std::move(am));
+  }
+
+  if (ctx.rank() == 0) {
+    write_checkpoint_meta(volume_, prefix, meta);
+    if (incremental != nullptr) {
+      incremental->prefix = prefix;
+      for (std::size_t i = 0; i < arrays.size(); ++i) {
+        incremental->fingerprints[arrays[i]->name()] = fingerprints[i];
+      }
+      incremental->arrays_skipped = skipped;
+      incremental->bytes_skipped = skipped_bytes;
+    }
+  }
+  ctx.barrier();
+  timing.arrays_seconds = ctx.sim_time() - t1;
+  return timing;
+}
+
+CheckpointMeta DrmsCheckpoint::restore_segment(
+    rt::TaskContext& ctx, const std::string& prefix, ReplicatedStore& store,
+    const AppSegmentModel& segment_model, RestartTiming& timing) {
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+
+  // Application text load (the paper's residual "other" restart component).
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->restart_init_seconds(segment_model.text_bytes,
+                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  const double t1 = ctx.sim_time();
+  timing.init_seconds += t1 - t0;
+
+  const CheckpointMeta meta = read_checkpoint_meta(volume_, prefix);
+
+  // Every task loads the single shared segment file.
+  const piofs::FileHandle seg = volume_.open(segment_file_name(prefix));
+  support::ByteBuffer header(seg.read_at(0, kSegHeaderBytes));
+  const SegHeaderFields h = parse_segment_header(header);
+  if (h.total_bytes != seg.size()) {
+    throw support::CorruptCheckpoint("segment file: size mismatch");
+  }
+  support::ByteBuffer payload(
+      seg.read_at(kSegHeaderBytes, h.replicated_size));
+  store.deserialize(payload);
+
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->shared_read_seconds(h.total_bytes, ctx.size(), load_,
+                                          jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  timing.segment_seconds += ctx.sim_time() - t1;
+  return meta;
+}
+
+void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
+                                   const std::string& prefix,
+                                   const CheckpointMeta& meta,
+                                   DistArray& array, RestartTiming& timing) {
+  DRMS_EXPECTS_MSG(array.distributed(),
+                   "specify a distribution before loading an array");
+  const ArrayMeta& am = meta.array(array.name());
+  DRMS_EXPECTS_MSG(am.box() == array.global_box() &&
+                       am.elem_size == array.elem_size(),
+                   "checkpointed array shape does not match declaration");
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+
+  const piofs::FileHandle file =
+      volume_.open(array_file_name(prefix, array.name()));
+  const ArrayStreamer streamer(cost_, load_, target_chunk_bytes_, jitter_);
+  std::uint32_t crc = 0;
+  streamer.read_section(ctx, array, array.global_box(), file, 0,
+                        effective_io_tasks(ctx), &crc);
+  if (crc != am.stream_crc) {
+    throw support::CorruptCheckpoint(
+        "array file for '" + array.name() +
+        "' is corrupt or torn (stream CRC mismatch)");
+  }
+  ctx.barrier();
+  timing.arrays_seconds += ctx.sim_time() - t0;
+}
+
+}  // namespace drms::core

@@ -1,0 +1,112 @@
+// DRMS (reconfigurable) checkpoint engine.
+//
+// Checkpoint: one representative task writes its data segment (the
+// replicated store plus the Table-4 padding components), then all tasks
+// cooperatively stream every distributed array to its own
+// distribution-independent file. Blocking semantics: the application does
+// not continue until the whole state is on the volume.
+//
+// Restart: every task reads the single segment file (restoring replicated
+// variables and the execution context), then — once the new distribution
+// is specified — loads its sections of each array. The state is
+// independent of the task count, so the restart group may be any size.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/checkpoint_format.hpp"
+#include "core/dist_array.hpp"
+#include "core/replicated_store.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_context.hpp"
+#include "sim/cost_model.hpp"
+#include "support/units.hpp"
+
+namespace drms::core {
+
+/// Simulated-time components of one checkpoint (Table 6's columns).
+struct CheckpointTiming {
+  double segment_seconds = 0.0;
+  double arrays_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const noexcept {
+    return segment_seconds + arrays_seconds;
+  }
+};
+
+/// State carried between successive checkpoints under the SAME prefix to
+/// support incremental checkpointing: arrays whose content fingerprint is
+/// unchanged are not rewritten (the §6 memory-exclusion optimization at
+/// whole-array granularity). Owned by the caller (DrmsProgram); the
+/// engine reads it on every task and updates it on task 0 only, between
+/// barriers.
+struct IncrementalState {
+  /// Prefix the fingerprints belong to; a different prefix invalidates.
+  std::string prefix;
+  std::map<std::string, std::uint32_t> fingerprints;
+  /// Statistics of the most recent write().
+  int arrays_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+};
+
+/// Simulated-time components of one restart.
+struct RestartTiming {
+  double init_seconds = 0.0;  // application text load ("other")
+  double segment_seconds = 0.0;
+  double arrays_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const noexcept {
+    return init_seconds + segment_seconds + arrays_seconds;
+  }
+};
+
+class DrmsCheckpoint {
+ public:
+  /// `cost` may be null (no time accounting — pure-correctness tests).
+  /// `io_tasks` bounds the parallel-streaming width (0 = all tasks).
+  DrmsCheckpoint(piofs::Volume& volume, const sim::CostModel* cost,
+                 sim::LoadContext load, int io_tasks = 0,
+                 std::uint64_t target_chunk_bytes = support::kMiB,
+                 bool jitter = false);
+
+  /// COLLECTIVE: write a full checkpoint under `prefix`. `store` is the
+  /// calling task's replicated store (task 0's copy is the one saved);
+  /// `arrays` are the application's distributed arrays, all distributed.
+  /// With a non-null `incremental`, arrays whose fingerprint is unchanged
+  /// since the previous checkpoint under the same prefix keep their
+  /// existing file instead of being restreamed.
+  CheckpointTiming write(rt::TaskContext& ctx, const std::string& prefix,
+                         const std::string& app_name, std::int64_t sop,
+                         const ReplicatedStore& store,
+                         std::span<DistArray* const> arrays,
+                         const AppSegmentModel& segment_model,
+                         IncrementalState* incremental = nullptr);
+
+  /// COLLECTIVE: restore the data segment — every task reads the shared
+  /// segment file and refreshes its replicated variables. Returns the
+  /// meta (identical on every task). Includes the restart-initialization
+  /// (text load) charge.
+  CheckpointMeta restore_segment(rt::TaskContext& ctx,
+                                 const std::string& prefix,
+                                 ReplicatedStore& store,
+                                 const AppSegmentModel& segment_model,
+                                 RestartTiming& timing);
+
+  /// COLLECTIVE: load one array's data from the checkpoint into its
+  /// (already installed) distribution. Adds to timing.arrays_seconds.
+  void restore_array(rt::TaskContext& ctx, const std::string& prefix,
+                     const CheckpointMeta& meta, DistArray& array,
+                     RestartTiming& timing);
+
+ private:
+  [[nodiscard]] int effective_io_tasks(const rt::TaskContext& ctx) const;
+
+  piofs::Volume& volume_;
+  const sim::CostModel* cost_;
+  sim::LoadContext load_;
+  int io_tasks_;
+  std::uint64_t target_chunk_bytes_;
+  bool jitter_;
+};
+
+}  // namespace drms::core

@@ -1,0 +1,321 @@
+#include "core/drms_context.hpp"
+
+#include <algorithm>
+
+#include "core/streamer.hpp"
+#include "rt/collectives.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+DrmsProgram::DrmsProgram(std::string app_name, DrmsEnv env,
+                         AppSegmentModel segment_model, int task_count)
+    : app_name_(std::move(app_name)),
+      env_(env),
+      segment_model_(segment_model),
+      task_count_(task_count) {
+  DRMS_EXPECTS(env_.volume != nullptr);
+  DRMS_EXPECTS(task_count_ >= 1);
+}
+
+CheckpointTiming DrmsProgram::last_checkpoint_timing() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_checkpoint_;
+}
+
+RestartTiming DrmsProgram::last_restart_timing() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_restart_;
+}
+
+IncrementalState DrmsProgram::incremental_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return incremental_state_;
+}
+
+DrmsContext::DrmsContext(DrmsProgram& program, rt::TaskContext& ctx)
+    : program_(program), ctx_(ctx) {
+  DRMS_EXPECTS_MSG(ctx.size() == program.task_count_,
+                   "DrmsProgram was created for a different group size");
+  // The SOP counter is part of the execution context and rides along in
+  // the data segment, so a restarted program resumes its numbering.
+  store_.register_i64("drms.sop", &sop_counter_);
+}
+
+sim::LoadContext DrmsContext::make_load_context() const {
+  sim::LoadContext load;
+  const sim::Placement& placement = ctx_.placement();
+  load.busy_server_fraction = placement.busy_server_fraction();
+  load.per_task_resident_bytes = program_.segment_model_.total();
+  load.max_tasks_per_node = placement.max_tasks_per_node();
+  load.node_memory_bytes = placement.machine().node_memory_bytes;
+  load.server_count = program_.env_.volume->server_count();
+  return load;
+}
+
+std::vector<DistArray*> DrmsContext::array_list() const {
+  const std::lock_guard<std::mutex> lock(program_.mutex_);
+  std::vector<DistArray*> out;
+  out.reserve(program_.arrays_.size());
+  for (const auto& a : program_.arrays_) {
+    out.push_back(a.get());
+  }
+  return out;
+}
+
+void DrmsContext::initialize() {
+  DRMS_EXPECTS_MSG(!initialized_, "drms_initialize called twice");
+  initialized_ = true;
+  const DrmsEnv& env = program_.env_;
+  if (env.restart_prefix.empty()) {
+    ctx_.barrier();
+    return;
+  }
+
+  restarted_ = true;
+  just_restarted_ = true;
+  RestartTiming timing;
+  if (env.mode == CheckpointMode::kDrms) {
+    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    restart_meta_ = engine.restore_segment(ctx_, env.restart_prefix, store_,
+                                           program_.segment_model_, timing);
+  } else {
+    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.jitter);
+    restart_meta_ = engine.restore_begin(ctx_, env.restart_prefix, store_,
+                                         program_.segment_model_, timing,
+                                         spmd_cursor_);
+  }
+  if (ctx_.rank() == 0) {
+    const std::lock_guard<std::mutex> lock(program_.mutex_);
+    program_.last_restart_ = timing;
+    program_.restart_meta_ = restart_meta_;
+  }
+  restart_timing_ = timing;
+  ctx_.barrier();
+}
+
+int DrmsContext::checkpoint_task_count() const noexcept {
+  return restart_meta_.has_value() ? restart_meta_->task_count : 0;
+}
+
+int DrmsContext::delta() const noexcept {
+  return restarted_ ? ctx_.size() - checkpoint_task_count() : 0;
+}
+
+DistArray& DrmsContext::create_array(const std::string& name,
+                                     std::span<const Index> lower,
+                                     std::span<const Index> upper,
+                                     std::size_t elem_size) {
+  const Slice box = Slice::box(lower, upper);
+  const std::lock_guard<std::mutex> lock(program_.mutex_);
+  for (const auto& a : program_.arrays_) {
+    if (a->name() == name) {
+      DRMS_EXPECTS_MSG(a->global_box() == box &&
+                           a->elem_size() == elem_size,
+                       "array '" + name +
+                           "' re-declared with a different shape");
+      return *a;
+    }
+  }
+  program_.arrays_.push_back(std::make_unique<DistArray>(
+      name, box, elem_size, program_.task_count_));
+  return *program_.arrays_.back();
+}
+
+DistArray& DrmsContext::array(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(program_.mutex_);
+  for (const auto& a : program_.arrays_) {
+    if (a->name() == name) {
+      return *a;
+    }
+  }
+  throw support::Error("no distributed array named '" + name + "'");
+}
+
+void DrmsContext::distribute(DistArray& array, const DistSpec& spec) {
+  DRMS_EXPECTS_MSG(initialized_, "call initialize() before distribute()");
+  ctx_.barrier();
+  if (ctx_.rank() == 0) {
+    array.install_distribution(spec);
+  }
+  ctx_.barrier();
+
+  if (!restarted_) {
+    return;
+  }
+  const DrmsEnv& env = program_.env_;
+  // A restarting program loads the checkpointed contents as soon as the
+  // distribution is known ("array loading is delayed until the new
+  // distribution is specified"). Load-once per task-local context; every
+  // task evaluates the same branch, keeping the collective aligned.
+  if (!loaded_arrays_.insert(array.name()).second) {
+    return;
+  }
+  RestartTiming timing;
+  if (env.mode == CheckpointMode::kDrms) {
+    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    engine.restore_array(ctx_, env.restart_prefix, *restart_meta_, array,
+                         timing);
+  } else {
+    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.jitter);
+    engine.restore_array_from(spmd_cursor_, array, ctx_.rank());
+    ctx_.barrier();
+  }
+  restart_timing_.arrays_seconds += timing.arrays_seconds;
+  if (ctx_.rank() == 0) {
+    const std::lock_guard<std::mutex> lock(program_.mutex_);
+    program_.last_restart_.arrays_seconds += timing.arrays_seconds;
+  }
+}
+
+int DrmsContext::service_steering(SteeringChannel& channel) {
+  DRMS_EXPECTS_MSG(initialized_,
+                   "call initialize() before service_steering()");
+  // Rank 0 drains the channel and broadcasts the request DESCRIPTORS
+  // (kind, array, section, payload size); store payloads stay on rank 0,
+  // which is the single sequential-channel endpoint.
+  ctx_.barrier();
+  std::vector<std::unique_ptr<SteeringRequest>> requests;
+  support::ByteBuffer descriptors;
+  if (ctx_.rank() == 0) {
+    requests = channel.drain();
+    descriptors.put_u64(requests.size());
+    for (const auto& r : requests) {
+      descriptors.put_u8(r->kind == SteeringRequest::Kind::kFetch ? 0 : 1);
+      descriptors.put_string(r->array);
+      r->section.serialize(descriptors);
+      descriptors.put_u64(r->data.size());
+    }
+  }
+  rt::broadcast(ctx_, descriptors, 0);
+  descriptors.rewind();
+
+  const std::uint64_t count = descriptors.get_u64();
+  const ArrayStreamer streamer(nullptr, {},
+                               program_.env_.target_chunk_bytes);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool is_store = descriptors.get_u8() == 1;
+    const std::string name = descriptors.get_string();
+    const Slice section = Slice::deserialize(descriptors);
+    const std::uint64_t payload_size = descriptors.get_u64();
+
+    // Validate on EVERY task from the broadcast descriptor, so all tasks
+    // agree on whether to run the collective streaming operation.
+    DistArray* array = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(program_.mutex_);
+      for (const auto& a : program_.arrays_) {
+        if (a->name() == name) {
+          array = a.get();
+          break;
+        }
+      }
+    }
+    std::string error;
+    if (array == nullptr) {
+      error = "no distributed array named '" + name + "'";
+    } else if (!array->distributed()) {
+      error = "array '" + name + "' has no distribution";
+    } else if (section.rank() != array->global_box().rank() ||
+               !array->global_box().covers(section)) {
+      error = "section outside the index space of '" + name + "'";
+    } else if (is_store &&
+               payload_size !=
+                   static_cast<std::uint64_t>(section.element_count()) *
+                       array->elem_size()) {
+      error = "store payload size does not match the section";
+    }
+
+    if (!error.empty()) {
+      if (ctx_.rank() == 0) {
+        requests[i]->reply.set_exception(std::make_exception_ptr(
+            support::Error("steering: " + error)));
+      }
+      continue;
+    }
+    if (is_store) {
+      // Rank 0 feeds the payload; everyone scatters.
+      VectorSource source(ctx_.rank() == 0
+                              ? std::span<const std::byte>(requests[i]->data)
+                              : std::span<const std::byte>{});
+      streamer.read_section_sequential(ctx_, *array, section, source);
+      if (ctx_.rank() == 0) {
+        requests[i]->reply.set_value({});
+      }
+    } else {
+      std::vector<std::byte> snapshot;
+      VectorSink sink(snapshot);
+      streamer.write_section_sequential(ctx_, *array, section, sink);
+      if (ctx_.rank() == 0) {
+        requests[i]->reply.set_value(std::move(snapshot));
+      }
+    }
+  }
+  ctx_.barrier();
+  return static_cast<int>(count);
+}
+
+ReconfigResult DrmsContext::reconfig_checkpoint(const std::string& prefix) {
+  DRMS_EXPECTS_MSG(initialized_,
+                   "call initialize() before reconfig_checkpoint()");
+  if (just_restarted_) {
+    just_restarted_ = false;
+    return ReconfigResult{CheckpointStatus::kRestarted, delta(), false};
+  }
+  return do_checkpoint(prefix);
+}
+
+ReconfigResult DrmsContext::reconfig_chkenable(const std::string& prefix) {
+  DRMS_EXPECTS_MSG(initialized_,
+                   "call initialize() before reconfig_chkenable()");
+  if (just_restarted_) {
+    just_restarted_ = false;
+    return ReconfigResult{CheckpointStatus::kRestarted, delta(), false};
+  }
+  // Collective decision: rank 0 samples-and-clears the enabling signal and
+  // broadcasts it, so either every task checkpoints or none does.
+  ctx_.barrier();
+  support::ByteBuffer decision;
+  if (ctx_.rank() == 0) {
+    const bool enabled = program_.checkpoint_enabled_.exchange(false);
+    decision.put_bool(enabled);
+  }
+  rt::broadcast(ctx_, decision, 0);
+  decision.rewind();
+  if (!decision.get_bool()) {
+    return ReconfigResult{CheckpointStatus::kContinued, 0, false};
+  }
+  return do_checkpoint(prefix);
+}
+
+ReconfigResult DrmsContext::do_checkpoint(const std::string& prefix) {
+  ++sop_counter_;
+  const DrmsEnv& env = program_.env_;
+  const std::vector<DistArray*> arrays = array_list();
+  CheckpointTiming timing;
+  if (env.mode == CheckpointMode::kDrms) {
+    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    timing = engine.write(
+        ctx_, prefix, program_.app_name_, sop_counter_, store_, arrays,
+        program_.segment_model_,
+        env.incremental ? &program_.incremental_state_ : nullptr);
+  } else {
+    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
+                          env.jitter);
+    timing = engine.write(ctx_, prefix, program_.app_name_, sop_counter_,
+                          store_, arrays, program_.segment_model_);
+  }
+  if (ctx_.rank() == 0) {
+    const std::lock_guard<std::mutex> lock(program_.mutex_);
+    program_.last_checkpoint_ = timing;
+    program_.checkpoints_written_.fetch_add(1);
+  }
+  return ReconfigResult{CheckpointStatus::kContinued, 0, true};
+}
+
+}  // namespace drms::core

@@ -1,0 +1,61 @@
+#include "core/exchange.hpp"
+
+#include "rt/collectives.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+void exchange_sections(rt::TaskContext& ctx,
+                       const std::vector<Slice>& src_assigned,
+                       const LocalArray* my_src,
+                       const std::vector<Slice>& dst_mapped,
+                       LocalArray* my_dst, std::size_t elem_size) {
+  const int p = ctx.size();
+  const int me = ctx.rank();
+  DRMS_EXPECTS_MSG(static_cast<int>(src_assigned.size()) == p &&
+                       static_cast<int>(dst_mapped.size()) == p,
+                   "exchange_sections needs one slice per task");
+
+  const Slice& my_assigned = src_assigned[static_cast<std::size_t>(me)];
+  const Slice& my_mapped = dst_mapped[static_cast<std::size_t>(me)];
+
+  // Outgoing: the piece of my assigned source data needed by each task's
+  // mapped destination. Both sides compute the same intersection slice, so
+  // messages carry only raw element bytes in stream order.
+  std::vector<support::ByteBuffer> outgoing(static_cast<std::size_t>(p));
+  if (my_src != nullptr && !my_assigned.empty()) {
+    for (int dst = 0; dst < p; ++dst) {
+      const Slice piece =
+          my_assigned.intersect(dst_mapped[static_cast<std::size_t>(dst)]);
+      if (piece.empty()) {
+        continue;
+      }
+      auto& buf = outgoing[static_cast<std::size_t>(dst)];
+      std::vector<std::byte> bytes(
+          static_cast<std::size_t>(piece.element_count()) * elem_size);
+      my_src->extract(piece, bytes);
+      buf.append(bytes);
+    }
+  }
+
+  std::vector<support::ByteBuffer> incoming =
+      rt::all_to_all(ctx, std::move(outgoing));
+
+  if (my_dst != nullptr && !my_mapped.empty()) {
+    for (int src = 0; src < p; ++src) {
+      const Slice piece =
+          src_assigned[static_cast<std::size_t>(src)].intersect(my_mapped);
+      if (piece.empty()) {
+        continue;
+      }
+      const auto& buf = incoming[static_cast<std::size_t>(src)];
+      const std::uint64_t expected =
+          static_cast<std::uint64_t>(piece.element_count()) * elem_size;
+      DRMS_EXPECTS_MSG(buf.size() == expected,
+                       "exchange payload size mismatch");
+      my_dst->insert(piece, buf.bytes());
+    }
+  }
+}
+
+}  // namespace drms::core

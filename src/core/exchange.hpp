@@ -1,0 +1,28 @@
+// Section exchange — the communication core of the DRMS array assignment
+// operation (§3.1): move element data from per-task SOURCE assigned
+// sections into per-task DESTINATION mapped sections, updating every
+// overlapping copy consistently. Used by data redistribution, by the
+// canonical-distribution step of parallel streaming, and by
+// inter-distribution array assignment.
+//
+// COLLECTIVE: every task of the group must call with identical
+// `src_assigned` and `dst_mapped` vectors (they are global metadata);
+// `my_src`/`my_dst` are the calling task's local sections (null when the
+// task holds no source/destination data).
+#pragma once
+
+#include <vector>
+
+#include "core/local_array.hpp"
+#include "core/slice.hpp"
+#include "rt/task_context.hpp"
+
+namespace drms::core {
+
+void exchange_sections(rt::TaskContext& ctx,
+                       const std::vector<Slice>& src_assigned,
+                       const LocalArray* my_src,
+                       const std::vector<Slice>& dst_mapped,
+                       LocalArray* my_dst, std::size_t elem_size);
+
+}  // namespace drms::core

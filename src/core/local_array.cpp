@@ -1,0 +1,218 @@
+#include "core/local_array.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+LocalArray::LocalArray(Slice mapped, std::size_t elem_size)
+    : mapped_(std::move(mapped)), elem_size_(elem_size) {
+  DRMS_EXPECTS(elem_size_ > 0);
+  DRMS_EXPECTS(mapped_.rank() >= 1);
+  const int d = mapped_.rank();
+  stride_.resize(static_cast<std::size_t>(d));
+  Index stride = 1;
+  for (int k = 0; k < d; ++k) {
+    stride_[static_cast<std::size_t>(k)] = stride;
+    stride *= mapped_.range(k).size();
+  }
+  data_.assign(static_cast<std::size_t>(stride * static_cast<Index>(
+                                            elem_size_)),
+               std::byte{0});
+}
+
+std::optional<std::uint64_t> LocalArray::offset_of(
+    std::span<const Index> point) const {
+  if (mapped_.rank() == 0 ||
+      static_cast<int>(point.size()) != mapped_.rank()) {
+    return std::nullopt;
+  }
+  Index off = 0;
+  for (int k = 0; k < mapped_.rank(); ++k) {
+    const auto pos = mapped_.range(k).position_of(point[
+        static_cast<std::size_t>(k)]);
+    if (!pos.has_value()) {
+      return std::nullopt;
+    }
+    off += *pos * stride_[static_cast<std::size_t>(k)];
+  }
+  return static_cast<std::uint64_t>(off) * elem_size_;
+}
+
+std::vector<std::vector<Index>> LocalArray::position_tables(
+    const Slice& s) const {
+  DRMS_EXPECTS_MSG(s.rank() == mapped_.rank(),
+                   "sub-slice rank must match the mapped section");
+  std::vector<std::vector<Index>> tables(
+      static_cast<std::size_t>(s.rank()));
+  for (int k = 0; k < s.rank(); ++k) {
+    const Range& sub = s.range(k);
+    const Range& map = mapped_.range(k);
+    auto& table = tables[static_cast<std::size_t>(k)];
+    const Index n = sub.size();
+    table.reserve(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      const auto pos = map.position_of(sub.at(i));
+      DRMS_EXPECTS_MSG(pos.has_value(),
+                       "sub-slice not covered by the mapped section");
+      table.push_back(*pos);
+    }
+  }
+  return tables;
+}
+
+namespace {
+
+/// True when the positions form the run p, p+1, ..., p+n-1.
+bool is_consecutive(const std::vector<Index>& positions) {
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] != positions[i - 1] + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void LocalArray::extract(const Slice& s, std::span<std::byte> out) const {
+  if (s.empty()) {
+    return;
+  }
+  const auto tables = position_tables(s);
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(s.element_count()) * elem_size_;
+  DRMS_EXPECTS_MSG(out.size() >= needed, "extract output buffer too small");
+
+  const int d = s.rank();
+  const auto& t0 = tables[0];
+  const bool run0 = is_consecutive(t0);
+  const std::size_t run_bytes = t0.size() * elem_size_;
+
+  std::vector<Index> pos(static_cast<std::size_t>(d), 0);
+  std::size_t cursor = 0;
+  for (;;) {
+    Index base = 0;
+    for (int k = 1; k < d; ++k) {
+      base += tables[static_cast<std::size_t>(k)]
+                    [static_cast<std::size_t>(
+                        pos[static_cast<std::size_t>(k)])] *
+              stride_[static_cast<std::size_t>(k)];
+    }
+    if (run0) {
+      std::memcpy(out.data() + cursor,
+                  data_.data() + static_cast<std::size_t>(base + t0[0]) *
+                                     elem_size_,
+                  run_bytes);
+      cursor += run_bytes;
+    } else {
+      for (const Index p0 : t0) {
+        std::memcpy(out.data() + cursor,
+                    data_.data() +
+                        static_cast<std::size_t>(base + p0) * elem_size_,
+                    elem_size_);
+        cursor += elem_size_;
+      }
+    }
+    // Odometer over axes 1..d-1.
+    int axis = 1;
+    while (axis < d) {
+      auto& p = pos[static_cast<std::size_t>(axis)];
+      if (++p < static_cast<Index>(tables[static_cast<std::size_t>(axis)]
+                                       .size())) {
+        break;
+      }
+      p = 0;
+      ++axis;
+    }
+    if (axis == d) {
+      break;
+    }
+  }
+  DRMS_ENSURES(cursor == needed);
+}
+
+void LocalArray::insert(const Slice& s, std::span<const std::byte> in) {
+  if (s.empty()) {
+    return;
+  }
+  const auto tables = position_tables(s);
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(s.element_count()) * elem_size_;
+  DRMS_EXPECTS_MSG(in.size() >= needed, "insert input buffer too small");
+
+  const int d = s.rank();
+  const auto& t0 = tables[0];
+  const bool run0 = is_consecutive(t0);
+  const std::size_t run_bytes = t0.size() * elem_size_;
+
+  std::vector<Index> pos(static_cast<std::size_t>(d), 0);
+  std::size_t cursor = 0;
+  for (;;) {
+    Index base = 0;
+    for (int k = 1; k < d; ++k) {
+      base += tables[static_cast<std::size_t>(k)]
+                    [static_cast<std::size_t>(
+                        pos[static_cast<std::size_t>(k)])] *
+              stride_[static_cast<std::size_t>(k)];
+    }
+    if (run0) {
+      std::memcpy(data_.data() + static_cast<std::size_t>(base + t0[0]) *
+                                     elem_size_,
+                  in.data() + cursor, run_bytes);
+      cursor += run_bytes;
+    } else {
+      for (const Index p0 : t0) {
+        std::memcpy(data_.data() +
+                        static_cast<std::size_t>(base + p0) * elem_size_,
+                    in.data() + cursor, elem_size_);
+        cursor += elem_size_;
+      }
+    }
+    int axis = 1;
+    while (axis < d) {
+      auto& p = pos[static_cast<std::size_t>(axis)];
+      if (++p < static_cast<Index>(tables[static_cast<std::size_t>(axis)]
+                                       .size())) {
+        break;
+      }
+      p = 0;
+      ++axis;
+    }
+    if (axis == d) {
+      break;
+    }
+  }
+  DRMS_ENSURES(cursor == needed);
+}
+
+double LocalArray::get_f64(std::span<const Index> point) const {
+  DRMS_EXPECTS(elem_size_ == sizeof(double));
+  const auto off = offset_of(point);
+  DRMS_EXPECTS_MSG(off.has_value(), "point not in the mapped section");
+  double v = 0;
+  std::memcpy(&v, data_.data() + *off, sizeof v);
+  return v;
+}
+
+void LocalArray::set_f64(std::span<const Index> point, double value) {
+  DRMS_EXPECTS(elem_size_ == sizeof(double));
+  const auto off = offset_of(point);
+  DRMS_EXPECTS_MSG(off.has_value(), "point not in the mapped section");
+  std::memcpy(data_.data() + *off, &value, sizeof value);
+}
+
+std::span<double> LocalArray::as_f64() {
+  DRMS_EXPECTS(elem_size_ == sizeof(double));
+  return {reinterpret_cast<double*>(data_.data()),
+          data_.size() / sizeof(double)};
+}
+
+std::span<const double> LocalArray::as_f64() const {
+  DRMS_EXPECTS(elem_size_ == sizeof(double));
+  return {reinterpret_cast<const double*>(data_.data()),
+          data_.size() / sizeof(double)};
+}
+
+}  // namespace drms::core

@@ -1,0 +1,76 @@
+// Per-task storage for a mapped array section. Elements are laid out in
+// column-major order over the mapped slice's own index space, so the
+// canonical streaming chunks (whose mapped section IS the chunk) are
+// already in stream order in memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/slice.hpp"
+
+namespace drms::core {
+
+class LocalArray {
+ public:
+  /// An empty local array (no mapped section).
+  LocalArray() = default;
+  /// Allocate zero-initialized storage for `mapped` with `elem_size`-byte
+  /// elements.
+  LocalArray(Slice mapped, std::size_t elem_size);
+
+  [[nodiscard]] const Slice& mapped() const noexcept { return mapped_; }
+  [[nodiscard]] std::size_t elem_size() const noexcept { return elem_size_; }
+  [[nodiscard]] Index element_count() const noexcept {
+    return mapped_.rank() == 0 ? 0 : mapped_.element_count();
+  }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return static_cast<std::uint64_t>(data_.size());
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<std::byte> bytes() noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Byte offset of a global multi-index, or nullopt when the point is not
+  /// in the mapped section.
+  [[nodiscard]] std::optional<std::uint64_t> offset_of(
+      std::span<const Index> point) const;
+
+  /// Copy the elements of sub-slice `s` (must be covered by mapped()) into
+  /// `out` in column-major stream order. `out` must hold
+  /// s.element_count() * elem_size() bytes.
+  void extract(const Slice& s, std::span<std::byte> out) const;
+
+  /// Inverse of extract: scatter stream-ordered bytes into sub-slice `s`.
+  void insert(const Slice& s, std::span<const std::byte> in);
+
+  /// Typed element accessors (for solvers and tests; double arrays are the
+  /// common case in the paper's CFD workloads).
+  [[nodiscard]] double get_f64(std::span<const Index> point) const;
+  void set_f64(std::span<const Index> point, double value);
+
+  /// Direct typed view over the whole local storage (column-major over the
+  /// mapped slice). Only valid when elem_size() == sizeof(double).
+  [[nodiscard]] std::span<double> as_f64();
+  [[nodiscard]] std::span<const double> as_f64() const;
+
+ private:
+  /// Per-axis local positions of the values of `s.range(axis)` inside
+  /// mapped().range(axis); throws if any value is absent.
+  [[nodiscard]] std::vector<std::vector<Index>> position_tables(
+      const Slice& s) const;
+
+  Slice mapped_;
+  std::size_t elem_size_ = 0;
+  /// Column-major strides in elements, per axis.
+  std::vector<Index> stride_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace drms::core

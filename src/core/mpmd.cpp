@@ -1,0 +1,108 @@
+#include "core/mpmd.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "rt/collectives.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+MpmdCoordinator::MpmdCoordinator(std::vector<std::string> component_names)
+    : components_(std::move(component_names)) {
+  DRMS_EXPECTS(!components_.empty());
+  for (const auto& name : components_) {
+    DRMS_EXPECTS_MSG(component_epoch_.emplace(name, 0).second,
+                     "duplicate MPMD component name: " + name);
+  }
+}
+
+std::int64_t MpmdCoordinator::arrive(const std::string& component,
+                                     rt::TaskContext& ctx) {
+  // Rank 0 of the component represents it at the cross-component latch
+  // and then broadcasts the completed epoch to its group — the broadcast
+  // doubles as the release, so no task of any component proceeds before
+  // every component arrived, and the reported epoch cannot race with the
+  // next one.
+  support::ByteBuffer epoch_msg;
+  if (ctx.rank() == 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = component_epoch_.find(component);
+    DRMS_EXPECTS_MSG(it != component_epoch_.end(),
+                     "unknown MPMD component: " + component);
+    const std::int64_t my_epoch = it->second;
+    DRMS_EXPECTS_MSG(my_epoch == epoch_,
+                     "component '" + component +
+                         "' is out of step with the MPMD epoch");
+    ++it->second;
+    if (++arrived_ == component_count()) {
+      arrived_ = 0;
+      ++epoch_;
+      cv_.notify_all();
+    } else {
+      // Kill-aware wait: poll the group's kill switch while blocked so a
+      // failed sibling component cannot wedge this one forever once the
+      // RC tears the application down.
+      while (epoch_ == my_epoch) {
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+        if (epoch_ != my_epoch) {
+          break;
+        }
+        lock.unlock();
+        ctx.check_killed();
+        lock.lock();
+      }
+    }
+    epoch_msg.put_i64(my_epoch);
+  }
+  rt::broadcast(ctx, epoch_msg, 0);
+  epoch_msg.rewind();
+  const std::int64_t completed_epoch = epoch_msg.get_i64();
+  ctx.barrier();
+  return completed_epoch;
+}
+
+std::int64_t MpmdCoordinator::epochs_completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+MpmdResult run_mpmd(std::vector<MpmdComponent> components,
+                    MpmdCoordinator& coordinator, std::uint64_t seed) {
+  DRMS_EXPECTS(!components.empty());
+  MpmdResult result;
+  std::vector<std::unique_ptr<rt::TaskGroup>> groups;
+  groups.reserve(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    groups.push_back(std::make_unique<rt::TaskGroup>(
+        components[i].placement,
+        seed + static_cast<std::uint64_t>(i) * 0x9e3779b9ull));
+  }
+
+  std::vector<std::thread> runners;
+  std::mutex result_mutex;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    runners.emplace_back([&, i] {
+      const auto outcome = groups[i]->run([&](rt::TaskContext& ctx) {
+        components[i].body(ctx, coordinator);
+      });
+      const std::lock_guard<std::mutex> lock(result_mutex);
+      result.components[components[i].name] = outcome;
+    });
+  }
+  for (auto& t : runners) {
+    t.join();
+  }
+  result.completed = std::all_of(
+      result.components.begin(), result.components.end(),
+      [](const auto& kv) { return kv.second.completed; });
+  return result;
+}
+
+std::string mpmd_component_prefix(const std::string& prefix,
+                                  const std::string& name) {
+  return prefix + "." + name;
+}
+
+}  // namespace drms::core

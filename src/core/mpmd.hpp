@@ -1,0 +1,82 @@
+// MPMD applications (§2.2): "the computation is viewed as a collection of
+// multiple SPMD structures each with its own distributed data set. The
+// collection of SPMD computations can then be reconfigured individually
+// or collectively. ... In an MPMD application, the states of the
+// individual SPMD structures need to be captured to completely define the
+// state of the application. ... reconfigurations can take place only at
+// globally consistent points ... defined by a set of SOPs in the
+// individual SPMD components."
+//
+// Each SPMD component runs as its own task group with its own
+// DrmsProgram and checkpoint prefix ("<prefix>.<component>"); the
+// MpmdCoordinator aligns one SOP per component into a globally consistent
+// checkpoint epoch. Components may later be restarted with individually
+// different task counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/task_context.hpp"
+#include "rt/task_group.hpp"
+#include "sim/machine.hpp"
+
+namespace drms::core {
+
+/// Cross-component synchronization point. One instance is shared by all
+/// components of the MPMD application; every component must arrive at
+/// epoch k before any component proceeds past it.
+class MpmdCoordinator {
+ public:
+  explicit MpmdCoordinator(std::vector<std::string> component_names);
+
+  /// COLLECTIVE within the component AND across components: called by
+  /// every task of `component` at its SOP. Returns the epoch number just
+  /// completed (0-based). Kill-aware: throws TaskKilled if this task's
+  /// group dies while waiting.
+  std::int64_t arrive(const std::string& component, rt::TaskContext& ctx);
+
+  [[nodiscard]] int component_count() const noexcept {
+    return static_cast<int>(components_.size());
+  }
+  /// Epochs completed so far.
+  [[nodiscard]] std::int64_t epochs_completed() const;
+
+ private:
+  std::vector<std::string> components_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::int64_t epoch_ = 0;
+  int arrived_ = 0;
+  std::map<std::string, std::int64_t> component_epoch_;
+};
+
+/// One SPMD component of an MPMD application.
+struct MpmdComponent {
+  std::string name;
+  sim::Placement placement;
+  /// SPMD body; receives the component's task context and the shared
+  /// coordinator.
+  std::function<void(rt::TaskContext&, MpmdCoordinator&)> body;
+};
+
+struct MpmdResult {
+  bool completed = false;
+  std::map<std::string, rt::TaskGroupResult> components;
+};
+
+/// Run all components concurrently (each as its own task group) until
+/// every one finishes. Blocking.
+MpmdResult run_mpmd(std::vector<MpmdComponent> components,
+                    MpmdCoordinator& coordinator, std::uint64_t seed = 1);
+
+/// Checkpoint prefix of one component of an MPMD state.
+[[nodiscard]] std::string mpmd_component_prefix(const std::string& prefix,
+                                                const std::string& name);
+
+}  // namespace drms::core

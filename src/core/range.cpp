@@ -1,0 +1,251 @@
+#include "core/range.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+Range Range::contiguous(Index lo, Index hi) { return strided(lo, hi, 1); }
+
+Range Range::strided(Index lo, Index hi, Index stride) {
+  DRMS_EXPECTS_MSG(stride >= 1, "range stride must be positive");
+  if (hi < lo) {
+    return Range();
+  }
+  return Range(Regular{lo, stride, (hi - lo) / stride + 1});
+}
+
+Range Range::of_indices(std::vector<Index> indices) {
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    DRMS_EXPECTS_MSG(indices[i - 1] < indices[i],
+                     "index list must be strictly increasing");
+  }
+  if (indices.empty()) {
+    return Range();
+  }
+  // Normalize to the regular representation when the list happens to be
+  // an arithmetic progression — keeps intersections on the fast path.
+  if (indices.size() == 1) {
+    return Range(Regular{indices[0], 1, 1});
+  }
+  const Index step = indices[1] - indices[0];
+  bool regular = true;
+  for (std::size_t i = 2; i < indices.size(); ++i) {
+    if (indices[i] - indices[i - 1] != step) {
+      regular = false;
+      break;
+    }
+  }
+  if (regular) {
+    return Range(Regular{indices[0], step,
+                         static_cast<Index>(indices.size())});
+  }
+  return Range(std::move(indices));
+}
+
+Index Range::size() const noexcept {
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    return r->count;
+  }
+  return static_cast<Index>(std::get<std::vector<Index>>(rep_).size());
+}
+
+Index Range::at(Index i) const {
+  DRMS_EXPECTS_MSG(i >= 0 && i < size(), "range position out of bounds");
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    return r->lo + i * r->stride;
+  }
+  return std::get<std::vector<Index>>(rep_)[static_cast<std::size_t>(i)];
+}
+
+bool Range::contains(Index v) const noexcept {
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    if (r->count == 0 || v < r->lo) {
+      return false;
+    }
+    const Index offset = v - r->lo;
+    return offset % r->stride == 0 && offset / r->stride < r->count;
+  }
+  const auto& v_list = std::get<std::vector<Index>>(rep_);
+  return std::binary_search(v_list.begin(), v_list.end(), v);
+}
+
+std::optional<Index> Range::position_of(Index v) const noexcept {
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    if (r->count == 0 || v < r->lo) {
+      return std::nullopt;
+    }
+    const Index offset = v - r->lo;
+    if (offset % r->stride != 0) {
+      return std::nullopt;
+    }
+    const Index pos = offset / r->stride;
+    if (pos >= r->count) {
+      return std::nullopt;
+    }
+    return pos;
+  }
+  const auto& v_list = std::get<std::vector<Index>>(rep_);
+  const auto it = std::lower_bound(v_list.begin(), v_list.end(), v);
+  if (it == v_list.end() || *it != v) {
+    return std::nullopt;
+  }
+  return static_cast<Index>(it - v_list.begin());
+}
+
+Range Range::intersect(const Range& other) const {
+  if (empty() || other.empty()) {
+    return Range();
+  }
+  const auto* a = std::get_if<Regular>(&rep_);
+  const auto* b = std::get_if<Regular>(&other.rep_);
+  if (a != nullptr && b != nullptr && a->stride == 1 && b->stride == 1) {
+    // Contiguous-contiguous fast path: a contiguous result.
+    const Index lo = std::max(a->lo, b->lo);
+    const Index hi = std::min(a->lo + a->count - 1, b->lo + b->count - 1);
+    return contiguous(lo, hi);
+  }
+  // General case: walk the smaller set, membership-test against the other.
+  const Range& walk = size() <= other.size() ? *this : other;
+  const Range& test = size() <= other.size() ? other : *this;
+  std::vector<Index> out;
+  const Index n = walk.size();
+  out.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const Index v = walk.at(i);
+    if (test.contains(v)) {
+      out.push_back(v);
+    }
+  }
+  return of_indices(std::move(out));
+}
+
+Range Range::take(Index n) const {
+  DRMS_EXPECTS(n >= 0 && n <= size());
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    if (n == 0) return Range();
+    return Range(Regular{r->lo, r->stride, n});
+  }
+  const auto& v_list = std::get<std::vector<Index>>(rep_);
+  return of_indices(std::vector<Index>(v_list.begin(),
+                                       v_list.begin() + n));
+}
+
+Range Range::drop(Index n) const {
+  DRMS_EXPECTS(n >= 0 && n <= size());
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    if (n == r->count) return Range();
+    return Range(Regular{r->lo + n * r->stride, r->stride, r->count - n});
+  }
+  const auto& v_list = std::get<std::vector<Index>>(rep_);
+  return of_indices(std::vector<Index>(v_list.begin() + n, v_list.end()));
+}
+
+std::pair<Range, Range> Range::split_half() const {
+  const Index lower = (size() + 1) / 2;
+  return {take(lower), drop(lower)};
+}
+
+bool Range::is_contiguous() const noexcept {
+  const auto* r = std::get_if<Regular>(&rep_);
+  return r != nullptr && (r->stride == 1 || r->count <= 1);
+}
+
+bool Range::is_regular() const noexcept {
+  return std::holds_alternative<Regular>(rep_);
+}
+
+Index Range::stride() const noexcept {
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    return r->stride;
+  }
+  return 0;
+}
+
+std::vector<Index> Range::to_vector() const {
+  std::vector<Index> out;
+  const Index n = size();
+  out.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    out.push_back(at(i));
+  }
+  return out;
+}
+
+std::string Range::to_string() const {
+  if (empty()) {
+    return "{}";
+  }
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    std::ostringstream os;
+    os << r->lo << ":" << r->lo + (r->count - 1) * r->stride;
+    if (r->stride != 1) {
+      os << ":" << r->stride;
+    }
+    return os.str();
+  }
+  std::ostringstream os;
+  os << "{";
+  const auto& v_list = std::get<std::vector<Index>>(rep_);
+  for (std::size_t i = 0; i < v_list.size(); ++i) {
+    os << (i > 0 ? "," : "") << v_list[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+void Range::serialize(support::ByteBuffer& out) const {
+  if (const auto* r = std::get_if<Regular>(&rep_)) {
+    out.put_u8(0);
+    out.put_i64(r->lo);
+    out.put_i64(r->stride);
+    out.put_i64(r->count);
+    return;
+  }
+  const auto& v = std::get<std::vector<Index>>(rep_);
+  out.put_u8(1);
+  out.put_u64(v.size());
+  for (const Index x : v) {
+    out.put_i64(x);
+  }
+}
+
+Range Range::deserialize(support::ByteBuffer& in) {
+  const std::uint8_t kind = in.get_u8();
+  if (kind == 0) {
+    const Index lo = in.get_i64();
+    const Index stride = in.get_i64();
+    const Index count = in.get_i64();
+    DRMS_EXPECTS_MSG(stride >= 1 && count >= 0,
+                     "malformed serialized range");
+    if (count == 0) {
+      return Range();
+    }
+    return strided(lo, lo + (count - 1) * stride, stride);
+  }
+  DRMS_EXPECTS_MSG(kind == 1, "malformed serialized range tag");
+  const std::uint64_t n = in.get_u64();
+  std::vector<Index> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(in.get_i64());
+  }
+  return of_indices(std::move(v));
+}
+
+bool operator==(const Range& a, const Range& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) {
+    if (a.at(i) != b.at(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace drms::core

@@ -1,0 +1,95 @@
+// Ranges — the 1-D building block of DRMS array sections (§3.1 of the
+// paper). A range is a monotonically increasing ordered set of integers;
+// DRMS supports both regular sections (l:u:s triplets) and sections
+// defined by explicit lists of indices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/byte_buffer.hpp"
+
+namespace drms::core {
+
+using Index = std::int64_t;
+
+class Range {
+ public:
+  /// The empty range.
+  Range() = default;
+
+  /// Regular section l:u (inclusive) with stride 1. Empty when u < l.
+  [[nodiscard]] static Range contiguous(Index lo, Index hi);
+  /// Regular section l:u:s (inclusive upper bound, stride >= 1).
+  [[nodiscard]] static Range strided(Index lo, Index hi, Index stride);
+  /// Section from an explicit, strictly increasing index list.
+  [[nodiscard]] static Range of_indices(std::vector<Index> indices);
+  /// Single-element range.
+  [[nodiscard]] static Range single(Index v) { return contiguous(v, v); }
+
+  [[nodiscard]] Index size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// i-th element (0-based position in the ordered set).
+  [[nodiscard]] Index at(Index i) const;
+  [[nodiscard]] Index first() const { return at(0); }
+  [[nodiscard]] Index last() const { return at(size() - 1); }
+
+  [[nodiscard]] bool contains(Index v) const noexcept;
+  /// Position of `v` in the ordered set, if present.
+  [[nodiscard]] std::optional<Index> position_of(Index v) const noexcept;
+
+  /// Set intersection (the paper's q*r operation). Result is a Range with
+  /// all elements common to both, preserving order.
+  [[nodiscard]] Range intersect(const Range& other) const;
+
+  /// First `n` elements / all but the first `n` elements.
+  [[nodiscard]] Range take(Index n) const;
+  [[nodiscard]] Range drop(Index n) const;
+
+  /// Split into (lower half, upper half) by element count — lower gets
+  /// ceil(size/2). Used by the recursive stream partitioner (Fig. 5a).
+  [[nodiscard]] std::pair<Range, Range> split_half() const;
+
+  /// True when the range is l:u with stride 1.
+  [[nodiscard]] bool is_contiguous() const noexcept;
+  /// True when representable as a triplet (any stride).
+  [[nodiscard]] bool is_regular() const noexcept;
+  [[nodiscard]] Index stride() const noexcept;
+
+  /// All elements, materialized (small: per-dimension extents).
+  [[nodiscard]] std::vector<Index> to_vector() const;
+
+  /// "8:12:2" or "{8,9,12}" — for diagnostics and golden tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire encoding (used to ship slices between tasks and processes).
+  void serialize(support::ByteBuffer& out) const;
+  [[nodiscard]] static Range deserialize(support::ByteBuffer& in);
+
+  friend bool operator==(const Range& a, const Range& b);
+
+ private:
+  struct Regular {
+    Index lo = 0;
+    Index stride = 1;
+    Index count = 0;
+    friend bool operator==(const Regular&, const Regular&) = default;
+  };
+
+  explicit Range(Regular r) : rep_(r) {}
+  explicit Range(std::vector<Index> v) : rep_(std::move(v)) {}
+
+  // Empty ranges normalize to Regular{0,1,0}.
+  std::variant<Regular, std::vector<Index>> rep_ = Regular{};
+};
+
+/// The paper writes intersection as q*r.
+[[nodiscard]] inline Range operator*(const Range& a, const Range& b) {
+  return a.intersect(b);
+}
+
+}  // namespace drms::core

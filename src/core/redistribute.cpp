@@ -1,0 +1,83 @@
+#include "core/redistribute.hpp"
+
+#include "core/exchange.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+void redistribute(rt::TaskContext& ctx, DistArray& array,
+                  const DistSpec& new_spec) {
+  DRMS_EXPECTS_MSG(array.task_count() == ctx.size(),
+                   "array group size must match the task group");
+  DRMS_EXPECTS_MSG(new_spec.task_count() == ctx.size(),
+                   "new distribution must target this task group");
+  const DistSpec old_spec = array.distribution();  // copy: we swap below
+
+  // Extract every outgoing piece from the old locals *before* any task
+  // reallocates (the exchange is pairwise-complete, so once it returns,
+  // all data this task must contribute has left its local array).
+  const std::vector<Slice> src_assigned = old_spec.assigned_slices();
+  const std::vector<Slice> dst_mapped = new_spec.mapped_slices();
+
+  // Each task needs both its old local (source) and its new local
+  // (destination) alive at once; stage the new local separately.
+  const Slice& my_new_mapped = dst_mapped[static_cast<std::size_t>(
+      ctx.rank())];
+  LocalArray staging = my_new_mapped.empty()
+                           ? LocalArray()
+                           : LocalArray(my_new_mapped, array.elem_size());
+
+  exchange_sections(ctx, src_assigned, &array.local(ctx.rank()), dst_mapped,
+                    staging.element_count() > 0 ? &staging : nullptr,
+                    array.elem_size());
+
+  // Everyone has staged its new section; install the new distribution and
+  // move the staged data in. Rank 0 swaps the shared metadata between two
+  // barriers so no task observes a half-installed distribution.
+  ctx.barrier();
+  if (ctx.rank() == 0) {
+    array.install_distribution(new_spec);
+  }
+  ctx.barrier();
+  if (staging.element_count() > 0) {
+    array.local(ctx.rank()) = std::move(staging);
+  }
+  ctx.barrier();
+}
+
+void refresh_shadows(rt::TaskContext& ctx, DistArray& array) {
+  DRMS_EXPECTS_MSG(array.task_count() == ctx.size(),
+                   "array group size must match the task group");
+  const std::vector<Slice> src_assigned =
+      array.distribution().assigned_slices();
+  const std::vector<Slice> dst_mapped =
+      array.distribution().mapped_slices();
+  LocalArray& mine = array.local(ctx.rank());
+  exchange_sections(ctx, src_assigned, &mine, dst_mapped,
+                    mine.element_count() > 0 ? &mine : nullptr,
+                    array.elem_size());
+  ctx.barrier();
+}
+
+void array_assign(rt::TaskContext& ctx, const DistArray& source,
+                  DistArray& dest) {
+  DRMS_EXPECTS_MSG(source.global_box() == dest.global_box(),
+                   "array assignment requires identical shapes");
+  DRMS_EXPECTS_MSG(source.elem_size() == dest.elem_size(),
+                   "array assignment requires identical element sizes");
+  DRMS_EXPECTS_MSG(source.task_count() == ctx.size() &&
+                       dest.task_count() == ctx.size(),
+                   "both arrays must belong to this task group");
+
+  const std::vector<Slice> src_assigned =
+      source.distribution().assigned_slices();
+  const std::vector<Slice> dst_mapped = dest.distribution().mapped_slices();
+
+  LocalArray& my_dst = dest.local(ctx.rank());
+  exchange_sections(ctx, src_assigned, &source.local(ctx.rank()), dst_mapped,
+                    my_dst.element_count() > 0 ? &my_dst : nullptr,
+                    dest.elem_size());
+  ctx.barrier();
+}
+
+}  // namespace drms::core

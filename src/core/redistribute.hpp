@@ -1,0 +1,35 @@
+// Data-preserving redistribution and inter-array assignment (§3.1).
+#pragma once
+
+#include "core/dist_array.hpp"
+#include "rt/task_context.hpp"
+
+namespace drms::core {
+
+/// Change the distribution of `array` to `new_spec`, preserving the value
+/// of every assigned element (the paper's drms_adjust + drms_distribute
+/// path after a reconfigured restart, and the redistribution step inside
+/// array section streaming).
+///
+/// COLLECTIVE: every task calls with the same `new_spec`. The group sizes
+/// of the array and the context must match.
+void redistribute(rt::TaskContext& ctx, DistArray& array,
+                  const DistSpec& new_spec);
+
+/// Refresh every task's shadow (ghost) cells from the owning tasks'
+/// assigned sections — the self-assignment A = A, which the solvers run
+/// once per iteration before applying their stencils.
+///
+/// COLLECTIVE.
+void refresh_shadows(rt::TaskContext& ctx, DistArray& array);
+
+/// The DRMS array assignment B = A for arrays of identical shape and
+/// element size but arbitrary distributions. Every copy of each element of
+/// B present in any task (assigned or mapped section) is updated
+/// consistently.
+///
+/// COLLECTIVE.
+void array_assign(rt::TaskContext& ctx, const DistArray& source,
+                  DistArray& dest);
+
+}  // namespace drms::core

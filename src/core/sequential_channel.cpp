@@ -1,0 +1,79 @@
+#include "core/sequential_channel.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+void FileSource::read(std::span<std::byte> out) {
+  if (cursor_ + out.size() > file_.size()) {
+    throw support::IoError("sequential source: premature end of file '" +
+                           file_.name() + "'");
+  }
+  const auto bytes = file_.read_at(cursor_, out.size());
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  cursor_ += out.size();
+}
+
+void VectorSource::read(std::span<std::byte> out) {
+  if (cursor_ + out.size() > data_.size()) {
+    throw support::IoError("sequential source: vector exhausted");
+  }
+  std::copy_n(data_.begin() + static_cast<long>(cursor_), out.size(),
+              out.begin());
+  cursor_ += out.size();
+}
+
+void InMemoryPipe::write(std::span<const std::byte> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
+    if (closed_) {
+      throw support::IoError("write to a closed pipe");
+    }
+    const std::size_t room = capacity_ - buffer_.size();
+    const std::size_t n = std::min(room, data.size() - written);
+    buffer_.insert(buffer_.end(), data.begin() + written,
+                   data.begin() + written + n);
+    written += n;
+    transferred_ += n;
+    lock.unlock();
+    cv_.notify_all();
+  }
+}
+
+void InMemoryPipe::read(std::span<std::byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+    if (buffer_.empty() && closed_) {
+      throw support::IoError("pipe closed with " +
+                             std::to_string(out.size() - got) +
+                             " bytes still expected");
+    }
+    const std::size_t n = std::min(buffer_.size(), out.size() - got);
+    std::copy_n(buffer_.begin(), n, out.begin() + got);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+    got += n;
+    lock.unlock();
+    cv_.notify_all();
+  }
+}
+
+void InMemoryPipe::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t InMemoryPipe::bytes_transferred() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transferred_;
+}
+
+}  // namespace drms::core

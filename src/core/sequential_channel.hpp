@@ -1,0 +1,141 @@
+// Sequential (no-seek) channels for serial array-section streaming.
+//
+// §3.2: "serial streaming does not require seek capability for the output
+// stream, as each streaming operation can simply append to the previous
+// one. Because of this characteristic, serial streaming can be performed
+// through a sequential channel, such as a UNIX socket or tape drive."
+//
+// SequentialSink/SequentialSource model such channels; InMemoryPipe is a
+// socket-like bounded buffer connecting two (groups of) tasks, and
+// FileSink/FileSource adapt a PIOFS file. ArrayStreamer's sequential
+// entry points drive them with P = 1 I/O tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "piofs/volume.hpp"
+
+namespace drms::core {
+
+/// Write side of a sequential channel. Only appends; no positioning.
+class SequentialSink {
+ public:
+  virtual ~SequentialSink() = default;
+  virtual void write(std::span<const std::byte> data) = 0;
+  /// Signal end of stream (readers past this point see eof).
+  virtual void close() {}
+};
+
+/// Read side of a sequential channel. Only consumes in order.
+class SequentialSource {
+ public:
+  virtual ~SequentialSource() = default;
+  /// Read exactly `out.size()` bytes; throws IoError on premature eof.
+  virtual void read(std::span<std::byte> out) = 0;
+};
+
+/// Appends to a PIOFS file (e.g. checkpointing to a tape-like store).
+class FileSink final : public SequentialSink {
+ public:
+  explicit FileSink(piofs::FileHandle file) : file_(std::move(file)) {}
+  void write(std::span<const std::byte> data) override {
+    file_.append(data);
+  }
+
+ private:
+  piofs::FileHandle file_;
+};
+
+/// Sequentially consumes a PIOFS file from the beginning.
+class FileSource final : public SequentialSource {
+ public:
+  explicit FileSource(piofs::FileHandle file) : file_(std::move(file)) {}
+  void read(std::span<std::byte> out) override;
+
+ private:
+  piofs::FileHandle file_;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Appends into a caller-owned byte vector (e.g. assembling a steering
+/// snapshot in memory).
+class VectorSink final : public SequentialSink {
+ public:
+  explicit VectorSink(std::vector<std::byte>& out) : out_(out) {}
+  void write(std::span<const std::byte> data) override {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Sequentially consumes a caller-owned byte vector.
+class VectorSource final : public SequentialSource {
+ public:
+  explicit VectorSource(std::span<const std::byte> data) : data_(data) {}
+  void read(std::span<std::byte> out) override;
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+/// Socket-like bounded in-memory pipe: one writer side, one reader side,
+/// possibly in different task groups (inter-application communication
+/// and computational steering use this shape).
+class InMemoryPipe {
+ public:
+  explicit InMemoryPipe(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  /// Blocks while the pipe is full.
+  void write(std::span<const std::byte> data);
+  /// Blocks until `out.size()` bytes are available or the writer closed
+  /// (premature close -> IoError).
+  void read(std::span<std::byte> out);
+  void close();
+
+  [[nodiscard]] SequentialSink& sink() noexcept { return sink_; }
+  [[nodiscard]] SequentialSource& source() noexcept { return source_; }
+
+  /// Total bytes that have passed through (diagnostics).
+  [[nodiscard]] std::uint64_t bytes_transferred() const;
+
+ private:
+  class PipeSink final : public SequentialSink {
+   public:
+    explicit PipeSink(InMemoryPipe& pipe) : pipe_(pipe) {}
+    void write(std::span<const std::byte> data) override {
+      pipe_.write(data);
+    }
+    void close() override { pipe_.close(); }
+
+   private:
+    InMemoryPipe& pipe_;
+  };
+  class PipeSource final : public SequentialSource {
+   public:
+    explicit PipeSource(InMemoryPipe& pipe) : pipe_(pipe) {}
+    void read(std::span<std::byte> out) override { pipe_.read(out); }
+
+   private:
+    InMemoryPipe& pipe_;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::byte> buffer_;
+  bool closed_ = false;
+  std::uint64_t transferred_ = 0;
+  PipeSink sink_{*this};
+  PipeSource source_{*this};
+};
+
+}  // namespace drms::core

@@ -1,0 +1,194 @@
+#include "core/slice.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace drms::core {
+
+Slice Slice::empty_of_rank(int rank) {
+  DRMS_EXPECTS(rank >= 1);
+  return Slice(std::vector<Range>(static_cast<std::size_t>(rank), Range()));
+}
+
+Slice Slice::box(std::span<const Index> lower, std::span<const Index> upper) {
+  DRMS_EXPECTS(lower.size() == upper.size());
+  DRMS_EXPECTS(!lower.empty());
+  std::vector<Range> ranges;
+  ranges.reserve(lower.size());
+  for (std::size_t k = 0; k < lower.size(); ++k) {
+    ranges.push_back(Range::contiguous(lower[k], upper[k]));
+  }
+  return Slice(std::move(ranges));
+}
+
+Index Slice::element_count() const noexcept {
+  if (ranges_.empty()) {
+    return 0;
+  }
+  Index n = 1;
+  for (const auto& r : ranges_) {
+    n *= r.size();
+  }
+  return n;
+}
+
+const Range& Slice::range(int axis) const {
+  DRMS_EXPECTS(axis >= 0 && axis < rank());
+  return ranges_[static_cast<std::size_t>(axis)];
+}
+
+Slice Slice::with_range(int axis, Range r) const {
+  DRMS_EXPECTS(axis >= 0 && axis < rank());
+  std::vector<Range> ranges = ranges_;
+  ranges[static_cast<std::size_t>(axis)] = std::move(r);
+  return Slice(std::move(ranges));
+}
+
+Slice Slice::intersect(const Slice& other) const {
+  DRMS_EXPECTS_MSG(rank() == other.rank(),
+                   "slice intersection requires equal ranks");
+  std::vector<Range> out;
+  out.reserve(ranges_.size());
+  for (std::size_t k = 0; k < ranges_.size(); ++k) {
+    out.push_back(ranges_[k].intersect(other.ranges_[k]));
+  }
+  return Slice(std::move(out));
+}
+
+bool Slice::contains(std::span<const Index> point) const {
+  DRMS_EXPECTS(static_cast<int>(point.size()) == rank());
+  for (std::size_t k = 0; k < ranges_.size(); ++k) {
+    if (!ranges_[k].contains(point[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Slice::covers(const Slice& other) const {
+  DRMS_EXPECTS(rank() == other.rank());
+  if (other.empty()) {
+    return true;
+  }
+  // Every axis of `other` must be a subset of the corresponding axis.
+  for (int k = 0; k < rank(); ++k) {
+    const Range& sub = other.range(k);
+    const Index n = sub.size();
+    for (Index i = 0; i < n; ++i) {
+      if (!range(k).contains(sub.at(i))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::pair<Slice, Slice> Slice::split_stream_half() const {
+  DRMS_EXPECTS_MSG(element_count() > 1,
+                   "cannot split a slice with fewer than two elements");
+  // Column-major: axis 0 varies fastest, so contiguous stream halves come
+  // from halving the slowest-varying axis that still has >1 element.
+  for (int axis = rank() - 1; axis >= 0; --axis) {
+    const Range& r = ranges_[static_cast<std::size_t>(axis)];
+    if (r.size() > 1) {
+      auto [lo, hi] = r.split_half();
+      return {with_range(axis, std::move(lo)),
+              with_range(axis, std::move(hi))};
+    }
+  }
+  DRMS_ENSURES(false);  // unreachable: element_count() > 1 implies an axis
+  return {};
+}
+
+void Slice::for_each_column_major(
+    const std::function<void(std::span<const Index>)>& fn) const {
+  if (empty()) {
+    return;
+  }
+  const int d = rank();
+  std::vector<Index> pos(static_cast<std::size_t>(d), 0);  // per-axis index
+  std::vector<Index> point(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    point[static_cast<std::size_t>(k)] =
+        ranges_[static_cast<std::size_t>(k)].at(0);
+  }
+  for (;;) {
+    fn(point);
+    int axis = 0;
+    while (axis < d) {
+      auto& p = pos[static_cast<std::size_t>(axis)];
+      const Range& r = ranges_[static_cast<std::size_t>(axis)];
+      if (++p < r.size()) {
+        point[static_cast<std::size_t>(axis)] = r.at(p);
+        break;
+      }
+      p = 0;
+      point[static_cast<std::size_t>(axis)] = r.at(0);
+      ++axis;
+    }
+    if (axis == d) {
+      return;
+    }
+  }
+}
+
+std::string Slice::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t k = 0; k < ranges_.size(); ++k) {
+    os << (k > 0 ? ", " : "") << ranges_[k].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+void Slice::serialize(support::ByteBuffer& out) const {
+  out.put_u64(ranges_.size());
+  for (const auto& r : ranges_) {
+    r.serialize(out);
+  }
+}
+
+Slice Slice::deserialize(support::ByteBuffer& in) {
+  const std::uint64_t d = in.get_u64();
+  DRMS_EXPECTS_MSG(d >= 1 && d <= 64, "malformed serialized slice rank");
+  std::vector<Range> ranges;
+  ranges.reserve(d);
+  for (std::uint64_t k = 0; k < d; ++k) {
+    ranges.push_back(Range::deserialize(in));
+  }
+  return Slice(std::move(ranges));
+}
+
+namespace {
+
+void partition_rec(const Slice& x, Index min_parts, Index max_elements,
+                   std::vector<Slice>& out) {
+  const Index n = x.element_count();
+  if (n == 0) {
+    return;
+  }
+  if (n <= 1 || (min_parts <= 1 && n <= max_elements)) {
+    out.push_back(x);
+    return;
+  }
+  auto [lo, hi] = x.split_stream_half();
+  const Index lo_parts = std::max<Index>(1, (min_parts + 1) / 2);
+  const Index hi_parts = std::max<Index>(1, min_parts / 2);
+  partition_rec(lo, lo_parts, max_elements, out);
+  partition_rec(hi, hi_parts, max_elements, out);
+}
+
+}  // namespace
+
+std::vector<Slice> partition_for_stream(const Slice& x, Index min_parts,
+                                        Index max_elements) {
+  DRMS_EXPECTS(min_parts >= 1);
+  DRMS_EXPECTS(max_elements >= 1);
+  std::vector<Slice> out;
+  partition_rec(x, min_parts, max_elements, out);
+  return out;
+}
+
+}  // namespace drms::core

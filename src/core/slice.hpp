@@ -1,0 +1,86 @@
+// Slices — ordered tuples of ranges describing d-dimensional array
+// sections (§3.1). Includes the stream-order split operations used by the
+// recursive partitioning algorithm of Figure 5(a).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/range.hpp"
+
+namespace drms::core {
+
+class Slice {
+ public:
+  /// Rank-0 slice (invalid for most operations; use the factories).
+  Slice() = default;
+  explicit Slice(std::vector<Range> ranges) : ranges_(std::move(ranges)) {}
+
+  /// d-dimensional empty slice.
+  [[nodiscard]] static Slice empty_of_rank(int rank);
+  /// Full box [lower[k], upper[k]] per axis.
+  [[nodiscard]] static Slice box(std::span<const Index> lower,
+                                 std::span<const Index> upper);
+
+  /// Rank d of the slice (the paper's |s| notation counts ranges).
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(ranges_.size());
+  }
+  /// Number of elements: product of the range sizes.
+  [[nodiscard]] Index element_count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return element_count() == 0; }
+
+  [[nodiscard]] const Range& range(int axis) const;
+  [[nodiscard]] const std::vector<Range>& ranges() const noexcept {
+    return ranges_;
+  }
+  /// Copy with one axis replaced.
+  [[nodiscard]] Slice with_range(int axis, Range r) const;
+
+  /// Per-axis intersection (the paper's s*t).
+  [[nodiscard]] Slice intersect(const Slice& other) const;
+
+  [[nodiscard]] bool contains(std::span<const Index> point) const;
+  /// True when every element of `other` is an element of *this.
+  [[nodiscard]] bool covers(const Slice& other) const;
+
+  /// Split into (lower, upper) halves of the COLUMN-MAJOR element stream:
+  /// the slowest-varying axis with more than one element is halved, so the
+  /// concatenation stream(lower) + stream(upper) equals stream(*this).
+  /// Requires element_count() > 1.
+  [[nodiscard]] std::pair<Slice, Slice> split_stream_half() const;
+
+  /// Visit every multi-index in column-major order (axis 0 fastest).
+  void for_each_column_major(
+      const std::function<void(std::span<const Index>)>& fn) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire encoding (rank + each range).
+  void serialize(support::ByteBuffer& out) const;
+  [[nodiscard]] static Slice deserialize(support::ByteBuffer& in);
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.ranges_ == b.ranges_;
+  }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+[[nodiscard]] inline Slice operator*(const Slice& a, const Slice& b) {
+  return a.intersect(b);
+}
+
+/// Recursive stream-order partition of `x` into at least `min_parts`
+/// pieces, none larger than `max_elements` (Fig. 5a generalized to
+/// non-power-of-two sizes). The concatenation of the parts' streams in
+/// order equals the stream of `x`; empty parts are never produced. An
+/// unsplittable slice (element_count <= 1) is returned whole.
+[[nodiscard]] std::vector<Slice> partition_for_stream(const Slice& x,
+                                                      Index min_parts,
+                                                      Index max_elements);
+
+}  // namespace drms::core

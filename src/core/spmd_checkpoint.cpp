@@ -1,0 +1,189 @@
+#include "core/spmd_checkpoint.hpp"
+
+#include <algorithm>
+
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+namespace {
+
+constexpr std::uint32_t kTaskSegMagic = wire::kSpmdSegmentMagic;
+constexpr std::uint32_t kTaskSegVersion = wire::kSpmdSegmentVersion;
+
+}  // namespace
+
+SpmdCheckpoint::SpmdCheckpoint(piofs::Volume& volume,
+                               const sim::CostModel* cost,
+                               sim::LoadContext load, bool jitter)
+    : volume_(volume), cost_(cost), load_(load), jitter_(jitter) {}
+
+CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
+                                       const std::string& prefix,
+                                       const std::string& app_name,
+                                       std::int64_t sop,
+                                       const ReplicatedStore& store,
+                                       std::span<DistArray* const> arrays,
+                                       const AppSegmentModel& segment_model) {
+  for (DistArray* const a : arrays) {
+    DRMS_EXPECTS_MSG(a != nullptr && a->distributed(),
+                     "every array must be distributed before checkpointing");
+  }
+  CheckpointTiming timing;
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+
+  // Serialize this task's full segment: replicated payload, then the real
+  // bytes of every local array section, then padding to the static size.
+  support::ByteBuffer body;
+  body.put_u32(kTaskSegMagic);
+  body.put_u32(kTaskSegVersion);
+  body.put_i64(ctx.rank());
+  store.serialize(body);
+  body.put_u64(arrays.size());
+  for (DistArray* const a : arrays) {
+    body.put_string(a->name());
+    const LocalArray& local = a->local(ctx.rank());
+    body.put_u64(local.byte_size());
+    body.append(local.bytes());
+  }
+  const std::uint32_t crc = support::crc32c(body.bytes());
+
+  const std::uint64_t payload_end = 8 + 4 + body.size();  // size+crc prefix
+  const std::uint64_t total_bytes =
+      std::max(segment_model.total(), payload_end);
+
+  piofs::FileHandle file =
+      volume_.create(spmd_task_file_name(prefix, ctx.rank()));
+  support::ByteBuffer head;
+  head.put_u64(body.size());
+  head.put_u32(crc);
+  file.write_at(0, head.bytes());
+  file.write_at(head.size(), body.bytes());
+  if (total_bytes > payload_end) {
+    file.write_zeros_at(payload_end, total_bytes - payload_end);
+  }
+
+  if (ctx.rank() == 0) {
+    CheckpointMeta meta;
+    meta.app_name = app_name;
+    meta.task_count = ctx.size();
+    meta.sop = sop;
+    meta.segment_bytes = total_bytes;
+    write_spmd_meta(volume_, prefix, meta);
+  }
+
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->concurrent_write_seconds(
+        total_bytes, ctx.size(), load_, jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  timing.segment_seconds = ctx.sim_time() - t0;
+  return timing;
+}
+
+CheckpointMeta SpmdCheckpoint::restore_begin(
+    rt::TaskContext& ctx, const std::string& prefix, ReplicatedStore& store,
+    const AppSegmentModel& segment_model, RestartTiming& timing,
+    SpmdRestoreCursor& cursor) {
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->restart_init_seconds(segment_model.text_bytes,
+                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  const double t1 = ctx.sim_time();
+  timing.init_seconds += t1 - t0;
+
+  const CheckpointMeta meta = read_spmd_meta(volume_, prefix);
+  if (meta.task_count != ctx.size()) {
+    throw support::Error(
+        "SPMD checkpoint was taken with " +
+        std::to_string(meta.task_count) + " tasks; restart with " +
+        std::to_string(ctx.size()) +
+        " is impossible without the DRMS programming model");
+  }
+
+  const piofs::FileHandle file =
+      volume_.open(spmd_task_file_name(prefix, ctx.rank()));
+  support::ByteBuffer head(file.read_at(0, 12));
+  const std::uint64_t body_size = head.get_u64();
+  const std::uint32_t crc = head.get_u32();
+  support::ByteBuffer body(file.read_at(12, body_size));
+  if (support::crc32c(body.bytes()) != crc) {
+    throw support::CorruptCheckpoint("SPMD task segment: CRC mismatch");
+  }
+  if (body.get_u32() != kTaskSegMagic) {
+    throw support::CorruptCheckpoint("SPMD task segment: bad magic");
+  }
+  if (body.get_u32() != kTaskSegVersion) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: unsupported version");
+  }
+  if (body.get_i64() != ctx.rank()) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: file belongs to a different rank");
+  }
+  store.deserialize(body);
+  cursor.arrays_remaining = body.get_u64();
+  cursor.body = std::move(body);
+
+  if (cost_ != nullptr) {
+    ctx.charge(cost_->private_read_seconds(
+        std::max(segment_model.total(), file.size()), ctx.size(), load_,
+        jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+  ctx.barrier();
+  timing.segment_seconds += ctx.sim_time() - t1;
+  return meta;
+}
+
+void SpmdCheckpoint::restore_array_from(SpmdRestoreCursor& cursor,
+                                        DistArray& array, int rank) const {
+  DRMS_EXPECTS_MSG(array.distributed(),
+                   "arrays must be distributed before an SPMD restore");
+  if (cursor.arrays_remaining == 0) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: more arrays requested than checkpointed");
+  }
+  auto& body = cursor.body;
+  const std::string name = body.get_string();
+  if (name != array.name()) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: array order mismatch: expected '" +
+        array.name() + "', found '" + name + "'");
+  }
+  const std::uint64_t bytes = body.get_u64();
+  LocalArray& local = array.local(rank);
+  if (bytes != local.byte_size()) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: local section size mismatch for array '" +
+        name + "' (distribution differs from checkpoint time)");
+  }
+  body.read_raw(local.bytes().data(), static_cast<std::size_t>(bytes));
+  --cursor.arrays_remaining;
+}
+
+CheckpointMeta SpmdCheckpoint::restore(rt::TaskContext& ctx,
+                                       const std::string& prefix,
+                                       ReplicatedStore& store,
+                                       std::span<DistArray* const> arrays,
+                                       const AppSegmentModel& segment_model,
+                                       RestartTiming& timing) {
+  SpmdRestoreCursor cursor;
+  const CheckpointMeta meta =
+      restore_begin(ctx, prefix, store, segment_model, timing, cursor);
+  if (cursor.arrays_remaining != arrays.size()) {
+    throw support::CorruptCheckpoint(
+        "SPMD task segment: array count mismatch");
+  }
+  for (DistArray* const a : arrays) {
+    DRMS_EXPECTS(a != nullptr);
+    restore_array_from(cursor, *a, ctx.rank());
+  }
+  return meta;
+}
+
+}  // namespace drms::core

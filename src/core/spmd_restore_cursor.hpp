@@ -1,0 +1,22 @@
+// Two-phase SPMD restore support. The SPMD task-segment file interleaves
+// the replicated payload and the raw local array sections; a restarted
+// program restores the replicated variables at initialize() but can only
+// load the array sections once it has re-declared and re-distributed the
+// arrays. The cursor keeps each task's parsed segment between the phases.
+#pragma once
+
+#include <cstdint>
+
+#include "support/byte_buffer.hpp"
+
+namespace drms::core {
+
+struct SpmdRestoreCursor {
+  /// Validated segment body positioned at the first array record.
+  support::ByteBuffer body;
+  std::uint64_t arrays_remaining = 0;
+
+  [[nodiscard]] bool pending() const noexcept { return arrays_remaining > 0; }
+};
+
+}  // namespace drms::core

@@ -1,0 +1,50 @@
+#include "core/steering.hpp"
+
+namespace drms::core {
+
+std::future<std::vector<std::byte>> SteeringChannel::fetch(
+    const std::string& array, Slice section) {
+  auto request = std::make_unique<SteeringRequest>();
+  request->kind = SteeringRequest::Kind::kFetch;
+  request->array = array;
+  request->section = std::move(section);
+  auto future = request->reply.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+  }
+  return future;
+}
+
+std::future<std::vector<std::byte>> SteeringChannel::store(
+    const std::string& array, Slice section, std::vector<std::byte> data) {
+  auto request = std::make_unique<SteeringRequest>();
+  request->kind = SteeringRequest::Kind::kStore;
+  request->array = array;
+  request->section = std::move(section);
+  request->data = std::move(data);
+  auto future = request->reply.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+  }
+  return future;
+}
+
+std::size_t SteeringChannel::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::vector<std::unique_ptr<SteeringRequest>> SteeringChannel::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::unique_ptr<SteeringRequest>> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace drms::core

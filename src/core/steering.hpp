@@ -1,0 +1,72 @@
+// Computational steering (§3, [12]): the array-section streaming
+// machinery lets an EXTERNAL agent — a visualization front end, a
+// researcher's console, the UIC — read and write sections of a running
+// application's distributed arrays at well-defined points.
+//
+// A SteeringChannel carries requests from the steering client (any
+// thread) to the application; the application services them collectively
+// at its steering points (typically its SOPs):
+//
+//   client:  auto f = channel.fetch("u", slice);        // async
+//            channel.store("u", slice, bytes);          // async
+//   app:     drms.service_steering(channel);            // at the SOP
+//   client:  f.wait() -> the section's stream bytes
+//
+// Fetches return the distribution-independent (column-major) stream of
+// the section; stores accept the same representation — exactly the
+// checkpoint encoding, so steering clients and checkpoint files speak one
+// format.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/slice.hpp"
+#include "support/byte_buffer.hpp"
+
+namespace drms::core {
+
+/// One pending steering operation.
+struct SteeringRequest {
+  enum class Kind { kFetch, kStore };
+  Kind kind = Kind::kFetch;
+  std::string array;
+  Slice section;
+  /// Store payload (stream order); empty for fetches.
+  std::vector<std::byte> data;
+  /// Fulfilled by the application: fetched bytes, or an empty vector ack
+  /// for stores. On error the promise carries the exception.
+  std::promise<std::vector<std::byte>> reply;
+};
+
+class SteeringChannel {
+ public:
+  /// Client side: request a section snapshot. Resolves at the next
+  /// steering point the application services.
+  [[nodiscard]] std::future<std::vector<std::byte>> fetch(
+      const std::string& array, Slice section);
+
+  /// Client side: overwrite a section with stream-ordered bytes.
+  [[nodiscard]] std::future<std::vector<std::byte>> store(
+      const std::string& array, Slice section,
+      std::vector<std::byte> data);
+
+  /// Number of requests waiting (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Application side (used by DrmsContext::service_steering): drain all
+  /// currently queued requests. Single consumer.
+  [[nodiscard]] std::vector<std::unique_ptr<SteeringRequest>> drain();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<SteeringRequest>> queue_;
+};
+
+}  // namespace drms::core

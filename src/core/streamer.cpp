@@ -1,0 +1,330 @@
+#include "core/streamer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/exchange.hpp"
+#include "rt/collectives.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+namespace {
+
+/// Combine per-chunk CRCs (held by whichever task streamed each chunk)
+/// into the CRC-32C of the WHOLE byte stream via crc32c_combine — the
+/// result is independent of the chunking, so a checkpoint written with
+/// t1 I/O tasks verifies against a restore read with t2. Identical on
+/// every task.
+std::uint32_t combine_chunk_crcs(
+    rt::TaskContext& ctx,
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& mine,
+    const StreamPlan& plan, std::size_t elem_size) {
+  const std::size_t total_chunks = plan.chunk_count();
+  support::ByteBuffer contribution;
+  contribution.put_u64(mine.size());
+  for (const auto& [index, crc] : mine) {
+    contribution.put_u64(index);
+    contribution.put_u32(crc);
+  }
+  const auto all = rt::all_gather(ctx, std::move(contribution));
+
+  std::vector<std::uint32_t> by_chunk(total_chunks, 0);
+  std::vector<bool> seen(total_chunks, false);
+  for (auto buf : all) {
+    const std::uint64_t n = buf.get_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t index = buf.get_u64();
+      const std::uint32_t crc = buf.get_u32();
+      DRMS_ENSURES(index < total_chunks && !seen[index]);
+      by_chunk[index] = crc;
+      seen[index] = true;
+    }
+  }
+  DRMS_ENSURES(std::all_of(seen.begin(), seen.end(),
+                           [](bool b) { return b; }));
+  std::uint32_t combined = 0;  // CRC-32C of the empty stream
+  for (std::size_t c = 0; c < total_chunks; ++c) {
+    const std::uint64_t len =
+        static_cast<std::uint64_t>(plan.chunks[c].element_count()) *
+        elem_size;
+    combined = support::crc32c_combine(combined, by_chunk[c], len);
+  }
+  return combined;
+}
+
+}  // namespace
+
+StreamPlan make_stream_plan(const Slice& section, std::size_t elem_size,
+                            int io_tasks,
+                            std::uint64_t target_chunk_bytes) {
+  DRMS_EXPECTS(io_tasks >= 1);
+  DRMS_EXPECTS(elem_size > 0);
+  DRMS_EXPECTS(target_chunk_bytes >= elem_size);
+
+  StreamPlan plan;
+  if (section.empty()) {
+    return plan;
+  }
+  const Index max_elements =
+      std::max<Index>(1, static_cast<Index>(target_chunk_bytes / elem_size));
+  plan.chunks = partition_for_stream(section, io_tasks, max_elements);
+  plan.offsets.reserve(plan.chunks.size());
+  std::uint64_t offset = 0;
+  for (const auto& chunk : plan.chunks) {
+    plan.offsets.push_back(offset);
+    offset += static_cast<std::uint64_t>(chunk.element_count()) * elem_size;
+  }
+  plan.total_bytes = offset;
+  return plan;
+}
+
+std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
+                                           const DistArray& array,
+                                           const Slice& x,
+                                           piofs::FileHandle file,
+                                           std::uint64_t file_offset,
+                                           int io_tasks,
+                                           std::uint32_t* stream_crc) const {
+  DRMS_EXPECTS_MSG(io_tasks >= 1 && io_tasks <= ctx.size(),
+                   "io_tasks must be within the task group size");
+  DRMS_EXPECTS_MSG(array.global_box().covers(x),
+                   "section must lie within the array index space");
+  const std::size_t elem = array.elem_size();
+  const StreamPlan plan = make_stream_plan(x, elem, io_tasks,
+                                           target_chunk_bytes_);
+  const std::vector<Slice> src_assigned =
+      array.distribution().assigned_slices();
+  const int p = ctx.size();
+  const int me = ctx.rank();
+
+  const std::size_t m = plan.chunk_count();
+  const std::size_t rounds = (m + static_cast<std::size_t>(io_tasks) - 1) /
+                             static_cast<std::size_t>(io_tasks);
+  const Slice empty = Slice::empty_of_rank(x.rank());
+
+  // One jitter draw per section: round-level noise would average out over
+  // the dozens of rounds and understate the paper's run-to-run spread.
+  const double jitter_factor =
+      (jitter_ && cost_ != nullptr)
+          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+          : 1.0;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Canonical destination of this round: task q holds chunk r*P + q.
+    std::vector<Slice> dst_mapped(static_cast<std::size_t>(p), empty);
+    std::uint64_t round_bytes = 0;
+    int writers = 0;
+    for (int q = 0; q < io_tasks; ++q) {
+      const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(q);
+      if (c >= m) {
+        break;
+      }
+      dst_mapped[static_cast<std::size_t>(q)] = plan.chunks[c];
+      round_bytes += static_cast<std::uint64_t>(
+                         plan.chunks[c].element_count()) *
+                     elem;
+      ++writers;
+    }
+
+    const Slice& my_chunk = dst_mapped[static_cast<std::size_t>(me)];
+    LocalArray staging = my_chunk.empty() ? LocalArray()
+                                          : LocalArray(my_chunk, elem);
+    exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
+                      staging.element_count() > 0 ? &staging : nullptr,
+                      elem);
+
+    if (staging.element_count() > 0) {
+      const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(me);
+      // The staging local is column-major over the chunk slice — already
+      // in stream order.
+      file.write_at(file_offset + plan.offsets[c], staging.bytes());
+      if (stream_crc != nullptr) {
+        my_chunk_crcs.emplace_back(c, support::crc32c(staging.bytes()));
+      }
+    }
+
+    if (cost_ != nullptr) {
+      ctx.charge(jitter_factor * cost_->stream_write_round_seconds(
+                                     round_bytes, writers, load_, nullptr));
+    }
+    ctx.barrier();
+  }
+  if (stream_crc != nullptr) {
+    *stream_crc = combine_chunk_crcs(ctx, my_chunk_crcs, plan, elem);
+  }
+  return plan.total_bytes;
+}
+
+std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
+                                          DistArray& array, const Slice& x,
+                                          piofs::FileHandle file,
+                                          std::uint64_t file_offset,
+                                          int io_tasks,
+                                          std::uint32_t* stream_crc) const {
+  DRMS_EXPECTS_MSG(io_tasks >= 1 && io_tasks <= ctx.size(),
+                   "io_tasks must be within the task group size");
+  DRMS_EXPECTS_MSG(array.global_box().covers(x),
+                   "section must lie within the array index space");
+  const std::size_t elem = array.elem_size();
+  const StreamPlan plan = make_stream_plan(x, elem, io_tasks,
+                                           target_chunk_bytes_);
+  const std::vector<Slice> dst_mapped =
+      array.distribution().mapped_slices();
+  const int p = ctx.size();
+  const int me = ctx.rank();
+
+  const std::size_t m = plan.chunk_count();
+  const std::size_t rounds = (m + static_cast<std::size_t>(io_tasks) - 1) /
+                             static_cast<std::size_t>(io_tasks);
+  const Slice empty = Slice::empty_of_rank(x.rank());
+
+  LocalArray& my_local = array.local(me);
+
+  const double jitter_factor =
+      (jitter_ && cost_ != nullptr)
+          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+          : 1.0;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Slice> src_chunks(static_cast<std::size_t>(p), empty);
+    std::uint64_t round_bytes = 0;
+    int readers = 0;
+    for (int q = 0; q < io_tasks; ++q) {
+      const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(q);
+      if (c >= m) {
+        break;
+      }
+      src_chunks[static_cast<std::size_t>(q)] = plan.chunks[c];
+      round_bytes += static_cast<std::uint64_t>(
+                         plan.chunks[c].element_count()) *
+                     elem;
+      ++readers;
+    }
+
+    const Slice& my_chunk = src_chunks[static_cast<std::size_t>(me)];
+    LocalArray staging;
+    if (!my_chunk.empty()) {
+      staging = LocalArray(my_chunk, elem);
+      const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(me);
+      const std::vector<std::byte> bytes = file.read_at(
+          file_offset + plan.offsets[c], staging.byte_size());
+      std::copy(bytes.begin(), bytes.end(), staging.bytes().begin());
+      if (stream_crc != nullptr) {
+        my_chunk_crcs.emplace_back(c, support::crc32c(bytes));
+      }
+    }
+
+    exchange_sections(ctx, src_chunks,
+                      staging.element_count() > 0 ? &staging : nullptr,
+                      dst_mapped,
+                      my_local.element_count() > 0 ? &my_local : nullptr,
+                      elem);
+
+    if (cost_ != nullptr) {
+      ctx.charge(jitter_factor * cost_->stream_read_round_seconds(
+                                     round_bytes, readers, load_, nullptr));
+    }
+    ctx.barrier();
+  }
+  if (stream_crc != nullptr) {
+    *stream_crc = combine_chunk_crcs(ctx, my_chunk_crcs, plan, elem);
+  }
+  return plan.total_bytes;
+}
+
+std::uint64_t ArrayStreamer::write_section_sequential(
+    rt::TaskContext& ctx, const DistArray& array, const Slice& x,
+    SequentialSink& sink) const {
+  DRMS_EXPECTS_MSG(array.global_box().covers(x),
+                   "section must lie within the array index space");
+  const std::size_t elem = array.elem_size();
+  const StreamPlan plan = make_stream_plan(x, elem, 1,
+                                           target_chunk_bytes_);
+  const std::vector<Slice> src_assigned =
+      array.distribution().assigned_slices();
+  const int me = ctx.rank();
+  const Slice empty = Slice::empty_of_rank(x.rank());
+
+  const double jitter_factor =
+      (jitter_ && cost_ != nullptr)
+          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+          : 1.0;
+
+  for (const Slice& chunk : plan.chunks) {
+    std::vector<Slice> dst_mapped(static_cast<std::size_t>(ctx.size()),
+                                  empty);
+    dst_mapped[0] = chunk;
+    LocalArray staging =
+        me == 0 ? LocalArray(chunk, elem) : LocalArray();
+    exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
+                      me == 0 ? &staging : nullptr, elem);
+    if (me == 0) {
+      sink.write(staging.bytes());  // append-only: no seek ever issued
+    }
+    if (cost_ != nullptr) {
+      ctx.charge(jitter_factor *
+                 cost_->stream_write_round_seconds(
+                     static_cast<std::uint64_t>(chunk.element_count()) *
+                         elem,
+                     1, load_, nullptr));
+    }
+    ctx.barrier();
+  }
+  return plan.total_bytes;
+}
+
+std::uint64_t ArrayStreamer::read_section_sequential(
+    rt::TaskContext& ctx, DistArray& array, const Slice& x,
+    SequentialSource& source) const {
+  DRMS_EXPECTS_MSG(array.global_box().covers(x),
+                   "section must lie within the array index space");
+  const std::size_t elem = array.elem_size();
+  const StreamPlan plan = make_stream_plan(x, elem, 1,
+                                           target_chunk_bytes_);
+  const std::vector<Slice> dst_mapped =
+      array.distribution().mapped_slices();
+  const int me = ctx.rank();
+  const Slice empty = Slice::empty_of_rank(x.rank());
+  LocalArray& my_local = array.local(me);
+
+  const double jitter_factor =
+      (jitter_ && cost_ != nullptr)
+          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+          : 1.0;
+
+  for (const Slice& chunk : plan.chunks) {
+    std::vector<Slice> src_chunks(static_cast<std::size_t>(ctx.size()),
+                                  empty);
+    src_chunks[0] = chunk;
+    LocalArray staging;
+    if (me == 0) {
+      staging = LocalArray(chunk, elem);
+      source.read(staging.bytes());
+    }
+    exchange_sections(ctx, src_chunks, me == 0 ? &staging : nullptr,
+                      dst_mapped,
+                      my_local.element_count() > 0 ? &my_local : nullptr,
+                      elem);
+    if (cost_ != nullptr) {
+      ctx.charge(jitter_factor *
+                 cost_->stream_read_round_seconds(
+                     static_cast<std::uint64_t>(chunk.element_count()) *
+                         elem,
+                     1, load_, nullptr));
+    }
+    ctx.barrier();
+  }
+  return plan.total_bytes;
+}
+
+}  // namespace drms::core

@@ -1,0 +1,105 @@
+// Parallel array section streaming (§3.2, Figure 5).
+//
+// Output streaming of a section A[x] produces the elements of x in
+// column-major order — a distribution-independent representation. The
+// section is recursively partitioned in stream order into m chunks
+// (~1 MB each, m >= number of I/O tasks); each round redistributes P
+// chunks into a canonical distribution (chunk c lives wholly in task
+// c mod P) and the P tasks then write their chunks at precomputed stream
+// offsets in parallel. Input streaming runs the two phases in reverse.
+//
+// P = 1 degenerates to serial streaming: chunk offsets are consecutive,
+// so the writer only ever appends (no seek capability needed — the stream
+// could be a socket or tape, as the paper notes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist_array.hpp"
+#include "core/sequential_channel.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_context.hpp"
+#include "sim/cost_model.hpp"
+#include "support/units.hpp"
+
+namespace drms::core {
+
+/// Stream-order chunking of a section: chunk i occupies bytes
+/// [offsets[i], offsets[i] + bytes(chunks[i])) of the element stream.
+struct StreamPlan {
+  std::vector<Slice> chunks;
+  std::vector<std::uint64_t> offsets;  // byte offsets within the stream
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks.size();
+  }
+};
+
+/// Build the chunking used by the streaming operations: at least
+/// `io_tasks` chunks (to exploit parallelism), each at most
+/// `target_chunk_bytes` (to bound intermediate buffer memory).
+[[nodiscard]] StreamPlan make_stream_plan(const Slice& section,
+                                          std::size_t elem_size,
+                                          int io_tasks,
+                                          std::uint64_t target_chunk_bytes);
+
+/// Streaming engine bound to a cost model and load context. The engine is
+/// stateless with respect to arrays; one instance per checkpoint/restart
+/// operation is typical.
+class ArrayStreamer {
+ public:
+  /// `jitter` enables per-round lognormal timing noise drawn from each
+  /// task's deterministic RNG stream (used by the benchmark harness to
+  /// reproduce the paper's run-to-run spread).
+  ArrayStreamer(const sim::CostModel* cost, sim::LoadContext load,
+                std::uint64_t target_chunk_bytes = support::kMiB,
+                bool jitter = false)
+      : cost_(cost),
+        load_(load),
+        target_chunk_bytes_(target_chunk_bytes),
+        jitter_(jitter) {}
+
+  /// COLLECTIVE: stream section `x` of `array` out to `file` starting at
+  /// byte `file_offset`, with `io_tasks` tasks performing I/O
+  /// (1 <= io_tasks <= group size). Returns bytes written (on all tasks).
+  /// When `stream_crc` is non-null it receives a CRC-32C over the
+  /// chunk-ordered stream contents (identical on every task) — the
+  /// integrity fingerprint recorded in checkpoint metadata.
+  std::uint64_t write_section(rt::TaskContext& ctx, const DistArray& array,
+                              const Slice& x, piofs::FileHandle file,
+                              std::uint64_t file_offset, int io_tasks,
+                              std::uint32_t* stream_crc = nullptr) const;
+
+  /// COLLECTIVE: stream section `x` in from `file`, scattering into the
+  /// array's current distribution (all mapped copies updated).
+  /// `stream_crc` receives the CRC of the bytes as read, computed the
+  /// same way as write_section's — comparing the two detects torn or
+  /// corrupted checkpoint files.
+  std::uint64_t read_section(rt::TaskContext& ctx, DistArray& array,
+                             const Slice& x, piofs::FileHandle file,
+                             std::uint64_t file_offset, int io_tasks,
+                             std::uint32_t* stream_crc = nullptr) const;
+
+  /// COLLECTIVE: serial streaming through a sequential (append-only)
+  /// channel — a socket- or tape-like stream with no seek capability.
+  /// Task 0 performs all channel I/O; the other tasks only participate in
+  /// the canonical redistribution. The byte stream is identical to the
+  /// parallel form's file contents.
+  std::uint64_t write_section_sequential(rt::TaskContext& ctx,
+                                         const DistArray& array,
+                                         const Slice& x,
+                                         SequentialSink& sink) const;
+  std::uint64_t read_section_sequential(rt::TaskContext& ctx,
+                                        DistArray& array, const Slice& x,
+                                        SequentialSource& source) const;
+
+ private:
+  const sim::CostModel* cost_;  // may be null: no time accounting
+  sim::LoadContext load_;
+  std::uint64_t target_chunk_bytes_;
+  bool jitter_;
+};
+
+}  // namespace drms::core

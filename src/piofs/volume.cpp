@@ -1,0 +1,318 @@
+#include "piofs/volume.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace drms::piofs {
+
+struct FileHandle::FileState {
+  explicit FileState(std::string file_name, Volume* owner)
+      : name(std::move(file_name)), volume(owner) {}
+  std::string name;
+  Volume* volume;
+  mutable std::mutex mutex;
+  ExtentFile data;
+};
+
+void FileHandle::write_at(std::uint64_t offset,
+                          std::span<const std::byte> data) {
+  DRMS_EXPECTS_MSG(valid(), "write through an invalid file handle");
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->data.write_at(offset, data);
+  }
+  state_->volume->account_write(offset, data.size());
+}
+
+void FileHandle::write_zeros_at(std::uint64_t offset, std::uint64_t count) {
+  DRMS_EXPECTS_MSG(valid(), "write through an invalid file handle");
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->data.write_zeros_at(offset, count);
+  }
+  state_->volume->account_write(offset, count);
+}
+
+std::vector<std::byte> FileHandle::read_at(std::uint64_t offset,
+                                           std::uint64_t count) const {
+  DRMS_EXPECTS_MSG(valid(), "read through an invalid file handle");
+  std::vector<std::byte> out;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (offset + count > state_->data.size()) {
+      throw support::IoError("read past end of file '" + state_->name +
+                             "' (offset " + std::to_string(offset) +
+                             " count " + std::to_string(count) + " size " +
+                             std::to_string(state_->data.size()) + ")");
+    }
+    out = state_->data.read_at(offset, count);
+  }
+  state_->volume->account_read(offset, count);
+  return out;
+}
+
+void FileHandle::append(std::span<const std::byte> data) {
+  DRMS_EXPECTS_MSG(valid(), "append through an invalid file handle");
+  std::uint64_t offset = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    offset = state_->data.size();
+    state_->data.write_at(offset, data);
+  }
+  state_->volume->account_write(offset, data.size());
+}
+
+std::uint64_t FileHandle::size() const {
+  DRMS_EXPECTS_MSG(valid(), "size of an invalid file handle");
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->data.size();
+}
+
+const std::string& FileHandle::name() const {
+  DRMS_EXPECTS_MSG(valid(), "name of an invalid file handle");
+  return state_->name;
+}
+
+Volume::Volume(int server_count, std::uint64_t stripe_unit)
+    : server_count_(server_count), stripe_unit_(stripe_unit) {
+  DRMS_EXPECTS(server_count_ > 0);
+  DRMS_EXPECTS(stripe_unit_ > 0);
+  stats_.per_server_bytes_written.assign(
+      static_cast<std::size_t>(server_count_), 0);
+  stats_.per_server_bytes_read.assign(static_cast<std::size_t>(server_count_),
+                                      0);
+}
+
+int Volume::server_of(std::uint64_t offset) const noexcept {
+  return static_cast<int>((offset / stripe_unit_) %
+                          static_cast<std::uint64_t>(server_count_));
+}
+
+FileHandle Volume::create(const std::string& name) {
+  DRMS_EXPECTS(!name.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = files_[name];
+  if (slot == nullptr) {
+    slot = std::make_shared<FileHandle::FileState>(name, this);
+    ++stats_.files_created;
+  } else {
+    const std::lock_guard<std::mutex> file_lock(slot->mutex);
+    slot->data.truncate();
+  }
+  stripe_width_.erase(name);  // create() resets to full-width striping
+  return FileHandle(slot);
+}
+
+FileHandle Volume::create_striped(const std::string& name,
+                                  int stripe_servers) {
+  DRMS_EXPECTS_MSG(stripe_servers >= 1 && stripe_servers <= server_count_,
+                   "per-file stripe width must be within the server set");
+  FileHandle handle = create(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stripe_width_[name] = stripe_servers;
+  return handle;
+}
+
+int Volume::stripe_servers_of(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.count(name) == 0) {
+    throw support::IoError("no such file: '" + name + "'");
+  }
+  const auto it = stripe_width_.find(name);
+  return it == stripe_width_.end() ? server_count_ : it->second;
+}
+
+FileHandle Volume::open(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw support::IoError("no such file: '" + name + "'");
+  }
+  return FileHandle(it->second);
+}
+
+bool Volume::exists(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(name) != 0;
+}
+
+void Volume::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(name) == 0) {
+    throw support::IoError("cannot remove missing file: '" + name + "'");
+  }
+  stripe_width_.erase(name);
+}
+
+int Volume::remove_prefix(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int removed = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      stripe_width_.erase(it->first);
+      it = files_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> Volume::list(const std::string& prefix) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : files_) {
+    if (name.rfind(prefix, 0) == 0) {
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::uint64_t Volume::file_size(const std::string& name) const {
+  return open(name).size();
+}
+
+std::uint64_t Volume::total_size(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& name : list(prefix)) {
+    total += open(name).size();
+  }
+  return total;
+}
+
+void Volume::account_write(std::uint64_t offset, std::uint64_t count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_written += count;
+  ++stats_.write_ops;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t in_cell = pos % stripe_unit_;
+    const std::uint64_t n = std::min(stripe_unit_ - in_cell, remaining);
+    stats_.per_server_bytes_written[static_cast<std::size_t>(
+        server_of(pos))] += n;
+    pos += n;
+    remaining -= n;
+  }
+}
+
+void Volume::account_read(std::uint64_t offset, std::uint64_t count) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_read += count;
+  ++stats_.read_ops;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t in_cell = pos % stripe_unit_;
+    const std::uint64_t n = std::min(stripe_unit_ - in_cell, remaining);
+    stats_.per_server_bytes_read[static_cast<std::size_t>(server_of(pos))] +=
+        n;
+    pos += n;
+    remaining -= n;
+  }
+}
+
+VolumeStats Volume::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Volume::Usage Volume::usage() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Usage u;
+  for (const auto& [name, state] : files_) {
+    const std::lock_guard<std::mutex> file_lock(state->mutex);
+    u.logical_bytes += state->data.size();
+    u.allocated_bytes += state->data.allocated_bytes();
+    ++u.file_count;
+  }
+  return u;
+}
+
+void Volume::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_written = 0;
+  stats_.bytes_read = 0;
+  stats_.write_ops = 0;
+  stats_.read_ops = 0;
+  stats_.files_created = 0;
+  std::fill(stats_.per_server_bytes_written.begin(),
+            stats_.per_server_bytes_written.end(), 0ull);
+  std::fill(stats_.per_server_bytes_read.begin(),
+            stats_.per_server_bytes_read.end(), 0ull);
+}
+
+namespace {
+
+/// Volume file names may contain '/'; map them to host-safe names.
+std::string host_name_of(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '/', '%');
+  return out;
+}
+
+std::string volume_name_of(const std::string& host_name) {
+  std::string out = host_name;
+  std::replace(out.begin(), out.end(), '%', '/');
+  return out;
+}
+
+}  // namespace
+
+void Volume::export_to_directory(const std::string& prefix,
+                                 const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  for (const auto& name : list(prefix)) {
+    const FileHandle handle = open(name);
+    const std::vector<std::byte> data = handle.read_at(0, handle.size());
+    const fs::path path = fs::path(directory) / host_name_of(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw support::IoError("cannot create host file: " + path.string());
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      throw support::IoError("short write to host file: " + path.string());
+    }
+  }
+}
+
+void Volume::import_from_directory(const std::string& directory,
+                                   const std::string& prefix) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(directory)) {
+    throw support::IoError("not a directory: " + directory);
+  }
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = volume_name_of(entry.path().filename().string());
+    if (name.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      throw support::IoError("cannot open host file: " +
+                             entry.path().string());
+    }
+    std::vector<std::byte> data(
+        static_cast<std::size_t>(fs::file_size(entry.path())));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!in) {
+      throw support::IoError("short read from host file: " +
+                             entry.path().string());
+    }
+    create(name).write_at(0, data);
+  }
+}
+
+}  // namespace drms::piofs

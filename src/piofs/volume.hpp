@@ -1,0 +1,143 @@
+// PIOFS-like striped parallel file system (storage substrate).
+//
+// A Volume holds named files striped round-robin over `server_count`
+// logical server nodes in `stripe_unit`-sized cells, matching the paper's
+// description of PIOFS ("each array stored in a single logical file that
+// is physically distributed among the server nodes"). The volume moves
+// real bytes and keeps per-server accounting; *timing* of operations is
+// the province of sim::CostModel, charged by the checkpoint/streaming
+// engines which have the global view of each I/O phase.
+//
+// Thread-safe: application tasks on different threads read and write
+// concurrently during parallel streaming.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "piofs/extent_file.hpp"
+
+namespace drms::piofs {
+
+/// Cumulative transfer counters, including the per-server byte split
+/// implied by the striping layout.
+struct VolumeStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t files_created = 0;
+  std::vector<std::uint64_t> per_server_bytes_written;
+  std::vector<std::uint64_t> per_server_bytes_read;
+};
+
+class Volume;
+
+/// Handle to one open file. Cheap to copy; all copies refer to the same
+/// file state. Offsets are explicit (parallel streaming needs seek), with
+/// an append() convenience for the serial streaming mode.
+class FileHandle {
+ public:
+  FileHandle() = default;
+
+  void write_at(std::uint64_t offset, std::span<const std::byte> data);
+  /// Logical zero-fill write: accounted like a real write (the simulated
+  /// bytes still cross the wire) but stored sparsely.
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count);
+  [[nodiscard]] std::vector<std::byte> read_at(std::uint64_t offset,
+                                               std::uint64_t count) const;
+  /// Append at the current end of file (serial streaming; no seek needed).
+  void append(std::span<const std::byte> data);
+
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Volume;
+  struct FileState;
+  explicit FileHandle(std::shared_ptr<FileState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<FileState> state_;
+};
+
+class Volume {
+ public:
+  /// `server_count` logical file servers; `stripe_unit` bytes per stripe
+  /// cell (PIOFS used 32 KB cells by default).
+  explicit Volume(int server_count, std::uint64_t stripe_unit = 32 * 1024);
+
+  Volume(const Volume&) = delete;
+  Volume& operator=(const Volume&) = delete;
+
+  /// Create (or truncate) a file.
+  FileHandle create(const std::string& name);
+  /// Create with a file-specific stripe width (<= server_count servers) —
+  /// PIOFS allowed per-file basic striping units; narrow striping keeps a
+  /// small file's blocks on few servers.
+  FileHandle create_striped(const std::string& name, int stripe_servers);
+  /// Stripe width of a file (== server_count unless create_striped).
+  [[nodiscard]] int stripe_servers_of(const std::string& name) const;
+  /// Open an existing file; throws IoError if absent.
+  [[nodiscard]] FileHandle open(const std::string& name) const;
+  [[nodiscard]] bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+  /// Remove every file whose name starts with `prefix`; returns the count.
+  int remove_prefix(const std::string& prefix);
+  /// Names of all files with the given prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const;
+  [[nodiscard]] std::uint64_t file_size(const std::string& name) const;
+  /// Sum of file sizes under a prefix — the "size of saved state" metric.
+  [[nodiscard]] std::uint64_t total_size(const std::string& prefix) const;
+
+  [[nodiscard]] int server_count() const noexcept { return server_count_; }
+  [[nodiscard]] std::uint64_t stripe_unit() const noexcept {
+    return stripe_unit_;
+  }
+  /// Server owning the stripe cell containing `offset`.
+  [[nodiscard]] int server_of(std::uint64_t offset) const noexcept;
+
+  [[nodiscard]] VolumeStats stats() const;
+  void reset_stats();
+
+  /// Space usage ("df"): logical bytes, allocated backing bytes (sparse
+  /// zero-fill regions consume none), and file count.
+  struct Usage {
+    std::uint64_t logical_bytes = 0;
+    std::uint64_t allocated_bytes = 0;
+    std::size_t file_count = 0;
+  };
+  [[nodiscard]] Usage usage() const;
+
+  /// Copy every file under `prefix` to a host directory (one file each) —
+  /// checkpointed states can migrate to another (simulated) system, per
+  /// the paper's introduction.
+  void export_to_directory(const std::string& prefix,
+                           const std::string& directory) const;
+  /// Inverse of export_to_directory: load host files into the volume.
+  void import_from_directory(const std::string& directory,
+                             const std::string& prefix);
+
+ private:
+  struct Accounting;
+  void account_write(std::uint64_t offset, std::uint64_t count);
+  void account_read(std::uint64_t offset, std::uint64_t count) const;
+
+  int server_count_;
+  std::uint64_t stripe_unit_;
+  mutable std::mutex mutex_;
+  /// Per-file stripe widths for create_striped files.
+  std::map<std::string, int> stripe_width_;
+  std::map<std::string, std::shared_ptr<FileHandle::FileState>> files_;
+  mutable VolumeStats stats_;
+
+  friend class FileHandle;
+};
+
+}  // namespace drms::piofs

@@ -1,0 +1,42 @@
+#include "rt/barrier.hpp"
+
+#include "sim/clock.hpp"
+#include "support/error.hpp"
+
+namespace drms::rt {
+
+GroupBarrier::GroupBarrier(int parties, std::shared_ptr<KillSwitch> kill,
+                           sim::SimClock* clock)
+    : parties_(parties), kill_(std::move(kill)), clock_(clock) {
+  DRMS_EXPECTS(parties_ > 0);
+}
+
+void GroupBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (kill_->is_killed()) {
+    throw support::TaskKilled(kill_->reason());
+  }
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    if (clock_ != nullptr) {
+      clock_->sync_to_max();
+    }
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation || kill_->is_killed();
+  });
+  if (generation_ == my_generation && kill_->is_killed()) {
+    throw support::TaskKilled(kill_->reason());
+  }
+}
+
+void GroupBarrier::notify_kill() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+}  // namespace drms::rt

@@ -1,0 +1,41 @@
+// Kill-aware cyclic barrier that also synchronizes the simulated clock:
+// when the last task arrives, every task's simulated time advances to the
+// group maximum (BSP semantics — a barrier costs as long as its slowest
+// participant).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "rt/kill_switch.hpp"
+
+namespace drms::sim {
+class SimClock;
+}
+
+namespace drms::rt {
+
+class GroupBarrier {
+ public:
+  GroupBarrier(int parties, std::shared_ptr<KillSwitch> kill,
+               sim::SimClock* clock);
+
+  /// Block until all parties arrive. Throws support::TaskKilled if the
+  /// group is killed while waiting.
+  void arrive_and_wait();
+
+  /// Wake blocked waiters so they can observe a raised kill switch.
+  void notify_kill();
+
+ private:
+  int parties_;
+  std::shared_ptr<KillSwitch> kill_;
+  sim::SimClock* clock_;  // may be null (no time accounting)
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace drms::rt

@@ -1,0 +1,187 @@
+#include "rt/collectives.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace drms::rt {
+
+namespace {
+
+/// Tag for the current collective: the reserved space is partitioned by
+/// the per-task sequence counter (wrapping; 2^27 in-flight collectives
+/// would be needed to alias, far beyond any real program).
+int collective_tag(TaskContext& ctx) {
+  const std::uint64_t seq = ctx.next_collective_seq();
+  return kInternalTagBase + static_cast<int>(seq % (1u << 27));
+}
+
+}  // namespace
+
+void broadcast(TaskContext& ctx, support::ByteBuffer& buf, int root) {
+  DRMS_EXPECTS(root >= 0 && root < ctx.size());
+  const int tag = collective_tag(ctx);
+  if (ctx.size() == 1) {
+    return;
+  }
+  if (ctx.rank() == root) {
+    for (int d = 0; d < ctx.size(); ++d) {
+      if (d == root) continue;
+      support::ByteBuffer copy;
+      copy.append(buf.bytes());
+      ctx.internal_send(d, tag, std::move(copy));
+    }
+  } else {
+    buf = ctx.recv(root, tag).payload;
+  }
+}
+
+std::vector<support::ByteBuffer> gather(TaskContext& ctx,
+                                        support::ByteBuffer contribution,
+                                        int root) {
+  DRMS_EXPECTS(root >= 0 && root < ctx.size());
+  const int tag = collective_tag(ctx);
+  std::vector<support::ByteBuffer> result;
+  if (ctx.rank() == root) {
+    result.resize(static_cast<std::size_t>(ctx.size()));
+    result[static_cast<std::size_t>(root)] = std::move(contribution);
+    for (int i = 0; i < ctx.size() - 1; ++i) {
+      Message msg = ctx.recv(kAnySource, tag);
+      result[static_cast<std::size_t>(msg.source)] = std::move(msg.payload);
+    }
+  } else {
+    ctx.internal_send(root, tag, std::move(contribution));
+  }
+  return result;
+}
+
+std::vector<support::ByteBuffer> all_gather(TaskContext& ctx,
+                                            support::ByteBuffer contribution) {
+  const int tag = collective_tag(ctx);
+  std::vector<support::ByteBuffer> result(
+      static_cast<std::size_t>(ctx.size()));
+  for (int d = 0; d < ctx.size(); ++d) {
+    if (d == ctx.rank()) continue;
+    support::ByteBuffer copy;
+    copy.append(contribution.bytes());
+    ctx.internal_send(d, tag, std::move(copy));
+  }
+  result[static_cast<std::size_t>(ctx.rank())] = std::move(contribution);
+  for (int i = 0; i < ctx.size() - 1; ++i) {
+    Message msg = ctx.recv(kAnySource, tag);
+    result[static_cast<std::size_t>(msg.source)] = std::move(msg.payload);
+  }
+  return result;
+}
+
+std::vector<support::ByteBuffer> all_to_all(
+    TaskContext& ctx, std::vector<support::ByteBuffer> outgoing) {
+  DRMS_EXPECTS_MSG(static_cast<int>(outgoing.size()) == ctx.size(),
+                   "all_to_all requires one outgoing buffer per task");
+  const int tag = collective_tag(ctx);
+  std::vector<support::ByteBuffer> incoming(
+      static_cast<std::size_t>(ctx.size()));
+  for (int d = 0; d < ctx.size(); ++d) {
+    if (d == ctx.rank()) {
+      incoming[static_cast<std::size_t>(d)] =
+          std::move(outgoing[static_cast<std::size_t>(d)]);
+    } else {
+      ctx.internal_send(d, tag,
+                        std::move(outgoing[static_cast<std::size_t>(d)]));
+    }
+  }
+  for (int i = 0; i < ctx.size() - 1; ++i) {
+    Message msg = ctx.recv(kAnySource, tag);
+    incoming[static_cast<std::size_t>(msg.source)] = std::move(msg.payload);
+  }
+  return incoming;
+}
+
+namespace {
+
+template <typename T, typename Fold>
+T all_reduce_impl(TaskContext& ctx, T value, Fold fold,
+                  void (support::ByteBuffer::*put)(T),
+                  T (support::ByteBuffer::*get)()) {
+  // Reduce to rank 0, then broadcast. Contributions are folded in rank
+  // order so floating-point reductions are bit-reproducible regardless of
+  // message arrival order.
+  const int tag = collective_tag(ctx);
+  if (ctx.rank() == 0) {
+    T acc = value;
+    for (int src = 1; src < ctx.size(); ++src) {
+      Message msg = ctx.recv(src, tag);
+      acc = fold(acc, (msg.payload.*get)());
+    }
+    for (int d = 1; d < ctx.size(); ++d) {
+      support::ByteBuffer out;
+      (out.*put)(acc);
+      ctx.internal_send(d, tag, std::move(out));
+    }
+    return acc;
+  }
+  support::ByteBuffer out;
+  (out.*put)(value);
+  ctx.internal_send(0, tag, std::move(out));
+  Message msg = ctx.recv(0, tag);
+  return (msg.payload.*get)();
+}
+
+}  // namespace
+
+double all_reduce_sum(TaskContext& ctx, double value) {
+  return all_reduce_impl<double>(
+      ctx, value, [](double a, double b) { return a + b; },
+      &support::ByteBuffer::put_f64, &support::ByteBuffer::get_f64);
+}
+
+double all_reduce_max(TaskContext& ctx, double value) {
+  return all_reduce_impl<double>(
+      ctx, value, [](double a, double b) { return std::max(a, b); },
+      &support::ByteBuffer::put_f64, &support::ByteBuffer::get_f64);
+}
+
+double all_reduce_min(TaskContext& ctx, double value) {
+  return all_reduce_impl<double>(
+      ctx, value, [](double a, double b) { return std::min(a, b); },
+      &support::ByteBuffer::put_f64, &support::ByteBuffer::get_f64);
+}
+
+std::uint64_t exclusive_scan_u64(TaskContext& ctx, std::uint64_t value) {
+  // Gather to rank 0, prefix-sum, scatter — linear but deterministic.
+  const int tag = collective_tag(ctx);
+  if (ctx.rank() == 0) {
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(ctx.size()));
+    values[0] = value;
+    for (int src = 1; src < ctx.size(); ++src) {
+      Message msg = ctx.recv(src, tag);
+      values[static_cast<std::size_t>(src)] = msg.payload.get_u64();
+    }
+    std::uint64_t running = 0;
+    for (int r = 0; r < ctx.size(); ++r) {
+      const std::uint64_t prefix = running;
+      running += values[static_cast<std::size_t>(r)];
+      if (r == 0) {
+        continue;
+      }
+      support::ByteBuffer out;
+      out.put_u64(prefix);
+      ctx.internal_send(r, tag, std::move(out));
+    }
+    return 0;
+  }
+  support::ByteBuffer out;
+  out.put_u64(value);
+  ctx.internal_send(0, tag, std::move(out));
+  Message msg = ctx.recv(0, tag);
+  return msg.payload.get_u64();
+}
+
+std::uint64_t all_reduce_sum_u64(TaskContext& ctx, std::uint64_t value) {
+  return all_reduce_impl<std::uint64_t>(
+      ctx, value,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      &support::ByteBuffer::put_u64, &support::ByteBuffer::get_u64);
+}
+
+}  // namespace drms::rt

@@ -1,0 +1,52 @@
+// Collective operations over the task runtime, mirroring the MPI subset
+// the DRMS run-time library uses: broadcast, gather/allgather, reductions
+// and all-to-all personalized exchange (the workhorse of array
+// redistribution).
+//
+// All collectives must be called by every task of the group in the same
+// program order (SPMD discipline); matching is by a per-task sequence
+// number, so distinct collectives never interfere even when messages
+// arrive early.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/task_context.hpp"
+#include "support/byte_buffer.hpp"
+
+namespace drms::rt {
+
+/// Broadcast `buf` from `root` to every task (in place).
+void broadcast(TaskContext& ctx, support::ByteBuffer& buf, int root);
+
+/// Gather each task's contribution at `root`. Returns the vector of
+/// contributions indexed by rank at the root; an empty vector elsewhere.
+[[nodiscard]] std::vector<support::ByteBuffer> gather(
+    TaskContext& ctx, support::ByteBuffer contribution, int root);
+
+/// Gather each task's contribution everywhere.
+[[nodiscard]] std::vector<support::ByteBuffer> all_gather(
+    TaskContext& ctx, support::ByteBuffer contribution);
+
+/// Personalized all-to-all: `outgoing[d]` is sent to task d; the returned
+/// vector holds the buffer received from each source rank.
+[[nodiscard]] std::vector<support::ByteBuffer> all_to_all(
+    TaskContext& ctx, std::vector<support::ByteBuffer> outgoing);
+
+/// Reductions over doubles (result valid on every task).
+[[nodiscard]] double all_reduce_sum(TaskContext& ctx, double value);
+[[nodiscard]] double all_reduce_max(TaskContext& ctx, double value);
+[[nodiscard]] double all_reduce_min(TaskContext& ctx, double value);
+
+/// Reduction over unsigned 64-bit counters.
+[[nodiscard]] std::uint64_t all_reduce_sum_u64(TaskContext& ctx,
+                                               std::uint64_t value);
+
+/// Exclusive prefix sum over unsigned 64-bit values: task r receives the
+/// sum of the values of tasks 0..r-1 (0 on task 0). The workhorse for
+/// computing per-task stream offsets.
+[[nodiscard]] std::uint64_t exclusive_scan_u64(TaskContext& ctx,
+                                               std::uint64_t value);
+
+}  // namespace drms::rt

@@ -1,0 +1,38 @@
+// Group-wide kill flag. Raised by the failure injector (or by a task
+// hitting an unrecoverable error); every blocking runtime primitive checks
+// it and unwinds the task with support::TaskKilled.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace drms::rt {
+
+class KillSwitch {
+ public:
+  /// Raise the switch. Idempotent; the first reason wins.
+  void kill(const std::string& reason) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!killed_.load(std::memory_order_relaxed)) {
+      reason_ = reason;
+      killed_.store(true, std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] bool is_killed() const noexcept {
+    return killed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::string reason() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> killed_{false};
+  mutable std::mutex mutex_;
+  std::string reason_;
+};
+
+}  // namespace drms::rt

@@ -1,0 +1,52 @@
+#include "rt/mailbox.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace drms::rt {
+
+void Mailbox::deliver(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    if (kill_->is_killed()) {
+      throw support::TaskKilled(kill_->reason());
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m, source, tag);
+  });
+}
+
+std::size_t Mailbox::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::notify_kill() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+}  // namespace drms::rt

@@ -1,0 +1,50 @@
+// Per-task message queue with (source, tag) matching — the delivery half
+// of the runtime's point-to-point layer.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "rt/kill_switch.hpp"
+#include "rt/message.hpp"
+
+namespace drms::rt {
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::shared_ptr<KillSwitch> kill)
+      : kill_(std::move(kill)) {}
+
+  /// Enqueue a message (called by the sender's thread).
+  void deliver(Message msg);
+
+  /// Block until a message matching (source, tag) is available, remove it
+  /// from the queue, and return it. Wildcards: kAnySource / kAnyTag.
+  /// Throws support::TaskKilled if the group is killed while waiting.
+  [[nodiscard]] Message receive(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag) const;
+
+  /// Number of queued messages (for tests and diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Wake any blocked receiver so it can observe a raised kill switch.
+  void notify_kill();
+
+ private:
+  [[nodiscard]] static bool matches(const Message& m, int source,
+                                    int tag) noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::shared_ptr<KillSwitch> kill_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace drms::rt

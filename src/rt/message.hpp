@@ -1,0 +1,26 @@
+// Message envelope exchanged between tasks.
+#pragma once
+
+#include <limits>
+
+#include "support/byte_buffer.hpp"
+
+namespace drms::rt {
+
+/// Matches any source rank in recv().
+inline constexpr int kAnySource = -1;
+/// Matches any tag in recv().
+inline constexpr int kAnyTag = std::numeric_limits<int>::min();
+
+/// Tags at or above this value are reserved for the runtime's collective
+/// implementation; user point-to-point traffic must use tags in
+/// [0, kInternalTagBase).
+inline constexpr int kInternalTagBase = 1 << 28;
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  support::ByteBuffer payload;
+};
+
+}  // namespace drms::rt

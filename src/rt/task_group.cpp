@@ -1,0 +1,78 @@
+#include "rt/task_group.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "rt/task_context.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace drms::rt {
+
+TaskGroup::TaskGroup(sim::Placement placement, std::uint64_t seed)
+    : placement_(std::move(placement)),
+      seed_(seed),
+      kill_(std::make_shared<KillSwitch>()),
+      clock_(placement_.task_count()),
+      barrier_(placement_.task_count(), kill_, &clock_) {
+  mailboxes_.reserve(static_cast<std::size_t>(placement_.task_count()));
+  for (int t = 0; t < placement_.task_count(); ++t) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(kill_));
+  }
+}
+
+void TaskGroup::wake_all() {
+  for (const auto& mb : mailboxes_) {
+    mb->notify_kill();
+  }
+  barrier_.notify_kill();
+}
+
+void TaskGroup::kill(const std::string& reason) {
+  kill_->kill(reason);
+  wake_all();
+}
+
+TaskGroupResult TaskGroup::run(const TaskFn& fn) {
+  DRMS_EXPECTS(fn != nullptr);
+  const int n = task_count();
+  std::mutex result_mutex;
+  TaskGroupResult result;
+  int killed_tasks = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      TaskContext ctx(*this, rank);
+      try {
+        fn(ctx);
+      } catch (const support::TaskKilled&) {
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        ++killed_tasks;
+      } catch (const std::exception& e) {
+        {
+          const std::lock_guard<std::mutex> lock(result_mutex);
+          result.errors.push_back("task " + std::to_string(rank) + ": " +
+                                  e.what());
+        }
+        // A failing task brings the whole parallel application down, as a
+        // crashing process would under MPI.
+        kill(std::string("task ") + std::to_string(rank) +
+             " failed: " + e.what());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  result.killed = kill_->is_killed();
+  result.kill_reason = kill_->reason();
+  result.completed = !result.killed && result.errors.empty();
+  result.sim_seconds = clock_.max_time();
+  return result;
+}
+
+}  // namespace drms::rt

@@ -1,0 +1,79 @@
+// SPMD task group: runs the same function on N tasks (one thread each),
+// wired together with mailboxes, a barrier, a kill switch and a shared
+// simulated clock. This is the message-passing substrate standing in for
+// the paper's MPL/MPI layer on the SP.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/barrier.hpp"
+#include "rt/kill_switch.hpp"
+#include "rt/mailbox.hpp"
+#include "sim/clock.hpp"
+#include "sim/machine.hpp"
+
+namespace drms::rt {
+
+class TaskContext;
+
+/// Outcome of one SPMD run.
+struct TaskGroupResult {
+  /// True when every task returned normally.
+  bool completed = false;
+  /// True when the group was torn down by the kill switch (injected
+  /// failure or a sibling task's error).
+  bool killed = false;
+  std::string kill_reason;
+  /// One entry per task that terminated with an exception (other than the
+  /// kill unwind), formatted as "task N: what".
+  std::vector<std::string> errors;
+  /// Simulated wall-clock of the run (max over task clocks).
+  double sim_seconds = 0.0;
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+class TaskGroup {
+ public:
+  /// Creates a group of `placement.task_count()` tasks mapped to the given
+  /// machine nodes. `seed` feeds the deterministic per-task RNG streams.
+  explicit TaskGroup(sim::Placement placement, std::uint64_t seed = 1);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Run `fn` as rank 0..N-1; blocks until every task finishes (normally,
+  /// by error, or by kill).
+  TaskGroupResult run(const TaskFn& fn);
+
+  /// Raise the kill switch (thread-safe; callable while run() is active —
+  /// this is how the failure injector models a processor loss).
+  void kill(const std::string& reason);
+
+  [[nodiscard]] int task_count() const noexcept {
+    return placement_.task_count();
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const sim::Placement& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] sim::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const sim::SimClock& clock() const noexcept { return clock_; }
+
+ private:
+  friend class TaskContext;
+
+  void wake_all();
+
+  sim::Placement placement_;
+  std::uint64_t seed_;
+  std::shared_ptr<KillSwitch> kill_;
+  sim::SimClock clock_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  GroupBarrier barrier_;
+};
+
+}  // namespace drms::rt

@@ -1,0 +1,43 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace drms::sim {
+
+SimClock::SimClock(int tasks)
+    : times_(static_cast<std::size_t>(tasks), 0.0) {
+  DRMS_EXPECTS(tasks > 0);
+}
+
+void SimClock::advance(int task, double seconds) {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  DRMS_EXPECTS(seconds >= 0.0);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  times_[static_cast<std::size_t>(task)] += seconds;
+}
+
+double SimClock::time_of(int task) const {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return times_[static_cast<std::size_t>(task)];
+}
+
+void SimClock::sync_to_max() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double m = *std::max_element(times_.begin(), times_.end());
+  std::fill(times_.begin(), times_.end(), m);
+}
+
+double SimClock::max_time() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return *std::max_element(times_.begin(), times_.end());
+}
+
+void SimClock::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(times_.begin(), times_.end(), 0.0);
+}
+
+}  // namespace drms::sim

@@ -1,0 +1,45 @@
+// Per-task simulated clock.
+//
+// Each task of a task group owns a simulated time coordinate; I/O and
+// compute primitives advance it, and barriers synchronize all coordinates
+// to the maximum (a BSP-style time model). Deterministic regardless of
+// host thread scheduling: durations come from the pure CostModel
+// functions, and synchronization points are exactly the application's
+// barriers.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace drms::sim {
+
+class SimClock {
+ public:
+  explicit SimClock(int tasks);
+
+  /// Advance one task's clock by `seconds` (>= 0).
+  void advance(int task, double seconds);
+
+  /// Current simulated time of one task.
+  [[nodiscard]] double time_of(int task) const;
+
+  /// Synchronize every task's clock to the group maximum (the runtime
+  /// calls this from inside each barrier).
+  void sync_to_max();
+
+  /// Maximum over all task clocks.
+  [[nodiscard]] double max_time() const;
+
+  /// Reset all clocks to zero.
+  void reset();
+
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(times_.size());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> times_;
+};
+
+}  // namespace drms::sim

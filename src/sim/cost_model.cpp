@@ -1,0 +1,294 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace drms::sim {
+
+namespace {
+
+constexpr double kMiBd = static_cast<double>(support::kMiB);
+
+double mib(double v) { return v * kMiBd; }
+
+}  // namespace
+
+CostModel CostModel::zero() { return CostModel{}; }
+
+CostModel CostModel::paper_sp16() {
+  CostModel m;
+  // Client rates (MiB/s). Calibrated so that the @8-processor values of
+  // Table 6 are reproduced and the 8->16 trends follow the paper's
+  // co-location mechanisms; see bench/bench_calibration for the fit.
+  m.client_write_bw = mib(21.5);
+  m.client_shared_read_bw = mib(3.55);
+  m.client_private_read_bw_peak = mib(3.2);
+  m.client_private_read_bw_floor = mib(0.55);
+  m.client_array_read_bw = mib(0.51);
+  m.redistribution_bw = mib(3.4);
+
+  // Aggregate striped write capacity vs per-server memory pressure.
+  m.server_write_capacity = {
+      {0, mib(24.0)},
+      {static_cast<std::uint64_t>(mib(35)), mib(18.0)},
+      {static_cast<std::uint64_t>(mib(50)), mib(16.0)},
+      {static_cast<std::uint64_t>(mib(63)), mib(12.2)},
+      {static_cast<std::uint64_t>(mib(85)), mib(9.5)},
+      {static_cast<std::uint64_t>(mib(105)), mib(8.7)},
+      {static_cast<std::uint64_t>(mib(130)), mib(8.4)},
+      {static_cast<std::uint64_t>(mib(170)), mib(7.0)},
+  };
+
+  m.read_pressure_knee = static_cast<std::uint64_t>(mib(80));
+  m.read_pressure_floor = static_cast<std::uint64_t>(mib(110));
+
+  m.client_congestion_alpha = 3.0;
+  m.writer_residency_knee = 0.55;
+  m.writer_residency_floor = 0.70;
+  m.writer_residency_floor_factor = 0.50;
+  m.op_latency = 0.010;
+  m.text_load_bw = mib(2.2);
+  m.compute_points_per_second = 2.0e6;
+  m.jitter_sigma = 0.15;
+  return m;
+}
+
+double CostModel::apply_jitter(double seconds, support::Rng* jitter) const {
+  if (jitter == nullptr || jitter_sigma <= 0.0) {
+    return seconds;
+  }
+  return seconds * jitter->jitter(jitter_sigma);
+}
+
+double CostModel::client_congestion(const LoadContext& ctx) const {
+  const double residency =
+      ctx.node_memory_bytes == 0
+          ? 0.0
+          : static_cast<double>(ctx.per_task_resident_bytes) *
+                static_cast<double>(ctx.max_tasks_per_node) /
+                static_cast<double>(ctx.node_memory_bytes);
+  return 1.0 + client_congestion_alpha * ctx.busy_server_fraction * residency;
+}
+
+double CostModel::writer_residency_factor(const LoadContext& ctx) const {
+  if (ctx.node_memory_bytes == 0 ||
+      writer_residency_floor <= writer_residency_knee) {
+    return 1.0;
+  }
+  const double ratio = static_cast<double>(ctx.per_task_resident_bytes) /
+                       static_cast<double>(ctx.node_memory_bytes);
+  if (ratio <= writer_residency_knee) {
+    return 1.0;
+  }
+  if (ratio >= writer_residency_floor) {
+    return writer_residency_floor_factor;
+  }
+  const double t = (ratio - writer_residency_knee) /
+                   (writer_residency_floor - writer_residency_knee);
+  return 1.0 + t * (writer_residency_floor_factor - 1.0);
+}
+
+double CostModel::server_write_bw(std::uint64_t pressure_per_server) const {
+  if (server_write_capacity.empty()) {
+    return 0.0;
+  }
+  const auto& pts = server_write_capacity;
+  if (pressure_per_server <= pts.front().first) {
+    return pts.front().second;
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pressure_per_server <= pts[i].first) {
+      const double x0 = static_cast<double>(pts[i - 1].first);
+      const double x1 = static_cast<double>(pts[i].first);
+      const double y0 = pts[i - 1].second;
+      const double y1 = pts[i].second;
+      const double t = (static_cast<double>(pressure_per_server) - x0) /
+                       (x1 - x0);
+      return y0 + t * (y1 - y0);
+    }
+  }
+  return pts.back().second;
+}
+
+std::uint64_t CostModel::private_read_pressure(std::uint64_t bytes_per_reader,
+                                               int readers,
+                                               const LoadContext& ctx) const {
+  // Working set on the most loaded node: the private files resident for
+  // the tasks it hosts, plus the stripe share this node serves when the
+  // file servers are co-located with application tasks.
+  const double resident = static_cast<double>(bytes_per_reader) *
+                          static_cast<double>(ctx.max_tasks_per_node);
+  const double stripe_share =
+      ctx.busy_server_fraction *
+      static_cast<double>(bytes_per_reader) * static_cast<double>(readers) /
+      static_cast<double>(std::max(1, ctx.server_count));
+  return static_cast<std::uint64_t>(resident + stripe_share);
+}
+
+double CostModel::private_read_rate(std::uint64_t pressure,
+                                    const LoadContext& /*ctx*/) const {
+  if (client_private_read_bw_peak <= 0.0) {
+    return 0.0;
+  }
+  if (pressure <= read_pressure_knee) {
+    return client_private_read_bw_peak;
+  }
+  if (pressure >= read_pressure_floor ||
+      read_pressure_floor <= read_pressure_knee) {
+    return client_private_read_bw_floor;
+  }
+  const double t = static_cast<double>(pressure - read_pressure_knee) /
+                   static_cast<double>(read_pressure_floor -
+                                       read_pressure_knee);
+  return client_private_read_bw_peak +
+         t * (client_private_read_bw_floor - client_private_read_bw_peak);
+}
+
+double CostModel::single_write_seconds(std::uint64_t bytes,
+                                       const LoadContext& ctx,
+                                       support::Rng* jitter) const {
+  if (client_write_bw <= 0.0) {
+    return 0.0;
+  }
+  const double client_rate = client_write_bw / client_congestion(ctx) *
+                             writer_residency_factor(ctx);
+  const std::uint64_t pressure =
+      bytes / static_cast<std::uint64_t>(std::max(1, ctx.server_count)) +
+      static_cast<std::uint64_t>(
+          ctx.busy_server_fraction *
+          static_cast<double>(ctx.per_task_resident_bytes));
+  const double server_rate = server_write_bw(pressure);
+  const double rate =
+      server_rate > 0.0 ? std::min(client_rate, server_rate) : client_rate;
+  const double seconds = static_cast<double>(bytes) / rate + op_latency;
+  return apply_jitter(seconds, jitter);
+}
+
+double CostModel::concurrent_write_seconds(std::uint64_t bytes_per_writer,
+                                           int writers,
+                                           const LoadContext& ctx,
+                                           support::Rng* jitter) const {
+  DRMS_EXPECTS(writers > 0);
+  if (client_write_bw <= 0.0) {
+    return 0.0;
+  }
+  const std::uint64_t total =
+      bytes_per_writer * static_cast<std::uint64_t>(writers);
+  const std::uint64_t pressure =
+      total / static_cast<std::uint64_t>(std::max(1, ctx.server_count)) +
+      static_cast<std::uint64_t>(
+          ctx.busy_server_fraction *
+          static_cast<double>(ctx.per_task_resident_bytes));
+  const double agg = server_write_bw(pressure);
+  const double client_rate = client_write_bw / client_congestion(ctx);
+  // Server-limited unless so few writers that the clients cannot even
+  // saturate the servers.
+  const double eff_agg =
+      std::min(agg > 0.0 ? agg : client_rate * writers,
+               client_rate * static_cast<double>(writers));
+  const double seconds =
+      static_cast<double>(total) / eff_agg + op_latency;
+  return apply_jitter(seconds, jitter);
+}
+
+double CostModel::shared_read_seconds(std::uint64_t bytes, int readers,
+                                      const LoadContext& ctx,
+                                      support::Rng* jitter) const {
+  DRMS_EXPECTS(readers > 0);
+  if (client_shared_read_bw <= 0.0) {
+    return 0.0;
+  }
+  // Prefetch makes the shared file effectively server-cached; every client
+  // proceeds at its own pace, so the phase takes one client's time. A
+  // segment that nearly fills node memory degrades the client rate too,
+  // though only about half as strongly as it degrades writes.
+  const double residency = 0.5 + 0.5 * writer_residency_factor(ctx);
+  const double seconds =
+      static_cast<double>(bytes) / (client_shared_read_bw * residency) +
+      op_latency;
+  return apply_jitter(seconds, jitter);
+}
+
+double CostModel::private_read_seconds(std::uint64_t bytes_per_reader,
+                                       int readers, const LoadContext& ctx,
+                                       support::Rng* jitter) const {
+  DRMS_EXPECTS(readers > 0);
+  if (client_private_read_bw_peak <= 0.0) {
+    return 0.0;
+  }
+  const std::uint64_t pressure =
+      private_read_pressure(bytes_per_reader, readers, ctx);
+  const double rate = private_read_rate(pressure, ctx);
+  const double seconds =
+      static_cast<double>(bytes_per_reader) / rate + op_latency;
+  return apply_jitter(seconds, jitter);
+}
+
+double CostModel::stream_write_round_seconds(std::uint64_t bytes, int writers,
+                                             const LoadContext& ctx,
+                                             support::Rng* jitter) const {
+  DRMS_EXPECTS(writers > 0);
+  if (client_write_bw <= 0.0 && redistribution_bw <= 0.0) {
+    return 0.0;
+  }
+  // Phase 1: redistribute into the canonical distribution (client CPU,
+  // parallel over the writers).
+  double redist = 0.0;
+  if (redistribution_bw > 0.0) {
+    const double rate = redistribution_bw / client_congestion(ctx);
+    redist = static_cast<double>(bytes) /
+             (rate * static_cast<double>(writers));
+  }
+  // Phase 2: concurrent writes of the canonical chunks (server-limited).
+  double write = 0.0;
+  if (client_write_bw > 0.0) {
+    const std::uint64_t pressure =
+        bytes / static_cast<std::uint64_t>(std::max(1, ctx.server_count)) +
+        static_cast<std::uint64_t>(
+            ctx.busy_server_fraction *
+            static_cast<double>(ctx.per_task_resident_bytes));
+    const double agg =
+        std::min(server_write_bw(pressure),
+                 (client_write_bw / client_congestion(ctx)) *
+                     static_cast<double>(writers));
+    write = static_cast<double>(bytes) / agg;
+  }
+  return apply_jitter(redist + write + op_latency, jitter);
+}
+
+double CostModel::stream_read_round_seconds(std::uint64_t bytes, int readers,
+                                            const LoadContext& ctx,
+                                            support::Rng* jitter) const {
+  DRMS_EXPECTS(readers > 0);
+  if (client_array_read_bw <= 0.0) {
+    return 0.0;
+  }
+  // Client-limited: reading the canonical chunks and scattering them into
+  // the target distribution proceeds in parallel on every reader.
+  (void)ctx;
+  const double seconds =
+      static_cast<double>(bytes) /
+          (client_array_read_bw * static_cast<double>(readers)) +
+      op_latency;
+  return apply_jitter(seconds, jitter);
+}
+
+double CostModel::restart_init_seconds(std::uint64_t text_bytes,
+                                       support::Rng* jitter) const {
+  if (text_load_bw <= 0.0) {
+    return 0.0;
+  }
+  return apply_jitter(static_cast<double>(text_bytes) / text_load_bw,
+                      jitter);
+}
+
+double CostModel::compute_seconds(std::uint64_t grid_points) const {
+  if (compute_points_per_second <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(grid_points) / compute_points_per_second;
+}
+
+}  // namespace drms::sim

@@ -1,0 +1,184 @@
+// PIOFS performance model.
+//
+// The paper's timing results (Tables 5 and 6, Figure 7) are shaped by four
+// mechanisms of the PIOFS parallel file system on the 16-node SP:
+//
+//  1. Writes are SERVER-LIMITED: aggregate write throughput is capped by
+//     the file servers, and degrades with memory pressure on the server
+//     nodes (application residency + the volume of in-flight state).
+//  2. Reads of a SHARED file are CLIENT-LIMITED: server-side prefetch
+//     means every additional client adds aggregate read bandwidth (this is
+//     why DRMS restart gets *faster* from 8 to 16 processors).
+//  3. Reads of many PRIVATE files (one per task, the SPMD restart pattern)
+//     collapse once the per-node working set exceeds the buffer memory
+//     available — the "threshold" the paper uses to explain BT's five-fold
+//     restart blow-up at 16 processors.
+//  4. Co-locating application tasks with file servers (the 16-processor
+//     runs) steals CPU and memory from the servers.
+//
+// Every primitive below is a pure function of an operation descriptor, so
+// timing is deterministic and order-independent; optional multiplicative
+// lognormal jitter reproduces the paper's run-to-run spread.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace drms::sim {
+
+/// Ambient load context for one I/O phase. Built by the checkpoint engine,
+/// which knows the placement and the application's memory footprint.
+struct LoadContext {
+  /// Fraction of server nodes that also host application tasks.
+  double busy_server_fraction = 0.0;
+  /// Application bytes resident on each busy node (data segment incl.
+  /// local array sections) — the source of server memory pressure.
+  std::uint64_t per_task_resident_bytes = 0;
+  /// Tasks sharing the most loaded node (1 under one-per-node placement).
+  int max_tasks_per_node = 1;
+  /// Node memory (for pressure normalization).
+  std::uint64_t node_memory_bytes = 128 * support::kMiB;
+  /// Number of file-system server nodes the phase stripes across.
+  int server_count = 16;
+};
+
+/// All knobs of the PIOFS model. Plain aggregate; benches use
+/// `paper_sp16()`, correctness tests use `zero()` (all durations 0).
+struct CostModel {
+  // -- client-side streaming rates (bytes/second) ---------------------------
+  /// Single-stream client write bandwidth before congestion scaling.
+  double client_write_bw = 0.0;
+  /// Per-client read bandwidth on a file every task reads concurrently
+  /// (prefetch-friendly: the DRMS data-segment restore pattern).
+  double client_shared_read_bw = 0.0;
+  /// Per-client read bandwidth for a private per-task file while the
+  /// node's working set fits in buffer memory...
+  double client_private_read_bw_peak = 0.0;
+  /// ...and once the working set is far past it.
+  double client_private_read_bw_floor = 0.0;
+  /// Per-client rate for array-section input streaming (read + scatter
+  /// redistribution combined; the paper's Table 6 "arrays" restore rows).
+  double client_array_read_bw = 0.0;
+  /// Per-client rate at which redistribution (the first half of each
+  /// parallel output-streaming round) is processed.
+  double redistribution_bw = 0.0;
+
+  // -- server-side capacity --------------------------------------------------
+  /// Aggregate striped-write capacity as a piecewise-linear curve over
+  /// per-server memory pressure (bytes -> bytes/second). Monotonically
+  /// non-increasing in pressure.
+  std::vector<std::pair<std::uint64_t, double>> server_write_capacity;
+
+  // -- memory-pressure knee for private-file reads ---------------------------
+  /// Below this per-node working set, private reads run at peak rate.
+  std::uint64_t read_pressure_knee = 0;
+  /// At or above this, private reads run at floor rate (linear between).
+  std::uint64_t read_pressure_floor = 0;
+
+  // -- interference -----------------------------------------------------------
+  /// Client rates are divided by 1 + alpha * busy_fraction * residency.
+  double client_congestion_alpha = 0.0;
+  /// Writer-side memory-pressure knee: when the application's resident
+  /// bytes exceed this fraction of node memory, the single-writer rate
+  /// degrades linearly, reaching `writer_residency_floor_factor` at
+  /// `writer_residency_floor`. Captures LU's anomalously slow 85 MB
+  /// segment write on 128 MB nodes.
+  double writer_residency_knee = 1.0;
+  double writer_residency_floor = 1.0;
+  double writer_residency_floor_factor = 1.0;
+
+  // -- fixed costs -------------------------------------------------------------
+  /// Per-chunk/per-operation latency (seek + request round trip).
+  double op_latency = 0.0;
+  /// Rate at which the application text segment loads at restart (the
+  /// "other" component of the paper's restart breakdown).
+  double text_load_bw = 0.0;
+  /// Simulated compute throughput (grid points/second/task) used by the
+  /// solvers to account iteration time between checkpoints.
+  double compute_points_per_second = 0.0;
+
+  /// Lognormal sigma applied per primitive call when a jitter Rng is given.
+  double jitter_sigma = 0.0;
+
+  /// Model with every duration equal to zero — for correctness-only tests.
+  [[nodiscard]] static CostModel zero();
+  /// Model calibrated against the paper's Tables 5-6 on the 16-node SP.
+  [[nodiscard]] static CostModel paper_sp16();
+
+  // ---- primitives (all return seconds) --------------------------------------
+
+  /// One task writes `bytes` as a stream striped over the servers.
+  [[nodiscard]] double single_write_seconds(std::uint64_t bytes,
+                                            const LoadContext& ctx,
+                                            support::Rng* jitter) const;
+
+  /// `writers` tasks each concurrently write `bytes_per_writer` to private
+  /// files (the SPMD checkpoint pattern). Server-limited.
+  [[nodiscard]] double concurrent_write_seconds(std::uint64_t bytes_per_writer,
+                                                int writers,
+                                                const LoadContext& ctx,
+                                                support::Rng* jitter) const;
+
+  /// Every one of `readers` tasks reads the same `bytes`-long file in full
+  /// (the DRMS data-segment restore). Client-limited; time is per-client
+  /// and independent of the reader count.
+  [[nodiscard]] double shared_read_seconds(std::uint64_t bytes, int readers,
+                                           const LoadContext& ctx,
+                                           support::Rng* jitter) const;
+
+  /// `readers` tasks each read their own `bytes_per_reader` private file
+  /// (the SPMD restart pattern). Subject to the buffer-memory threshold.
+  [[nodiscard]] double private_read_seconds(std::uint64_t bytes_per_reader,
+                                            int readers,
+                                            const LoadContext& ctx,
+                                            support::Rng* jitter) const;
+
+  /// One round of parallel output streaming: redistribute `bytes` into
+  /// canonical per-task chunks, then `writers` tasks write concurrently.
+  [[nodiscard]] double stream_write_round_seconds(std::uint64_t bytes,
+                                                  int writers,
+                                                  const LoadContext& ctx,
+                                                  support::Rng* jitter) const;
+
+  /// One round of parallel input streaming (read + scatter).
+  [[nodiscard]] double stream_read_round_seconds(std::uint64_t bytes,
+                                                 int readers,
+                                                 const LoadContext& ctx,
+                                                 support::Rng* jitter) const;
+
+  /// Restart initialization (application text load).
+  [[nodiscard]] double restart_init_seconds(std::uint64_t text_bytes,
+                                            support::Rng* jitter) const;
+
+  /// Solver compute time for `grid_points` points on one task.
+  [[nodiscard]] double compute_seconds(std::uint64_t grid_points) const;
+
+  // ---- derived quantities (exposed for tests and ablations) -----------------
+
+  /// 1 + alpha * busy_fraction * residency_ratio.
+  [[nodiscard]] double client_congestion(const LoadContext& ctx) const;
+  /// Multiplier in (0, 1] applied to single-writer rates under high
+  /// residency (see writer_residency_knee).
+  [[nodiscard]] double writer_residency_factor(const LoadContext& ctx) const;
+  /// Interpolated aggregate server write capacity under `pressure` bytes
+  /// per server node.
+  [[nodiscard]] double server_write_bw(std::uint64_t pressure_per_server)
+      const;
+  /// Per-node working-set pressure for a private-read phase.
+  [[nodiscard]] std::uint64_t private_read_pressure(
+      std::uint64_t bytes_per_reader, int readers,
+      const LoadContext& ctx) const;
+  /// Per-client private-read rate under the threshold model.
+  [[nodiscard]] double private_read_rate(std::uint64_t pressure,
+                                         const LoadContext& ctx) const;
+
+ private:
+  [[nodiscard]] double apply_jitter(double seconds,
+                                    support::Rng* jitter) const;
+};
+
+}  // namespace drms::sim

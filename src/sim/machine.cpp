@@ -1,0 +1,57 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace drms::sim {
+
+Placement::Placement(Machine machine, std::vector<int> task_node)
+    : machine_(machine),
+      task_node_(std::move(task_node)),
+      tasks_per_node_(static_cast<std::size_t>(machine_.node_count), 0) {
+  DRMS_EXPECTS(machine_.node_count > 0);
+  DRMS_EXPECTS(machine_.server_count > 0);
+  DRMS_EXPECTS(machine_.server_count <= machine_.node_count);
+  DRMS_EXPECTS(!task_node_.empty());
+  for (const int node : task_node_) {
+    DRMS_EXPECTS_MSG(node >= 0 && node < machine_.node_count,
+                     "task placed on a node outside the machine");
+    ++tasks_per_node_[static_cast<std::size_t>(node)];
+  }
+}
+
+Placement Placement::one_per_node(const Machine& machine, int tasks) {
+  DRMS_EXPECTS(tasks > 0 && tasks <= machine.node_count);
+  std::vector<int> mapping(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) {
+    mapping[static_cast<std::size_t>(t)] = t;
+  }
+  return Placement(machine, std::move(mapping));
+}
+
+int Placement::node_of(int task) const {
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  return task_node_[static_cast<std::size_t>(task)];
+}
+
+int Placement::tasks_on_node(int node) const {
+  DRMS_EXPECTS(node >= 0 && node < machine_.node_count);
+  return tasks_per_node_[static_cast<std::size_t>(node)];
+}
+
+double Placement::busy_server_fraction() const noexcept {
+  int busy = 0;
+  for (int s = 0; s < machine_.server_count; ++s) {
+    if (tasks_per_node_[static_cast<std::size_t>(s)] > 0) {
+      ++busy;
+    }
+  }
+  return static_cast<double>(busy) / static_cast<double>(machine_.server_count);
+}
+
+int Placement::max_tasks_per_node() const noexcept {
+  return *std::max_element(tasks_per_node_.begin(), tasks_per_node_.end());
+}
+
+}  // namespace drms::sim

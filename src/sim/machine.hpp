@@ -1,0 +1,58 @@
+// Machine and placement model for the simulated parallel system.
+//
+// Mirrors the paper's testbed: a 16-node IBM RS/6000 SP where every node
+// is both a PIOFS file-system server and a candidate compute node, tasks
+// are placed one per processor, and interference arises when application
+// tasks share nodes with active file servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace drms::sim {
+
+/// Static description of the simulated machine.
+struct Machine {
+  /// Total nodes (processors). The paper's SP has 16 "thin nodes".
+  int node_count = 16;
+  /// Number of PIOFS server nodes; files are striped across all of them.
+  /// On the paper's system every node is a server.
+  int server_count = 16;
+  /// Physical memory per node (128 MB on the model 390 thin node).
+  std::uint64_t node_memory_bytes = 128 * support::kMiB;
+
+  [[nodiscard]] static Machine paper_sp16() { return Machine{}; }
+};
+
+/// Mapping of application tasks onto nodes.
+class Placement {
+ public:
+  Placement(Machine machine, std::vector<int> task_node);
+
+  /// One task per node on nodes 0..tasks-1 (the paper's mapping).
+  static Placement one_per_node(const Machine& machine, int tasks);
+
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(task_node_.size());
+  }
+  [[nodiscard]] int node_of(int task) const;
+  [[nodiscard]] int tasks_on_node(int node) const;
+
+  /// Fraction of server nodes that also host at least one application
+  /// task. Drives the co-location interference terms of the cost model:
+  /// 0.5 when 8 tasks run on a 16-server machine, 1.0 when 16 do.
+  [[nodiscard]] double busy_server_fraction() const noexcept;
+
+  /// Largest number of tasks sharing any single node.
+  [[nodiscard]] int max_tasks_per_node() const noexcept;
+
+ private:
+  Machine machine_;
+  std::vector<int> task_node_;
+  std::vector<int> tasks_per_node_;
+};
+
+}  // namespace drms::sim

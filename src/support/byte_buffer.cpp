@@ -1,0 +1,97 @@
+#include "support/byte_buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace drms::support {
+
+namespace {
+
+// The simulator targets little-endian hosts (x86-64, AArch64 in LE mode);
+// on a big-endian host the scalar codecs below would need byte swaps.
+static_assert(std::endian::native == std::endian::little,
+              "DRMS serialization assumes a little-endian host");
+
+}  // namespace
+
+void ByteBuffer::append_raw(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  data_.insert(data_.end(), b, b + n);
+}
+
+void ByteBuffer::put_u8(std::uint8_t v) { append_raw(&v, sizeof v); }
+void ByteBuffer::put_u32(std::uint32_t v) { append_raw(&v, sizeof v); }
+void ByteBuffer::put_u64(std::uint64_t v) { append_raw(&v, sizeof v); }
+void ByteBuffer::put_i64(std::int64_t v) { append_raw(&v, sizeof v); }
+void ByteBuffer::put_f64(double v) { append_raw(&v, sizeof v); }
+
+void ByteBuffer::put_string(std::string_view s) {
+  put_u64(s.size());
+  append_raw(s.data(), s.size());
+}
+
+void ByteBuffer::put_bytes(std::span<const std::byte> bytes) {
+  put_u64(bytes.size());
+  append(bytes);
+}
+
+void ByteBuffer::read_raw(void* p, std::size_t n) {
+  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
+                   "ByteBuffer read past end of buffer");
+  std::memcpy(p, data_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+std::uint8_t ByteBuffer::get_u8() {
+  std::uint8_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::uint32_t ByteBuffer::get_u32() {
+  std::uint32_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t ByteBuffer::get_u64() {
+  std::uint64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t ByteBuffer::get_i64() {
+  std::int64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+double ByteBuffer::get_f64() {
+  double v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string ByteBuffer::get_string() {
+  const std::uint64_t n = get_u64();
+  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
+                   "ByteBuffer string length exceeds buffer");
+  std::string s(n, '\0');
+  read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<std::byte> ByteBuffer::get_bytes() {
+  const std::uint64_t n = get_u64();
+  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
+                   "ByteBuffer byte-array length exceeds buffer");
+  std::vector<std::byte> out(n);
+  if (n > 0) {
+    read_raw(out.data(), n);
+  }
+  return out;
+}
+
+}  // namespace drms::support

@@ -1,0 +1,77 @@
+// Growable byte buffer with a read cursor — the unit of exchange between
+// the serialization layer, the task runtime mailboxes, and the PIOFS
+// client. All multi-byte values are stored little-endian so checkpoint
+// files are portable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drms::support {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::byte* data() noexcept { return data_.data(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void clear() noexcept {
+    data_.clear();
+    cursor_ = 0;
+  }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  /// ---- writing -----------------------------------------------------------
+
+  void append(std::span<const std::byte> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void append_raw(const void* p, std::size_t n);
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(std::string_view s);
+  void put_bytes(std::span<const std::byte> bytes);  // length-prefixed
+
+  /// ---- reading (sequential, from the cursor) ------------------------------
+
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - cursor_;
+  }
+  void rewind() noexcept { cursor_ = 0; }
+
+  void read_raw(void* p, std::size_t n);
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64();
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+  [[nodiscard]] std::string get_string();
+  [[nodiscard]] std::vector<std::byte> get_bytes();  // length-prefixed
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace drms::support

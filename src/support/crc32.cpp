@@ -1,0 +1,107 @@
+#include "support/crc32.hpp"
+
+#include <array>
+
+namespace drms::support {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C polynomial
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update(std::span<const std::byte> bytes) noexcept {
+  update_raw(bytes.data(), bytes.size());
+}
+
+void Crc32c::update_raw(const void* p, std::size_t n) noexcept {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint32_t crc = state_;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ b[i]) & 0xffu];
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> bytes) noexcept {
+  Crc32c c;
+  c.update(bytes);
+  return c.value();
+}
+
+namespace {
+
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat,
+                               std::uint32_t vec) noexcept {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) {
+      sum ^= *mat;
+    }
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square,
+                       const std::uint32_t* mat) noexcept {
+  for (int n = 0; n < 32; ++n) {
+    square[n] = gf2_matrix_times(mat, mat[n]);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32c_combine(std::uint32_t crc1, std::uint32_t crc2,
+                             std::uint64_t len2) noexcept {
+  if (len2 == 0) {
+    return crc1;
+  }
+  std::uint32_t even[32];  // even-power-of-two zero operators
+  std::uint32_t odd[32];   // odd-power-of-two zero operators
+
+  // Operator for one zero bit.
+  odd[0] = kPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two zero bits
+  gf2_matrix_square(odd, even);  // four zero bits
+
+  // Apply len2 zero BYTES to crc1.
+  do {
+    gf2_matrix_square(even, odd);
+    if (len2 & 1u) {
+      crc1 = gf2_matrix_times(even, crc1);
+    }
+    len2 >>= 1;
+    if (len2 == 0) {
+      break;
+    }
+    gf2_matrix_square(odd, even);
+    if (len2 & 1u) {
+      crc1 = gf2_matrix_times(odd, crc1);
+    }
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
+}  // namespace drms::support

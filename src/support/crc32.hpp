@@ -1,0 +1,36 @@
+// CRC-32C (Castagnoli) — used to checksum every record in a checkpoint
+// file so restart can detect corruption instead of silently loading
+// garbage state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace drms::support {
+
+/// Incremental CRC-32C. Construct, feed bytes with update(), read value().
+class Crc32c {
+ public:
+  void update(std::span<const std::byte> bytes) noexcept;
+  void update_raw(const void* p, std::size_t n) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+  void reset() noexcept { state_ = ~0u; }
+
+ private:
+  std::uint32_t state_ = ~0u;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> bytes) noexcept;
+
+/// CRC combination: given crc1 = crc32c(A) and crc2 = crc32c(B), returns
+/// crc32c(A || B) where B is `len2` bytes long (zlib's GF(2) matrix
+/// technique). Lets parallel writers checksum their chunks independently
+/// and still produce the exact CRC of the whole stream, independent of
+/// the chunking.
+[[nodiscard]] std::uint32_t crc32c_combine(std::uint32_t crc1,
+                                           std::uint32_t crc2,
+                                           std::uint64_t len2) noexcept;
+
+}  // namespace drms::support

@@ -1,0 +1,19 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace drms::support::detail {
+
+void raise_contract_violation(std::string_view kind,
+                              std::string_view condition,
+                              std::string_view file, int line,
+                              std::string_view message) {
+  std::ostringstream os;
+  os << kind << " violated: (" << condition << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace drms::support::detail

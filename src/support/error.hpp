@@ -1,0 +1,87 @@
+// Error and contract machinery shared by every DRMS subsystem.
+//
+// All recoverable failures are reported with exceptions derived from
+// drms::support::Error; contract violations (programming errors) throw
+// ContractViolation so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace drms::support {
+
+/// Base class for every error raised by the DRMS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of a precondition/postcondition/invariant. Indicates a bug in
+/// the caller (or the library), not an environmental failure.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the simulated I/O layer (missing file, bad offset, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed or corrupted checkpoint data (bad magic, CRC mismatch, ...).
+class CorruptCheckpoint : public Error {
+ public:
+  explicit CorruptCheckpoint(const std::string& what) : Error(what) {}
+};
+
+/// Raised inside application tasks when the runtime tears a task group
+/// down (e.g. injected processor failure). Not derived from Error on
+/// purpose: application-level catch(const Error&) blocks must not swallow
+/// a kill request.
+class TaskKilled {
+ public:
+  explicit TaskKilled(std::string reason) : reason_(std::move(reason)) {}
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+namespace detail {
+[[noreturn]] void raise_contract_violation(std::string_view kind,
+                                           std::string_view condition,
+                                           std::string_view file, int line,
+                                           std::string_view message);
+}  // namespace detail
+
+}  // namespace drms::support
+
+/// Precondition check. Always on (the library is a simulator; correctness
+/// trumps the branch cost).
+#define DRMS_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::drms::support::detail::raise_contract_violation(                    \
+          "precondition", #cond, __FILE__, __LINE__, "");                   \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define DRMS_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::drms::support::detail::raise_contract_violation(                    \
+          "precondition", #cond, __FILE__, __LINE__, (msg));                \
+    }                                                                       \
+  } while (false)
+
+/// Invariant / postcondition check.
+#define DRMS_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::drms::support::detail::raise_contract_violation(                    \
+          "invariant", #cond, __FILE__, __LINE__, "");                      \
+    }                                                                       \
+  } while (false)

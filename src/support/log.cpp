@@ -1,0 +1,48 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace drms::support {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mutex;
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, std::string_view subsystem,
+              std::string_view message) {
+  if (level > log_level()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::clog << "[" << level_name(level) << "] [" << subsystem << "] "
+            << message << '\n';
+}
+
+}  // namespace drms::support

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Quiet by default (tests and benches produce
+// their own structured output); raise the level to trace the runtime,
+// the PIOFS simulator, or the recovery protocol.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace drms::support {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global threshold; messages above it are discarded. Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a line (subsystem tag + message) if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view subsystem,
+              std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view subsystem)
+      : level_(level), subsystem_(subsystem) {}
+  ~LogStream() { log_line(level_, subsystem_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view subsystem_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+/// Usage: DRMS_LOG(kInfo, "rc") << "restarting pool " << pool_id;
+#define DRMS_LOG(level, subsystem)                                    \
+  if (::drms::support::LogLevel::level >                              \
+      ::drms::support::log_level()) {                                 \
+  } else                                                              \
+    ::drms::support::detail::LogStream(                               \
+        ::drms::support::LogLevel::level, (subsystem))
+
+}  // namespace drms::support

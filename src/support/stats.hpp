@@ -1,0 +1,35 @@
+// Small running-statistics helpers used by the benchmark harnesses
+// (the paper reports mean and standard deviation over 10 runs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace drms::support {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot helpers.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev_of(std::span<const double> xs) noexcept;
+
+}  // namespace drms::support

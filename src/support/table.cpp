@@ -1,0 +1,80 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace drms::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), align_(headers_.size(), Align::kRight) {
+  DRMS_EXPECTS(!headers_.empty());
+  align_[0] = Align::kLeft;  // first column is almost always a label
+}
+
+void TextTable::set_align(std::size_t column, Align a) {
+  DRMS_EXPECTS(column < align_.size());
+  align_[column] = a;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DRMS_EXPECTS_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](const std::string& text, std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (align_[c] == Align::kLeft) {
+      os << text << std::string(pad, ' ');
+    } else {
+      os << std::string(pad, ' ') << text;
+    }
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c], '-') << (c + 1 < width.size() ? "-+-" : "");
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    emit_cell(headers_[c], c);
+    if (c + 1 < headers_.size()) os << " | ";
+  }
+  os << '\n';
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      emit_cell(row[c], c);
+      if (c + 1 < row.size()) os << " | ";
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace drms::support

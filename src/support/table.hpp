@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer. The benchmark binaries use it to emit
+// the same rows the paper's tables report.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drms::support {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+class TextTable {
+ public:
+  /// Construct with column headers; every later row must have the same
+  /// number of cells.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align a);
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> align_;
+  // Each entry: a row of cells, or empty vector meaning "rule".
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drms::support

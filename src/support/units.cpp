@@ -1,0 +1,31 @@
+#include "support/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace drms::support {
+
+double to_mib(std::uint64_t bytes) noexcept {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+std::string format_fixed(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data());
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return format_fixed(static_cast<double>(bytes) / kGiB, 2) + " GB";
+  }
+  if (bytes >= kMiB) {
+    return format_fixed(static_cast<double>(bytes) / kMiB, 1) + " MB";
+  }
+  if (bytes >= kKiB) {
+    return format_fixed(static_cast<double>(bytes) / kKiB, 1) + " KB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace drms::support

@@ -1,0 +1,24 @@
+// Byte-size literals and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drms::support {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// The paper reports sizes in MB (decimal-ish usage, but 1997 "MB" on AIX
+/// tooling meant 2^20); we follow the 2^20 convention throughout.
+[[nodiscard]] double to_mib(std::uint64_t bytes) noexcept;
+
+/// "147.3 MB", "63 KB", "12 B" — for log lines and table cells.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-point decimal with the given precision, e.g. format_fixed(3.14159,2)
+/// == "3.14".
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+}  // namespace drms::support

@@ -1,0 +1,199 @@
+// Tests for the C binding: the Figure-1 skeleton written against the C
+// API, round-tripped through a reconfigured restart. Only drms_c.h
+// symbols are used inside the task function.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "capi/drms_c.h"
+
+namespace {
+
+constexpr int64_t kN = 6;
+
+struct CAppState {
+  const char* prefix = "c.state";
+  int iterations = 9;
+  int stop_at = -1;
+  // Collected by rank 0:
+  std::atomic<int> restarted{-1};
+  std::atomic<long long> start_iteration{-1};
+  std::atomic<int> delta{-1000};
+  std::atomic<int> failures{0};
+  // Order-independent digest over owned points (sum of value*tag).
+  std::atomic<long long> digest_millis{0};
+};
+
+#define C_CHECK(expr)                                           \
+  do {                                                          \
+    if ((expr) != DRMS_OK) {                                    \
+      state->failures.fetch_add(1);                             \
+      return;                                                   \
+    }                                                           \
+  } while (0)
+
+void c_task(drms_context_t* ctx, void* user) {
+  auto* state = static_cast<CAppState*>(user);
+
+  int64_t it = 0;
+  C_CHECK(drms_register_i64(ctx, "it", &it));
+  C_CHECK(drms_initialize(ctx));
+
+  const int64_t lo[3] = {0, 0, 0};
+  const int64_t hi[3] = {kN - 1, kN - 1, kN - 1};
+  int u = -1;
+  C_CHECK(drms_create_array(ctx, "u", 3, lo, hi, &u));
+  const int64_t shadow[3] = {0, 0, 0};
+  C_CHECK(drms_distribute_block(ctx, u, shadow));
+
+  if (drms_restarted(ctx) == 0) {
+    for (int64_t z = 0; z < kN; ++z) {
+      for (int64_t y = 0; y < kN; ++y) {
+        for (int64_t x = 0; x < kN; ++x) {
+          const int64_t p[3] = {x, y, z};
+          if (drms_array_owns(ctx, u, p)) {
+            C_CHECK(drms_array_set(ctx, u, p,
+                                   1.0 + 0.001 * (double)(x + 7 * y +
+                                                          49 * z)));
+          }
+        }
+      }
+    }
+    C_CHECK(drms_barrier(ctx));
+  }
+  if (drms_rank(ctx) == 0) {
+    state->start_iteration.store(it);
+    state->restarted.store(drms_restarted(ctx));
+  }
+
+  const int stop = state->stop_at >= 0 ? state->stop_at
+                                       : state->iterations;
+  while (it < stop) {
+    if (it > 0 && it % 3 == 0) {
+      int status = 0;
+      int delta = 0;
+      C_CHECK(drms_reconfig_checkpoint(ctx, state->prefix, &status,
+                                       &delta));
+      if (drms_rank(ctx) == 0 && status == DRMS_STATUS_RESTARTED) {
+        state->delta.store(delta);
+      }
+    }
+    for (int64_t z = 0; z < kN; ++z) {
+      for (int64_t y = 0; y < kN; ++y) {
+        for (int64_t x = 0; x < kN; ++x) {
+          const int64_t p[3] = {x, y, z};
+          if (drms_array_owns(ctx, u, p)) {
+            double v = 0;
+            C_CHECK(drms_array_get(ctx, u, p, &v));
+            C_CHECK(drms_array_set(ctx, u, p, v * 1.01 + 0.02));
+          }
+        }
+      }
+    }
+    C_CHECK(drms_barrier(ctx));
+    ++it;
+  }
+
+  // Digest: order-independent sum of round(value * 1e3) over owned points.
+  long long local = 0;
+  for (int64_t z = 0; z < kN; ++z) {
+    for (int64_t y = 0; y < kN; ++y) {
+      for (int64_t x = 0; x < kN; ++x) {
+        const int64_t p[3] = {x, y, z};
+        if (drms_array_owns(ctx, u, p)) {
+          double v = 0;
+          C_CHECK(drms_array_get(ctx, u, p, &v));
+          local += (long long)std::llround(v * 1e6);
+        }
+      }
+    }
+  }
+  state->digest_millis.fetch_add(local);
+}
+
+TEST(CApi, FigureOneSkeletonRoundTrip) {
+  // Reference: uninterrupted run on 4 tasks.
+  drms_volume_t* ref_volume = drms_volume_create(16);
+  ASSERT_NE(ref_volume, nullptr);
+  CAppState reference;
+  drms_run_options_t options{};
+  options.app_name = "capp";
+  options.tasks = 4;
+  options.restart_prefix = nullptr;
+  options.mode = DRMS_MODE_DRMS;
+  ASSERT_EQ(drms_run_spmd(ref_volume, &options, c_task, &reference),
+            DRMS_OK);
+  EXPECT_EQ(reference.failures.load(), 0);
+  EXPECT_EQ(reference.restarted.load(), 0);
+  drms_volume_destroy(ref_volume);
+
+  // Interrupted + reconfigured restart on 3 tasks.
+  drms_volume_t* volume = drms_volume_create(16);
+  ASSERT_NE(volume, nullptr);
+  CAppState phase1;
+  phase1.stop_at = 7;  // past the it=6 checkpoint
+  ASSERT_EQ(drms_run_spmd(volume, &options, c_task, &phase1), DRMS_OK);
+  EXPECT_EQ(drms_volume_checkpoint_exists(volume, "c.state"), 1);
+
+  CAppState resumed;
+  drms_run_options_t restart_options = options;
+  restart_options.tasks = 3;
+  restart_options.restart_prefix = "c.state";
+  ASSERT_EQ(drms_run_spmd(volume, &restart_options, c_task, &resumed),
+            DRMS_OK);
+  EXPECT_EQ(resumed.failures.load(), 0);
+  EXPECT_EQ(resumed.restarted.load(), 1);
+  EXPECT_EQ(resumed.start_iteration.load(), 6);
+  EXPECT_EQ(resumed.delta.load(), -1);
+  EXPECT_EQ(resumed.digest_millis.load(), reference.digest_millis.load());
+  drms_volume_destroy(volume);
+}
+
+TEST(CApi, ErrorReporting) {
+  drms_volume_t* volume = drms_volume_create(16);
+  ASSERT_NE(volume, nullptr);
+  drms_run_options_t options{};
+  options.app_name = "errs";
+  options.tasks = 1;
+  options.mode = DRMS_MODE_DRMS;
+
+  static std::atomic<bool> saw_errors{false};
+  saw_errors = false;
+  const auto body = [](drms_context_t* ctx, void*) {
+    // initialize before register order violation:
+    if (drms_initialize(ctx) != DRMS_OK) {
+      return;
+    }
+    int64_t dummy_lo[1] = {0};
+    int64_t dummy_hi[1] = {3};
+    int id = -1;
+    if (drms_create_array(ctx, "a", 1, dummy_lo, dummy_hi, &id) !=
+        DRMS_OK) {
+      return;
+    }
+    // Bad array id:
+    double v = 0;
+    const int64_t p[1] = {0};
+    if (drms_array_get(ctx, 99, p, &v) == DRMS_ERR &&
+        drms_last_error(ctx)[0] != '\0') {
+      saw_errors = true;
+    }
+  };
+  ASSERT_EQ(drms_run_spmd(volume, &options, body, nullptr), DRMS_OK);
+  EXPECT_TRUE(saw_errors.load());
+  drms_volume_destroy(volume);
+}
+
+TEST(CApi, NullArgumentsAreRejected) {
+  EXPECT_EQ(drms_volume_create(0), nullptr);
+  drms_run_options_t options{};
+  options.tasks = 1;
+  options.app_name = "x";
+  EXPECT_EQ(drms_run_spmd(nullptr, &options, nullptr, nullptr), DRMS_ERR);
+  EXPECT_EQ(drms_rank(nullptr), -1);
+  EXPECT_EQ(drms_volume_checkpoint_exists(nullptr, "p"), 0);
+  drms_volume_destroy(nullptr);  // must be safe
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for the checkpoint catalog: enumeration across DRMS and SPMD
+// states, latest-SOP selection, torn-meta exclusion, and retention.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/checkpoint_catalog.hpp"
+#include "core/drms_context.hpp"
+#include "rt/task_group.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::cube;
+using drms::test::placement_of;
+
+AppSegmentModel tiny_segment() {
+  AppSegmentModel m;
+  m.static_local_bytes = 8 * 1024;
+  m.system_bytes = 8 * 1024;
+  return m;
+}
+
+/// Write `checkpoints` under alternating prefixes through the public API.
+void write_states(Volume& volume, const std::string& app, int tasks,
+                  int checkpoints, CheckpointMode mode) {
+  DrmsEnv env;
+  env.volume = &volume;
+  env.mode = mode;
+  DrmsProgram program(app, env, tiny_segment(), tasks);
+  TaskGroup group(placement_of(tasks));
+  const auto result = group.run([&](TaskContext& ctx) {
+    DrmsContext drms(program, ctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{5, 5, 5};
+    DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, DistSpec::block_auto(cube(6), tasks,
+                                            std::vector<Index>(3, 0)));
+    for (int c = 0; c < checkpoints; ++c) {
+      (void)drms.reconfig_checkpoint(app + (c % 2 == 0 ? ".even"
+                                                       : ".odd"));
+    }
+  });
+  ASSERT_TRUE(result.completed);
+}
+
+TEST(CheckpointCatalog, ListsAllStatesSortedBySop) {
+  Volume volume(16);
+  write_states(volume, "alpha", 3, 3, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 1, CheckpointMode::kSpmd);
+
+  const auto records = list_checkpoints(volume);
+  // alpha wrote SOP 1 (even), 2 (odd), 3 (even overwrites SOP 1);
+  // beta wrote one SPMD state. Prefix "alpha.even" holds SOP 3 now.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_LE(records[0].meta.sop, records[1].meta.sop);
+  EXPECT_LE(records[1].meta.sop, records[2].meta.sop);
+
+  int spmd_count = 0;
+  for (const auto& r : records) {
+    if (r.spmd) {
+      ++spmd_count;
+      EXPECT_EQ(r.meta.app_name, "beta");
+      EXPECT_EQ(r.meta.task_count, 2);
+    }
+    EXPECT_GT(r.state_bytes, 0u);
+  }
+  EXPECT_EQ(spmd_count, 1);
+}
+
+TEST(CheckpointCatalog, LatestPicksHighestSop) {
+  Volume volume(16);
+  write_states(volume, "alpha", 3, 3, CheckpointMode::kDrms);
+  const auto latest = latest_checkpoint(volume, "alpha");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->meta.sop, 3);
+  EXPECT_EQ(latest->prefix, "alpha.even");
+  EXPECT_FALSE(latest_checkpoint(volume, "nonexistent").has_value());
+}
+
+TEST(CheckpointCatalog, TornMetaIsSkipped) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  // Corrupt one meta record.
+  auto meta_file = volume.open(meta_file_name("alpha.even"));
+  auto byte = meta_file.read_at(10, 1);
+  byte[0] ^= std::byte{0xff};
+  meta_file.write_at(10, byte);
+
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].prefix, "alpha.odd");
+}
+
+TEST(CheckpointCatalog, RemoveDeletesEveryFile) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 1, CheckpointMode::kSpmd);
+
+  auto records = list_checkpoints(volume);
+  const std::size_t before = volume.list().size();
+  ASSERT_FALSE(records.empty());
+  remove_checkpoint(volume, records.front());
+  EXPECT_LT(volume.list().size(), before);
+  EXPECT_EQ(list_checkpoints(volume).size(), records.size() - 1);
+
+  // Remove the SPMD one too.
+  for (const auto& r : list_checkpoints(volume)) {
+    if (r.spmd) {
+      remove_checkpoint(volume, r);
+    }
+  }
+  for (const auto& r : list_checkpoints(volume)) {
+    EXPECT_FALSE(r.spmd);
+  }
+}
+
+TEST(CheckpointCatalog, VerifyPassesOnCleanStates) {
+  Volume volume(16);
+  write_states(volume, "alpha", 3, 2, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 1, CheckpointMode::kSpmd);
+  for (const auto& record : list_checkpoints(volume)) {
+    const auto result = verify_checkpoint(volume, record);
+    EXPECT_TRUE(result.ok) << record.prefix << ": "
+                           << (result.problems.empty()
+                                   ? ""
+                                   : result.problems.front());
+  }
+}
+
+TEST(CheckpointCatalog, VerifyFlagsACorruptedArray) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 1, CheckpointMode::kDrms);
+  auto f = volume.open(array_file_name("alpha.even", "u"));
+  auto b = f.read_at(100, 1);
+  b[0] ^= std::byte{0x10};
+  f.write_at(100, b);
+
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+  const auto result = verify_checkpoint(volume, records[0]);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("stream CRC"), std::string::npos);
+}
+
+TEST(CheckpointCatalog, VerifyFlagsAMissingSegment) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 1, CheckpointMode::kDrms);
+  // Snapshot the record while the state is whole, then break it: the
+  // catalog itself drops states with missing files, so the verifier must
+  // report the damage given a previously-taken record.
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(list_checkpoints(volume).size() == 1);
+  volume.remove(segment_file_name("alpha.even"));
+  const auto result = verify_checkpoint(volume, records[0]);
+  EXPECT_FALSE(result.ok);
+  // And the catalog no longer offers the damaged state as a candidate.
+  EXPECT_TRUE(list_checkpoints(volume).empty());
+}
+
+TEST(CheckpointCatalog, VerifyFlagsACorruptSpmdSegment) {
+  Volume volume(16);
+  write_states(volume, "beta", 2, 1, CheckpointMode::kSpmd);
+  auto f = volume.open(spmd_task_file_name("beta.even", 1));
+  auto b = f.read_at(50, 1);
+  b[0] ^= std::byte{0x01};
+  f.write_at(50, b);
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+  const auto result = verify_checkpoint(volume, records[0]);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(CheckpointCatalog, PrefixFilterNarrowsTheScan) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 2, CheckpointMode::kDrms);
+  EXPECT_EQ(list_checkpoints(volume, "alpha").size(), 2u);
+  EXPECT_EQ(list_checkpoints(volume, "beta").size(), 2u);
+  EXPECT_EQ(list_checkpoints(volume).size(), 4u);
+}
+
+}  // namespace

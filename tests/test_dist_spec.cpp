@@ -1,0 +1,191 @@
+// Tests for distribution specifications: grid factorization, block
+// distributions with shadow regions, invariant validation, adjust(), and
+// the Table-4 shadow-accounting behaviour.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <set>
+
+#include "core/dist_spec.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::support::ContractViolation;
+using drms::support::Error;
+
+Slice grid3(Index n) {
+  const std::array<Index, 3> lo{0, 0, 0};
+  const std::array<Index, 3> hi{n - 1, n - 1, n - 1};
+  return Slice::box(lo, hi);
+}
+
+TEST(FactorGrid, ProductEqualsTasks) {
+  for (int tasks = 1; tasks <= 64; ++tasks) {
+    for (int dims = 1; dims <= 4; ++dims) {
+      const auto grid = factor_grid(tasks, dims);
+      ASSERT_EQ(static_cast<int>(grid.size()), dims);
+      EXPECT_EQ(std::accumulate(grid.begin(), grid.end(), 1,
+                                std::multiplies<>()),
+                tasks);
+    }
+  }
+}
+
+TEST(FactorGrid, NearCubic) {
+  EXPECT_EQ(factor_grid(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(factor_grid(16, 3), (std::vector<int>{2, 2, 4}));
+  EXPECT_EQ(factor_grid(64, 3), (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(factor_grid(125, 3), (std::vector<int>{5, 5, 5}));
+  EXPECT_EQ(factor_grid(6, 2), (std::vector<int>{2, 3}));
+}
+
+TEST(DistSpec, Block1D) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  const std::array<int, 1> grid{2};
+  const std::array<Index, 1> shadow{0};
+  const DistSpec spec = DistSpec::block(box, grid, shadow);
+  EXPECT_EQ(spec.task_count(), 2);
+  EXPECT_EQ(spec.assigned(0), (Slice{{Range::contiguous(0, 4)}}));
+  EXPECT_EQ(spec.assigned(1), (Slice{{Range::contiguous(5, 9)}}));
+  EXPECT_TRUE(spec.fully_assigned());
+}
+
+TEST(DistSpec, BlockHandlesRemainders) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  const std::array<int, 1> grid{3};
+  const std::array<Index, 1> shadow{0};
+  const DistSpec spec = DistSpec::block(box, grid, shadow);
+  // floor(c*10/3): 0..2 -> sizes 3,4,3... (0:2, 3:5, 6:9) per the formula
+  Index total = 0;
+  for (int t = 0; t < 3; ++t) {
+    total += spec.assigned(t).element_count();
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_TRUE(spec.fully_assigned());
+}
+
+TEST(DistSpec, ShadowsExpandMappedButNotAssigned) {
+  const std::array<int, 1> grid{4};
+  const std::array<Index, 1> shadow{2};
+  const Slice box{{Range::contiguous(0, 39)}};
+  const DistSpec spec = DistSpec::block(box, grid, shadow);
+  // Interior task 1: assigned 10:19, mapped 8:21.
+  EXPECT_EQ(spec.assigned(1), (Slice{{Range::contiguous(10, 19)}}));
+  EXPECT_EQ(spec.mapped(1), (Slice{{Range::contiguous(8, 21)}}));
+  // Boundary task 0: shadow clamped at the global lower bound.
+  EXPECT_EQ(spec.mapped(0), (Slice{{Range::contiguous(0, 11)}}));
+  // Mapped overlap is allowed; assigned overlap is not (validated).
+  EXPECT_FALSE(spec.mapped(0).intersect(spec.mapped(1)).empty());
+}
+
+TEST(DistSpec, Block3DCoversGridDisjointly) {
+  const std::array<int, 3> grid{2, 2, 2};
+  const std::array<Index, 3> shadow{1, 1, 1};
+  const DistSpec spec = DistSpec::block(grid3(8), grid, shadow);
+  EXPECT_EQ(spec.task_count(), 8);
+  EXPECT_TRUE(spec.fully_assigned());
+  // Every point belongs to exactly one assigned section.
+  std::set<std::array<Index, 3>> seen;
+  for (int t = 0; t < 8; ++t) {
+    spec.assigned(t).for_each_column_major([&](std::span<const Index> p) {
+      std::array<Index, 3> key{p[0], p[1], p[2]};
+      EXPECT_TRUE(seen.insert(key).second);
+    });
+  }
+  EXPECT_EQ(seen.size(), 8u * 8 * 8);
+}
+
+TEST(DistSpec, ShadowAccountingMatchesSection6Formula) {
+  // §6: an N^3 grid on P = Q^3 tasks with shadow width delta gives
+  // (n + 2*delta)^3 local points per task, n = N/Q.
+  const std::array<int, 3> grid{2, 2, 2};
+  const std::array<Index, 3> shadow{1, 1, 1};
+  const DistSpec spec = DistSpec::block(grid3(64), grid, shadow);
+  const Index n = 32;
+  const Index expected_per_task = (n + 2) * (n + 2) * (n + 2);
+  // Interior tasks don't exist in a 2x2x2 grid (every task touches a
+  // boundary), so mapped sections are clamped: (n+1)^3 here.
+  EXPECT_EQ(spec.mapped(0).element_count(), (n + 1) * (n + 1) * (n + 1));
+  // With a 4x4x4 grid the 8 interior tasks see the full (n+2)^3.
+  const std::array<int, 3> grid4{4, 4, 4};
+  const DistSpec spec4 = DistSpec::block(grid3(64), grid4, shadow);
+  Index max_mapped = 0;
+  for (int t = 0; t < 64; ++t) {
+    max_mapped = std::max(max_mapped, spec4.mapped(t).element_count());
+  }
+  EXPECT_EQ(max_mapped, (16 + 2) * (16 + 2) * (16 + 2));
+  (void)expected_per_task;
+}
+
+TEST(DistSpec, MappedTotalExceedsBoxWithShadows) {
+  const std::array<Index, 3> shadow{1, 1, 1};
+  const DistSpec spec = DistSpec::block_auto(grid3(32), 8, shadow);
+  EXPECT_GT(spec.mapped_element_total(), grid3(32).element_count());
+  EXPECT_EQ(spec.assigned_element_total(), grid3(32).element_count());
+}
+
+TEST(DistSpec, ValidationRejectsOverlappingAssigned) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  std::vector<TaskSection> sections{
+      {Slice{{Range::contiguous(0, 5)}}, Slice{{Range::contiguous(0, 5)}}},
+      {Slice{{Range::contiguous(5, 9)}}, Slice{{Range::contiguous(5, 9)}}},
+  };
+  EXPECT_THROW(DistSpec(box, std::move(sections)), ContractViolation);
+}
+
+TEST(DistSpec, ValidationRejectsAssignedOutsideMapped) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  std::vector<TaskSection> sections{
+      {Slice{{Range::contiguous(0, 5)}}, Slice{{Range::contiguous(0, 4)}}},
+  };
+  EXPECT_THROW(DistSpec(box, std::move(sections)), ContractViolation);
+}
+
+TEST(DistSpec, ValidationRejectsMappedOutsideBox) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  std::vector<TaskSection> sections{
+      {Slice{{Range::contiguous(0, 5)}}, Slice{{Range::contiguous(0, 10)}}},
+  };
+  EXPECT_THROW(DistSpec(box, std::move(sections)), ContractViolation);
+}
+
+TEST(DistSpec, PartialAssignmentIsLegalButNotFull) {
+  // Elements not assigned to any task have undefined values (§3.1).
+  const Slice box{{Range::contiguous(0, 9)}};
+  std::vector<TaskSection> sections{
+      {Slice{{Range::contiguous(0, 3)}}, Slice{{Range::contiguous(0, 5)}}},
+  };
+  const DistSpec spec(box, std::move(sections));
+  EXPECT_FALSE(spec.fully_assigned());
+}
+
+TEST(DistSpec, AdjustRecomputesForNewTaskCount) {
+  const std::array<Index, 3> shadow{1, 1, 1};
+  const DistSpec spec8 = DistSpec::block_auto(grid3(32), 8, shadow);
+  const DistSpec spec6 = spec8.adjust(6);
+  EXPECT_EQ(spec6.task_count(), 6);
+  EXPECT_TRUE(spec6.fully_assigned());
+  // Shadow width is preserved by the recipe.
+  EXPECT_GT(spec6.mapped_element_total(), spec6.assigned_element_total());
+}
+
+TEST(DistSpec, AdjustOnHandBuiltSpecThrows) {
+  const Slice box{{Range::contiguous(0, 9)}};
+  std::vector<TaskSection> sections{
+      {box, box},
+  };
+  const DistSpec spec(box, std::move(sections));
+  EXPECT_THROW((void)spec.adjust(2), Error);
+}
+
+TEST(DistSpec, BlockAutoOneTaskOwnsEverything) {
+  const std::array<Index, 3> shadow{0, 0, 0};
+  const DistSpec spec = DistSpec::block_auto(grid3(8), 1, shadow);
+  EXPECT_EQ(spec.assigned(0), grid3(8));
+  EXPECT_EQ(spec.mapped(0), grid3(8));
+}
+
+}  // namespace

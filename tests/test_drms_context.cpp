@@ -1,0 +1,351 @@
+// Tests for the public DRMS API (DrmsProgram / DrmsContext): the Figure-1
+// application skeleton, restart status/delta semantics, system-enabled
+// checkpoints, multiple concurrent checkpoint prefixes, and the SPMD mode.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+
+#include "core/drms_context.hpp"
+#include "support/error.hpp"
+#include "rt/task_group.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::cube;
+using drms::test::placement_of;
+using drms::test::tag_of;
+
+constexpr Index kN = 8;
+constexpr int kIters = 25;
+constexpr int kCheckpointEvery = 10;
+
+AppSegmentModel tiny_segment() {
+  AppSegmentModel m;
+  m.static_local_bytes = 32 * 1024;
+  m.private_bytes = 8 * 1024;
+  m.system_bytes = 16 * 1024;
+  m.text_bytes = 4 * 1024;
+  return m;
+}
+
+/// The per-element update each "iteration" applies. Element-local, so a
+/// field value after k iterations is a pure function of its tag — bitwise
+/// reproducible on any task count.
+double step(double v) { return v * 1.01 + 0.5; }
+
+double expected_after(double tag, int iters) {
+  double v = tag;
+  for (int i = 0; i < iters; ++i) {
+    v = step(v);
+  }
+  return v;
+}
+
+struct MiniAppResult {
+  std::int64_t start_iteration = 0;
+  int delta = 0;
+  bool restarted = false;
+  int checkpoints = 0;
+  /// Elements whose final value differs (bitwise) from expected_after(tag,
+  /// validate_iters); -1 when validation was skipped.
+  int mismatches = -1;
+};
+
+/// A miniature solver in the Figure-1 shape: SOP (checkpoint site) at the
+/// top of every kCheckpointEvery-th iteration, element-local updates in
+/// between.
+MiniAppResult run_mini_app(Volume& volume, int tasks,
+                           const std::string& prefix,
+                           const std::string& restart_from,
+                           int stop_after_iter = kIters,
+                           int validate_iters = -1,
+                           CheckpointMode mode = CheckpointMode::kDrms) {
+  DrmsEnv env;
+  env.volume = &volume;
+  env.restart_prefix = restart_from;
+  env.mode = mode;
+  DrmsProgram program("mini", env, tiny_segment(), tasks);
+
+  MiniAppResult out;
+  std::atomic<int> total_mismatches{0};
+  std::atomic<int> checkpoints{0};
+  TaskGroup group(placement_of(tasks));
+  const auto result = group.run([&](TaskContext& tctx) {
+    DrmsContext drms(program, tctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    const DistSpec spec =
+        DistSpec::block_auto(cube(kN), tasks, std::vector<Index>(3, 0));
+    drms.distribute(u, spec);
+
+    if (!drms.restarted()) {
+      const Slice& assigned = spec.assigned(tctx.rank());
+      assigned.for_each_column_major([&](std::span<const Index> p) {
+        u.local(tctx.rank()).set_f64(p, tag_of(p));
+      });
+      tctx.barrier();
+    }
+    if (tctx.rank() == 0) {
+      out.restarted = drms.restarted();
+      out.start_iteration = it;
+      out.delta = drms.delta();
+    }
+
+    while (it < stop_after_iter) {
+      if (it > 0 && it % kCheckpointEvery == 0) {
+        const ReconfigResult r = drms.reconfig_checkpoint(prefix);
+        if (tctx.rank() == 0 && r.checkpoint_written) {
+          checkpoints.fetch_add(1);
+        }
+      }
+      const Slice& assigned = u.distribution().assigned(tctx.rank());
+      assigned.for_each_column_major([&](std::span<const Index> p) {
+        u.local(tctx.rank()).set_f64(p, step(u.local(tctx.rank())
+                                                 .get_f64(p)));
+      });
+      tctx.barrier();
+      ++it;
+    }
+
+    if (validate_iters >= 0) {
+      int bad = 0;
+      const Slice& assigned = u.distribution().assigned(tctx.rank());
+      assigned.for_each_column_major([&](std::span<const Index> p) {
+        if (u.local(tctx.rank()).get_f64(p) !=
+            expected_after(tag_of(p), validate_iters)) {
+          ++bad;
+        }
+      });
+      total_mismatches.fetch_add(bad);
+    }
+  });
+  EXPECT_TRUE(result.completed) << result.kill_reason;
+  out.checkpoints = checkpoints.load();
+  if (validate_iters >= 0) {
+    out.mismatches = total_mismatches.load();
+  }
+  return out;
+}
+
+TEST(DrmsContext, FreshRunWritesCheckpointsAndComputesCorrectly) {
+  Volume volume(16);
+  const auto r = run_mini_app(volume, 4, "ck", "", kIters, kIters);
+  EXPECT_FALSE(r.restarted);
+  EXPECT_EQ(r.start_iteration, 0);
+  EXPECT_EQ(r.checkpoints, 2);  // SOPs at it=10 and it=20
+  EXPECT_EQ(r.mismatches, 0);
+  EXPECT_TRUE(checkpoint_exists(volume, "ck"));
+}
+
+TEST(DrmsContext, RestartResumesAtCheckpointIteration) {
+  Volume volume(16);
+  (void)run_mini_app(volume, 4, "ck", "");  // last checkpoint at it=20
+  const auto r = run_mini_app(volume, 4, "ck2", "ck");
+  EXPECT_TRUE(r.restarted);
+  EXPECT_EQ(r.start_iteration, 20);
+  EXPECT_EQ(r.delta, 0);
+}
+
+/// The core reproduction invariant: an interrupted run restarted on ANY
+/// task count produces bitwise the field of an uninterrupted run.
+class DrmsContextReconfig
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DrmsContextReconfig, RestartMatchesUninterruptedRun) {
+  const auto [t1, t2] = GetParam();
+
+  // Interrupted: run just past the it=20 SOP on t1 tasks, then restart on
+  // t2 tasks from that checkpoint and finish all kIters iterations.
+  Volume volume(16);
+  (void)run_mini_app(volume, t1, "ck", "", /*stop_after_iter=*/21);
+  const auto resumed =
+      run_mini_app(volume, t2, "ck2", "ck", kIters, kIters);
+  EXPECT_TRUE(resumed.restarted);
+  EXPECT_EQ(resumed.start_iteration, 20);
+  EXPECT_EQ(resumed.delta, t2 - t1);
+  EXPECT_EQ(resumed.mismatches, 0)
+      << "restarted field must match the uninterrupted run bitwise";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TaskCounts, DrmsContextReconfig,
+    ::testing::Values(std::make_pair(4, 4), std::make_pair(4, 2),
+                      std::make_pair(2, 6), std::make_pair(8, 3),
+                      std::make_pair(1, 5), std::make_pair(6, 1)));
+
+TEST(DrmsContext, FirstCheckpointCallAfterRestartDoesNotWrite) {
+  Volume volume(16);
+  (void)run_mini_app(volume, 4, "ck", "", 21);
+  // The resumed run's first SOP is the one it restarted from (it=20): it
+  // must report Restarted and write nothing.
+  const auto r = run_mini_app(volume, 5, "ck2", "ck", kIters);
+  EXPECT_EQ(r.checkpoints, 0);
+  EXPECT_FALSE(checkpoint_exists(volume, "ck2"));
+}
+
+TEST(DrmsContext, SpmdModeRoundTripSameTasks) {
+  Volume volume(16);
+  const auto fresh = run_mini_app(volume, 4, "sp", "", kIters, kIters,
+                                  CheckpointMode::kSpmd);
+  EXPECT_EQ(fresh.checkpoints, 2);
+  EXPECT_EQ(fresh.mismatches, 0);
+  EXPECT_TRUE(spmd_checkpoint_exists(volume, "sp"));
+
+  Volume volume2(16);
+  (void)run_mini_app(volume2, 4, "sp", "", 21, -1, CheckpointMode::kSpmd);
+  const auto resumed = run_mini_app(volume2, 4, "sp2", "sp", kIters,
+                                    kIters, CheckpointMode::kSpmd);
+  EXPECT_TRUE(resumed.restarted);
+  EXPECT_EQ(resumed.start_iteration, 20);
+  EXPECT_EQ(resumed.mismatches, 0);
+}
+
+TEST(DrmsContext, SpmdModeRejectsReconfiguredRestart) {
+  Volume volume(16);
+  (void)run_mini_app(volume, 4, "sp", "", 21, -1, CheckpointMode::kSpmd);
+
+  DrmsEnv env;
+  env.volume = &volume;
+  env.restart_prefix = "sp";
+  env.mode = CheckpointMode::kSpmd;
+  DrmsProgram program("mini", env, tiny_segment(), 6);
+  TaskGroup group(placement_of(6));
+  const auto result = group.run([&](TaskContext& tctx) {
+    DrmsContext drms(program, tctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    EXPECT_THROW(drms.initialize(), drms::support::Error);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(DrmsContext, ChkenableOnlyFiresWhenArmed) {
+  Volume volume(16);
+  DrmsEnv env;
+  env.volume = &volume;
+  DrmsProgram program("mini", env, tiny_segment(), 3);
+  TaskGroup group(placement_of(3));
+  const auto result = group.run([&](TaskContext& tctx) {
+    DrmsContext drms(program, tctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{3, 3, 3};
+    DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, DistSpec::block_auto(cube(4), 3,
+                                            std::vector<Index>(3, 0)));
+
+    // Not armed: no checkpoint.
+    auto r = drms.reconfig_chkenable("en");
+    EXPECT_FALSE(r.checkpoint_written);
+    EXPECT_FALSE(checkpoint_exists(volume, "en"));
+
+    // Arm from "the system" (rank 0 plays the JSA here); the next enabling
+    // point fires exactly once.
+    tctx.barrier();
+    if (tctx.rank() == 0) {
+      program.enable_checkpoint();
+    }
+    tctx.barrier();
+    r = drms.reconfig_chkenable("en");
+    EXPECT_TRUE(r.checkpoint_written);
+    r = drms.reconfig_chkenable("en");
+    EXPECT_FALSE(r.checkpoint_written);  // signal consumed
+  });
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(checkpoint_exists(volume, "en"));
+  EXPECT_EQ(program.checkpoints_written(), 1);
+}
+
+TEST(DrmsContext, MultipleCheckpointPrefixesCoexist) {
+  Volume volume(16);
+  (void)run_mini_app(volume, 4, "ckA", "", 21);
+  (void)run_mini_app(volume, 3, "ckB", "", 11);
+  EXPECT_TRUE(checkpoint_exists(volume, "ckA"));
+  EXPECT_TRUE(checkpoint_exists(volume, "ckB"));
+  const auto a = run_mini_app(volume, 2, "x", "ckA");
+  const auto b = run_mini_app(volume, 5, "y", "ckB");
+  EXPECT_EQ(a.start_iteration, 20);
+  EXPECT_EQ(b.start_iteration, 10);
+}
+
+TEST(DrmsContext, ArrayRedeclarationMismatchIsRejected) {
+  Volume volume(16);
+  DrmsEnv env;
+  env.volume = &volume;
+  DrmsProgram program("mini", env, tiny_segment(), 2);
+  TaskGroup group(placement_of(2));
+  const auto result = group.run([&](TaskContext& tctx) {
+    DrmsContext drms(program, tctx);
+    drms.initialize();
+    const std::array<Index, 2> lo{0, 0};
+    const std::array<Index, 2> hi{7, 7};
+    (void)drms.create_array("u", lo, hi);
+    const std::array<Index, 2> hi2{7, 9};
+    EXPECT_THROW((void)drms.create_array("u", lo, hi2),
+                 drms::support::ContractViolation);
+    EXPECT_THROW((void)drms.array("nonexistent"), drms::support::Error);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(DrmsContext, TimingAccountingWithCostModel) {
+  Volume volume(16);
+  const drms::sim::CostModel cost = drms::sim::CostModel::paper_sp16();
+  DrmsEnv env;
+  env.volume = &volume;
+  env.cost = &cost;
+  DrmsProgram program("mini", env, tiny_segment(), 4);
+  TaskGroup group(placement_of(4));
+  const auto result = group.run([&](TaskContext& tctx) {
+    DrmsContext drms(program, tctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, DistSpec::block_auto(cube(kN), 4,
+                                            std::vector<Index>(3, 0)));
+    (void)drms.reconfig_checkpoint("ck");
+  });
+  EXPECT_TRUE(result.completed);
+  const CheckpointTiming t = program.last_checkpoint_timing();
+  EXPECT_GT(t.segment_seconds, 0.0);
+  EXPECT_GT(t.arrays_seconds, 0.0);
+
+  DrmsEnv env2 = env;
+  env2.restart_prefix = "ck";
+  DrmsProgram program2("mini", env2, tiny_segment(), 2);
+  TaskGroup group2(placement_of(2));
+  const auto result2 = group2.run([&](TaskContext& tctx) {
+    DrmsContext drms(program2, tctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, DistSpec::block_auto(cube(kN), 2,
+                                            std::vector<Index>(3, 0)));
+  });
+  EXPECT_TRUE(result2.completed);
+  const RestartTiming rt = program2.last_restart_timing();
+  EXPECT_GT(rt.init_seconds, 0.0);
+  EXPECT_GT(rt.segment_seconds, 0.0);
+  EXPECT_GT(rt.arrays_seconds, 0.0);
+}
+
+}  // namespace

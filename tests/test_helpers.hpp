@@ -1,0 +1,63 @@
+// Shared helpers for the runtime/core integration tests.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/dist_array.hpp"
+#include "core/dist_spec.hpp"
+#include "rt/task_group.hpp"
+#include "sim/machine.hpp"
+
+namespace drms::test {
+
+inline sim::Placement placement_of(int tasks) {
+  sim::Machine machine = sim::Machine::paper_sp16();
+  if (tasks > machine.node_count) {
+    machine.node_count = tasks;
+    machine.server_count = tasks;
+  }
+  return sim::Placement::one_per_node(machine, tasks);
+}
+
+/// Position-identifying value: distinct for every multi-index.
+inline double tag_of(std::span<const core::Index> p) {
+  double v = 0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    v = v * 1000 + static_cast<double>(p[k] + 1);
+  }
+  return v;
+}
+
+/// Fill task `rank`'s assigned section with the tag pattern.
+inline void fill_assigned_tagged(core::DistArray& array, int rank) {
+  const core::Slice& assigned = array.distribution().assigned(rank);
+  core::LocalArray& local = array.local(rank);
+  assigned.for_each_column_major([&](std::span<const core::Index> p) {
+    local.set_f64(p, tag_of(p));
+  });
+}
+
+/// Check that task `rank`'s entire MAPPED section carries the tag pattern
+/// (i.e., shadows were updated consistently too). Returns mismatch count.
+inline int count_mapped_mismatches(const core::DistArray& array, int rank) {
+  const core::Slice& mapped = array.distribution().mapped(rank);
+  const core::LocalArray& local = array.local(rank);
+  int mismatches = 0;
+  mapped.for_each_column_major([&](std::span<const core::Index> p) {
+    if (local.get_f64(p) != tag_of(p)) {
+      ++mismatches;
+    }
+  });
+  return mismatches;
+}
+
+inline core::Slice cube(core::Index n, int rank_dims = 3) {
+  std::vector<core::Range> ranges;
+  for (int k = 0; k < rank_dims; ++k) {
+    ranges.push_back(core::Range::contiguous(0, n - 1));
+  }
+  return core::Slice(std::move(ranges));
+}
+
+}  // namespace drms::test

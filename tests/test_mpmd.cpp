@@ -1,0 +1,264 @@
+// Tests for MPMD applications (§2.2): multiple SPMD components with
+// their own distributed data sets, checkpointed at a globally consistent
+// SET of SOPs via the MpmdCoordinator, and restarted with individually
+// reconfigured task counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "core/drms_context.hpp"
+#include "core/mpmd.hpp"
+#include "rt/task_group.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+namespace sim = drms::sim;
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::test::cube;
+using drms::test::tag_of;
+
+constexpr Index kN = 6;
+
+AppSegmentModel tiny_segment() {
+  AppSegmentModel m;
+  m.static_local_bytes = 8 * 1024;
+  m.system_bytes = 8 * 1024;
+  return m;
+}
+
+sim::Placement nodes(std::vector<int> node_list) {
+  return sim::Placement(sim::Machine::paper_sp16(), std::move(node_list));
+}
+
+TEST(MpmdCoordinator, AlignsEpochsAcrossComponents) {
+  MpmdCoordinator coordinator({"flow", "structure"});
+  std::atomic<int> flow_epochs{0};
+  std::atomic<int> structure_epochs{0};
+
+  std::vector<MpmdComponent> components;
+  components.push_back(MpmdComponent{
+      "flow", nodes({0, 1, 2}),
+      [&](TaskContext& ctx, MpmdCoordinator& c) {
+        for (int i = 0; i < 5; ++i) {
+          const auto epoch = c.arrive("flow", ctx);
+          EXPECT_EQ(epoch, i);
+          if (ctx.rank() == 0) {
+            flow_epochs.fetch_add(1);
+          }
+        }
+      }});
+  components.push_back(MpmdComponent{
+      "structure", nodes({3, 4}),
+      [&](TaskContext& ctx, MpmdCoordinator& c) {
+        for (int i = 0; i < 5; ++i) {
+          const auto epoch = c.arrive("structure", ctx);
+          EXPECT_EQ(epoch, i);
+          if (ctx.rank() == 0) {
+            structure_epochs.fetch_add(1);
+          }
+        }
+      }});
+
+  const MpmdResult result = run_mpmd(std::move(components), coordinator);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(coordinator.epochs_completed(), 5);
+  EXPECT_EQ(flow_epochs.load(), 5);
+  EXPECT_EQ(structure_epochs.load(), 5);
+}
+
+TEST(MpmdCoordinator, UnknownComponentIsRejected) {
+  MpmdCoordinator coordinator({"only"});
+  drms::rt::TaskGroup group(nodes({0}));
+  const auto result = group.run([&](TaskContext& ctx) {
+    EXPECT_THROW((void)coordinator.arrive("other", ctx),
+                 drms::support::ContractViolation);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(MpmdCoordinator, KilledComponentDoesNotWedgeTheOther) {
+  // Component "a" arrives at the coordinator; component "b" dies before
+  // arriving. The RC would kill every component of the application on a
+  // component failure; the test plays that role, and "a" must unwind
+  // through the kill-aware coordinator wait instead of wedging.
+  MpmdCoordinator coordinator({"a", "b"});
+  drms::rt::TaskGroup* group_a = nullptr;
+  drms::rt::TaskGroup ga(nodes({0, 1}));
+  drms::rt::TaskGroup gb(nodes({2}));
+  group_a = &ga;
+  std::thread ta([&] {
+    const auto r = ga.run([&](TaskContext& ctx) {
+      (void)coordinator.arrive("a", ctx);
+    });
+    EXPECT_TRUE(r.killed);
+  });
+  std::thread tb([&] {
+    const auto r = gb.run([&](TaskContext& ctx) {
+      (void)ctx;
+      throw drms::support::Error("component b failed");
+    });
+    EXPECT_TRUE(r.killed);
+    // The RC would now kill every component of the application:
+    group_a->kill("sibling MPMD component failed");
+  });
+  ta.join();
+  tb.join();
+}
+
+/// One SPMD component of a small coupled application: its own array, its
+/// own checkpoint prefix, coordinated SOPs every 2 iterations.
+void component_body(DrmsProgram& program, TaskContext& ctx,
+                    MpmdCoordinator& coordinator, const std::string& name,
+                    double seed_scale, int iterations,
+                    const std::string& prefix) {
+  DrmsContext drms(program, ctx);
+  std::int64_t it = 0;
+  drms.store().register_i64("it", &it);
+  drms.initialize();
+
+  const std::array<Index, 3> lo{0, 0, 0};
+  const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+  DistArray& u = drms.create_array("u", lo, hi);
+  drms.distribute(u, DistSpec::block_auto(cube(kN), ctx.size(),
+                                          std::vector<Index>(3, 0)));
+  if (!drms.restarted()) {
+    const Slice& mine = u.distribution().assigned(ctx.rank());
+    mine.for_each_column_major([&](std::span<const Index> p) {
+      u.local(ctx.rank()).set_f64(p, seed_scale * tag_of(p));
+    });
+    ctx.barrier();
+  }
+
+  while (it < iterations) {
+    if (it > 0 && it % 2 == 0) {
+      // Globally consistent point: a SET of SOPs, one per component.
+      (void)coordinator.arrive(name, ctx);
+      (void)drms.reconfig_checkpoint(
+          mpmd_component_prefix(prefix, name));
+    }
+    const Slice& mine = u.distribution().assigned(ctx.rank());
+    mine.for_each_column_major([&](std::span<const Index> p) {
+      u.local(ctx.rank())
+          .set_f64(p, u.local(ctx.rank()).get_f64(p) * 1.02 + 0.1);
+    });
+    ctx.barrier();
+    ++it;
+  }
+}
+
+double component_digest(DrmsProgram& program, TaskContext& ctx) {
+  double sum = 0;
+  if (ctx.rank() == 0) {
+    DrmsContext view(program, ctx);
+    DistArray& u = view.array("u");
+    cube(kN).for_each_column_major(
+        [&](std::span<const Index> p) { sum += u.get_f64(p); });
+  }
+  ctx.barrier();
+  return sum;
+}
+
+TEST(Mpmd, CoordinatedCheckpointAndIndividuallyReconfiguredRestart) {
+  constexpr int kIters = 7;
+  Volume volume(16);
+
+  // Reference digests from uninterrupted runs.
+  double ref_flow = 0;
+  double ref_structure = 0;
+  {
+    Volume ref_volume(16);
+    MpmdCoordinator coordinator({"flow", "structure"});
+    DrmsEnv env;
+    env.volume = &ref_volume;
+    DrmsProgram flow("flow", env, tiny_segment(), 3);
+    DrmsProgram structure("structure", env, tiny_segment(), 2);
+    std::vector<MpmdComponent> components;
+    components.push_back(MpmdComponent{
+        "flow", nodes({0, 1, 2}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(flow, ctx, c, "flow", 1.0, kIters, "ref");
+          const double d = component_digest(flow, ctx);
+          if (ctx.rank() == 0) ref_flow = d;
+        }});
+    components.push_back(MpmdComponent{
+        "structure", nodes({3, 4}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(structure, ctx, c, "structure", 3.0, kIters,
+                         "ref");
+          const double d = component_digest(structure, ctx);
+          if (ctx.rank() == 0) ref_structure = d;
+        }});
+    ASSERT_TRUE(run_mpmd(std::move(components), coordinator).completed);
+  }
+
+  // Interrupted run: checkpoints at the coordinated it=2,4,6 SOPs; stop
+  // right after the it=6 epoch (stop at 7 would finish; use iterations=7
+  // then kill? simpler: run only to it=6 by passing iterations=6 — the
+  // epoch at it=6 is then never reached, so use 7 with stop... we run the
+  // full 7 here and restart from the it=6 state anyway).
+  {
+    MpmdCoordinator coordinator({"flow", "structure"});
+    DrmsEnv env;
+    env.volume = &volume;
+    DrmsProgram flow("flow", env, tiny_segment(), 3);
+    DrmsProgram structure("structure", env, tiny_segment(), 2);
+    std::vector<MpmdComponent> components;
+    components.push_back(MpmdComponent{
+        "flow", nodes({0, 1, 2}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(flow, ctx, c, "flow", 1.0, kIters, "mp");
+        }});
+    components.push_back(MpmdComponent{
+        "structure", nodes({3, 4}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(structure, ctx, c, "structure", 3.0, kIters,
+                         "mp");
+        }});
+    ASSERT_TRUE(run_mpmd(std::move(components), coordinator).completed);
+    EXPECT_TRUE(checkpoint_exists(volume, "mp.flow"));
+    EXPECT_TRUE(checkpoint_exists(volume, "mp.structure"));
+  }
+
+  // Restart: flow SHRINKS 3 -> 2 tasks, structure GROWS 2 -> 4 tasks —
+  // individually reconfigured, from the consistent it=6 epoch.
+  {
+    MpmdCoordinator coordinator({"flow", "structure"});
+    DrmsEnv flow_env;
+    flow_env.volume = &volume;
+    flow_env.restart_prefix = "mp.flow";
+    DrmsEnv structure_env;
+    structure_env.volume = &volume;
+    structure_env.restart_prefix = "mp.structure";
+    DrmsProgram flow("flow", flow_env, tiny_segment(), 2);
+    DrmsProgram structure("structure", structure_env, tiny_segment(), 4);
+    double flow_digest = 0;
+    double structure_digest = 0;
+    std::vector<MpmdComponent> components;
+    components.push_back(MpmdComponent{
+        "flow", nodes({0, 1}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(flow, ctx, c, "flow", 1.0, kIters, "mp2");
+          const double d = component_digest(flow, ctx);
+          if (ctx.rank() == 0) flow_digest = d;
+        }});
+    components.push_back(MpmdComponent{
+        "structure", nodes({2, 3, 4, 5}),
+        [&](TaskContext& ctx, MpmdCoordinator& c) {
+          component_body(structure, ctx, c, "structure", 3.0, kIters,
+                         "mp2");
+          const double d = component_digest(structure, ctx);
+          if (ctx.rank() == 0) structure_digest = d;
+        }});
+    ASSERT_TRUE(run_mpmd(std::move(components), coordinator).completed);
+    EXPECT_EQ(flow_digest, ref_flow);
+    EXPECT_EQ(structure_digest, ref_structure);
+  }
+}
+
+}  // namespace

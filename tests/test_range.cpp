@@ -1,0 +1,218 @@
+// Tests for the Range algebra (§3.1): construction, membership,
+// intersection (including the paper's worked example), splitting, and
+// normalization — plus parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include "core/range.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::support::ContractViolation;
+
+TEST(Range, EmptyRange) {
+  const Range r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+  EXPECT_FALSE(r.contains(0));
+  EXPECT_EQ(r.to_string(), "{}");
+}
+
+TEST(Range, ContiguousBasics) {
+  const Range r = Range::contiguous(3, 7);
+  EXPECT_EQ(r.size(), 5);
+  EXPECT_EQ(r.first(), 3);
+  EXPECT_EQ(r.last(), 7);
+  EXPECT_TRUE(r.contains(5));
+  EXPECT_FALSE(r.contains(8));
+  EXPECT_TRUE(r.is_contiguous());
+  EXPECT_EQ(r.to_string(), "3:7");
+  EXPECT_EQ(r.position_of(3), 0);
+  EXPECT_EQ(r.position_of(7), 4);
+  EXPECT_FALSE(r.position_of(8).has_value());
+}
+
+TEST(Range, ReversedBoundsAreEmpty) {
+  EXPECT_TRUE(Range::contiguous(5, 4).empty());
+}
+
+TEST(Range, StridedBasics) {
+  const Range r = Range::strided(0, 10, 3);  // {0,3,6,9}
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_EQ(r.at(2), 6);
+  EXPECT_TRUE(r.contains(9));
+  EXPECT_FALSE(r.contains(10));
+  EXPECT_FALSE(r.is_contiguous());
+  EXPECT_TRUE(r.is_regular());
+  EXPECT_EQ(r.stride(), 3);
+  EXPECT_EQ(r.to_string(), "0:9:3");
+}
+
+TEST(Range, StrideMustBePositive) {
+  EXPECT_THROW((void)Range::strided(0, 10, 0), ContractViolation);
+}
+
+TEST(Range, IndexListBasics) {
+  const Range r = Range::of_indices({8, 9, 10, 12});
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_EQ(r.at(3), 12);
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_FALSE(r.contains(11));
+  EXPECT_EQ(r.to_string(), "{8,9,10,12}");
+}
+
+TEST(Range, IndexListMustBeStrictlyIncreasing) {
+  EXPECT_THROW((void)Range::of_indices({1, 1}), ContractViolation);
+  EXPECT_THROW((void)Range::of_indices({3, 2}), ContractViolation);
+}
+
+TEST(Range, ArithmeticListNormalizesToRegular) {
+  const Range r = Range::of_indices({2, 5, 8, 11});
+  EXPECT_TRUE(r.is_regular());
+  EXPECT_EQ(r.stride(), 3);
+  EXPECT_EQ(r, Range::strided(2, 11, 3));
+}
+
+TEST(Range, IntersectionContiguous) {
+  const Range a = Range::contiguous(0, 10);
+  const Range b = Range::contiguous(5, 20);
+  EXPECT_EQ(a * b, Range::contiguous(5, 10));
+  EXPECT_TRUE((a * Range::contiguous(11, 12)).empty());
+}
+
+TEST(Range, IntersectionMixed) {
+  const Range a = Range::strided(0, 20, 2);      // evens
+  const Range b = Range::contiguous(3, 9);       // 3..9
+  EXPECT_EQ(a * b, Range::of_indices({4, 6, 8}));
+
+  const Range c = Range::of_indices({1, 4, 6, 22});
+  EXPECT_EQ(a * c, Range::of_indices({4, 6}));
+}
+
+TEST(Range, IntersectionIsCommutative) {
+  const Range a = Range::strided(0, 30, 3);
+  const Range b = Range::of_indices({3, 5, 9, 12, 13});
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST(Range, PaperWorkedExample) {
+  // Figure 2's slice (3): rows {8,9,10,12}, columns {16,18,19,20,22}.
+  const Range rows = Range::of_indices({8, 9, 10, 12});
+  const Range cols = Range::of_indices({16, 18, 19, 20, 22});
+  EXPECT_EQ(rows.size(), 4);
+  EXPECT_EQ(cols.size(), 5);
+  // Intersection with a regular section picks out the common elements.
+  EXPECT_EQ(rows * Range::contiguous(9, 11), Range::of_indices({9, 10}));
+}
+
+TEST(Range, TakeAndDrop) {
+  const Range r = Range::strided(10, 30, 5);  // {10,15,20,25,30}
+  EXPECT_EQ(r.take(2), Range::strided(10, 15, 5));
+  EXPECT_EQ(r.drop(2), Range::strided(20, 30, 5));
+  EXPECT_TRUE(r.take(0).empty());
+  EXPECT_EQ(r.drop(0), r);
+  EXPECT_THROW((void)r.take(6), ContractViolation);
+}
+
+TEST(Range, SplitHalf) {
+  const auto [lo, hi] = Range::contiguous(0, 8).split_half();  // 9 elements
+  EXPECT_EQ(lo, Range::contiguous(0, 4));  // ceil(9/2) = 5
+  EXPECT_EQ(hi, Range::contiguous(5, 8));
+
+  const auto [l1, h1] = Range::single(3).split_half();
+  EXPECT_EQ(l1, Range::single(3));
+  EXPECT_TRUE(h1.empty());
+}
+
+TEST(Range, ToVector) {
+  EXPECT_EQ(Range::strided(1, 7, 2).to_vector(),
+            (std::vector<Index>{1, 3, 5, 7}));
+}
+
+/// Property sweep: intersection behaves as set intersection for randomized
+/// range pairs of every representation.
+class RangeIntersectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeIntersectionProperty, MatchesSetSemantics) {
+  drms::support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto random_range = [&rng]() -> Range {
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        return Range::contiguous(rng.uniform_int(-20, 20),
+                                 rng.uniform_int(-20, 40));
+      case 1:
+        return Range::strided(rng.uniform_int(-20, 0),
+                              rng.uniform_int(0, 40),
+                              rng.uniform_int(1, 5));
+      default: {
+        std::vector<Index> v;
+        Index x = rng.uniform_int(-20, 0);
+        const Index n = rng.uniform_int(0, 15);
+        for (Index i = 0; i < n; ++i) {
+          x += rng.uniform_int(1, 4);
+          v.push_back(x);
+        }
+        return Range::of_indices(std::move(v));
+      }
+    }
+  };
+
+  for (int iter = 0; iter < 50; ++iter) {
+    const Range a = random_range();
+    const Range b = random_range();
+    const Range i = a * b;
+    // Every element of the intersection is in both; no element of a that
+    // is also in b is missing; order is increasing.
+    Index prev = std::numeric_limits<Index>::min();
+    for (Index k = 0; k < i.size(); ++k) {
+      const Index v = i.at(k);
+      EXPECT_TRUE(a.contains(v));
+      EXPECT_TRUE(b.contains(v));
+      EXPECT_GT(v, prev);
+      prev = v;
+    }
+    Index common = 0;
+    for (Index k = 0; k < a.size(); ++k) {
+      if (b.contains(a.at(k))) {
+        ++common;
+      }
+    }
+    EXPECT_EQ(i.size(), common);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeIntersectionProperty,
+                         ::testing::Range(1, 9));
+
+/// Property sweep: split_half + take/drop partition the range.
+class RangeSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeSplitProperty, HalvesPartitionTheRange) {
+  drms::support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Range r = Range::strided(rng.uniform_int(-10, 10),
+                                   rng.uniform_int(10, 60),
+                                   rng.uniform_int(1, 4));
+    if (r.empty()) {
+      continue;
+    }
+    const auto [lo, hi] = r.split_half();
+    EXPECT_EQ(lo.size() + hi.size(), r.size());
+    EXPECT_GE(lo.size(), hi.size());
+    EXPECT_LE(lo.size() - hi.size(), 1);
+    if (!hi.empty()) {
+      EXPECT_LT(lo.last(), hi.first());
+    }
+    // Concatenation preserves the element sequence.
+    std::vector<Index> cat = lo.to_vector();
+    const auto hv = hi.to_vector();
+    cat.insert(cat.end(), hv.begin(), hv.end());
+    EXPECT_EQ(cat, r.to_vector());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSplitProperty, ::testing::Range(1, 7));
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for sequential (no-seek) channels and serial streaming through
+// them — the paper's socket/tape claim for P = 1 streaming, and the
+// inter-application communication path built on the same machinery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "core/redistribute.hpp"
+#include "core/sequential_channel.hpp"
+#include "core/streamer.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::count_mapped_mismatches;
+using drms::test::cube;
+using drms::test::fill_assigned_tagged;
+using drms::test::placement_of;
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(InMemoryPipe, WriteThenRead) {
+  InMemoryPipe pipe;
+  pipe.write(bytes_of("hello "));
+  pipe.write(bytes_of("world"));
+  std::vector<std::byte> out(11);
+  pipe.read(out);
+  EXPECT_EQ(std::memcmp(out.data(), "hello world", 11), 0);
+  EXPECT_EQ(pipe.bytes_transferred(), 11u);
+}
+
+TEST(InMemoryPipe, BlocksWhenFullUntilDrained) {
+  InMemoryPipe pipe(/*capacity=*/8);
+  std::thread writer([&] {
+    pipe.write(bytes_of("0123456789abcdef"));  // 16 > capacity
+    pipe.close();
+  });
+  std::vector<std::byte> out(16);
+  pipe.read(out);
+  writer.join();
+  EXPECT_EQ(std::memcmp(out.data(), "0123456789abcdef", 16), 0);
+}
+
+TEST(InMemoryPipe, PrematureCloseThrowsOnRead) {
+  InMemoryPipe pipe;
+  pipe.write(bytes_of("abc"));
+  pipe.close();
+  std::vector<std::byte> out(10);
+  EXPECT_THROW(pipe.read(out), drms::support::IoError);
+}
+
+TEST(InMemoryPipe, WriteAfterCloseThrows) {
+  InMemoryPipe pipe;
+  pipe.close();
+  EXPECT_THROW(pipe.write(bytes_of("x")), drms::support::IoError);
+}
+
+TEST(FileChannel, SinkThenSourceRoundTrip) {
+  Volume volume(4);
+  volume.create("tape");
+  FileSink sink(volume.open("tape"));
+  sink.write(bytes_of("record-1"));
+  sink.write(bytes_of("record-2"));
+
+  FileSource source(volume.open("tape"));
+  std::vector<std::byte> out(16);
+  source.read(out);
+  EXPECT_EQ(std::memcmp(out.data(), "record-1record-2", 16), 0);
+  std::vector<std::byte> more(1);
+  EXPECT_THROW(source.read(more), drms::support::IoError);
+}
+
+TEST(SequentialStreaming, MatchesParallelFileBytes) {
+  // Stream the same tagged array (a) in parallel to a file and (b)
+  // serially through a tape-like sink; byte streams must be identical.
+  constexpr int kP = 4;
+  const Slice box = cube(8);
+  Volume volume(16);
+  volume.create("parallel");
+  volume.create("tape");
+
+  TaskGroup group(placement_of(kP));
+  DistArray array("u", box, sizeof(double), kP);
+  const auto result = group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(
+          DistSpec::block_auto(box, kP, std::vector<Index>(3, 1)));
+    }
+    ctx.barrier();
+    fill_assigned_tagged(array, ctx.rank());
+    ctx.barrier();
+
+    const ArrayStreamer streamer(nullptr, {}, 700);
+    streamer.write_section(ctx, array, box, volume.open("parallel"), 0,
+                           kP);
+    ctx.barrier();
+    FileSink sink(volume.open("tape"));
+    streamer.write_section_sequential(ctx, array, box, sink);
+  });
+  ASSERT_TRUE(result.completed);
+
+  const auto par = volume.open("parallel");
+  const auto tape = volume.open("tape");
+  ASSERT_EQ(par.size(), tape.size());
+  EXPECT_EQ(par.read_at(0, par.size()), tape.read_at(0, tape.size()));
+}
+
+TEST(SequentialStreaming, ReadBackScattersCorrectly) {
+  constexpr int kP = 3;
+  const Slice box = cube(8);
+  Volume volume(16);
+  volume.create("tape");
+
+  // Producer group writes the stream...
+  {
+    TaskGroup group(placement_of(2));
+    DistArray array("u", box, sizeof(double), 2);
+    const auto result = group.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        array.install_distribution(
+            DistSpec::block_auto(box, 2, std::vector<Index>(3, 0)));
+      }
+      ctx.barrier();
+      fill_assigned_tagged(array, ctx.rank());
+      ctx.barrier();
+      const ArrayStreamer streamer(nullptr, {});
+      FileSink sink(volume.open("tape"));
+      streamer.write_section_sequential(ctx, array, box, sink);
+    });
+    ASSERT_TRUE(result.completed);
+  }
+  // ...a differently-sized consumer group reads it back sequentially.
+  {
+    TaskGroup group(placement_of(kP));
+    DistArray array("v", box, sizeof(double), kP);
+    const auto result = group.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        array.install_distribution(
+            DistSpec::block_auto(box, kP, std::vector<Index>(3, 1)));
+      }
+      ctx.barrier();
+      const ArrayStreamer streamer(nullptr, {});
+      FileSource source(volume.open("tape"));
+      streamer.read_section_sequential(ctx, array, box, source);
+      ctx.barrier();
+      EXPECT_EQ(count_mapped_mismatches(array, ctx.rank()), 0);
+    });
+    ASSERT_TRUE(result.completed);
+  }
+}
+
+TEST(SequentialStreaming, InterApplicationPipeTransfer) {
+  // Two concurrently running "applications" (task groups) exchange a
+  // distributed array section through a socket-like pipe — the paper's
+  // inter-application communication use of the streaming operations.
+  const Slice box = cube(6);
+  InMemoryPipe pipe(/*capacity=*/4096);
+
+  TaskGroup producer(placement_of(2));
+  TaskGroup consumer(placement_of(4));
+  DistArray source_array("a", box, sizeof(double), 2);
+  DistArray dest_array("b", box, sizeof(double), 4);
+
+  std::thread producer_thread([&] {
+    const auto result = producer.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        source_array.install_distribution(
+            DistSpec::block_auto(box, 2, std::vector<Index>(3, 0)));
+      }
+      ctx.barrier();
+      fill_assigned_tagged(source_array, ctx.rank());
+      ctx.barrier();
+      const ArrayStreamer streamer(nullptr, {}, 512);
+      streamer.write_section_sequential(ctx, source_array, box,
+                                        pipe.sink());
+      if (ctx.rank() == 0) {
+        pipe.close();
+      }
+    });
+    EXPECT_TRUE(result.completed);
+  });
+
+  const auto result = consumer.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      dest_array.install_distribution(
+          DistSpec::block_auto(box, 4, std::vector<Index>(3, 1)));
+    }
+    ctx.barrier();
+    const ArrayStreamer streamer(nullptr, {}, 512);
+    streamer.read_section_sequential(ctx, dest_array, box, pipe.source());
+    ctx.barrier();
+    EXPECT_EQ(count_mapped_mismatches(dest_array, ctx.rank()), 0);
+  });
+  producer_thread.join();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(pipe.bytes_transferred(),
+            static_cast<std::uint64_t>(box.element_count()) *
+                sizeof(double));
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Tests for Slices and the stream-order partitioner (Fig. 5a): rank/size,
+// intersection, column-major enumeration, stream splitting, and the
+// partition invariants the parallel streaming engine depends on.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/slice.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::support::ContractViolation;
+
+Slice box2(Index r0, Index r1, Index c0, Index c1) {
+  return Slice({Range::contiguous(r0, r1), Range::contiguous(c0, c1)});
+}
+
+TEST(Slice, BasicProperties) {
+  const Slice s = box2(0, 3, 10, 14);
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.element_count(), 4 * 5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.to_string(), "(0:3, 10:14)");
+}
+
+TEST(Slice, EmptyOfRank) {
+  const Slice s = Slice::empty_of_rank(3);
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, BoxFactory) {
+  const std::array<Index, 3> lo{0, 0, 0};
+  const std::array<Index, 3> hi{63, 63, 63};
+  const Slice s = Slice::box(lo, hi);
+  EXPECT_EQ(s.element_count(), 64 * 64 * 64);
+}
+
+TEST(Slice, PaperSliceExample) {
+  // s = ((8,9,10,12), (16,18,19,20,22)) from §3.1: |s| = 2, 20 elements.
+  const Slice s{{Range::of_indices({8, 9, 10, 12}),
+                 Range::of_indices({16, 18, 19, 20, 22})}};
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.element_count(), 20);
+}
+
+TEST(Slice, IntersectionPerAxis) {
+  const Slice a = box2(0, 10, 0, 10);
+  const Slice b = box2(5, 20, 8, 9);
+  EXPECT_EQ(a * b, box2(5, 10, 8, 9));
+  EXPECT_TRUE((a * box2(11, 12, 0, 10)).empty());
+}
+
+TEST(Slice, IntersectionRankMismatchThrows) {
+  const Slice a = box2(0, 1, 0, 1);
+  const Slice b{{Range::contiguous(0, 1)}};
+  EXPECT_THROW((void)a.intersect(b), ContractViolation);
+}
+
+TEST(Slice, ContainsAndCovers) {
+  const Slice s = box2(0, 4, 0, 4);
+  const std::array<Index, 2> inside{2, 3};
+  const std::array<Index, 2> outside{2, 5};
+  EXPECT_TRUE(s.contains(inside));
+  EXPECT_FALSE(s.contains(outside));
+  EXPECT_TRUE(s.covers(box2(1, 2, 3, 4)));
+  EXPECT_FALSE(s.covers(box2(1, 2, 3, 5)));
+  EXPECT_TRUE(s.covers(Slice::empty_of_rank(2)));
+}
+
+TEST(Slice, ColumnMajorEnumerationOrder) {
+  const Slice s = box2(0, 1, 10, 11);
+  std::vector<std::pair<Index, Index>> visited;
+  s.for_each_column_major([&](std::span<const Index> p) {
+    visited.emplace_back(p[0], p[1]);
+  });
+  // Axis 0 varies fastest (FORTRAN order).
+  const std::vector<std::pair<Index, Index>> expected{
+      {0, 10}, {1, 10}, {0, 11}, {1, 11}};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(Slice, SplitStreamHalfSplitsSlowestAxis) {
+  const Slice s = box2(0, 3, 0, 3);
+  const auto [lo, hi] = s.split_stream_half();
+  // The slowest axis (axis 1) is halved.
+  EXPECT_EQ(lo, box2(0, 3, 0, 1));
+  EXPECT_EQ(hi, box2(0, 3, 2, 3));
+}
+
+TEST(Slice, SplitStreamHalfFallsThroughSingletonAxes) {
+  // Slowest axis has one element -> the split happens on axis 0.
+  const Slice s{{Range::contiguous(0, 5), Range::single(7)}};
+  const auto [lo, hi] = s.split_stream_half();
+  EXPECT_EQ(lo, (Slice{{Range::contiguous(0, 2), Range::single(7)}}));
+  EXPECT_EQ(hi, (Slice{{Range::contiguous(3, 5), Range::single(7)}}));
+}
+
+TEST(Slice, SplitSingleElementThrows) {
+  const Slice s{{Range::single(0), Range::single(0)}};
+  EXPECT_THROW((void)s.split_stream_half(), ContractViolation);
+}
+
+/// Enumerate the full element stream of a slice (column-major).
+std::vector<std::vector<Index>> stream_of(const Slice& s) {
+  std::vector<std::vector<Index>> out;
+  s.for_each_column_major([&](std::span<const Index> p) {
+    out.emplace_back(p.begin(), p.end());
+  });
+  return out;
+}
+
+TEST(Partition, ConcatenationPreservesStreamOrder) {
+  const Slice s = box2(0, 7, 0, 7);
+  const auto parts = partition_for_stream(s, 4, 10);
+  EXPECT_GE(parts.size(), 4u);
+  std::vector<std::vector<Index>> cat;
+  for (const auto& part : parts) {
+    EXPECT_LE(part.element_count(), 10);
+    EXPECT_FALSE(part.empty());
+    const auto sub = stream_of(part);
+    cat.insert(cat.end(), sub.begin(), sub.end());
+  }
+  EXPECT_EQ(cat, stream_of(s));
+}
+
+TEST(Partition, RespectsMinParts) {
+  const Slice s = box2(0, 63, 0, 63);
+  for (const int min_parts : {1, 2, 3, 8, 16}) {
+    const auto parts = partition_for_stream(s, min_parts, 1 << 20);
+    EXPECT_GE(static_cast<int>(parts.size()), min_parts)
+        << "min_parts=" << min_parts;
+  }
+}
+
+TEST(Partition, UnsplittableSliceReturnedWhole) {
+  const Slice s{{Range::single(5)}};
+  const auto parts = partition_for_stream(s, 16, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], s);
+}
+
+TEST(Partition, EmptySliceYieldsNoParts) {
+  EXPECT_TRUE(partition_for_stream(Slice::empty_of_rank(2), 4, 10).empty());
+}
+
+TEST(Partition, SingleChunkWhenSmall) {
+  const Slice s = box2(0, 1, 0, 1);
+  const auto parts = partition_for_stream(s, 1, 100);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], s);
+}
+
+/// Parameterized sweep over (rank, min_parts, max_elements): partition
+/// invariants hold for random slices, including index-list axes.
+struct PartitionCase {
+  int seed;
+  int min_parts;
+  Index max_elements;
+};
+
+class PartitionProperty : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionProperty, Invariants) {
+  const auto param = GetParam();
+  drms::support::Rng rng(static_cast<std::uint64_t>(param.seed));
+  for (int iter = 0; iter < 10; ++iter) {
+    const int rank = static_cast<int>(rng.uniform_int(1, 3));
+    std::vector<Range> ranges;
+    for (int k = 0; k < rank; ++k) {
+      if (rng.uniform_int(0, 3) == 0) {
+        std::vector<Index> v;
+        Index x = 0;
+        const Index n = rng.uniform_int(1, 8);
+        for (Index i = 0; i < n; ++i) {
+          x += rng.uniform_int(1, 3);
+          v.push_back(x);
+        }
+        ranges.push_back(Range::of_indices(std::move(v)));
+      } else {
+        ranges.push_back(
+            Range::contiguous(0, rng.uniform_int(0, 12)));
+      }
+    }
+    const Slice s{std::move(ranges)};
+    const auto parts =
+        partition_for_stream(s, param.min_parts, param.max_elements);
+
+    Index total = 0;
+    std::vector<std::vector<Index>> cat;
+    for (const auto& part : parts) {
+      EXPECT_FALSE(part.empty());
+      total += part.element_count();
+      // A part is only allowed to exceed max_elements if it is a single
+      // element (unsplittable).
+      if (part.element_count() > param.max_elements) {
+        EXPECT_EQ(part.element_count(), 1);
+      }
+      const auto sub = stream_of(part);
+      cat.insert(cat.end(), sub.begin(), sub.end());
+    }
+    EXPECT_EQ(total, s.element_count());
+    EXPECT_EQ(cat, stream_of(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(PartitionCase{1, 1, 4}, PartitionCase{2, 2, 4},
+                      PartitionCase{3, 4, 7}, PartitionCase{4, 8, 3},
+                      PartitionCase{5, 16, 1}, PartitionCase{6, 3, 1000}));
+
+}  // namespace

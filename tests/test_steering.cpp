@@ -1,0 +1,198 @@
+// Tests for computational steering: an external client fetches and
+// stores array sections of a running application at steering points,
+// using the distribution-independent stream representation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "core/drms_context.hpp"
+#include "core/steering.hpp"
+#include "rt/task_group.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::cube;
+using drms::test::placement_of;
+using drms::test::tag_of;
+
+constexpr Index kN = 8;
+
+AppSegmentModel tiny_segment() {
+  AppSegmentModel m;
+  m.static_local_bytes = 8 * 1024;
+  m.system_bytes = 8 * 1024;
+  return m;
+}
+
+std::vector<double> as_doubles(const std::vector<std::byte>& bytes) {
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+std::vector<std::byte> from_doubles(const std::vector<double>& values) {
+  std::vector<std::byte> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+/// App skeleton: tagged array, iterations with a steering point each.
+struct SteeredApp {
+  Volume volume{16};
+  SteeringChannel channel;
+  std::atomic<std::int64_t> current_iteration{-1};
+  std::atomic<bool> finished{false};
+
+  /// Runs `tasks` tasks for `iterations`; each iteration services the
+  /// channel, then scales the field by 2.
+  void run(int tasks, int iterations) {
+    DrmsEnv env;
+    env.volume = &volume;
+    DrmsProgram program("steered", env, tiny_segment(), tasks);
+    TaskGroup group(placement_of(tasks));
+    const auto result = group.run([&](TaskContext& ctx) {
+      DrmsContext drms(program, ctx);
+      std::int64_t it = 0;
+      drms.store().register_i64("it", &it);
+      drms.initialize();
+      const std::array<Index, 3> lo{0, 0, 0};
+      const std::array<Index, 3> hi{kN - 1, kN - 1, kN - 1};
+      DistArray& u = drms.create_array("u", lo, hi);
+      drms.distribute(u, DistSpec::block_auto(cube(kN), tasks,
+                                              std::vector<Index>(3, 0)));
+      const Slice& mine = u.distribution().assigned(ctx.rank());
+      mine.for_each_column_major([&](std::span<const Index> p) {
+        u.local(ctx.rank()).set_f64(p, tag_of(p));
+      });
+      ctx.barrier();
+
+      while (it < iterations) {
+        if (ctx.rank() == 0) {
+          current_iteration.store(it);
+        }
+        (void)drms.service_steering(channel);
+        mine.for_each_column_major([&](std::span<const Index> p) {
+          u.local(ctx.rank())
+              .set_f64(p, u.local(ctx.rank()).get_f64(p) * 2.0);
+        });
+        ctx.barrier();
+        ++it;
+      }
+      // Final steering point so late requests still resolve.
+      (void)drms.service_steering(channel);
+    });
+    finished.store(true);
+    EXPECT_TRUE(result.completed);
+  }
+};
+
+TEST(Steering, FetchReturnsCanonicalStream) {
+  SteeredApp app;
+  // Request queued BEFORE the run starts: serviced at iteration 0, i.e.
+  // before any scaling.
+  const Slice section{{Range::contiguous(1, 2), Range::single(3),
+                       Range::contiguous(0, 1)}};
+  auto future = app.channel.fetch("u", section);
+  app.run(4, 3);
+
+  const auto values = as_doubles(future.get());
+  std::vector<double> expected;
+  section.for_each_column_major(
+      [&](std::span<const Index> p) { expected.push_back(tag_of(p)); });
+  EXPECT_EQ(values, expected);
+}
+
+TEST(Steering, StoreOverwritesSection) {
+  SteeredApp app;
+  const Slice section{{Range::contiguous(0, 1), Range::contiguous(0, 0),
+                       Range::single(0)}};
+  // Store 99s into the section at iteration 0; the app then doubles the
+  // whole field 2 times -> the section ends at 99 * 2^2... but stores at
+  // iteration 0 happen BEFORE scaling of iteration 0, so factor is 2^2
+  // for a 2-iteration run.
+  auto ack = app.channel.store("u", section,
+                               from_doubles({99.0, 99.0}));
+  app.run(3, 2);
+  ack.get();  // no exception
+
+  // Fetch the final values through a fresh run? Simpler: fetch queued
+  // after the fact resolves at the final steering point of the SAME run —
+  // but the run already ended. Instead verify via a second fetch during a
+  // new run: not applicable. The ack already proves the store happened;
+  // correctness of placement is covered by the combined test below.
+}
+
+TEST(Steering, FetchAfterStoreObservesTheWrite) {
+  SteeredApp app;
+  const Slice section{{Range::contiguous(2, 3), Range::single(1),
+                       Range::single(4)}};
+  auto ack = app.channel.store("u", section, from_doubles({-5.0, -7.0}));
+  auto readback = app.channel.fetch("u", section);
+  // Both requests are serviced at the SAME steering point (iteration 0),
+  // in submission order: store then fetch.
+  app.run(4, 1);
+  ack.get();
+  EXPECT_EQ(as_doubles(readback.get()), (std::vector<double>{-5.0, -7.0}));
+}
+
+TEST(Steering, MidRunInjectionSteersTheComputation) {
+  SteeredApp app;
+  const Slice whole = cube(kN);
+  std::thread client([&] {
+    // Wait until the app is past iteration 0, then zero the entire field.
+    while (app.current_iteration.load() < 1 && !app.finished.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<double> zeros(
+        static_cast<std::size_t>(whole.element_count()), 0.0);
+    auto ack = app.channel.store("u", whole, from_doubles(zeros));
+    ack.get();
+    // After zeroing, any fetch must come back all zero no matter how
+    // many more doublings run.
+    auto verify = app.channel.fetch("u", whole);
+    const auto values = as_doubles(verify.get());
+    for (const double v : values) {
+      EXPECT_EQ(v, 0.0);
+    }
+  });
+  app.run(4, 50);
+  client.join();
+}
+
+TEST(Steering, ErrorsAreReportedThroughTheFuture) {
+  SteeredApp app;
+  auto unknown = app.channel.fetch("nonexistent", cube(kN));
+  auto outside = app.channel.fetch(
+      "u", Slice{{Range::contiguous(0, kN), Range::contiguous(0, 1),
+                  Range::single(0)}});  // x overshoots the box
+  auto bad_store = app.channel.store("u", cube(kN),
+                                     from_doubles({1.0}));  // wrong size
+  app.run(2, 1);
+  EXPECT_THROW((void)unknown.get(), drms::support::Error);
+  EXPECT_THROW((void)outside.get(), drms::support::Error);
+  EXPECT_THROW((void)bad_store.get(), drms::support::Error);
+}
+
+TEST(SteeringChannel, PendingAndDrain) {
+  SteeringChannel channel;
+  EXPECT_EQ(channel.pending(), 0u);
+  auto f1 = channel.fetch("a", cube(2));
+  auto f2 = channel.store("b", cube(2), {});
+  EXPECT_EQ(channel.pending(), 2u);
+  auto drained = channel.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(channel.pending(), 0u);
+  EXPECT_EQ(drained[0]->kind, SteeringRequest::Kind::kFetch);
+  EXPECT_EQ(drained[1]->kind, SteeringRequest::Kind::kStore);
+}
+
+}  // namespace

@@ -1,0 +1,300 @@
+// Tests for array section streaming (§3.2): the distribution-independent
+// stream representation, serial/parallel equivalence, the no-seek
+// property of serial streaming, and input streaming with scatter.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "core/streamer.hpp"
+#include "support/crc32.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::piofs::Volume;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::count_mapped_mismatches;
+using drms::test::cube;
+using drms::test::fill_assigned_tagged;
+using drms::test::placement_of;
+using drms::test::tag_of;
+
+/// Expected stream: tags of every element of `x` in column-major order.
+std::vector<double> expected_stream(const Slice& x) {
+  std::vector<double> out;
+  x.for_each_column_major(
+      [&](std::span<const Index> p) { out.push_back(tag_of(p)); });
+  return out;
+}
+
+std::vector<double> file_as_doubles(const Volume& volume,
+                                    const std::string& name) {
+  const auto handle = volume.open(name);
+  const auto bytes = handle.read_at(0, handle.size());
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+/// Run a group that distributes a tagged array and streams section x out.
+void stream_out_test(int tasks, int io_tasks, const Slice& box,
+                     const Slice& x, Index shadow_w,
+                     std::uint64_t chunk_bytes, Volume& volume) {
+  TaskGroup group(placement_of(tasks));
+  DistArray array("u", box, sizeof(double), tasks);
+  volume.create("out");
+  std::vector<Index> shadow(static_cast<std::size_t>(box.rank()), shadow_w);
+
+  const auto result = group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(
+          DistSpec::block_auto(box, tasks, shadow));
+    }
+    ctx.barrier();
+    fill_assigned_tagged(array, ctx.rank());
+    ctx.barrier();
+
+    const ArrayStreamer streamer(nullptr, {}, chunk_bytes);
+    const std::uint64_t written = streamer.write_section(
+        ctx, array, x, volume.open("out"), 0, io_tasks);
+    EXPECT_EQ(written, static_cast<std::uint64_t>(x.element_count()) *
+                           sizeof(double));
+  });
+  ASSERT_TRUE(result.completed);
+}
+
+TEST(StreamPlan, OffsetsAreDenseAndOrdered) {
+  const StreamPlan plan =
+      make_stream_plan(cube(16), sizeof(double), 4, 1024);
+  ASSERT_GE(plan.chunk_count(), 4u);
+  std::uint64_t expected_offset = 0;
+  for (std::size_t i = 0; i < plan.chunk_count(); ++i) {
+    EXPECT_EQ(plan.offsets[i], expected_offset)
+        << "serial streaming must be append-only (no seek)";
+    expected_offset += static_cast<std::uint64_t>(
+                           plan.chunks[i].element_count()) *
+                       sizeof(double);
+  }
+  EXPECT_EQ(plan.total_bytes, expected_offset);
+  EXPECT_EQ(plan.total_bytes, 16ull * 16 * 16 * sizeof(double));
+}
+
+TEST(StreamPlan, ChunksRespectTargetSize) {
+  const StreamPlan plan =
+      make_stream_plan(cube(16), sizeof(double), 1, 1000);
+  for (const auto& chunk : plan.chunks) {
+    EXPECT_LE(chunk.element_count() * static_cast<Index>(sizeof(double)),
+              1000);
+  }
+}
+
+TEST(StreamPlan, AtLeastIoTasksChunks) {
+  // Even a small section yields >= io_tasks chunks when splittable.
+  const StreamPlan plan =
+      make_stream_plan(cube(4), sizeof(double), 8, 1 << 20);
+  EXPECT_GE(plan.chunk_count(), 8u);
+}
+
+TEST(Streamer, FullArrayStreamIsColumnMajor) {
+  Volume volume(16);
+  const Slice box = cube(8);
+  stream_out_test(4, 4, box, box, 0, 512, volume);
+  EXPECT_EQ(file_as_doubles(volume, "out"), expected_stream(box));
+}
+
+TEST(Streamer, StreamIsDistributionIndependent) {
+  // Same section, three different source distributions -> identical bytes.
+  const Slice box = cube(8);
+  std::vector<std::vector<double>> streams;
+  for (const int tasks : {1, 3, 8}) {
+    Volume volume(16);
+    stream_out_test(tasks, tasks, box, box, 1, 700, volume);
+    streams.push_back(file_as_doubles(volume, "out"));
+  }
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  EXPECT_EQ(streams[0], expected_stream(box));
+}
+
+TEST(Streamer, SerialAndParallelProduceIdenticalFiles) {
+  const Slice box = cube(8);
+  Volume serial_volume(16);
+  stream_out_test(8, 1, box, box, 0, 600, serial_volume);
+  Volume parallel_volume(16);
+  stream_out_test(8, 8, box, box, 0, 600, parallel_volume);
+  EXPECT_EQ(file_as_doubles(serial_volume, "out"),
+            file_as_doubles(parallel_volume, "out"));
+}
+
+TEST(Streamer, SubSectionStreaming) {
+  // Stream a proper sub-section, including strided axes — the
+  // distribution-independent representation covers irregular sections.
+  const Slice box = cube(8);
+  const Slice x{{Range::strided(1, 7, 2), Range::contiguous(2, 5),
+                 Range::of_indices({0, 3, 7})}};
+  Volume volume(16);
+  stream_out_test(4, 4, box, x, 1, 256, volume);
+  EXPECT_EQ(file_as_doubles(volume, "out"), expected_stream(x));
+}
+
+TEST(Streamer, ReadScattersIntoAllMappedCopies) {
+  const Slice box = cube(8);
+  // First produce a canonical stream file.
+  Volume volume(16);
+  stream_out_test(2, 2, box, box, 0, 1024, volume);
+
+  // Now read it into a 4-task array with shadows.
+  constexpr int kP = 4;
+  TaskGroup group(placement_of(kP));
+  DistArray array("v", box, sizeof(double), kP);
+  const std::array<Index, 3> shadow{1, 1, 1};
+  const auto result = group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(DistSpec::block_auto(box, kP, shadow));
+    }
+    ctx.barrier();
+    const ArrayStreamer streamer(nullptr, {}, 512);
+    const std::uint64_t read = streamer.read_section(
+        ctx, array, box, volume.open("out"), 0, kP);
+    EXPECT_EQ(read, static_cast<std::uint64_t>(box.element_count()) *
+                        sizeof(double));
+    ctx.barrier();
+    EXPECT_EQ(count_mapped_mismatches(array, ctx.rank()), 0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(Streamer, WriteReadRoundTripAcrossTaskCounts) {
+  // t1-task write, t2-task read — the reconfigurable-restart data path.
+  const Slice box = cube(10);
+  for (const auto& [t1, t2] : std::vector<std::pair<int, int>>{
+           {5, 2}, {2, 7}, {1, 6}, {6, 1}}) {
+    Volume volume(16);
+    stream_out_test(t1, t1, box, box, 1, 800, volume);
+
+    TaskGroup group(placement_of(t2));
+    DistArray array("v", box, sizeof(double), t2);
+    std::vector<Index> shadow(3, 1);
+    const auto result = group.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        array.install_distribution(DistSpec::block_auto(box, t2, shadow));
+      }
+      ctx.barrier();
+      const ArrayStreamer streamer(nullptr, {}, 800);
+      streamer.read_section(ctx, array, box, volume.open("out"), 0, t2);
+      ctx.barrier();
+      EXPECT_EQ(count_mapped_mismatches(array, ctx.rank()), 0)
+          << "t1=" << t1 << " t2=" << t2;
+    });
+    EXPECT_TRUE(result.completed);
+  }
+}
+
+TEST(Streamer, StreamCrcEqualsFileCrcAndIsChunkingInvariant) {
+  const Slice box = cube(8);
+  std::uint32_t crc_by_width[3] = {0, 0, 0};
+  int idx = 0;
+  for (const int io_tasks : {1, 3, 8}) {
+    Volume volume(16);
+    volume.create("out");
+    TaskGroup group(placement_of(8));
+    DistArray array("u", box, sizeof(double), 8);
+    std::uint32_t crc = 0;
+    const auto result = group.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0) {
+        array.install_distribution(
+            DistSpec::block_auto(box, 8, std::vector<Index>(3, 0)));
+      }
+      ctx.barrier();
+      fill_assigned_tagged(array, ctx.rank());
+      ctx.barrier();
+      const ArrayStreamer streamer(nullptr, {}, 600);
+      std::uint32_t my_crc = 0;
+      streamer.write_section(ctx, array, box, volume.open("out"), 0,
+                             io_tasks, &my_crc);
+      if (ctx.rank() == 0) {
+        crc = my_crc;
+      }
+    });
+    ASSERT_TRUE(result.completed);
+    // The combined chunk CRC is exactly the CRC of the file bytes.
+    const auto handle = volume.open("out");
+    EXPECT_EQ(crc,
+              drms::support::crc32c(handle.read_at(0, handle.size())));
+    crc_by_width[idx++] = crc;
+  }
+  // ...and independent of the I/O width used to produce it.
+  EXPECT_EQ(crc_by_width[0], crc_by_width[1]);
+  EXPECT_EQ(crc_by_width[0], crc_by_width[2]);
+}
+
+TEST(Streamer, ReadCrcDetectsCorruption) {
+  const Slice box = cube(8);
+  Volume volume(16);
+  stream_out_test(4, 4, box, box, 0, 600, volume);
+  // Flip one byte mid-file.
+  auto f = volume.open("out");
+  auto b = f.read_at(777, 1);
+  b[0] ^= std::byte{0x40};
+  f.write_at(777, b);
+
+  TaskGroup group(placement_of(4));
+  DistArray array("v", box, sizeof(double), 4);
+  std::uint32_t write_time_crc = 0;
+  {
+    // Reference CRC of the clean stream (recompute from tags).
+    Volume clean(16);
+    stream_out_test(4, 4, box, box, 0, 600, clean);
+    const auto h = clean.open("out");
+    write_time_crc =
+        drms::support::crc32c(h.read_at(0, h.size()));
+  }
+  const auto result = group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(
+          DistSpec::block_auto(box, 4, std::vector<Index>(3, 0)));
+    }
+    ctx.barrier();
+    const ArrayStreamer streamer(nullptr, {}, 600);
+    std::uint32_t read_crc = 0;
+    streamer.read_section(ctx, array, box, volume.open("out"), 0, 4,
+                          &read_crc);
+    EXPECT_NE(read_crc, write_time_crc)
+        << "corruption must change the read-side CRC";
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(Streamer, ChargesSimulatedTimeWhenCostModelPresent) {
+  const Slice box = cube(8);
+  Volume volume(16);
+  volume.create("out");
+  constexpr int kP = 4;
+  TaskGroup group(placement_of(kP));
+  DistArray array("u", box, sizeof(double), kP);
+  const drms::sim::CostModel cost = drms::sim::CostModel::paper_sp16();
+  drms::sim::LoadContext load;
+  load.busy_server_fraction = 0.25;
+  load.per_task_resident_bytes = 1 << 20;
+  load.server_count = 16;
+
+  const auto result = group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<Index> shadow(3, 0);
+      array.install_distribution(DistSpec::block_auto(box, kP, shadow));
+    }
+    ctx.barrier();
+    const ArrayStreamer streamer(&cost, load, 4096);
+    streamer.write_section(ctx, array, box, volume.open("out"), 0, kP);
+    EXPECT_GT(ctx.sim_time(), 0.0);
+  });
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.sim_seconds, 0.0);
+}
+
+}  // namespace

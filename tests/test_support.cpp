@@ -1,0 +1,250 @@
+// Unit tests for the support layer: byte buffers, serialization, CRC-32C,
+// deterministic RNG, statistics, units and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/byte_buffer.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms::support;
+
+TEST(ByteBuffer, ScalarRoundTrip) {
+  ByteBuffer buf;
+  buf.put_u8(0xab);
+  buf.put_u32(0xdeadbeef);
+  buf.put_u64(0x0123456789abcdefull);
+  buf.put_i64(-42);
+  buf.put_f64(3.14159);
+  buf.put_bool(true);
+  buf.put_bool(false);
+
+  EXPECT_EQ(buf.get_u8(), 0xab);
+  EXPECT_EQ(buf.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(buf.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(buf.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(buf.get_f64(), 3.14159);
+  EXPECT_TRUE(buf.get_bool());
+  EXPECT_FALSE(buf.get_bool());
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, StringAndBytesRoundTrip) {
+  ByteBuffer buf;
+  buf.put_string("hello drms");
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  buf.put_bytes(blob);
+  buf.put_string("");
+
+  EXPECT_EQ(buf.get_string(), "hello drms");
+  EXPECT_EQ(buf.get_bytes(), blob);
+  EXPECT_EQ(buf.get_string(), "");
+}
+
+TEST(ByteBuffer, ReadPastEndThrows) {
+  ByteBuffer buf;
+  buf.put_u32(1);
+  (void)buf.get_u32();
+  EXPECT_THROW((void)buf.get_u8(), ContractViolation);
+}
+
+TEST(ByteBuffer, RewindRereads) {
+  ByteBuffer buf;
+  buf.put_u64(99);
+  EXPECT_EQ(buf.get_u64(), 99u);
+  buf.rewind();
+  EXPECT_EQ(buf.get_u64(), 99u);
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: CRC-32C of "123456789" is 0xE3069283.
+  const char* digits = "123456789";
+  Crc32c crc;
+  crc.update_raw(digits, std::strlen(digits));
+  EXPECT_EQ(crc.value(), 0xE3069283u);
+
+  // 32 zero bytes -> 0x8A9136AA (iSCSI test vector).
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::vector<std::byte> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7 + 1);
+  }
+  Crc32c inc;
+  inc.update(std::span(data).subspan(0, 137));
+  inc.update(std::span(data).subspan(137));
+  EXPECT_EQ(inc.value(), crc32c(data));
+}
+
+TEST(Crc32c, CombineMatchesConcatenation) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto n1 = static_cast<std::size_t>(rng.uniform_int(0, 5000));
+    const auto n2 = static_cast<std::size_t>(rng.uniform_int(0, 5000));
+    std::vector<std::byte> a(n1);
+    std::vector<std::byte> b(n2);
+    for (auto& x : a) x = static_cast<std::byte>(rng.uniform_int(0, 255));
+    for (auto& x : b) x = static_cast<std::byte>(rng.uniform_int(0, 255));
+    std::vector<std::byte> ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    EXPECT_EQ(crc32c_combine(crc32c(a), crc32c(b), b.size()), crc32c(ab));
+  }
+}
+
+TEST(Crc32c, CombineWithEmptyIsIdentity) {
+  const std::vector<std::byte> a{std::byte{1}, std::byte{2}};
+  EXPECT_EQ(crc32c_combine(crc32c(a), 0, 0), crc32c(a));
+}
+
+TEST(Crc32c, MultiWayCombineIsAssociative) {
+  // Folding chunk CRCs left-to-right gives the stream CRC regardless of
+  // how many chunks there are — the property parallel streaming relies on.
+  std::vector<std::byte> all(10000);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::byte>((i * 131) & 0xff);
+  }
+  for (const std::size_t parts : {1u, 3u, 7u, 100u}) {
+    std::uint32_t combined = 0;
+    const std::size_t chunk = all.size() / parts + 1;
+    for (std::size_t off = 0; off < all.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, all.size() - off);
+      const std::uint32_t c =
+          crc32c(std::span(all).subspan(off, len));
+      combined = crc32c_combine(combined, c, len);
+    }
+    EXPECT_EQ(combined, crc32c(all)) << parts << " parts";
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, JitterCentersOnOne) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.jitter(0.1);
+  }
+  EXPECT_NEAR(sum / kN, 1.0, 0.02);  // lognormal mean = exp(sigma^2/2) ~ 1.005
+}
+
+TEST(Rng, ZeroSigmaJitterIsExactlyOne) {
+  Rng rng(99);
+  EXPECT_EQ(rng.jitter(0.0), 1.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RunningStats, MeanAndStddev) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bytes(12), "12 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(147 * kMiB), "147.0 MB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.00 GB");
+  EXPECT_DOUBLE_EQ(to_mib(kMiB), 1.0);
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"App", "Size"});
+  t.add_row({"BT", "147"});
+  t.add_rule();
+  t.add_row({"LU", "9"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("App | Size"), std::string::npos);
+  EXPECT_NE(out.find("BT  |  147"), std::string::npos);
+  EXPECT_NE(out.find("LU  |    9"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Contracts, ViolationCarriesLocation) {
+  try {
+    DRMS_EXPECTS_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Errors, TaskKilledIsNotAnError) {
+  // Application catch(const Error&) blocks must not swallow kill requests.
+  const bool convertible =
+      std::is_convertible_v<drms::support::TaskKilled*,
+                            drms::support::Error*>;
+  EXPECT_FALSE(convertible);
+}
+
+}  // namespace

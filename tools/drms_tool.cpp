@@ -1,0 +1,159 @@
+// drms_tool — operator command line for checkpoint stores that have been
+// exported to a host directory (piofs::Volume::export_to_directory): the
+// workflow behind the paper's checkpoint-migration story.
+//
+//   drms_tool list   <dir>             inventory of checkpointed states
+//   drms_tool verify <dir> [prefix]    offline integrity check (sizes,
+//                                      segment CRCs, array stream CRCs)
+//   drms_tool remove <dir> <prefix>    delete one state and re-export
+//   drms_tool info   <dir> <prefix>    per-array detail of one state
+//
+// Exit code 0 on success; 1 on bad usage or a failed verification.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/checkpoint_catalog.hpp"
+#include "piofs/volume.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+
+int usage() {
+  std::cerr
+      << "usage: drms_tool <command> <directory> [args]\n"
+         "  list   <dir>            list checkpointed states\n"
+         "  verify <dir> [prefix]   verify integrity (all states or one)\n"
+         "  remove <dir> <prefix>   delete a state and rewrite the dir\n"
+         "  info   <dir> <prefix>   show per-array details of a state\n";
+  return 1;
+}
+
+void load(const std::string& dir, piofs::Volume& volume) {
+  volume.import_from_directory(dir, "");
+}
+
+int cmd_list(const std::string& dir) {
+  piofs::Volume volume(16);
+  load(dir, volume);
+  const auto records = core::list_checkpoints(volume);
+  if (records.empty()) {
+    std::cout << "no checkpointed states in " << dir << "\n";
+    return 0;
+  }
+  support::TextTable table(
+      {"prefix", "app", "mode", "tasks", "sop", "arrays", "size"});
+  for (const auto& r : records) {
+    table.add_row({r.prefix, r.meta.app_name, r.spmd ? "SPMD" : "DRMS",
+                   std::to_string(r.meta.task_count),
+                   std::to_string(r.meta.sop),
+                   std::to_string(r.meta.arrays.size()),
+                   support::format_bytes(r.state_bytes)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_verify(const std::string& dir, const std::string& prefix) {
+  piofs::Volume volume(16);
+  load(dir, volume);
+  const auto records = core::list_checkpoints(volume, prefix);
+  if (records.empty()) {
+    std::cerr << "no states" << (prefix.empty() ? "" : " under " + prefix)
+              << " in " << dir << "\n";
+    return 1;
+  }
+  bool all_ok = true;
+  for (const auto& r : records) {
+    const auto result = core::verify_checkpoint(volume, r);
+    std::cout << r.prefix << ": "
+              << (result.ok ? "OK" : "CORRUPT") << "\n";
+    for (const auto& problem : result.problems) {
+      std::cout << "    " << problem << "\n";
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_remove(const std::string& dir, const std::string& prefix) {
+  piofs::Volume volume(16);
+  load(dir, volume);
+  bool removed = false;
+  for (const auto& r : core::list_checkpoints(volume, prefix)) {
+    if (r.prefix == prefix) {
+      core::remove_checkpoint(volume, r);
+      removed = true;
+    }
+  }
+  if (!removed) {
+    std::cerr << "no state with prefix '" << prefix << "'\n";
+    return 1;
+  }
+  // Rewrite the directory to reflect the volume.
+  std::filesystem::remove_all(dir);
+  volume.export_to_directory("", dir);
+  std::cout << "removed " << prefix << "\n";
+  return 0;
+}
+
+int cmd_info(const std::string& dir, const std::string& prefix) {
+  piofs::Volume volume(16);
+  load(dir, volume);
+  for (const auto& r : core::list_checkpoints(volume, prefix)) {
+    if (r.prefix != prefix) {
+      continue;
+    }
+    std::cout << "prefix:  " << r.prefix << "\n"
+              << "app:     " << r.meta.app_name << "\n"
+              << "mode:    " << (r.spmd ? "SPMD" : "DRMS") << "\n"
+              << "tasks:   " << r.meta.task_count << "\n"
+              << "sop:     " << r.meta.sop << "\n"
+              << "segment: " << support::format_bytes(r.meta.segment_bytes)
+              << "\n";
+    if (!r.meta.arrays.empty()) {
+      support::TextTable table({"array", "index space", "bytes", "crc"});
+      for (const auto& a : r.meta.arrays) {
+        table.add_row({a.name, a.box().to_string(),
+                       support::format_bytes(a.stream_bytes),
+                       support::format_fixed(a.stream_crc, 0)});
+      }
+      table.print(std::cout);
+    }
+    return 0;
+  }
+  std::cerr << "no state with prefix '" << prefix << "'\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  try {
+    if (command == "list") {
+      return cmd_list(dir);
+    }
+    if (command == "verify") {
+      return cmd_verify(dir, argc > 3 ? argv[3] : "");
+    }
+    if (command == "remove" && argc > 3) {
+      return cmd_remove(dir, argv[3]);
+    }
+    if (command == "info" && argc > 3) {
+      return cmd_info(dir, argv[3]);
+    }
+  } catch (const drms::support::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
