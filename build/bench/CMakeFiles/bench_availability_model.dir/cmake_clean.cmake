@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_availability_model.dir/bench_availability_model.cpp.o"
+  "CMakeFiles/bench_availability_model.dir/bench_availability_model.cpp.o.d"
+  "bench_availability_model"
+  "bench_availability_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_availability_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

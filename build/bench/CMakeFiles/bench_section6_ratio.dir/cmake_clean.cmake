@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section6_ratio.dir/bench_section6_ratio.cpp.o"
+  "CMakeFiles/bench_section6_ratio.dir/bench_section6_ratio.cpp.o.d"
+  "bench_section6_ratio"
+  "bench_section6_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section6_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_segment.dir/bench_table4_segment.cpp.o"
+  "CMakeFiles/bench_table4_segment.dir/bench_table4_segment.cpp.o.d"
+  "bench_table4_segment"
+  "bench_table4_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

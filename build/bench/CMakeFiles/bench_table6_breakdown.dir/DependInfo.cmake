@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_breakdown.cpp" "bench/CMakeFiles/bench_table6_breakdown.dir/bench_table6_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_breakdown.dir/bench_table6_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/drms_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/drms_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/drms_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/drms_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/piofs/CMakeFiles/drms_piofs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/drms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

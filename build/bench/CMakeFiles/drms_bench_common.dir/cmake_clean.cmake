@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/drms_bench_common.dir/harness.cpp.o.d"
+  "libdrms_bench_common.a"
+  "libdrms_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

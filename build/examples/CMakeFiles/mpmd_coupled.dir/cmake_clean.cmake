@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpmd_coupled.dir/mpmd_coupled.cpp.o"
+  "CMakeFiles/mpmd_coupled.dir/mpmd_coupled.cpp.o.d"
+  "mpmd_coupled"
+  "mpmd_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpmd_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

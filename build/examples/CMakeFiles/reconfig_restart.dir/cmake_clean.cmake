@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_restart.dir/reconfig_restart.cpp.o"
+  "CMakeFiles/reconfig_restart.dir/reconfig_restart.cpp.o.d"
+  "reconfig_restart"
+  "reconfig_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

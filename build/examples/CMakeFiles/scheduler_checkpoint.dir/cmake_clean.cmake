@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_checkpoint.dir/scheduler_checkpoint.cpp.o"
+  "CMakeFiles/scheduler_checkpoint.dir/scheduler_checkpoint.cpp.o.d"
+  "scheduler_checkpoint"
+  "scheduler_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_monitor.dir/steering_monitor.cpp.o"
+  "CMakeFiles/steering_monitor.dir/steering_monitor.cpp.o.d"
+  "steering_monitor"
+  "steering_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

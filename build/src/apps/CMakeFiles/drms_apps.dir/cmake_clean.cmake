@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_apps.dir/app_spec.cpp.o"
+  "CMakeFiles/drms_apps.dir/app_spec.cpp.o.d"
+  "CMakeFiles/drms_apps.dir/solver.cpp.o"
+  "CMakeFiles/drms_apps.dir/solver.cpp.o.d"
+  "libdrms_apps.a"
+  "libdrms_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

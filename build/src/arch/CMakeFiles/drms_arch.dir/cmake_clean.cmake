@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_arch.dir/cluster.cpp.o"
+  "CMakeFiles/drms_arch.dir/cluster.cpp.o.d"
+  "CMakeFiles/drms_arch.dir/events.cpp.o"
+  "CMakeFiles/drms_arch.dir/events.cpp.o.d"
+  "CMakeFiles/drms_arch.dir/scheduler.cpp.o"
+  "CMakeFiles/drms_arch.dir/scheduler.cpp.o.d"
+  "CMakeFiles/drms_arch.dir/uic.cpp.o"
+  "CMakeFiles/drms_arch.dir/uic.cpp.o.d"
+  "libdrms_arch.a"
+  "libdrms_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

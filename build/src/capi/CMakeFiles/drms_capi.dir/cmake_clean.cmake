@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_capi.dir/drms_c.cpp.o"
+  "CMakeFiles/drms_capi.dir/drms_c.cpp.o.d"
+  "libdrms_capi.a"
+  "libdrms_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_capi_c_check.dir/c_header_check.c.o"
+  "CMakeFiles/drms_capi_c_check.dir/c_header_check.c.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/drms_capi_c_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/array_fingerprint.cpp" "src/core/CMakeFiles/drms_core.dir/array_fingerprint.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/array_fingerprint.cpp.o.d"
+  "/root/repo/src/core/checkpoint_catalog.cpp" "src/core/CMakeFiles/drms_core.dir/checkpoint_catalog.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/checkpoint_catalog.cpp.o.d"
+  "/root/repo/src/core/checkpoint_format.cpp" "src/core/CMakeFiles/drms_core.dir/checkpoint_format.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/checkpoint_format.cpp.o.d"
+  "/root/repo/src/core/dist_array.cpp" "src/core/CMakeFiles/drms_core.dir/dist_array.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/dist_array.cpp.o.d"
+  "/root/repo/src/core/dist_spec.cpp" "src/core/CMakeFiles/drms_core.dir/dist_spec.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/dist_spec.cpp.o.d"
+  "/root/repo/src/core/drms_checkpoint.cpp" "src/core/CMakeFiles/drms_core.dir/drms_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/drms_checkpoint.cpp.o.d"
+  "/root/repo/src/core/drms_context.cpp" "src/core/CMakeFiles/drms_core.dir/drms_context.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/drms_context.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "src/core/CMakeFiles/drms_core.dir/exchange.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/exchange.cpp.o.d"
+  "/root/repo/src/core/local_array.cpp" "src/core/CMakeFiles/drms_core.dir/local_array.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/local_array.cpp.o.d"
+  "/root/repo/src/core/mpmd.cpp" "src/core/CMakeFiles/drms_core.dir/mpmd.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/mpmd.cpp.o.d"
+  "/root/repo/src/core/range.cpp" "src/core/CMakeFiles/drms_core.dir/range.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/range.cpp.o.d"
+  "/root/repo/src/core/redistribute.cpp" "src/core/CMakeFiles/drms_core.dir/redistribute.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/redistribute.cpp.o.d"
+  "/root/repo/src/core/replicated_store.cpp" "src/core/CMakeFiles/drms_core.dir/replicated_store.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/replicated_store.cpp.o.d"
+  "/root/repo/src/core/sequential_channel.cpp" "src/core/CMakeFiles/drms_core.dir/sequential_channel.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/sequential_channel.cpp.o.d"
+  "/root/repo/src/core/slice.cpp" "src/core/CMakeFiles/drms_core.dir/slice.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/slice.cpp.o.d"
+  "/root/repo/src/core/spmd_checkpoint.cpp" "src/core/CMakeFiles/drms_core.dir/spmd_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/spmd_checkpoint.cpp.o.d"
+  "/root/repo/src/core/steering.cpp" "src/core/CMakeFiles/drms_core.dir/steering.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/steering.cpp.o.d"
+  "/root/repo/src/core/streamer.cpp" "src/core/CMakeFiles/drms_core.dir/streamer.cpp.o" "gcc" "src/core/CMakeFiles/drms_core.dir/streamer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/drms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/drms_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/piofs/CMakeFiles/drms_piofs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

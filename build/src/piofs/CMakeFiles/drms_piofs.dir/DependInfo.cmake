@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/piofs/extent_file.cpp" "src/piofs/CMakeFiles/drms_piofs.dir/extent_file.cpp.o" "gcc" "src/piofs/CMakeFiles/drms_piofs.dir/extent_file.cpp.o.d"
+  "/root/repo/src/piofs/volume.cpp" "src/piofs/CMakeFiles/drms_piofs.dir/volume.cpp.o" "gcc" "src/piofs/CMakeFiles/drms_piofs.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/drms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

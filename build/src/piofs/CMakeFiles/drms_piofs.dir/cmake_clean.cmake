@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_piofs.dir/extent_file.cpp.o"
+  "CMakeFiles/drms_piofs.dir/extent_file.cpp.o.d"
+  "CMakeFiles/drms_piofs.dir/volume.cpp.o"
+  "CMakeFiles/drms_piofs.dir/volume.cpp.o.d"
+  "libdrms_piofs.a"
+  "libdrms_piofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_piofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrms_piofs.a"
+)

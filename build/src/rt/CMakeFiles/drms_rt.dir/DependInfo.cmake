@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/barrier.cpp" "src/rt/CMakeFiles/drms_rt.dir/barrier.cpp.o" "gcc" "src/rt/CMakeFiles/drms_rt.dir/barrier.cpp.o.d"
+  "/root/repo/src/rt/collectives.cpp" "src/rt/CMakeFiles/drms_rt.dir/collectives.cpp.o" "gcc" "src/rt/CMakeFiles/drms_rt.dir/collectives.cpp.o.d"
+  "/root/repo/src/rt/mailbox.cpp" "src/rt/CMakeFiles/drms_rt.dir/mailbox.cpp.o" "gcc" "src/rt/CMakeFiles/drms_rt.dir/mailbox.cpp.o.d"
+  "/root/repo/src/rt/task_context.cpp" "src/rt/CMakeFiles/drms_rt.dir/task_context.cpp.o" "gcc" "src/rt/CMakeFiles/drms_rt.dir/task_context.cpp.o.d"
+  "/root/repo/src/rt/task_group.cpp" "src/rt/CMakeFiles/drms_rt.dir/task_group.cpp.o" "gcc" "src/rt/CMakeFiles/drms_rt.dir/task_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/drms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

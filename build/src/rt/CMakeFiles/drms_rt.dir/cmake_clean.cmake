@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_rt.dir/barrier.cpp.o"
+  "CMakeFiles/drms_rt.dir/barrier.cpp.o.d"
+  "CMakeFiles/drms_rt.dir/collectives.cpp.o"
+  "CMakeFiles/drms_rt.dir/collectives.cpp.o.d"
+  "CMakeFiles/drms_rt.dir/mailbox.cpp.o"
+  "CMakeFiles/drms_rt.dir/mailbox.cpp.o.d"
+  "CMakeFiles/drms_rt.dir/task_context.cpp.o"
+  "CMakeFiles/drms_rt.dir/task_context.cpp.o.d"
+  "CMakeFiles/drms_rt.dir/task_group.cpp.o"
+  "CMakeFiles/drms_rt.dir/task_group.cpp.o.d"
+  "libdrms_rt.a"
+  "libdrms_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_sim.dir/clock.cpp.o"
+  "CMakeFiles/drms_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/drms_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/drms_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/drms_sim.dir/machine.cpp.o"
+  "CMakeFiles/drms_sim.dir/machine.cpp.o.d"
+  "libdrms_sim.a"
+  "libdrms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_support.dir/byte_buffer.cpp.o"
+  "CMakeFiles/drms_support.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/drms_support.dir/crc32.cpp.o"
+  "CMakeFiles/drms_support.dir/crc32.cpp.o.d"
+  "CMakeFiles/drms_support.dir/error.cpp.o"
+  "CMakeFiles/drms_support.dir/error.cpp.o.d"
+  "CMakeFiles/drms_support.dir/log.cpp.o"
+  "CMakeFiles/drms_support.dir/log.cpp.o.d"
+  "CMakeFiles/drms_support.dir/rng.cpp.o"
+  "CMakeFiles/drms_support.dir/rng.cpp.o.d"
+  "CMakeFiles/drms_support.dir/stats.cpp.o"
+  "CMakeFiles/drms_support.dir/stats.cpp.o.d"
+  "CMakeFiles/drms_support.dir/table.cpp.o"
+  "CMakeFiles/drms_support.dir/table.cpp.o.d"
+  "CMakeFiles/drms_support.dir/units.cpp.o"
+  "CMakeFiles/drms_support.dir/units.cpp.o.d"
+  "libdrms_support.a"
+  "libdrms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_catalog.dir/test_checkpoint_catalog.cpp.o"
+  "CMakeFiles/test_checkpoint_catalog.dir/test_checkpoint_catalog.cpp.o.d"
+  "test_checkpoint_catalog"
+  "test_checkpoint_catalog.pdb"
+  "test_checkpoint_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_spec.dir/test_dist_spec.cpp.o"
+  "CMakeFiles/test_dist_spec.dir/test_dist_spec.cpp.o.d"
+  "test_dist_spec"
+  "test_dist_spec.pdb"
+  "test_dist_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

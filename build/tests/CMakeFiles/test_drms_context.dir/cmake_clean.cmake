@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drms_context.dir/test_drms_context.cpp.o"
+  "CMakeFiles/test_drms_context.dir/test_drms_context.cpp.o.d"
+  "test_drms_context"
+  "test_drms_context.pdb"
+  "test_drms_context[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drms_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

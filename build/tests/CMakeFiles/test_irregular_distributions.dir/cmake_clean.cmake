@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irregular_distributions.dir/test_irregular_distributions.cpp.o"
+  "CMakeFiles/test_irregular_distributions.dir/test_irregular_distributions.cpp.o.d"
+  "test_irregular_distributions"
+  "test_irregular_distributions.pdb"
+  "test_irregular_distributions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irregular_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_array.dir/test_local_array.cpp.o"
+  "CMakeFiles/test_local_array.dir/test_local_array.cpp.o.d"
+  "test_local_array"
+  "test_local_array.pdb"
+  "test_local_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmd.dir/test_mpmd.cpp.o"
+  "CMakeFiles/test_mpmd.dir/test_mpmd.cpp.o.d"
+  "test_mpmd"
+  "test_mpmd.pdb"
+  "test_mpmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

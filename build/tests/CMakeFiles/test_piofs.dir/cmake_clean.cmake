@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piofs.dir/test_piofs.cpp.o"
+  "CMakeFiles/test_piofs.dir/test_piofs.cpp.o.d"
+  "test_piofs"
+  "test_piofs.pdb"
+  "test_piofs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

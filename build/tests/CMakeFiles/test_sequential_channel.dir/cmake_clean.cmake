@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_channel.dir/test_sequential_channel.cpp.o"
+  "CMakeFiles/test_sequential_channel.dir/test_sequential_channel.cpp.o.d"
+  "test_sequential_channel"
+  "test_sequential_channel.pdb"
+  "test_sequential_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

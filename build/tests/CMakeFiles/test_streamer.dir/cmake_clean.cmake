@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamer.dir/test_streamer.cpp.o"
+  "CMakeFiles/test_streamer.dir/test_streamer.cpp.o.d"
+  "test_streamer"
+  "test_streamer.pdb"
+  "test_streamer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_piofs[1]_include.cmake")
+include("/root/repo/build/tests/test_range[1]_include.cmake")
+include("/root/repo/build/tests/test_slice[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_local_array[1]_include.cmake")
+include("/root/repo/build/tests/test_redistribute[1]_include.cmake")
+include("/root/repo/build/tests/test_streamer[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_drms_context[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_sequential_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_mpmd[1]_include.cmake")
+include("/root/repo/build/tests/test_irregular_distributions[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint_catalog[1]_include.cmake")
+include("/root/repo/build/tests/test_steering[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")

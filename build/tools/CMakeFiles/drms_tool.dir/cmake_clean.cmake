@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drms_tool.dir/drms_tool.cpp.o"
+  "CMakeFiles/drms_tool.dir/drms_tool.cpp.o.d"
+  "drms_tool"
+  "drms_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drms_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
