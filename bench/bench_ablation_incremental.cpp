@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "core/drms_context.hpp"
+#include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/error.hpp"
 #include "rt/task_group.hpp"
 #include "sim/cost_model.hpp"
@@ -56,8 +58,9 @@ struct SequenceResult {
 SequenceResult run_sequence(bool incremental) {
   piofs::Volume volume(16);
   const sim::CostModel cost = sim::CostModel::paper_sp16();
+  store::PiofsBackend storage(volume, &cost);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   env.cost = &cost;
   env.incremental = incremental;
   DrmsProgram program("inc-bench", env, segment(), kTasks);

@@ -16,6 +16,7 @@
 
 #include "core/streamer.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "rt/task_group.hpp"
 #include "sim/cost_model.hpp"
 #include "support/units.hpp"
@@ -56,8 +57,9 @@ double stream_once(int tasks, int io_tasks, std::uint64_t chunk_bytes,
   sim::LoadContext load = load_for(tasks);
   load.server_count = stripe_servers;
   const sim::CostModel cost = sim::CostModel::paper_sp16();
+  store::PiofsBackend storage(volume, &cost);
   DistArray array("a", array_box(), sizeof(double), tasks);
-  volume.create("f");
+  storage.create("f");
 
   rt::TaskGroup group(
       sim::Placement::one_per_node(sim::Machine::paper_sp16(), tasks));
@@ -75,18 +77,20 @@ double stream_once(int tasks, int io_tasks, std::uint64_t chunk_bytes,
       }
     }
     ctx.barrier();
-    const core::ArrayStreamer streamer(&cost, load, chunk_bytes);
+    const core::ArrayStreamer streamer(&storage, load, chunk_bytes);
     if (write) {
-      streamer.write_section(ctx, array, array_box(), volume.open("f"), 0,
+      streamer.write_section(ctx, array, array_box(),
+                             storage.open("f"), 0,
                              io_tasks);
     } else {
       // Populate the file first (zero-time model would need data anyway).
       if (ctx.rank() == 0) {
-        volume.open("f").write_zeros_at(
+        storage.open("f").write_zeros_at(
             0, array.global_byte_count());
       }
       ctx.barrier();
-      streamer.read_section(ctx, array, array_box(), volume.open("f"), 0,
+      streamer.read_section(ctx, array, array_box(),
+                            storage.open("f"), 0,
                             io_tasks);
     }
   });

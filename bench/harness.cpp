@@ -2,9 +2,14 @@
 
 #include <cstring>
 
+#include <memory>
+
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
 #include "sim/cost_model.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "store/tiered_backend.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
 
@@ -67,6 +72,11 @@ support::RunningStats ExperimentResult::restart_init() const {
   for (const auto& r : runs) s.add(r.restart.init_seconds);
   return s;
 }
+support::RunningStats ExperimentResult::drain_totals() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.drain_seconds);
+  return s;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult result;
@@ -80,6 +90,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   for (int run = 0; run < cfg.runs; ++run) {
     piofs::Volume volume(16);
+    store::PiofsBackend piofs_storage(volume, &cost);
+    std::unique_ptr<store::MemoryBackend> memory;
+    std::unique_ptr<store::TieredBackend> tiered;
+    store::StorageBackend* storage = &piofs_storage;
+    if (cfg.storage == StorageKind::kTiered) {
+      memory = std::make_unique<store::MemoryBackend>(cfg.fast_capacity_bytes,
+                                                      &cost);
+      tiered = std::make_unique<store::TieredBackend>(*memory, piofs_storage);
+      storage = tiered.get();
+    }
     const std::uint64_t seed =
         cfg.seed + static_cast<std::uint64_t>(run) * 1000003ull;
     RunMeasurement m;
@@ -87,7 +107,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     // --- Phase 1: run to the mid-point SOP and take the checkpoint.
     {
       core::DrmsEnv env;
-      env.volume = &volume;
+      env.storage = storage;
       env.cost = &cost;
       env.jitter = true;
       env.mode = cfg.mode;
@@ -106,15 +126,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     if (run == 0) {
       result.state_bytes =
           cfg.mode == core::CheckpointMode::kDrms
-              ? core::drms_state_size(volume, prefix)
-              : core::spmd_state_size(volume, prefix);
+              ? core::drms_state_size(*storage, prefix)
+              : core::spmd_state_size(*storage, prefix);
+    }
+
+    // Tiered: the application has committed; drain the staged copies to
+    // PIOFS in the background before the (possible) fast-tier loss.
+    if (tiered != nullptr) {
+      sim::LoadContext drain_load;
+      drain_load.server_count = volume.server_count();
+      m.drain_seconds = tiered->drain(drain_load).simulated_seconds;
+      if (cfg.fail_fast_before_restart) {
+        tiered->fail_fast_tier();
+      }
     }
 
     // --- Phase 2: restart from the saved state (stop right away; only
     // the restore is timed).
     {
       core::DrmsEnv env;
-      env.volume = &volume;
+      env.storage = storage;
       env.cost = &cost;
       env.jitter = true;
       env.mode = cfg.mode;
@@ -141,8 +172,9 @@ std::uint64_t measure_state_size(const apps::AppSpec& spec,
                                  apps::ProblemClass pc, int tasks,
                                  core::CheckpointMode mode) {
   piofs::Volume volume(16);
+  store::PiofsBackend storage(volume);
   core::DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   env.mode = mode;
 
   apps::SolverOptions options;
@@ -162,8 +194,8 @@ std::uint64_t measure_state_size(const apps::AppSpec& spec,
     throw support::Error("state-size run failed: " + outcome.kill_reason);
   }
   return mode == core::CheckpointMode::kDrms
-             ? core::drms_state_size(volume, "size")
-             : core::spmd_state_size(volume, "size");
+             ? core::drms_state_size(storage, "size")
+             : core::spmd_state_size(storage, "size");
 }
 
 std::string mean_pm_sigma(const support::RunningStats& s, int precision) {

@@ -15,6 +15,14 @@
 
 namespace drms::bench {
 
+/// Which storage stack the experiment checkpoints against.
+enum class StorageKind {
+  /// The paper's configuration: PIOFS only.
+  kPiofs,
+  /// Multi-level: a node-local memory tier staged over PIOFS.
+  kTiered,
+};
+
 struct ExperimentConfig {
   apps::AppSpec spec;
   apps::ProblemClass problem_class = apps::ProblemClass::kA;
@@ -23,12 +31,21 @@ struct ExperimentConfig {
   /// Timed repetitions (the paper reports mean and sigma over 10 runs).
   int runs = 10;
   std::uint64_t seed = 20260704;
+  StorageKind storage = StorageKind::kPiofs;
+  /// Tiered: memory-tier capacity in bytes (0 = unlimited).
+  std::uint64_t fast_capacity_bytes = 0;
+  /// Tiered: drop the memory tier between checkpoint and restart (node
+  /// loss), forcing the restart to read the drained PIOFS copies.
+  bool fail_fast_before_restart = false;
 };
 
 /// One run's simulated-time measurements.
 struct RunMeasurement {
   core::CheckpointTiming checkpoint;
   core::RestartTiming restart;
+  /// Tiered runs: simulated background time of the PIOFS drain (NOT part
+  /// of the application-visible checkpoint latency).
+  double drain_seconds = 0.0;
 };
 
 struct ExperimentResult {
@@ -46,6 +63,7 @@ struct ExperimentResult {
   [[nodiscard]] support::RunningStats restart_segment() const;
   [[nodiscard]] support::RunningStats restart_arrays() const;
   [[nodiscard]] support::RunningStats restart_init() const;
+  [[nodiscard]] support::RunningStats drain_totals() const;
 };
 
 /// Run the full checkpoint-at-midpoint / restart-from-midpoint experiment

@@ -1,0 +1,118 @@
+// Tiny streaming JSON writer for the machine-readable bench outputs
+// (BENCH_table5.json, BENCH_tiered.json). Only what the benches need:
+// nested objects/arrays plus string, integer and double fields. Doubles
+// are written with round-trip precision; non-finite values become null.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace drms::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object() {
+    element();
+    out_ << '{';
+    frames_.push_back(false);
+  }
+  void begin_object(const std::string& key) {
+    member(key);
+    out_ << '{';
+    frames_.push_back(false);
+  }
+  void end_object() {
+    out_ << '}';
+    frames_.pop_back();
+  }
+  void begin_array(const std::string& key) {
+    member(key);
+    out_ << '[';
+    frames_.push_back(false);
+  }
+  void end_array() {
+    out_ << ']';
+    frames_.pop_back();
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    member(key);
+    quote(value);
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    member(key);
+    number(value);
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    member(key);
+    out_ << value;
+  }
+  void field(const std::string& key, int value) {
+    member(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    member(key);
+    out_ << (value ? "true" : "false");
+  }
+
+ private:
+  /// Comma bookkeeping for the next element of the innermost container.
+  void element() {
+    if (!frames_.empty()) {
+      if (frames_.back()) {
+        out_ << ',';
+      }
+      frames_.back() = true;
+    }
+  }
+  void member(const std::string& key) {
+    element();
+    quote(key);
+    out_ << ':';
+  }
+  void quote(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        default:
+          out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+  void number(double value) {
+    if (!std::isfinite(value)) {
+      out_ << "null";
+      return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << value;
+    out_ << tmp.str();
+  }
+
+  std::ostream& out_;
+  std::vector<bool> frames_;
+};
+
+}  // namespace drms::bench

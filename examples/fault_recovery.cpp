@@ -17,6 +17,7 @@
 #include "apps/solver.hpp"
 #include "arch/uic.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 
 using namespace drms;
 
@@ -27,12 +28,14 @@ int main() {
   arch::Cluster cluster(sim::Machine::paper_sp16(), &log);
   arch::JobScheduler jsa(cluster, &log);
   piofs::Volume volume(16);
-  arch::Uic uic(cluster, jsa, volume, log);
+  store::PiofsBackend storage(volume);
+  arch::Uic uic(cluster, jsa, storage, log);
 
   // Reference field from an uninterrupted run.
   std::uint32_t reference_crc = 0;
   {
     piofs::Volume ref_volume(16);
+    store::PiofsBackend ref_storage(ref_volume);
     apps::SolverOptions options;
     options.spec = apps::AppSpec::sp();
     options.n = 16;
@@ -40,7 +43,7 @@ int main() {
     options.checkpoint_every = 5;
     options.prefix = "ref";
     core::DrmsEnv env;
-    env.volume = &ref_volume;
+    env.storage = &ref_storage;
     auto program = apps::make_program(options, env, 8);
     rt::TaskGroup group(sim::Placement::one_per_node(
         sim::Machine::paper_sp16(), 8));
@@ -82,7 +85,7 @@ int main() {
   job.min_tasks = 2;
   job.preferred_tasks = 8;
   job.checkpoint_prefix = options.prefix;
-  job.base_env.volume = &volume;
+  job.base_env.storage = &storage;
   job.make_program = [options](core::DrmsEnv env, int tasks) {
     return apps::make_program(options, env, tasks);
   };

@@ -18,6 +18,7 @@
 #include "core/sequential_channel.hpp"
 #include "core/streamer.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/crc32.hpp"
 #include "support/error.hpp"
 
@@ -147,7 +148,8 @@ struct CoupledResult {
   std::uint32_t response_crc = 0;
 };
 
-CoupledResult run_coupled(piofs::Volume& volume, int flow_tasks,
+CoupledResult run_coupled(store::StorageBackend& storage,
+                          int flow_tasks,
                           int structure_tasks, bool restart,
                           const std::string& prefix) {
   core::MpmdCoordinator coordinator({"flow", "structure"});
@@ -155,7 +157,7 @@ CoupledResult run_coupled(piofs::Volume& volume, int flow_tasks,
   Channels channels{&pipe};
 
   core::DrmsEnv flow_env;
-  flow_env.volume = &volume;
+  flow_env.storage = &storage;
   core::DrmsEnv structure_env = flow_env;
   if (restart) {
     flow_env.restart_prefix = core::mpmd_component_prefix(prefix, "flow");
@@ -186,17 +188,17 @@ CoupledResult run_coupled(piofs::Volume& volume, int flow_tasks,
         structure_body(structure, ctx, c, channels, prefix);
         // Digest the response field through a serial stream.
         if (ctx.rank() == 0) {
-          volume.create("mpmd.digest");
+          storage.create("mpmd.digest");
         }
         ctx.barrier();
         const core::ArrayStreamer streamer(nullptr, {});
         core::DrmsContext view(structure, ctx);
         DistArray& response = view.array("response");
         streamer.write_section(ctx, response, response.global_box(),
-                               volume.open("mpmd.digest"), 0, 1);
+                               storage.open("mpmd.digest"), 0, 1);
         ctx.barrier();
         if (ctx.rank() == 0) {
-          const auto handle = volume.open("mpmd.digest");
+          const auto handle = storage.open("mpmd.digest");
           out.response_crc =
               support::crc32c(handle.read_at(0, handle.size()));
         }
@@ -213,9 +215,10 @@ int main() {
   std::cout << "MPMD coupled application: flow (3 tasks) + structure "
                "(2 tasks)\n\n";
   piofs::Volume volume(16);
+  store::PiofsBackend storage(volume);
 
   const CoupledResult reference =
-      run_coupled(volume, 3, 2, false, "mp.ref");
+      run_coupled(storage, 3, 2, false, "mp.ref");
   std::cout << "reference coupled run: response CRC = " << std::hex
             << reference.response_crc << std::dec << "\n";
   if (!reference.completed) {
@@ -224,12 +227,13 @@ int main() {
 
   // A second run leaves its coordinated it=6 checkpoints behind...
   piofs::Volume volume2(16);
-  (void)run_coupled(volume2, 3, 2, false, "mp");
+  store::PiofsBackend storage2(volume2);
+  (void)run_coupled(storage2, 3, 2, false, "mp");
   std::cout << "\ncomponents checkpointed under mp.flow / mp.structure; "
                "restarting with\nflow 3->2 tasks and structure 2->4 tasks "
                "(individually reconfigured)\n";
 
-  const CoupledResult resumed = run_coupled(volume2, 2, 4, true, "mp");
+  const CoupledResult resumed = run_coupled(storage2, 2, 4, true, "mp");
   std::cout << "restarted coupled run: response CRC = " << std::hex
             << resumed.response_crc << std::dec
             << (resumed.response_crc == reference.response_crc

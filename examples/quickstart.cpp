@@ -15,6 +15,7 @@
 #include "support/error.hpp"
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/crc32.hpp"
 
 using namespace drms;
@@ -95,10 +96,10 @@ void solver_main(core::DrmsProgram& program, rt::TaskContext& task) {
 }
 
 /// CRC of u's distribution-independent stream, for verification.
-std::uint32_t field_crc(piofs::Volume& volume, int tasks,
+std::uint32_t field_crc(store::StorageBackend& storage, int tasks,
                         const std::string& restart_from) {
   core::DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   env.restart_prefix = restart_from;
   core::DrmsProgram program("quickstart", env, segment_model(), tasks);
 
@@ -111,15 +112,15 @@ std::uint32_t field_crc(piofs::Volume& volume, int tasks,
     core::DrmsContext drms_view(program, task);  // for array lookup only
     core::DistArray& u = drms_view.array("u");
     if (task.rank() == 0) {
-      volume.create("quickstart.final");
+      storage.create("quickstart.final");
     }
     task.barrier();
     const core::ArrayStreamer streamer(nullptr, {});
     streamer.write_section(task, u, u.global_box(),
-                           volume.open("quickstart.final"), 0, 1);
+                           storage.open("quickstart.final"), 0, 1);
     task.barrier();
     if (task.rank() == 0) {
-      const auto handle = volume.open("quickstart.final");
+      const auto handle = storage.open("quickstart.final");
       crc = support::crc32c(handle.read_at(0, handle.size()));
     }
   });
@@ -134,12 +135,13 @@ std::uint32_t field_crc(piofs::Volume& volume, int tasks,
 int main() {
   std::cout << "DRMS quickstart: checkpoint on 6 tasks, restart on 4\n\n";
   piofs::Volume volume(16);  // PIOFS-like volume striped over 16 servers
+  store::PiofsBackend storage(volume);
 
   std::cout << "--- uninterrupted reference run (6 tasks) ---\n";
-  const std::uint32_t reference = field_crc(volume, 6, "");
+  const std::uint32_t reference = field_crc(storage, 6, "");
 
   std::cout << "\n--- restart the archived it=20 state on 4 tasks ---\n";
-  const std::uint32_t resumed = field_crc(volume, 4, "quickstart");
+  const std::uint32_t resumed = field_crc(storage, 4, "quickstart");
 
   std::cout << "\nreference CRC = " << std::hex << reference
             << ", restarted CRC = " << resumed << std::dec << "\n"

@@ -16,6 +16,7 @@
 #include "apps/solver.hpp"
 #include "support/error.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "rt/task_group.hpp"
 #include "support/units.hpp"
 
@@ -35,13 +36,13 @@ apps::SolverOptions base_options() {
   return options;
 }
 
-apps::SolverOutcome run(piofs::Volume& volume, int tasks,
+apps::SolverOutcome run(store::StorageBackend& storage, int tasks,
                         const std::string& restart_from,
                         int stop_at = -1) {
   apps::SolverOptions options = base_options();
   options.stop_at_iteration = stop_at;
   core::DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   env.restart_prefix = restart_from;
   auto program = apps::make_program(options, env, tasks);
 
@@ -67,21 +68,23 @@ int main() {
 
   // Reference: uninterrupted 8-task run.
   piofs::Volume reference_volume(16);
-  const auto reference = run(reference_volume, 8, "");
+  store::PiofsBackend reference_storage(reference_volume);
+  const auto reference = run(reference_storage, 8, "");
   std::cout << "reference (8 tasks, " << kIterations
             << " iters): field CRC = " << std::hex << reference.field_crc
             << std::dec << "\n";
 
   // Interrupted run: stop just after the it=10 checkpoint.
   piofs::Volume volume(16);
-  (void)run(volume, 8, "", /*stop_at=*/11);
+  store::PiofsBackend storage(volume);
+  (void)run(storage, 8, "", /*stop_at=*/11);
   std::cout << "checkpointed state on volume: "
             << support::format_bytes(
-                   core::drms_state_size(volume, "bt.state"))
+                   core::drms_state_size(storage, "bt.state"))
             << " (independent of the task count)\n\n";
 
   for (const int tasks : {12, 4}) {
-    const auto resumed = run(volume, tasks, "bt.state");
+    const auto resumed = run(storage, tasks, "bt.state");
     std::cout << "restart on " << tasks << " tasks: resumed at it="
               << resumed.start_iteration << ", delta=" << resumed.delta
               << ", CRC " << std::hex << resumed.field_crc << std::dec
@@ -102,7 +105,8 @@ int main() {
 
   piofs::Volume other_system(4);  // different machine: 4 I/O servers
   other_system.import_from_directory(dir, "bt.state");
-  const auto migrated = run(other_system, 6, "bt.state");
+  store::PiofsBackend other_storage(other_system);
+  const auto migrated = run(other_storage, 6, "bt.state");
   std::cout << "restart on the other system (6 tasks): CRC " << std::hex
             << migrated.field_crc << std::dec
             << (migrated.field_crc == reference.field_crc ? "  [MATCH]"

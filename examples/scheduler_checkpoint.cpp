@@ -16,12 +16,13 @@
 #include "support/error.hpp"
 #include "arch/uic.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 
 using namespace drms;
 
 namespace {
 
-apps::SolverOutcome run_lu(piofs::Volume& volume, int tasks,
+apps::SolverOutcome run_lu(store::StorageBackend& storage, int tasks,
                            const std::string& restart_from, int stop_at,
                            arch::JobScheduler* jsa_to_arm) {
   apps::SolverOptions options;
@@ -44,7 +45,7 @@ apps::SolverOutcome run_lu(piofs::Volume& volume, int tasks,
   }
 
   core::DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   env.restart_prefix = restart_from;
   auto program = apps::make_program(options, env, tasks);
 
@@ -72,11 +73,13 @@ int main() {
   arch::Cluster cluster(sim::Machine::paper_sp16(), &log);
   arch::JobScheduler jsa(cluster, &log);
   piofs::Volume volume(16);
-  arch::Uic uic(cluster, jsa, volume, log);
+  store::PiofsBackend storage(volume);
+  arch::Uic uic(cluster, jsa, storage, log);
 
   // Reference: LU runs its 20 iterations uninterrupted on 12 processors.
   piofs::Volume ref_volume(16);
-  const auto reference = run_lu(ref_volume, 12, "", -1, nullptr);
+  store::PiofsBackend ref_storage(ref_volume);
+  const auto reference = run_lu(ref_storage, 12, "", -1, nullptr);
   std::cout << "reference LU (12 tasks): CRC " << std::hex
             << reference.field_crc << std::dec << "\n\n";
 
@@ -90,7 +93,7 @@ int main() {
   lu_job.min_tasks = 4;
   lu_job.preferred_tasks = 12;
   lu_job.checkpoint_prefix = "lu.sys";
-  lu_job.base_env.volume = &volume;
+  lu_job.base_env.storage = &storage;
   auto phase1_slot = std::make_shared<apps::SolverOutcome>();
   lu_job.make_program = [](core::DrmsEnv env, int tasks) {
     apps::SolverOptions options;
@@ -119,7 +122,7 @@ int main() {
   };
   const auto phase1 = uic.submit_and_wait(lu_job);
   std::cout << "  LU preempted; checkpoint on volume: "
-            << (core::checkpoint_exists(volume, "lu.sys") ? "yes" : "NO")
+            << (core::checkpoint_exists(storage, "lu.sys") ? "yes" : "NO")
             << ", processors free again: " << uic.available_processors()
             << "\n\n";
   if (!phase1.completed) {
@@ -133,7 +136,7 @@ int main() {
   priority.min_tasks = 8;
   priority.preferred_tasks = 12;
   priority.checkpoint_prefix = "bt.prio";
-  priority.base_env.volume = &volume;
+  priority.base_env.storage = &storage;
   priority.make_program = [](core::DrmsEnv env, int tasks) {
     apps::SolverOptions options;
     options.spec = apps::AppSpec::bt();
@@ -157,7 +160,7 @@ int main() {
   // reference field when it finishes.
   std::cout << "phase 3: LU restarted on 4 processors from the "
                "system-initiated checkpoint\n";
-  const auto resumed = run_lu(volume, 4, "lu.sys", -1, nullptr);
+  const auto resumed = run_lu(storage, 4, "lu.sys", -1, nullptr);
   std::cout << "  resumed at it=" << resumed.start_iteration
             << " (delta=" << resumed.delta << "), CRC " << std::hex
             << resumed.field_crc << std::dec

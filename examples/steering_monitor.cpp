@@ -16,6 +16,7 @@
 #include "core/steering.hpp"
 #include "rt/task_group.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/units.hpp"
 
 using namespace drms;
@@ -62,6 +63,7 @@ int main() {
             << kN << "^3 grid)\n\n";
 
   piofs::Volume volume(16);
+  store::PiofsBackend storage(volume);
   core::SteeringChannel channel;
   std::atomic<std::int64_t> iteration{-1};
 
@@ -81,7 +83,7 @@ int main() {
   };
 
   core::DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &storage;
   auto program = apps::make_program(options, env, 6);
 
   std::thread app_thread([&] {

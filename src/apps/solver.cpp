@@ -252,22 +252,22 @@ SolverOutcome run_solver(core::DrmsProgram& program, rt::TaskContext& ctx,
   if (options.compute_field_crc) {
     // Canonical (distribution-independent) stream of u, CRC'd on rank 0 —
     // bitwise comparable across task counts and restarts.
-    piofs::Volume& volume = *program.env().volume;
+    store::StorageBackend& storage = *program.env().storage;
     const std::string crc_file = spec.name + ".__fieldcrc.tmp";
     if (ctx.rank() == 0) {
-      volume.create(crc_file);
+      storage.create(crc_file);
     }
     ctx.barrier();
     const core::ArrayStreamer streamer(nullptr, {});
-    streamer.write_section(ctx, u, u.global_box(), volume.open(crc_file),
+    streamer.write_section(ctx, u, u.global_box(), storage.open(crc_file),
                            0, 1);
     ctx.barrier();
     support::ByteBuffer decision;
     if (ctx.rank() == 0) {
-      const auto handle = volume.open(crc_file);
+      const auto handle = storage.open(crc_file);
       const auto bytes = handle.read_at(0, handle.size());
       decision.put_u32(support::crc32c(bytes));
-      volume.remove(crc_file);
+      storage.remove(crc_file);
     }
     rt::broadcast(ctx, decision, 0);
     decision.rewind();

@@ -27,11 +27,11 @@ bool JobScheduler::request_checkpoint(const std::string& job_name) {
 
 namespace {
 
-/// Highest SOP currently on the volume for any state under the filter.
-std::int64_t highest_sop(const piofs::Volume& volume,
+/// Highest SOP currently in storage for any state under the filter.
+std::int64_t highest_sop(const store::StorageBackend& storage,
                          const std::string& prefix_filter) {
   std::int64_t best = 0;
-  for (const auto& record : core::list_checkpoints(volume, prefix_filter)) {
+  for (const auto& record : core::list_checkpoints(storage, prefix_filter)) {
     best = std::max(best, record.meta.sop);
   }
   return best;
@@ -40,7 +40,7 @@ std::int64_t highest_sop(const piofs::Volume& volume,
 }  // namespace
 
 bool JobScheduler::preempt_job(const std::string& job_name,
-                               piofs::Volume& volume,
+                               const store::StorageBackend& storage,
                                const std::string& prefix_filter,
                                std::int64_t min_sop_exclusive,
                                int timeout_ms) {
@@ -51,7 +51,7 @@ bool JobScheduler::preempt_job(const std::string& job_name,
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(timeout_ms);
-  while (highest_sop(volume, prefix_filter) <= min_sop_exclusive) {
+  while (highest_sop(storage, prefix_filter) <= min_sop_exclusive) {
     if (std::chrono::steady_clock::now() > deadline) {
       return false;
     }
@@ -74,13 +74,14 @@ bool JobScheduler::preempt_job(const std::string& job_name,
   return true;
 }
 
-bool JobScheduler::drain_node(int node, piofs::Volume& volume,
+bool JobScheduler::drain_node(int node,
+                              const store::StorageBackend& storage,
                               const std::string& prefix_filter,
                               std::int64_t min_sop_exclusive,
                               int timeout_ms) {
   const std::string job = cluster_.job_on_node(node);
   if (!job.empty()) {
-    if (!preempt_job(job, volume, prefix_filter, min_sop_exclusive,
+    if (!preempt_job(job, storage, prefix_filter, min_sop_exclusive,
                      timeout_ms)) {
       return false;
     }
@@ -95,7 +96,7 @@ bool JobScheduler::drain_node(int node, piofs::Volume& volume,
 JobOutcome JobScheduler::run_job(const JobDescriptor& job) {
   DRMS_EXPECTS(job.make_program != nullptr && job.body != nullptr);
   DRMS_EXPECTS(!job.name.empty());
-  DRMS_EXPECTS(job.base_env.volume != nullptr);
+  DRMS_EXPECTS(job.base_env.storage != nullptr);
   DRMS_EXPECTS(job.min_tasks >= 1 &&
                job.preferred_tasks >= job.min_tasks);
 
@@ -118,7 +119,7 @@ JobOutcome JobScheduler::run_job(const JobDescriptor& job) {
     bool have_checkpoint = false;
     if (job.restart_from_latest) {
       const auto latest = core::latest_checkpoint(
-          *env.volume, job.name, job.checkpoint_prefix);
+          *env.storage, job.name, job.checkpoint_prefix);
       if (latest.has_value() &&
           latest->spmd == (env.mode == core::CheckpointMode::kSpmd)) {
         have_checkpoint = true;
@@ -127,8 +128,8 @@ JobOutcome JobScheduler::run_job(const JobDescriptor& job) {
     } else {
       have_checkpoint =
           env.mode == core::CheckpointMode::kDrms
-              ? core::checkpoint_exists(*env.volume, job.checkpoint_prefix)
-              : core::spmd_checkpoint_exists(*env.volume,
+              ? core::checkpoint_exists(*env.storage, job.checkpoint_prefix)
+              : core::spmd_checkpoint_exists(*env.storage,
                                              job.checkpoint_prefix);
       if (have_checkpoint) {
         env.restart_prefix = job.checkpoint_prefix;
@@ -187,9 +188,9 @@ JobOutcome JobScheduler::run_job(const JobDescriptor& job) {
     if (++restarts > job.max_restarts) {
       return outcome;
     }
-    if (!core::checkpoint_exists(*job.base_env.volume,
+    if (!core::checkpoint_exists(*job.base_env.storage,
                                  job.checkpoint_prefix) &&
-        !core::spmd_checkpoint_exists(*job.base_env.volume,
+        !core::spmd_checkpoint_exists(*job.base_env.storage,
                                       job.checkpoint_prefix) &&
         log_ != nullptr) {
       log_->record(EventKind::kJobFailedNoCheckpoint,

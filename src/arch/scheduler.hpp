@@ -16,7 +16,6 @@
 
 #include "arch/cluster.hpp"
 #include "core/drms_context.hpp"
-#include "piofs/volume.hpp"
 
 namespace drms::arch {
 
@@ -82,15 +81,16 @@ class JobScheduler {
   /// processors are then available. Returns false when the job is not
   /// running or no checkpoint appears within `timeout_ms` of polling.
   /// Used for scheduler-driven shrinking and node maintenance (§8).
-  bool preempt_job(const std::string& job_name, piofs::Volume& volume,
+  bool preempt_job(const std::string& job_name,
+                   const store::StorageBackend& storage,
                    const std::string& prefix_filter,
                    std::int64_t min_sop_exclusive, int timeout_ms = 10000);
 
   /// Drain a node for maintenance: preempt the job running on it (if
   /// any), then fail the node so allocations avoid it until repair.
-  /// `volume`/`prefix_filter` locate the job's checkpoints as in
+  /// `storage`/`prefix_filter` locate the job's checkpoints as in
   /// preempt_job.
-  bool drain_node(int node, piofs::Volume& volume,
+  bool drain_node(int node, const store::StorageBackend& storage,
                   const std::string& prefix_filter,
                   std::int64_t min_sop_exclusive, int timeout_ms = 10000);
 

@@ -5,11 +5,12 @@
 
 namespace drms::arch {
 
-Uic::Uic(Cluster& cluster, JobScheduler& scheduler, piofs::Volume& volume,
+Uic::Uic(Cluster& cluster, JobScheduler& scheduler,
+         const store::StorageBackend& storage,
          EventLog& log)
     : cluster_(cluster),
       scheduler_(scheduler),
-      volume_(volume),
+      storage_(storage),
       log_(log) {}
 
 JobOutcome Uic::submit_and_wait(const JobDescriptor& job) {
@@ -30,12 +31,12 @@ int Uic::available_processors() const {
 
 std::vector<std::string> Uic::list_checkpoint_files(
     const std::string& prefix) const {
-  return volume_.list(prefix);
+  return storage_.list(prefix);
 }
 
 std::vector<std::string> Uic::show_checkpoints() const {
   std::vector<std::string> out;
-  for (const auto& record : core::list_checkpoints(volume_)) {
+  for (const auto& record : core::list_checkpoints(storage_)) {
     out.push_back(record.prefix + "  " + record.meta.app_name + "  " +
                   (record.spmd ? "SPMD" : "DRMS") + "  tasks=" +
                   std::to_string(record.meta.task_count) + "  sop=" +

@@ -7,14 +7,13 @@
 
 #include "arch/cluster.hpp"
 #include "arch/scheduler.hpp"
-#include "piofs/volume.hpp"
 
 namespace drms::arch {
 
 class Uic {
  public:
-  Uic(Cluster& cluster, JobScheduler& scheduler, piofs::Volume& volume,
-      EventLog& log);
+  Uic(Cluster& cluster, JobScheduler& scheduler,
+      const store::StorageBackend& storage, EventLog& log);
 
   /// End user: submit a job and block until it completes (or exhausts its
   /// restart budget).
@@ -32,7 +31,7 @@ class Uic {
   [[nodiscard]] int available_processors() const;
   [[nodiscard]] std::vector<std::string> list_checkpoint_files(
       const std::string& prefix) const;
-  /// Human-readable inventory of the checkpointed states on the volume:
+  /// Human-readable inventory of the checkpointed states in storage:
   /// "prefix  app  mode  tasks  sop  size".
   [[nodiscard]] std::vector<std::string> show_checkpoints() const;
   [[nodiscard]] std::vector<std::string> event_trace() const;
@@ -40,7 +39,7 @@ class Uic {
  private:
   Cluster& cluster_;
   JobScheduler& scheduler_;
-  piofs::Volume& volume_;
+  const store::StorageBackend& storage_;
   EventLog& log_;
 };
 

@@ -5,16 +5,47 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/drms_context.hpp"
 #include "core/redistribute.hpp"
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
 #include "sim/machine.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "store/tiered_backend.hpp"
 #include "support/error.hpp"
 
 struct drms_volume {
   drms::piofs::Volume volume;
-  explicit drms_volume(int servers) : volume(servers) {}
+  drms::store::PiofsBackend piofs_backend;
+  /* Present only for tiered volumes (drms_volume_create_tiered). */
+  std::unique_ptr<drms::store::MemoryBackend> memory_backend;
+  std::unique_ptr<drms::store::TieredBackend> tiered_backend;
+
+  explicit drms_volume(int servers)
+      : volume(servers), piofs_backend(volume) {}
+  drms_volume(int servers, uint64_t fast_capacity_bytes)
+      : volume(servers),
+        piofs_backend(volume),
+        memory_backend(std::make_unique<drms::store::MemoryBackend>(
+            fast_capacity_bytes)),
+        tiered_backend(std::make_unique<drms::store::TieredBackend>(
+            *memory_backend, piofs_backend)) {}
+
+  /* The backend checkpoint I/O goes through. */
+  drms::store::StorageBackend& storage() {
+    return tiered_backend != nullptr
+               ? static_cast<drms::store::StorageBackend&>(*tiered_backend)
+               : piofs_backend;
+  }
+  const drms::store::StorageBackend& storage() const {
+    return tiered_backend != nullptr
+               ? static_cast<const drms::store::StorageBackend&>(
+                     *tiered_backend)
+               : piofs_backend;
+  }
 };
 
 struct drms_context {
@@ -72,6 +103,32 @@ drms_volume_t* drms_volume_create(int servers) {
   }
 }
 
+drms_volume_t* drms_volume_create_tiered(int servers,
+                                         uint64_t fast_capacity_bytes) {
+  if (servers < 1) {
+    return nullptr;
+  }
+  try {
+    return new drms_volume(servers, fast_capacity_bytes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+int drms_volume_drain(drms_volume_t* volume) {
+  if (volume == nullptr) {
+    return DRMS_ERR;
+  }
+  if (volume->tiered_backend == nullptr) {
+    return 0;
+  }
+  try {
+    return volume->tiered_backend->drain().files_drained;
+  } catch (...) {
+    return DRMS_ERR;
+  }
+}
+
 void drms_volume_destroy(drms_volume_t* volume) { delete volume; }
 
 int drms_volume_checkpoint_exists(const drms_volume_t* volume,
@@ -79,7 +136,7 @@ int drms_volume_checkpoint_exists(const drms_volume_t* volume,
   if (volume == nullptr || prefix == nullptr) {
     return 0;
   }
-  return drms::core::checkpoint_exists(volume->volume, prefix) ? 1 : 0;
+  return drms::core::checkpoint_exists(volume->storage(), prefix) ? 1 : 0;
 }
 
 int drms_run_spmd(drms_volume_t* volume,
@@ -91,7 +148,7 @@ int drms_run_spmd(drms_volume_t* volume,
   }
   try {
     drms::core::DrmsEnv env;
-    env.volume = &volume->volume;
+    env.storage = &volume->storage();
     env.restart_prefix =
         options->restart_prefix != nullptr ? options->restart_prefix : "";
     env.mode = options->mode == DRMS_MODE_SPMD

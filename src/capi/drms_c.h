@@ -37,10 +37,20 @@ typedef struct drms_context drms_context_t;
 
 /* A PIOFS-like volume striped over `servers` logical servers. */
 drms_volume_t* drms_volume_create(int servers);
+/* A multi-level store: checkpoints commit to a node-local memory tier
+ * (capped at `fast_capacity_bytes`; 0 = unlimited) backed by a PIOFS
+ * volume over `servers` servers. Writes overflowing the memory tier fall
+ * through to the volume. Use drms_volume_drain to copy staged data down. */
+drms_volume_t* drms_volume_create_tiered(int servers,
+                                         uint64_t fast_capacity_bytes);
 void drms_volume_destroy(drms_volume_t* volume);
 /* 1 if a (DRMS-mode) checkpoint exists under the prefix, else 0. */
 int drms_volume_checkpoint_exists(const drms_volume_t* volume,
                                   const char* prefix);
+/* Tiered volumes: copy staged (memory-tier) checkpoint data down to the
+ * PIOFS tier. Returns the number of files drained, 0 when nothing was
+ * staged (including for non-tiered volumes), DRMS_ERR on failure. */
+int drms_volume_drain(drms_volume_t* volume);
 
 /* ---- running an SPMD program ------------------------------------------ */
 

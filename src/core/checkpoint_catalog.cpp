@@ -33,9 +33,9 @@ std::optional<std::string> prefix_of_meta(const std::string& name,
 }  // namespace
 
 std::vector<CheckpointRecord> list_checkpoints(
-    const piofs::Volume& volume, const std::string& prefix_filter) {
+    const store::StorageBackend& storage, const std::string& prefix_filter) {
   std::vector<CheckpointRecord> records;
-  for (const auto& name : volume.list(prefix_filter)) {
+  for (const auto& name : storage.list(prefix_filter)) {
     bool spmd = false;
     const auto prefix = prefix_of_meta(name, spmd);
     if (!prefix.has_value()) {
@@ -45,10 +45,10 @@ std::vector<CheckpointRecord> list_checkpoints(
     record.prefix = *prefix;
     record.spmd = spmd;
     try {
-      record.meta = spmd ? read_spmd_meta(volume, *prefix)
-                         : read_checkpoint_meta(volume, *prefix);
-      record.state_bytes = spmd ? spmd_state_size(volume, *prefix)
-                                : drms_state_size(volume, *prefix);
+      record.meta = spmd ? read_spmd_meta(storage, *prefix)
+                         : read_checkpoint_meta(storage, *prefix);
+      record.state_bytes = spmd ? spmd_state_size(storage, *prefix)
+                                : drms_state_size(storage, *prefix);
     } catch (const support::Error&) {
       continue;  // torn meta or missing files: not a restart candidate
     }
@@ -65,10 +65,10 @@ std::vector<CheckpointRecord> list_checkpoints(
 }
 
 std::optional<CheckpointRecord> latest_checkpoint(
-    const piofs::Volume& volume, const std::string& app_name,
+    const store::StorageBackend& storage, const std::string& app_name,
     const std::string& prefix_filter) {
   std::optional<CheckpointRecord> best;
-  for (auto& record : list_checkpoints(volume, prefix_filter)) {
+  for (auto& record : list_checkpoints(storage, prefix_filter)) {
     if (record.meta.app_name != app_name) {
       continue;
     }
@@ -79,26 +79,26 @@ std::optional<CheckpointRecord> latest_checkpoint(
   return best;
 }
 
-void remove_checkpoint(piofs::Volume& volume,
+void remove_checkpoint(store::StorageBackend& storage,
                        const CheckpointRecord& record) {
   if (record.spmd) {
-    volume.remove(spmd_meta_file_name(record.prefix));
+    storage.remove(spmd_meta_file_name(record.prefix));
     for (int r = 0; r < record.meta.task_count; ++r) {
       const std::string file = spmd_task_file_name(record.prefix, r);
-      if (volume.exists(file)) {
-        volume.remove(file);
+      if (storage.exists(file)) {
+        storage.remove(file);
       }
     }
     return;
   }
-  volume.remove(meta_file_name(record.prefix));
-  if (volume.exists(segment_file_name(record.prefix))) {
-    volume.remove(segment_file_name(record.prefix));
+  storage.remove(meta_file_name(record.prefix));
+  if (storage.exists(segment_file_name(record.prefix))) {
+    storage.remove(segment_file_name(record.prefix));
   }
   for (const auto& a : record.meta.arrays) {
     const std::string file = array_file_name(record.prefix, a.name);
-    if (volume.exists(file)) {
-      volume.remove(file);
+    if (storage.exists(file)) {
+      storage.remove(file);
     }
   }
 }
@@ -113,7 +113,7 @@ void check(bool condition, const std::string& what, VerifyResult& out) {
 }
 
 /// Verify a segment payload of the form [u64 size][u32 crc][body...].
-void verify_sized_crc_record(const piofs::FileHandle& file,
+void verify_sized_crc_record(const store::FileHandle& file,
                              std::uint64_t offset, const std::string& what,
                              VerifyResult& out) {
   if (offset + 12 > file.size()) {
@@ -133,17 +133,17 @@ void verify_sized_crc_record(const piofs::FileHandle& file,
 
 }  // namespace
 
-VerifyResult verify_checkpoint(const piofs::Volume& volume,
+VerifyResult verify_checkpoint(const store::StorageBackend& storage,
                                const CheckpointRecord& record) {
   VerifyResult out;
   if (record.spmd) {
     for (int r = 0; r < record.meta.task_count; ++r) {
       const std::string name = spmd_task_file_name(record.prefix, r);
-      if (!volume.exists(name)) {
+      if (!storage.exists(name)) {
         check(false, name + ": missing", out);
         continue;
       }
-      const auto file = volume.open(name);
+      const auto file = storage.open(name);
       check(file.size() == record.meta.segment_bytes,
             name + ": unexpected size", out);
       verify_sized_crc_record(file, 0, name, out);
@@ -153,10 +153,10 @@ VerifyResult verify_checkpoint(const piofs::Volume& volume,
 
   // DRMS state: the single segment plus one file per array.
   const std::string seg_name = segment_file_name(record.prefix);
-  if (!volume.exists(seg_name)) {
+  if (!storage.exists(seg_name)) {
     check(false, seg_name + ": missing", out);
   } else {
-    const auto seg = volume.open(seg_name);
+    const auto seg = storage.open(seg_name);
     check(seg.size() == record.meta.segment_bytes,
           seg_name + ": unexpected size", out);
     if (seg.size() >= wire::kSegmentHeaderBytes) {
@@ -178,11 +178,11 @@ VerifyResult verify_checkpoint(const piofs::Volume& volume,
   }
   for (const auto& a : record.meta.arrays) {
     const std::string name = array_file_name(record.prefix, a.name);
-    if (!volume.exists(name)) {
+    if (!storage.exists(name)) {
       check(false, name + ": missing", out);
       continue;
     }
-    const auto file = volume.open(name);
+    const auto file = storage.open(name);
     check(file.size() == a.stream_bytes, name + ": unexpected size", out);
     if (file.size() == a.stream_bytes) {
       const auto bytes = file.read_at(0, file.size());

@@ -1,5 +1,5 @@
 // Checkpoint catalog — enumerate the checkpointed states present on a
-// volume. The paper allows an application to "maintain multiple
+// storage. The paper allows an application to "maintain multiple
 // checkpointed states concurrently" and to be "restarted from any of
 // them"; the JSA and the UIC use this inventory to pick a restart
 // candidate (normally the highest SOP).
@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "core/checkpoint_format.hpp"
-#include "piofs/volume.hpp"
 
 namespace drms::core {
 
@@ -27,16 +26,16 @@ struct CheckpointRecord {
 /// sorted by SOP ascending. States whose meta is unreadable are skipped
 /// (a torn meta is not a restart candidate).
 [[nodiscard]] std::vector<CheckpointRecord> list_checkpoints(
-    const piofs::Volume& volume, const std::string& prefix_filter = "");
+    const store::StorageBackend& storage, const std::string& prefix_filter = "");
 
 /// The restart candidate with the highest SOP for an application name
 /// (all modes considered), if any.
 [[nodiscard]] std::optional<CheckpointRecord> latest_checkpoint(
-    const piofs::Volume& volume, const std::string& app_name,
+    const store::StorageBackend& storage, const std::string& app_name,
     const std::string& prefix_filter = "");
 
 /// Delete every file of one checkpointed state (retention management).
-void remove_checkpoint(piofs::Volume& volume,
+void remove_checkpoint(store::StorageBackend& storage,
                        const CheckpointRecord& record);
 
 /// Outcome of an offline integrity check of one state.
@@ -49,7 +48,7 @@ struct VerifyResult {
 /// the state is present with the expected size, and each DRMS array file's
 /// contents match the stream CRC recorded in the meta. SPMD states check
 /// the per-task segment CRCs.
-[[nodiscard]] VerifyResult verify_checkpoint(const piofs::Volume& volume,
+[[nodiscard]] VerifyResult verify_checkpoint(const store::StorageBackend& storage,
                                              const CheckpointRecord& record);
 
 }  // namespace drms::core

@@ -79,16 +79,16 @@ CheckpointMeta deserialize_meta(support::ByteBuffer& in,
   return meta;
 }
 
-void write_meta_file(piofs::Volume& volume, const std::string& file,
+void write_meta_file(store::StorageBackend& storage, const std::string& file,
                      const CheckpointMeta& meta) {
   support::ByteBuffer buf;
   serialize_meta(meta, buf);
-  volume.create(file).write_at(0, buf.bytes());
+  storage.create(file).write_at(0, buf.bytes());
 }
 
-CheckpointMeta read_meta_file(const piofs::Volume& volume,
+CheckpointMeta read_meta_file(const store::StorageBackend& storage,
                               const std::string& file) {
-  const piofs::FileHandle handle = volume.open(file);
+  const store::FileHandle handle = storage.open(file);
   support::ByteBuffer buf(handle.read_at(0, handle.size()));
   return deserialize_meta(buf, file);
 }
@@ -132,52 +132,52 @@ std::string spmd_task_file_name(const std::string& prefix, int rank) {
   return prefix + ".spmd.task" + std::to_string(rank);
 }
 
-void write_checkpoint_meta(piofs::Volume& volume, const std::string& prefix,
+void write_checkpoint_meta(store::StorageBackend& storage, const std::string& prefix,
                            const CheckpointMeta& meta) {
-  write_meta_file(volume, meta_file_name(prefix), meta);
+  write_meta_file(storage, meta_file_name(prefix), meta);
 }
 
-CheckpointMeta read_checkpoint_meta(const piofs::Volume& volume,
+CheckpointMeta read_checkpoint_meta(const store::StorageBackend& storage,
                                     const std::string& prefix) {
-  return read_meta_file(volume, meta_file_name(prefix));
+  return read_meta_file(storage, meta_file_name(prefix));
 }
 
-bool checkpoint_exists(const piofs::Volume& volume,
+bool checkpoint_exists(const store::StorageBackend& storage,
                        const std::string& prefix) {
-  return volume.exists(meta_file_name(prefix));
+  return storage.exists(meta_file_name(prefix));
 }
 
-void write_spmd_meta(piofs::Volume& volume, const std::string& prefix,
+void write_spmd_meta(store::StorageBackend& storage, const std::string& prefix,
                      const CheckpointMeta& meta) {
-  write_meta_file(volume, spmd_meta_file_name(prefix), meta);
+  write_meta_file(storage, spmd_meta_file_name(prefix), meta);
 }
 
-CheckpointMeta read_spmd_meta(const piofs::Volume& volume,
+CheckpointMeta read_spmd_meta(const store::StorageBackend& storage,
                               const std::string& prefix) {
-  return read_meta_file(volume, spmd_meta_file_name(prefix));
+  return read_meta_file(storage, spmd_meta_file_name(prefix));
 }
 
-bool spmd_checkpoint_exists(const piofs::Volume& volume,
+bool spmd_checkpoint_exists(const store::StorageBackend& storage,
                             const std::string& prefix) {
-  return volume.exists(spmd_meta_file_name(prefix));
+  return storage.exists(spmd_meta_file_name(prefix));
 }
 
-std::uint64_t drms_state_size(const piofs::Volume& volume,
+std::uint64_t drms_state_size(const store::StorageBackend& storage,
                               const std::string& prefix) {
-  std::uint64_t total = volume.file_size(segment_file_name(prefix));
-  const CheckpointMeta meta = read_checkpoint_meta(volume, prefix);
+  std::uint64_t total = storage.file_size(segment_file_name(prefix));
+  const CheckpointMeta meta = read_checkpoint_meta(storage, prefix);
   for (const auto& a : meta.arrays) {
-    total += volume.file_size(array_file_name(prefix, a.name));
+    total += storage.file_size(array_file_name(prefix, a.name));
   }
   return total;
 }
 
-std::uint64_t spmd_state_size(const piofs::Volume& volume,
+std::uint64_t spmd_state_size(const store::StorageBackend& storage,
                               const std::string& prefix) {
-  const CheckpointMeta meta = read_spmd_meta(volume, prefix);
+  const CheckpointMeta meta = read_spmd_meta(storage, prefix);
   std::uint64_t total = 0;
   for (int r = 0; r < meta.task_count; ++r) {
-    total += volume.file_size(spmd_task_file_name(prefix, r));
+    total += storage.file_size(spmd_task_file_name(prefix, r));
   }
   return total;
 }

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "core/slice.hpp"
-#include "piofs/volume.hpp"
+#include "store/storage_backend.hpp"
 
 namespace drms::core {
 
@@ -96,25 +96,25 @@ struct CheckpointMeta {
                                               int rank);
 
 /// ---- meta record I/O ---------------------------------------------------------
-void write_checkpoint_meta(piofs::Volume& volume, const std::string& prefix,
+void write_checkpoint_meta(store::StorageBackend& storage, const std::string& prefix,
                            const CheckpointMeta& meta);
-[[nodiscard]] CheckpointMeta read_checkpoint_meta(const piofs::Volume& volume,
+[[nodiscard]] CheckpointMeta read_checkpoint_meta(const store::StorageBackend& storage,
                                                   const std::string& prefix);
-[[nodiscard]] bool checkpoint_exists(const piofs::Volume& volume,
+[[nodiscard]] bool checkpoint_exists(const store::StorageBackend& storage,
                                      const std::string& prefix);
 
-void write_spmd_meta(piofs::Volume& volume, const std::string& prefix,
+void write_spmd_meta(store::StorageBackend& storage, const std::string& prefix,
                      const CheckpointMeta& meta);
-[[nodiscard]] CheckpointMeta read_spmd_meta(const piofs::Volume& volume,
+[[nodiscard]] CheckpointMeta read_spmd_meta(const store::StorageBackend& storage,
                                             const std::string& prefix);
-[[nodiscard]] bool spmd_checkpoint_exists(const piofs::Volume& volume,
+[[nodiscard]] bool spmd_checkpoint_exists(const store::StorageBackend& storage,
                                           const std::string& prefix);
 
 /// Total on-volume size of a saved state (all files under the layout) —
 /// the paper's "size of saved state" metric (Table 3).
-[[nodiscard]] std::uint64_t drms_state_size(const piofs::Volume& volume,
+[[nodiscard]] std::uint64_t drms_state_size(const store::StorageBackend& storage,
                                             const std::string& prefix);
-[[nodiscard]] std::uint64_t spmd_state_size(const piofs::Volume& volume,
+[[nodiscard]] std::uint64_t spmd_state_size(const store::StorageBackend& storage,
                                             const std::string& prefix);
 
 }  // namespace drms::core

@@ -45,12 +45,10 @@ SegHeaderFields parse_segment_header(support::ByteBuffer& buf) {
 
 }  // namespace
 
-DrmsCheckpoint::DrmsCheckpoint(piofs::Volume& volume,
-                               const sim::CostModel* cost,
+DrmsCheckpoint::DrmsCheckpoint(store::StorageBackend& storage,
                                sim::LoadContext load, int io_tasks,
                                std::uint64_t target_chunk_bytes, bool jitter)
-    : volume_(volume),
-      cost_(cost),
+    : storage_(storage),
       load_(load),
       io_tasks_(io_tasks),
       target_chunk_bytes_(target_chunk_bytes),
@@ -87,7 +85,7 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       std::max(segment_model.total(), payload_end);
 
   if (ctx.rank() == 0) {
-    piofs::FileHandle seg = volume_.create(segment_file_name(prefix));
+    store::FileHandle seg = storage_.create(segment_file_name(prefix));
     const support::ByteBuffer header = make_segment_header(
         SegHeaderFields{replicated.size(), total_bytes});
     seg.write_at(0, header.bytes());
@@ -98,9 +96,9 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       seg.write_zeros_at(payload_end, total_bytes - payload_end);
     }
   }
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->single_write_seconds(total_bytes, load_,
-                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.single_write_seconds(
+        total_bytes, load_, jitter_ ? &ctx.shared_rng() : nullptr));
   }
   ctx.barrier();
   timing.segment_seconds = ctx.sim_time() - t0;
@@ -119,8 +117,8 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   if (incremental != nullptr) {
     const bool same_prefix = incremental->prefix == prefix;
     // Stream CRCs of the previous checkpoint, for arrays we may keep.
-    if (same_prefix && checkpoint_exists(volume_, prefix)) {
-      const CheckpointMeta previous = read_checkpoint_meta(volume_, prefix);
+    if (same_prefix && checkpoint_exists(storage_, prefix)) {
+      const CheckpointMeta previous = read_checkpoint_meta(storage_, prefix);
       for (std::size_t i = 0; i < arrays.size(); ++i) {
         for (const auto& am : previous.arrays) {
           if (am.name == arrays[i]->name()) {
@@ -141,8 +139,8 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       }
       const std::string file_name =
           array_file_name(prefix, arrays[i]->name());
-      skip[i] = volume_.exists(file_name) &&
-                volume_.file_size(file_name) ==
+      skip[i] = storage_.exists(file_name) &&
+                storage_.file_size(file_name) ==
                     arrays[i]->global_byte_count();
     }
   }
@@ -150,13 +148,14 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   if (ctx.rank() == 0) {
     for (std::size_t i = 0; i < arrays.size(); ++i) {
       if (!skip[i]) {
-        volume_.create(array_file_name(prefix, arrays[i]->name()));
+        storage_.create(array_file_name(prefix, arrays[i]->name()));
       }
     }
   }
   ctx.barrier();
 
-  const ArrayStreamer streamer(cost_, load_, target_chunk_bytes_, jitter_);
+  const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
+                               jitter_);
   const int writers = effective_io_tasks(ctx);
   CheckpointMeta meta;
   meta.app_name = app_name;
@@ -175,8 +174,8 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       // The file is untouched; carry the CRC it was written with.
       crc = previous_crcs[i];
     } else {
-      piofs::FileHandle file =
-          volume_.open(array_file_name(prefix, a->name()));
+      store::FileHandle file =
+          storage_.open(array_file_name(prefix, a->name()));
       bytes = streamer.write_section(ctx, *a, a->global_box(), file, 0,
                                      writers, &crc);
     }
@@ -193,7 +192,7 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   }
 
   if (ctx.rank() == 0) {
-    write_checkpoint_meta(volume_, prefix, meta);
+    write_checkpoint_meta(storage_, prefix, meta);
     if (incremental != nullptr) {
       incremental->prefix = prefix;
       for (std::size_t i = 0; i < arrays.size(); ++i) {
@@ -215,18 +214,20 @@ CheckpointMeta DrmsCheckpoint::restore_segment(
   const double t0 = ctx.sim_time();
 
   // Application text load (the paper's residual "other" restart component).
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->restart_init_seconds(segment_model.text_bytes,
-                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  // This is machine cost, not storage cost, so it comes straight from the
+  // backend's cost model.
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.cost_model()->restart_init_seconds(
+        segment_model.text_bytes, jitter_ ? &ctx.shared_rng() : nullptr));
   }
   ctx.barrier();
   const double t1 = ctx.sim_time();
   timing.init_seconds += t1 - t0;
 
-  const CheckpointMeta meta = read_checkpoint_meta(volume_, prefix);
+  const CheckpointMeta meta = read_checkpoint_meta(storage_, prefix);
 
   // Every task loads the single shared segment file.
-  const piofs::FileHandle seg = volume_.open(segment_file_name(prefix));
+  const store::FileHandle seg = storage_.open(segment_file_name(prefix));
   support::ByteBuffer header(seg.read_at(0, kSegHeaderBytes));
   const SegHeaderFields h = parse_segment_header(header);
   if (h.total_bytes != seg.size()) {
@@ -236,9 +237,10 @@ CheckpointMeta DrmsCheckpoint::restore_segment(
       seg.read_at(kSegHeaderBytes, h.replicated_size));
   store.deserialize(payload);
 
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->shared_read_seconds(h.total_bytes, ctx.size(), load_,
-                                          jitter_ ? &ctx.shared_rng() : nullptr));
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.shared_read_seconds(
+        h.total_bytes, ctx.size(), load_,
+        jitter_ ? &ctx.shared_rng() : nullptr));
   }
   ctx.barrier();
   timing.segment_seconds += ctx.sim_time() - t1;
@@ -258,9 +260,10 @@ void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
   ctx.barrier();
   const double t0 = ctx.sim_time();
 
-  const piofs::FileHandle file =
-      volume_.open(array_file_name(prefix, array.name()));
-  const ArrayStreamer streamer(cost_, load_, target_chunk_bytes_, jitter_);
+  const store::FileHandle file =
+      storage_.open(array_file_name(prefix, array.name()));
+  const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
+                               jitter_);
   std::uint32_t crc = 0;
   streamer.read_section(ctx, array, array.global_box(), file, 0,
                         effective_io_tasks(ctx), &crc);

@@ -19,7 +19,6 @@
 #include "core/checkpoint_format.hpp"
 #include "core/dist_array.hpp"
 #include "core/replicated_store.hpp"
-#include "piofs/volume.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 #include "support/units.hpp"
@@ -62,10 +61,11 @@ struct RestartTiming {
 
 class DrmsCheckpoint {
  public:
-  /// `cost` may be null (no time accounting — pure-correctness tests).
+  /// Timing is charged through `storage`'s primitives; a backend with no
+  /// cost model charges nothing (pure-correctness tests).
   /// `io_tasks` bounds the parallel-streaming width (0 = all tasks).
-  DrmsCheckpoint(piofs::Volume& volume, const sim::CostModel* cost,
-                 sim::LoadContext load, int io_tasks = 0,
+  DrmsCheckpoint(store::StorageBackend& storage, sim::LoadContext load,
+                 int io_tasks = 0,
                  std::uint64_t target_chunk_bytes = support::kMiB,
                  bool jitter = false);
 
@@ -101,8 +101,7 @@ class DrmsCheckpoint {
  private:
   [[nodiscard]] int effective_io_tasks(const rt::TaskContext& ctx) const;
 
-  piofs::Volume& volume_;
-  const sim::CostModel* cost_;
+  store::StorageBackend& storage_;
   sim::LoadContext load_;
   int io_tasks_;
   std::uint64_t target_chunk_bytes_;

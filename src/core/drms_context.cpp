@@ -14,7 +14,7 @@ DrmsProgram::DrmsProgram(std::string app_name, DrmsEnv env,
       env_(env),
       segment_model_(segment_model),
       task_count_(task_count) {
-  DRMS_EXPECTS(env_.volume != nullptr);
+  DRMS_EXPECTS(env_.storage != nullptr);
   DRMS_EXPECTS(task_count_ >= 1);
 }
 
@@ -49,7 +49,7 @@ sim::LoadContext DrmsContext::make_load_context() const {
   load.per_task_resident_bytes = program_.segment_model_.total();
   load.max_tasks_per_node = placement.max_tasks_per_node();
   load.node_memory_bytes = placement.machine().node_memory_bytes;
-  load.server_count = program_.env_.volume->server_count();
+  load.server_count = program_.env_.storage->server_count();
   return load;
 }
 
@@ -76,13 +76,12 @@ void DrmsContext::initialize() {
   just_restarted_ = true;
   RestartTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
-    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
+                          env.target_chunk_bytes, env.jitter);
     restart_meta_ = engine.restore_segment(ctx_, env.restart_prefix, store_,
                                            program_.segment_model_, timing);
   } else {
-    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
     restart_meta_ = engine.restore_begin(ctx_, env.restart_prefix, store_,
                                          program_.segment_model_, timing,
                                          spmd_cursor_);
@@ -155,13 +154,12 @@ void DrmsContext::distribute(DistArray& array, const DistSpec& spec) {
   }
   RestartTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
-    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
+                          env.target_chunk_bytes, env.jitter);
     engine.restore_array(ctx_, env.restart_prefix, *restart_meta_, array,
                          timing);
   } else {
-    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
     engine.restore_array_from(spmd_cursor_, array, ctx_.rank());
     ctx_.barrier();
   }
@@ -298,15 +296,14 @@ ReconfigResult DrmsContext::do_checkpoint(const std::string& prefix) {
   const std::vector<DistArray*> arrays = array_list();
   CheckpointTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
-    DrmsCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.io_tasks, env.target_chunk_bytes, env.jitter);
+    DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
+                          env.target_chunk_bytes, env.jitter);
     timing = engine.write(
         ctx_, prefix, program_.app_name_, sop_counter_, store_, arrays,
         program_.segment_model_,
         env.incremental ? &program_.incremental_state_ : nullptr);
   } else {
-    SpmdCheckpoint engine(*env.volume, env.cost, make_load_context(),
-                          env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
     timing = engine.write(ctx_, prefix, program_.app_name_, sop_counter_,
                           store_, arrays, program_.segment_model_);
   }

@@ -36,7 +36,7 @@
 #include "core/drms_checkpoint.hpp"
 #include "core/spmd_checkpoint.hpp"
 #include "core/steering.hpp"
-#include "piofs/volume.hpp"
+#include "store/storage_backend.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 
@@ -66,8 +66,12 @@ struct ReconfigResult {
 
 /// Environment of one application run.
 struct DrmsEnv {
-  piofs::Volume* volume = nullptr;
-  const sim::CostModel* cost = nullptr;  // null: no time accounting
+  /// Checkpoint storage; timing is charged through its primitives.
+  store::StorageBackend* storage = nullptr;
+  /// Machine cost model for application compute accounting (the solvers'
+  /// iteration time). Null: no compute accounting. Storage timing does
+  /// NOT come from here — it comes from the backend.
+  const sim::CostModel* cost = nullptr;
   bool jitter = false;
   /// Non-empty: restart from this checkpoint prefix at initialize().
   std::string restart_prefix;

@@ -7,7 +7,7 @@
 //
 // SequentialSink/SequentialSource model such channels; InMemoryPipe is a
 // socket-like bounded buffer connecting two (groups of) tasks, and
-// FileSink/FileSource adapt a PIOFS file. ArrayStreamer's sequential
+// FileSink/FileSource adapt a storage-backend file. ArrayStreamer's sequential
 // entry points drive them with P = 1 I/O tasks.
 #pragma once
 
@@ -18,7 +18,7 @@
 #include <span>
 #include <vector>
 
-#include "piofs/volume.hpp"
+#include "store/storage_backend.hpp"
 
 namespace drms::core {
 
@@ -42,23 +42,23 @@ class SequentialSource {
 /// Appends to a PIOFS file (e.g. checkpointing to a tape-like store).
 class FileSink final : public SequentialSink {
  public:
-  explicit FileSink(piofs::FileHandle file) : file_(std::move(file)) {}
+  explicit FileSink(store::FileHandle file) : file_(std::move(file)) {}
   void write(std::span<const std::byte> data) override {
     file_.append(data);
   }
 
  private:
-  piofs::FileHandle file_;
+  store::FileHandle file_;
 };
 
 /// Sequentially consumes a PIOFS file from the beginning.
 class FileSource final : public SequentialSource {
  public:
-  explicit FileSource(piofs::FileHandle file) : file_(std::move(file)) {}
+  explicit FileSource(store::FileHandle file) : file_(std::move(file)) {}
   void read(std::span<std::byte> out) override;
 
  private:
-  piofs::FileHandle file_;
+  store::FileHandle file_;
   std::uint64_t cursor_ = 0;
 };
 

@@ -14,10 +14,9 @@ constexpr std::uint32_t kTaskSegVersion = wire::kSpmdSegmentVersion;
 
 }  // namespace
 
-SpmdCheckpoint::SpmdCheckpoint(piofs::Volume& volume,
-                               const sim::CostModel* cost,
+SpmdCheckpoint::SpmdCheckpoint(store::StorageBackend& storage,
                                sim::LoadContext load, bool jitter)
-    : volume_(volume), cost_(cost), load_(load), jitter_(jitter) {}
+    : storage_(storage), load_(load), jitter_(jitter) {}
 
 CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
                                        const std::string& prefix,
@@ -54,8 +53,8 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   const std::uint64_t total_bytes =
       std::max(segment_model.total(), payload_end);
 
-  piofs::FileHandle file =
-      volume_.create(spmd_task_file_name(prefix, ctx.rank()));
+  store::FileHandle file =
+      storage_.create(spmd_task_file_name(prefix, ctx.rank()));
   support::ByteBuffer head;
   head.put_u64(body.size());
   head.put_u32(crc);
@@ -71,12 +70,13 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
     meta.task_count = ctx.size();
     meta.sop = sop;
     meta.segment_bytes = total_bytes;
-    write_spmd_meta(volume_, prefix, meta);
+    write_spmd_meta(storage_, prefix, meta);
   }
 
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->concurrent_write_seconds(
-        total_bytes, ctx.size(), load_, jitter_ ? &ctx.shared_rng() : nullptr));
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.concurrent_write_seconds(
+        total_bytes, ctx.size(), load_,
+        jitter_ ? &ctx.shared_rng() : nullptr));
   }
   ctx.barrier();
   timing.segment_seconds = ctx.sim_time() - t0;
@@ -89,15 +89,15 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
     SpmdRestoreCursor& cursor) {
   ctx.barrier();
   const double t0 = ctx.sim_time();
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->restart_init_seconds(segment_model.text_bytes,
-                                           jitter_ ? &ctx.shared_rng() : nullptr));
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.cost_model()->restart_init_seconds(
+        segment_model.text_bytes, jitter_ ? &ctx.shared_rng() : nullptr));
   }
   ctx.barrier();
   const double t1 = ctx.sim_time();
   timing.init_seconds += t1 - t0;
 
-  const CheckpointMeta meta = read_spmd_meta(volume_, prefix);
+  const CheckpointMeta meta = read_spmd_meta(storage_, prefix);
   if (meta.task_count != ctx.size()) {
     throw support::Error(
         "SPMD checkpoint was taken with " +
@@ -106,8 +106,8 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
         " is impossible without the DRMS programming model");
   }
 
-  const piofs::FileHandle file =
-      volume_.open(spmd_task_file_name(prefix, ctx.rank()));
+  const store::FileHandle file =
+      storage_.open(spmd_task_file_name(prefix, ctx.rank()));
   support::ByteBuffer head(file.read_at(0, 12));
   const std::uint64_t body_size = head.get_u64();
   const std::uint32_t crc = head.get_u32();
@@ -130,8 +130,8 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
   cursor.arrays_remaining = body.get_u64();
   cursor.body = std::move(body);
 
-  if (cost_ != nullptr) {
-    ctx.charge(cost_->private_read_seconds(
+  if (storage_.charges_time()) {
+    ctx.charge(storage_.private_read_seconds(
         std::max(segment_model.total(), file.size()), ctx.size(), load_,
         jitter_ ? &ctx.shared_rng() : nullptr));
   }

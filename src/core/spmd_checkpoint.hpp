@@ -14,7 +14,6 @@
 #include "core/drms_checkpoint.hpp"  // CheckpointTiming / RestartTiming
 #include "core/replicated_store.hpp"
 #include "core/spmd_restore_cursor.hpp"
-#include "piofs/volume.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 
@@ -22,8 +21,8 @@ namespace drms::core {
 
 class SpmdCheckpoint {
  public:
-  SpmdCheckpoint(piofs::Volume& volume, const sim::CostModel* cost,
-                 sim::LoadContext load, bool jitter = false);
+  SpmdCheckpoint(store::StorageBackend& storage, sim::LoadContext load,
+                 bool jitter = false);
 
   /// COLLECTIVE: every task writes its own segment file; all synchronize
   /// at the end (the paper's blocking-checkpoint semantics).
@@ -61,8 +60,7 @@ class SpmdCheckpoint {
                           int rank) const;
 
  private:
-  piofs::Volume& volume_;
-  const sim::CostModel* cost_;
+  store::StorageBackend& storage_;
   sim::LoadContext load_;
   bool jitter_;
 };

@@ -83,7 +83,7 @@ StreamPlan make_stream_plan(const Slice& section, std::size_t elem_size,
 std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
                                            const DistArray& array,
                                            const Slice& x,
-                                           piofs::FileHandle file,
+                                           store::FileHandle file,
                                            std::uint64_t file_offset,
                                            int io_tasks,
                                            std::uint32_t* stream_crc) const {
@@ -107,8 +107,8 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
   // One jitter draw per section: round-level noise would average out over
   // the dozens of rounds and understate the paper's run-to-run spread.
   const double jitter_factor =
-      (jitter_ && cost_ != nullptr)
-          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
           : 1.0;
 
   std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
@@ -149,8 +149,8 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
       }
     }
 
-    if (cost_ != nullptr) {
-      ctx.charge(jitter_factor * cost_->stream_write_round_seconds(
+    if (storage_ != nullptr && storage_->charges_time()) {
+      ctx.charge(jitter_factor * storage_->stream_write_round_seconds(
                                      round_bytes, writers, load_, nullptr));
     }
     ctx.barrier();
@@ -163,7 +163,7 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
 
 std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
                                           DistArray& array, const Slice& x,
-                                          piofs::FileHandle file,
+                                          store::FileHandle file,
                                           std::uint64_t file_offset,
                                           int io_tasks,
                                           std::uint32_t* stream_crc) const {
@@ -187,8 +187,8 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
   LocalArray& my_local = array.local(me);
 
   const double jitter_factor =
-      (jitter_ && cost_ != nullptr)
-          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
           : 1.0;
 
   std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
@@ -230,8 +230,8 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
                       my_local.element_count() > 0 ? &my_local : nullptr,
                       elem);
 
-    if (cost_ != nullptr) {
-      ctx.charge(jitter_factor * cost_->stream_read_round_seconds(
+    if (storage_ != nullptr && storage_->charges_time()) {
+      ctx.charge(jitter_factor * storage_->stream_read_round_seconds(
                                      round_bytes, readers, load_, nullptr));
     }
     ctx.barrier();
@@ -256,8 +256,8 @@ std::uint64_t ArrayStreamer::write_section_sequential(
   const Slice empty = Slice::empty_of_rank(x.rank());
 
   const double jitter_factor =
-      (jitter_ && cost_ != nullptr)
-          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
           : 1.0;
 
   for (const Slice& chunk : plan.chunks) {
@@ -271,9 +271,9 @@ std::uint64_t ArrayStreamer::write_section_sequential(
     if (me == 0) {
       sink.write(staging.bytes());  // append-only: no seek ever issued
     }
-    if (cost_ != nullptr) {
+    if (storage_ != nullptr && storage_->charges_time()) {
       ctx.charge(jitter_factor *
-                 cost_->stream_write_round_seconds(
+                 storage_->stream_write_round_seconds(
                      static_cast<std::uint64_t>(chunk.element_count()) *
                          elem,
                      1, load_, nullptr));
@@ -298,8 +298,8 @@ std::uint64_t ArrayStreamer::read_section_sequential(
   LocalArray& my_local = array.local(me);
 
   const double jitter_factor =
-      (jitter_ && cost_ != nullptr)
-          ? ctx.shared_rng().jitter(cost_->jitter_sigma)
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
           : 1.0;
 
   for (const Slice& chunk : plan.chunks) {
@@ -315,9 +315,9 @@ std::uint64_t ArrayStreamer::read_section_sequential(
                       dst_mapped,
                       my_local.element_count() > 0 ? &my_local : nullptr,
                       elem);
-    if (cost_ != nullptr) {
+    if (storage_ != nullptr && storage_->charges_time()) {
       ctx.charge(jitter_factor *
-                 cost_->stream_read_round_seconds(
+                 storage_->stream_read_round_seconds(
                      static_cast<std::uint64_t>(chunk.element_count()) *
                          elem,
                      1, load_, nullptr));

@@ -18,7 +18,7 @@
 
 #include "core/dist_array.hpp"
 #include "core/sequential_channel.hpp"
-#include "piofs/volume.hpp"
+#include "store/storage_backend.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 #include "support/units.hpp"
@@ -45,18 +45,18 @@ struct StreamPlan {
                                           int io_tasks,
                                           std::uint64_t target_chunk_bytes);
 
-/// Streaming engine bound to a cost model and load context. The engine is
-/// stateless with respect to arrays; one instance per checkpoint/restart
-/// operation is typical.
+/// Streaming engine bound to a storage backend (for timing) and load
+/// context. The engine is stateless with respect to arrays; one instance
+/// per checkpoint/restart operation is typical.
 class ArrayStreamer {
  public:
   /// `jitter` enables per-round lognormal timing noise drawn from each
   /// task's deterministic RNG stream (used by the benchmark harness to
   /// reproduce the paper's run-to-run spread).
-  ArrayStreamer(const sim::CostModel* cost, sim::LoadContext load,
+  ArrayStreamer(const store::StorageBackend* storage, sim::LoadContext load,
                 std::uint64_t target_chunk_bytes = support::kMiB,
                 bool jitter = false)
-      : cost_(cost),
+      : storage_(storage),
         load_(load),
         target_chunk_bytes_(target_chunk_bytes),
         jitter_(jitter) {}
@@ -68,7 +68,7 @@ class ArrayStreamer {
   /// chunk-ordered stream contents (identical on every task) — the
   /// integrity fingerprint recorded in checkpoint metadata.
   std::uint64_t write_section(rt::TaskContext& ctx, const DistArray& array,
-                              const Slice& x, piofs::FileHandle file,
+                              const Slice& x, store::FileHandle file,
                               std::uint64_t file_offset, int io_tasks,
                               std::uint32_t* stream_crc = nullptr) const;
 
@@ -78,7 +78,7 @@ class ArrayStreamer {
   /// same way as write_section's — comparing the two detects torn or
   /// corrupted checkpoint files.
   std::uint64_t read_section(rt::TaskContext& ctx, DistArray& array,
-                             const Slice& x, piofs::FileHandle file,
+                             const Slice& x, store::FileHandle file,
                              std::uint64_t file_offset, int io_tasks,
                              std::uint32_t* stream_crc = nullptr) const;
 
@@ -96,7 +96,8 @@ class ArrayStreamer {
                                         SequentialSource& source) const;
 
  private:
-  const sim::CostModel* cost_;  // may be null: no time accounting
+  /// May be null: no time accounting (pure data movement).
+  const store::StorageBackend* storage_;
   sim::LoadContext load_;
   std::uint64_t target_chunk_bytes_;
   bool jitter_;

@@ -51,6 +51,11 @@ CostModel CostModel::paper_sp16() {
   m.op_latency = 0.010;
   m.text_load_bw = mib(2.2);
   m.compute_points_per_second = 2.0e6;
+  // Memory tier: node-local RAM staging for multi-level checkpoints.
+  // Far above the server-limited PIOFS rates, per the SCR/ReStore premise.
+  m.memory_write_bw = mib(150.0);
+  m.memory_read_bw = mib(200.0);
+  m.memory_op_latency = 0.0005;
   m.jitter_sigma = 0.15;
   return m;
 }

@@ -101,6 +101,15 @@ struct CostModel {
   /// solvers to account iteration time between checkpoints.
   double compute_points_per_second = 0.0;
 
+  // -- node-local memory tier (store::MemoryBackend) --------------------------
+  /// Per-task bandwidth into the in-memory checkpoint tier (bytes/second).
+  /// Zero disables memory-tier timing (the tier charges nothing).
+  double memory_write_bw = 0.0;
+  /// Per-task bandwidth out of the in-memory tier.
+  double memory_read_bw = 0.0;
+  /// Fixed per-phase latency of a memory-tier operation.
+  double memory_op_latency = 0.0;
+
   /// Lognormal sigma applied per primitive call when a jitter Rng is given.
   double jitter_sigma = 0.0;
 

@@ -1,0 +1,116 @@
+#include "store/piofs_backend.hpp"
+
+#include <utility>
+
+namespace drms::store {
+
+namespace {
+
+/// FileObject over a piofs::FileHandle (which is itself a cheap value
+/// handle onto the volume's shared file state).
+class PiofsFileObject final : public FileObject {
+ public:
+  explicit PiofsFileObject(piofs::FileHandle file)
+      : file_(std::move(file)) {}
+
+  void write_at(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    file_.write_at(offset, data);
+  }
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) override {
+    file_.write_zeros_at(offset, count);
+  }
+  [[nodiscard]] std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const override {
+    return file_.read_at(offset, count);
+  }
+  void append(std::span<const std::byte> data) override {
+    file_.append(data);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return file_.size(); }
+  [[nodiscard]] const std::string& name() const override {
+    return file_.name();
+  }
+
+ private:
+  piofs::FileHandle file_;
+};
+
+}  // namespace
+
+FileHandle PiofsBackend::create(const std::string& name) {
+  return FileHandle(
+      std::make_shared<PiofsFileObject>(volume_.create(name)));
+}
+
+FileHandle PiofsBackend::open(const std::string& name) const {
+  return FileHandle(std::make_shared<PiofsFileObject>(volume_.open(name)));
+}
+
+StorageStats PiofsBackend::stats() const {
+  const piofs::VolumeStats v = volume_.stats();
+  StorageStats s;
+  s.bytes_written = v.bytes_written;
+  s.bytes_read = v.bytes_read;
+  s.write_ops = v.write_ops;
+  s.read_ops = v.read_ops;
+  s.files_created = v.files_created;
+  return s;
+}
+
+std::string PiofsBackend::description() const {
+  return "piofs(servers=" + std::to_string(volume_.server_count()) + ")";
+}
+
+double PiofsBackend::single_write_seconds(std::uint64_t bytes,
+                                          const sim::LoadContext& ctx,
+                                          support::Rng* jitter) const {
+  return cost_ == nullptr ? 0.0
+                          : cost_->single_write_seconds(bytes, ctx, jitter);
+}
+
+double PiofsBackend::concurrent_write_seconds(std::uint64_t bytes_per_writer,
+                                              int writers,
+                                              const sim::LoadContext& ctx,
+                                              support::Rng* jitter) const {
+  return cost_ == nullptr ? 0.0
+                          : cost_->concurrent_write_seconds(
+                                bytes_per_writer, writers, ctx, jitter);
+}
+
+double PiofsBackend::shared_read_seconds(std::uint64_t bytes, int readers,
+                                         const sim::LoadContext& ctx,
+                                         support::Rng* jitter) const {
+  return cost_ == nullptr
+             ? 0.0
+             : cost_->shared_read_seconds(bytes, readers, ctx, jitter);
+}
+
+double PiofsBackend::private_read_seconds(std::uint64_t bytes_per_reader,
+                                          int readers,
+                                          const sim::LoadContext& ctx,
+                                          support::Rng* jitter) const {
+  return cost_ == nullptr ? 0.0
+                          : cost_->private_read_seconds(
+                                bytes_per_reader, readers, ctx, jitter);
+}
+
+double PiofsBackend::stream_write_round_seconds(std::uint64_t bytes,
+                                                int writers,
+                                                const sim::LoadContext& ctx,
+                                                support::Rng* jitter) const {
+  return cost_ == nullptr ? 0.0
+                          : cost_->stream_write_round_seconds(bytes, writers,
+                                                              ctx, jitter);
+}
+
+double PiofsBackend::stream_read_round_seconds(std::uint64_t bytes,
+                                               int readers,
+                                               const sim::LoadContext& ctx,
+                                               support::Rng* jitter) const {
+  return cost_ == nullptr ? 0.0
+                          : cost_->stream_read_round_seconds(bytes, readers,
+                                                             ctx, jitter);
+}
+
+}  // namespace drms::store

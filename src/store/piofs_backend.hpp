@@ -1,0 +1,87 @@
+// StorageBackend adapter over piofs::Volume — the paper's substrate.
+//
+// Every namespace operation delegates to the volume (keeping its
+// per-server striping accountancy intact) and every timing primitive
+// delegates to the given cost model, so a PIOFS-only run through this
+// adapter is bit-identical to the seed's direct-Volume path: same bytes,
+// same stats, same simulated seconds, same jitter-RNG draw sequence.
+#pragma once
+
+#include "piofs/volume.hpp"
+#include "store/storage_backend.hpp"
+
+namespace drms::store {
+
+class PiofsBackend final : public StorageBackend {
+ public:
+  /// The backend borrows the volume (and cost model); both must outlive
+  /// it. `cost` may be null: no time accounting.
+  explicit PiofsBackend(piofs::Volume& volume,
+                        const sim::CostModel* cost = nullptr)
+      : volume_(volume), cost_(cost) {}
+
+  FileHandle create(const std::string& name) override;
+  [[nodiscard]] FileHandle open(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return volume_.exists(name);
+  }
+  void remove(const std::string& name) override { volume_.remove(name); }
+  int remove_prefix(const std::string& prefix) override {
+    return volume_.remove_prefix(prefix);
+  }
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const override {
+    return volume_.list(prefix);
+  }
+  [[nodiscard]] std::uint64_t file_size(
+      const std::string& name) const override {
+    return volume_.file_size(name);
+  }
+  [[nodiscard]] std::uint64_t total_size(
+      const std::string& prefix) const override {
+    return volume_.total_size(prefix);
+  }
+
+  [[nodiscard]] StorageStats stats() const override;
+  void reset_stats() override { volume_.reset_stats(); }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] int server_count() const override {
+    return volume_.server_count();
+  }
+
+  [[nodiscard]] const sim::CostModel* cost_model() const override {
+    return cost_;
+  }
+
+  [[nodiscard]] double single_write_seconds(
+      std::uint64_t bytes, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override;
+  [[nodiscard]] double concurrent_write_seconds(
+      std::uint64_t bytes_per_writer, int writers,
+      const sim::LoadContext& ctx, support::Rng* jitter) const override;
+  [[nodiscard]] double shared_read_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override;
+  [[nodiscard]] double private_read_seconds(
+      std::uint64_t bytes_per_reader, int readers,
+      const sim::LoadContext& ctx, support::Rng* jitter) const override;
+  [[nodiscard]] double stream_write_round_seconds(
+      std::uint64_t bytes, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override;
+  [[nodiscard]] double stream_read_round_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override;
+
+  /// The adapted volume, for host-side operations that are inherently
+  /// PIOFS-specific (export/import to a host directory).
+  [[nodiscard]] piofs::Volume& volume() noexcept { return volume_; }
+  [[nodiscard]] const piofs::Volume& volume() const noexcept {
+    return volume_;
+  }
+
+ private:
+  piofs::Volume& volume_;
+  const sim::CostModel* cost_;
+};
+
+}  // namespace drms::store

@@ -1,0 +1,197 @@
+// Pluggable checkpoint storage layer (drms::store).
+//
+// The checkpoint engines describe WHAT a checkpoint is (segment files,
+// distribution-independent array streams, meta records); a StorageBackend
+// decides WHERE the bytes live and HOW LONG the simulated I/O phases take.
+// The seed system was hard-wired to the PIOFS substrate of the 1997
+// paper; modern descendants of its strategy (SCR-style multi-level
+// checkpointing, ReStore's in-memory replicated storage, arXiv:2203.01107)
+// stage checkpoints to a fast near tier and drain to the parallel FS
+// asynchronously. This interface is the seam that makes both worlds
+// expressible:
+//
+//   PiofsBackend   — adapts piofs::Volume, preserving every byte and every
+//                    cost-model charge of the seed (bit-identical).
+//   MemoryBackend  — node-local in-memory tier with a capacity limit and
+//                    simulated memory bandwidth.
+//   TieredBackend  — write-through staging across a fast and a slow tier
+//                    with background drain and tier-loss fallback.
+//
+// Timing stays the engines' responsibility: they have the global view of
+// each I/O phase (who writes, how much, under what load) and call the
+// backend's `*_seconds` primitives, which mirror sim::CostModel's. A
+// backend without a cost model reports charges_time() == false and the
+// engines skip charging entirely — exactly the seed's null-cost behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace drms::store {
+
+/// Cumulative transfer counters of one backend. Single-tier backends fill
+/// only the first group; TieredBackend adds the staging counters.
+struct StorageStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t files_created = 0;
+
+  /// Bytes whose checkpoint commit completed against the fast tier.
+  std::uint64_t fast_bytes_committed = 0;
+  /// Bytes copied fast -> slow by background drains so far.
+  std::uint64_t drained_bytes = 0;
+  /// Bytes currently dirty in the fast tier (commit done, drain pending).
+  std::uint64_t drain_backlog_bytes = 0;
+  /// Files that overflowed the fast tier and fell through to the slow one.
+  std::uint64_t fast_spills = 0;
+};
+
+/// Thrown by a capacity-limited backend when a write would not fit. The
+/// write is NOT applied; TieredBackend catches this to spill to the slow
+/// tier.
+class CapacityExceeded : public support::IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// One open file, whatever tier its bytes live in. Implementations must be
+/// safe for concurrent use by the parallel-streaming tasks.
+class FileObject {
+ public:
+  virtual ~FileObject() = default;
+  virtual void write_at(std::uint64_t offset,
+                        std::span<const std::byte> data) = 0;
+  /// Logical zero-fill write: accounted like a real write but may be
+  /// stored sparsely.
+  virtual void write_zeros_at(std::uint64_t offset, std::uint64_t count) = 0;
+  [[nodiscard]] virtual std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const = 0;
+  /// Append at the current end of file (serial streaming; no seek needed).
+  virtual void append(std::span<const std::byte> data) = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Value handle to one open file. Cheap to copy; all copies refer to the
+/// same file object (mirrors piofs::FileHandle).
+class FileHandle {
+ public:
+  FileHandle() = default;
+  explicit FileHandle(std::shared_ptr<FileObject> object)
+      : object_(std::move(object)) {}
+
+  void write_at(std::uint64_t offset, std::span<const std::byte> data) {
+    DRMS_EXPECTS_MSG(valid(), "write through an invalid file handle");
+    object_->write_at(offset, data);
+  }
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) {
+    DRMS_EXPECTS_MSG(valid(), "write through an invalid file handle");
+    object_->write_zeros_at(offset, count);
+  }
+  [[nodiscard]] std::vector<std::byte> read_at(std::uint64_t offset,
+                                               std::uint64_t count) const {
+    DRMS_EXPECTS_MSG(valid(), "read through an invalid file handle");
+    return object_->read_at(offset, count);
+  }
+  void append(std::span<const std::byte> data) {
+    DRMS_EXPECTS_MSG(valid(), "append through an invalid file handle");
+    object_->append(data);
+  }
+  [[nodiscard]] std::uint64_t size() const {
+    DRMS_EXPECTS_MSG(valid(), "size of an invalid file handle");
+    return object_->size();
+  }
+  [[nodiscard]] const std::string& name() const {
+    DRMS_EXPECTS_MSG(valid(), "name of an invalid file handle");
+    return object_->name();
+  }
+  [[nodiscard]] bool valid() const noexcept { return object_ != nullptr; }
+
+ private:
+  std::shared_ptr<FileObject> object_;
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  // ---- namespace operations -------------------------------------------------
+  /// Create (or truncate) a file.
+  virtual FileHandle create(const std::string& name) = 0;
+  /// Open an existing file; throws IoError if absent.
+  [[nodiscard]] virtual FileHandle open(const std::string& name) const = 0;
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+  virtual void remove(const std::string& name) = 0;
+  /// Remove every file whose name starts with `prefix`; returns the count.
+  virtual int remove_prefix(const std::string& prefix) = 0;
+  /// Names of all files with the given prefix, sorted.
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& prefix = "") const = 0;
+  [[nodiscard]] virtual std::uint64_t file_size(
+      const std::string& name) const {
+    return open(name).size();
+  }
+  /// Sum of file sizes under a prefix — the "size of saved state" metric.
+  [[nodiscard]] virtual std::uint64_t total_size(
+      const std::string& prefix) const {
+    std::uint64_t total = 0;
+    for (const auto& name : list(prefix)) {
+      total += file_size(name);
+    }
+    return total;
+  }
+
+  // ---- introspection --------------------------------------------------------
+  [[nodiscard]] virtual StorageStats stats() const = 0;
+  virtual void reset_stats() = 0;
+  /// Human-readable one-liner, e.g. "piofs(servers=16)".
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// File-system server nodes an I/O phase stripes across (feeds
+  /// sim::LoadContext::server_count; 1 for node-local tiers).
+  [[nodiscard]] virtual int server_count() const = 0;
+  /// Capacity in bytes (0 = unlimited) and current logical usage.
+  [[nodiscard]] virtual std::uint64_t capacity_bytes() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t used_bytes() const { return 0; }
+
+  // ---- simulated time -------------------------------------------------------
+  /// Cost model driving the timing primitives (null: no time accounting).
+  /// Engines also use it directly for non-storage charges (restart text
+  /// load, jitter sigma).
+  [[nodiscard]] virtual const sim::CostModel* cost_model() const = 0;
+  /// True when the timing primitives return meaningful (possibly zero)
+  /// charges; false mirrors the seed's "null cost model" mode in which the
+  /// engines skip charging — and jitter-RNG draws — entirely.
+  [[nodiscard]] bool charges_time() const { return cost_model() != nullptr; }
+
+  // The six phase primitives mirror sim::CostModel's signatures so the
+  // engines' call sites stay unchanged in shape. All return seconds.
+  [[nodiscard]] virtual double single_write_seconds(
+      std::uint64_t bytes, const sim::LoadContext& ctx,
+      support::Rng* jitter) const = 0;
+  [[nodiscard]] virtual double concurrent_write_seconds(
+      std::uint64_t bytes_per_writer, int writers,
+      const sim::LoadContext& ctx, support::Rng* jitter) const = 0;
+  [[nodiscard]] virtual double shared_read_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const = 0;
+  [[nodiscard]] virtual double private_read_seconds(
+      std::uint64_t bytes_per_reader, int readers,
+      const sim::LoadContext& ctx, support::Rng* jitter) const = 0;
+  [[nodiscard]] virtual double stream_write_round_seconds(
+      std::uint64_t bytes, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const = 0;
+  [[nodiscard]] virtual double stream_read_round_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const = 0;
+};
+
+}  // namespace drms::store

@@ -1,0 +1,426 @@
+#include "store/tiered_backend.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/units.hpp"
+
+namespace drms::store {
+
+namespace {
+
+/// Chunk size for fast -> slow copies (bounds the host-memory footprint
+/// of draining a large staged segment).
+constexpr std::uint64_t kCopyChunkBytes = 8 * support::kMiB;
+
+}  // namespace
+
+/// Routes every operation to the file's CURRENT tier under the entry
+/// mutex, so a concurrent spill (capacity overflow on another task)
+/// cannot strand a handle on a removed fast copy.
+class TieredBackend::TieredFileObject final : public FileObject {
+ public:
+  TieredFileObject(TieredBackend* backend, std::string name,
+                   std::shared_ptr<Entry> entry)
+      : backend_(backend), name_(std::move(name)), entry_(std::move(entry)) {}
+
+  void write_at(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    if (entry_->in_fast) {
+      try {
+        backend_->fast_.open(name_).write_at(offset, data);
+        entry_->dirty = true;
+        backend_->fast_bytes_committed_.fetch_add(data.size());
+        return;
+      } catch (const CapacityExceeded&) {
+        backend_->spill_locked(name_, *entry_);
+      }
+    }
+    slow_file().write_at(offset, data);
+  }
+
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    if (entry_->in_fast) {
+      try {
+        backend_->fast_.open(name_).write_zeros_at(offset, count);
+        entry_->dirty = true;
+        backend_->fast_bytes_committed_.fetch_add(count);
+        return;
+      } catch (const CapacityExceeded&) {
+        backend_->spill_locked(name_, *entry_);
+      }
+    }
+    slow_file().write_zeros_at(offset, count);
+  }
+
+  [[nodiscard]] std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    return current_file().read_at(offset, count);
+  }
+
+  void append(std::span<const std::byte> data) override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    if (entry_->in_fast) {
+      try {
+        backend_->fast_.open(name_).append(data);
+        entry_->dirty = true;
+        backend_->fast_bytes_committed_.fetch_add(data.size());
+        return;
+      } catch (const CapacityExceeded&) {
+        backend_->spill_locked(name_, *entry_);
+      }
+    }
+    slow_file().append(data);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    return current_file().size();
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  /// Nearest valid copy (reads). Caller holds the entry mutex.
+  [[nodiscard]] FileHandle current_file() const {
+    if (entry_->in_fast) {
+      return backend_->fast_.open(name_);
+    }
+    if (entry_->in_slow) {
+      return backend_->slow_.open(name_);
+    }
+    throw support::IoError("file '" + name_ +
+                           "' was lost with the fast tier before draining");
+  }
+
+  /// Slow-tier handle for post-spill writes. Caller holds the entry mutex.
+  [[nodiscard]] FileHandle slow_file() const {
+    if (!entry_->in_slow) {
+      backend_->slow_.create(name_);
+      entry_->in_slow = true;
+    }
+    return backend_->slow_.open(name_);
+  }
+
+  TieredBackend* backend_;
+  std::string name_;
+  std::shared_ptr<Entry> entry_;
+};
+
+TieredBackend::TieredBackend(StorageBackend& fast, StorageBackend& slow,
+                             TieredOptions options)
+    : fast_(fast), slow_(slow), options_(options) {}
+
+std::shared_ptr<TieredBackend::Entry> TieredBackend::find_entry(
+    const std::string& name, bool create_missing) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second;
+  }
+  // Adopt a file the slow tier already holds (e.g. a tiered backend
+  // layered over a volume with pre-existing checkpoints).
+  if (slow_.exists(name)) {
+    auto entry = std::make_shared<Entry>();
+    entry->in_slow = true;
+    entries_[name] = entry;
+    return entry;
+  }
+  if (!create_missing) {
+    return nullptr;
+  }
+  auto entry = std::make_shared<Entry>();
+  entries_[name] = entry;
+  return entry;
+}
+
+bool TieredBackend::fast_fits(std::uint64_t bytes) const {
+  const std::uint64_t capacity = fast_.capacity_bytes();
+  return capacity == 0 || fast_.used_bytes() + bytes <= capacity;
+}
+
+std::uint64_t TieredBackend::copy_to_slow_locked(const std::string& name) {
+  const FileHandle src = fast_.open(name);
+  FileHandle dst = slow_.create(name);
+  const std::uint64_t total = src.size();
+  for (std::uint64_t offset = 0; offset < total;
+       offset += kCopyChunkBytes) {
+    const std::uint64_t n = std::min(kCopyChunkBytes, total - offset);
+    dst.write_at(offset, src.read_at(offset, n));
+  }
+  return total;
+}
+
+void TieredBackend::spill_locked(const std::string& name, Entry& entry) {
+  copy_to_slow_locked(name);
+  fast_.remove(name);
+  entry.in_fast = false;
+  entry.in_slow = true;
+  entry.dirty = false;
+  fast_spills_.fetch_add(1);
+}
+
+FileHandle TieredBackend::create(const std::string& name) {
+  auto entry = find_entry(name, /*create_missing=*/true);
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  // A re-created file supersedes both copies.
+  if (entry->in_fast && fast_.exists(name)) {
+    fast_.remove(name);
+  }
+  if (entry->in_slow && slow_.exists(name)) {
+    slow_.remove(name);
+  }
+  fast_.create(name);
+  entry->in_fast = true;
+  entry->in_slow = false;
+  entry->dirty = true;
+  return FileHandle(std::make_shared<TieredFileObject>(this, name, entry));
+}
+
+FileHandle TieredBackend::open(const std::string& name) const {
+  auto entry = find_entry(name, /*create_missing=*/false);
+  if (entry != nullptr) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast || entry->in_slow) {
+      return FileHandle(std::make_shared<TieredFileObject>(
+          const_cast<TieredBackend*>(this), name, entry));
+    }
+  }
+  throw support::IoError("no such file: '" + name + "'");
+}
+
+bool TieredBackend::exists(const std::string& name) const {
+  auto entry = find_entry(name, /*create_missing=*/false);
+  if (entry == nullptr) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  return entry->in_fast || entry->in_slow;
+}
+
+void TieredBackend::remove(const std::string& name) {
+  auto entry = find_entry(name, /*create_missing=*/false);
+  bool removed = false;
+  if (entry != nullptr) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast) {
+      fast_.remove(name);
+      entry->in_fast = false;
+      removed = true;
+    }
+    if (entry->in_slow) {
+      slow_.remove(name);
+      entry->in_slow = false;
+      removed = true;
+    }
+    entry->dirty = false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(name);
+  }
+  if (!removed) {
+    throw support::IoError("cannot remove missing file: '" + name + "'");
+  }
+}
+
+int TieredBackend::remove_prefix(const std::string& prefix) {
+  int removed = 0;
+  for (const auto& name : list(prefix)) {
+    remove(name);
+    ++removed;
+  }
+  return removed;
+}
+
+std::vector<std::string> TieredBackend::list(
+    const std::string& prefix) const {
+  std::vector<std::string> names = slow_.list(prefix);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      if (name.rfind(prefix, 0) == 0 && (entry->in_fast || entry->in_slow)) {
+        names.push_back(name);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  // Drop names whose only copy was lost with the fast tier.
+  std::erase_if(names, [this](const std::string& n) { return !exists(n); });
+  return names;
+}
+
+StorageStats TieredBackend::stats() const {
+  const StorageStats f = fast_.stats();
+  const StorageStats s = slow_.stats();
+  StorageStats out;
+  out.bytes_written = f.bytes_written + s.bytes_written;
+  out.bytes_read = f.bytes_read + s.bytes_read;
+  out.write_ops = f.write_ops + s.write_ops;
+  out.read_ops = f.read_ops + s.read_ops;
+  out.files_created = f.files_created + s.files_created;
+  out.fast_bytes_committed = fast_bytes_committed_.load();
+  out.drained_bytes = drained_bytes_.load();
+  out.drain_backlog_bytes = drain_backlog_bytes();
+  out.fast_spills = fast_spills_.load();
+  return out;
+}
+
+void TieredBackend::reset_stats() {
+  fast_.reset_stats();
+  slow_.reset_stats();
+  fast_bytes_committed_.store(0);
+  drained_bytes_.store(0);
+  fast_spills_.store(0);
+}
+
+std::string TieredBackend::description() const {
+  return "tiered(fast=" + fast_.description() +
+         ", slow=" + slow_.description() + ")";
+}
+
+TieredBackend::DrainReport TieredBackend::drain(
+    const sim::LoadContext& load) {
+  // Snapshot the entry set; each file is then drained under its own lock
+  // so concurrent writers aren't blocked for the whole sweep.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  DrainReport report;
+  for (auto& [name, entry] : snapshot) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->in_fast || !entry->dirty) {
+      continue;
+    }
+    const std::uint64_t copied = copy_to_slow_locked(name);
+    entry->in_slow = true;
+    entry->dirty = false;
+    if (options_.evict_fast_after_drain) {
+      fast_.remove(name);
+      entry->in_fast = false;
+    }
+    ++report.files_drained;
+    report.bytes_drained += copied;
+    report.simulated_seconds +=
+        slow_.single_write_seconds(copied, load, nullptr);
+    drained_bytes_.fetch_add(copied);
+  }
+  return report;
+}
+
+void TieredBackend::fail_fast_tier() {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  for (auto& [name, entry] : snapshot) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast) {
+      fast_.remove(name);
+      entry->in_fast = false;
+      entry->dirty = false;
+      // An undrained file has no surviving copy; its entry stays with
+      // both flags cleared and open()/exists() report it gone.
+    }
+  }
+}
+
+std::uint64_t TieredBackend::drain_backlog_bytes() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  std::uint64_t backlog = 0;
+  for (const auto& [name, entry] : snapshot) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast && entry->dirty) {
+      backlog += fast_.file_size(name);
+    }
+  }
+  return backlog;
+}
+
+bool TieredBackend::fast_holds_data() const {
+  std::vector<std::shared_ptr<Entry>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      snapshot.push_back(entry);
+    }
+  }
+  for (const auto& entry : snapshot) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double TieredBackend::single_write_seconds(std::uint64_t bytes,
+                                           const sim::LoadContext& ctx,
+                                           support::Rng* jitter) const {
+  return fast_fits(bytes)
+             ? fast_.single_write_seconds(bytes, ctx, jitter)
+             : slow_.single_write_seconds(bytes, ctx, jitter);
+}
+
+double TieredBackend::concurrent_write_seconds(std::uint64_t bytes_per_writer,
+                                               int writers,
+                                               const sim::LoadContext& ctx,
+                                               support::Rng* jitter) const {
+  const std::uint64_t total =
+      bytes_per_writer * static_cast<std::uint64_t>(writers);
+  return fast_fits(total)
+             ? fast_.concurrent_write_seconds(bytes_per_writer, writers, ctx,
+                                              jitter)
+             : slow_.concurrent_write_seconds(bytes_per_writer, writers, ctx,
+                                              jitter);
+}
+
+double TieredBackend::shared_read_seconds(std::uint64_t bytes, int readers,
+                                          const sim::LoadContext& ctx,
+                                          support::Rng* jitter) const {
+  return fast_holds_data()
+             ? fast_.shared_read_seconds(bytes, readers, ctx, jitter)
+             : slow_.shared_read_seconds(bytes, readers, ctx, jitter);
+}
+
+double TieredBackend::private_read_seconds(std::uint64_t bytes_per_reader,
+                                           int readers,
+                                           const sim::LoadContext& ctx,
+                                           support::Rng* jitter) const {
+  return fast_holds_data()
+             ? fast_.private_read_seconds(bytes_per_reader, readers, ctx,
+                                          jitter)
+             : slow_.private_read_seconds(bytes_per_reader, readers, ctx,
+                                          jitter);
+}
+
+double TieredBackend::stream_write_round_seconds(std::uint64_t bytes,
+                                                 int writers,
+                                                 const sim::LoadContext& ctx,
+                                                 support::Rng* jitter) const {
+  return fast_fits(bytes)
+             ? fast_.stream_write_round_seconds(bytes, writers, ctx, jitter)
+             : slow_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+}
+
+double TieredBackend::stream_read_round_seconds(std::uint64_t bytes,
+                                                int readers,
+                                                const sim::LoadContext& ctx,
+                                                support::Rng* jitter) const {
+  return fast_holds_data()
+             ? fast_.stream_read_round_seconds(bytes, readers, ctx, jitter)
+             : slow_.stream_read_round_seconds(bytes, readers, ctx, jitter);
+}
+
+}  // namespace drms::store

@@ -16,7 +16,7 @@ using namespace drms::apps;
 using drms::core::CheckpointMode;
 using drms::core::DrmsEnv;
 using drms::core::Index;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::support::kMiB;
@@ -100,7 +100,7 @@ SolveResult solve(Volume& volume, const AppSpec& spec, int tasks, Index n,
   options.stop_at_iteration = stop_at;
 
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.restart_prefix = restart_from;
   env.mode = mode;
   auto program = make_program(options, env, tasks);
@@ -228,7 +228,7 @@ TEST(Solver, ChkenableVariantFiresOnlyWhenArmed) {
   // The enabling signal may arrive at any time; here we arm from rank 0 in
   // the iteration-3 hook so the it=5 SOP consumes it.
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   auto program = make_program(options, env, 3);
   options.on_iteration = [&](std::int64_t it, TaskContext& ctx) {
     if (it == 3 && ctx.rank() == 0) {

@@ -12,6 +12,7 @@
 #include "arch/scheduler.hpp"
 #include "arch/uic.hpp"
 #include "support/error.hpp"
+#include "test_helpers.hpp"
 
 namespace {
 
@@ -21,7 +22,7 @@ using drms::apps::SolverOptions;
 using drms::apps::SolverOutcome;
 using drms::core::CheckpointMode;
 using drms::core::DrmsEnv;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::sim::Machine;
 
 TEST(Cluster, AllocateAndRelease) {
@@ -132,7 +133,7 @@ JobDescriptor solver_job(Volume& volume, const SolverOptions& options,
   job.min_tasks = 2;
   job.preferred_tasks = preferred_tasks;
   job.checkpoint_prefix = options.prefix;
-  job.base_env.volume = &volume;
+  job.base_env.storage = &volume.backend();
   job.make_program = [options](DrmsEnv env, int tasks) {
     return drms::apps::make_program(options, env, tasks);
   };

@@ -15,7 +15,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::count_mapped_mismatches;
@@ -66,7 +66,7 @@ void write_drms_checkpoint(Volume& volume, int t1, Index n,
     ReplicatedStore store;
     state.register_in(store);
 
-    DrmsCheckpoint engine(volume, nullptr, {});
+    DrmsCheckpoint engine(volume, {});
     const std::array<DistArray*, 1> arrays{&array};
     const auto timing = engine.write(ctx, prefix, "testapp", 7, store,
                                      arrays, small_segment());
@@ -115,7 +115,7 @@ void restore_and_check(Volume& volume, int t2, Index n,
     ReplicatedStore store;
     state.register_in(store);
 
-    DrmsCheckpoint engine(volume, nullptr, {});
+    DrmsCheckpoint engine(volume, {});
     RestartTiming timing;
     const CheckpointMeta meta = engine.restore_segment(
         ctx, prefix, store, small_segment(), timing);
@@ -182,7 +182,7 @@ TEST(DrmsCheckpoint, CorruptedSegmentIsDetected) {
     TestState state;
     ReplicatedStore store;
     state.register_in(store);
-    DrmsCheckpoint engine(volume, nullptr, {});
+    DrmsCheckpoint engine(volume, {});
     RestartTiming timing;
     EXPECT_THROW((void)engine.restore_segment(ctx, "ck", store,
                                               small_segment(), timing),
@@ -207,7 +207,7 @@ TEST(DrmsCheckpoint, MismatchedArrayDeclarationThrows) {
     TestState state;
     ReplicatedStore store;
     state.register_in(store);
-    DrmsCheckpoint engine(volume, nullptr, {});
+    DrmsCheckpoint engine(volume, {});
     RestartTiming timing;
     const auto meta =
         engine.restore_segment(ctx, "ck", store, small_segment(), timing);
@@ -239,7 +239,7 @@ TEST(DrmsCheckpoint, CorruptedArrayFileIsDetected) {
     TestState state;
     ReplicatedStore store;
     state.register_in(store);
-    DrmsCheckpoint engine(volume, nullptr, {});
+    DrmsCheckpoint engine(volume, {});
     RestartTiming timing;
     const auto meta =
         engine.restore_segment(ctx, "ck", store, small_segment(), timing);
@@ -278,7 +278,7 @@ TEST(DrmsCheckpoint, AlternatingPrefixesSurviveATornCheckpoint) {
       TestState state;
       ReplicatedStore store;
       state.register_in(store);
-      DrmsCheckpoint engine(volume, nullptr, {});
+      DrmsCheckpoint engine(volume, {});
       RestartTiming timing;
       const auto meta = engine.restore_segment(ctx, "even", store,
                                                small_segment(), timing);
@@ -320,7 +320,7 @@ void spmd_round_trip(Volume& volume, int tasks, Index n) {
       state.iteration = 7;
       ReplicatedStore store;
       state.register_in(store);
-      SpmdCheckpoint engine(volume, nullptr, {});
+      SpmdCheckpoint engine(volume, {});
       const std::array<DistArray*, 1> arrays{&array};
       engine.write(ctx, prefix, "testapp", 1, store, arrays,
                    small_segment());
@@ -340,7 +340,7 @@ void spmd_round_trip(Volume& volume, int tasks, Index n) {
       TestState state;
       ReplicatedStore store;
       state.register_in(store);
-      SpmdCheckpoint engine(volume, nullptr, {});
+      SpmdCheckpoint engine(volume, {});
       const std::array<DistArray*, 1> arrays{&array};
       RestartTiming timing;
       engine.restore(ctx, prefix, store, arrays, small_segment(), timing);
@@ -384,7 +384,7 @@ TEST(SpmdCheckpoint, ReconfiguredRestartIsImpossible) {
     TestState state;
     ReplicatedStore store;
     state.register_in(store);
-    SpmdCheckpoint engine(volume, nullptr, {});
+    SpmdCheckpoint engine(volume, {});
     const std::array<DistArray*, 1> arrays{&array};
     RestartTiming timing;
     EXPECT_THROW(engine.restore(ctx, "sp", store, arrays, small_segment(),

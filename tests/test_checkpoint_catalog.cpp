@@ -12,7 +12,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::cube;
@@ -29,7 +29,7 @@ AppSegmentModel tiny_segment() {
 void write_states(Volume& volume, const std::string& app, int tasks,
                   int checkpoints, CheckpointMode mode) {
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.mode = mode;
   DrmsProgram program(app, env, tiny_segment(), tasks);
   TaskGroup group(placement_of(tasks));

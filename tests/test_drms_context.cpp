@@ -14,7 +14,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::cube;
@@ -67,7 +67,7 @@ MiniAppResult run_mini_app(Volume& volume, int tasks,
                            int validate_iters = -1,
                            CheckpointMode mode = CheckpointMode::kDrms) {
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.restart_prefix = restart_from;
   env.mode = mode;
   DrmsProgram program("mini", env, tiny_segment(), tasks);
@@ -216,7 +216,7 @@ TEST(DrmsContext, SpmdModeRejectsReconfiguredRestart) {
   (void)run_mini_app(volume, 4, "sp", "", 21, -1, CheckpointMode::kSpmd);
 
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.restart_prefix = "sp";
   env.mode = CheckpointMode::kSpmd;
   DrmsProgram program("mini", env, tiny_segment(), 6);
@@ -233,7 +233,7 @@ TEST(DrmsContext, SpmdModeRejectsReconfiguredRestart) {
 TEST(DrmsContext, ChkenableOnlyFiresWhenArmed) {
   Volume volume(16);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   DrmsProgram program("mini", env, tiny_segment(), 3);
   TaskGroup group(placement_of(3));
   const auto result = group.run([&](TaskContext& tctx) {
@@ -284,7 +284,7 @@ TEST(DrmsContext, MultipleCheckpointPrefixesCoexist) {
 TEST(DrmsContext, ArrayRedeclarationMismatchIsRejected) {
   Volume volume(16);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   DrmsProgram program("mini", env, tiny_segment(), 2);
   TaskGroup group(placement_of(2));
   const auto result = group.run([&](TaskContext& tctx) {
@@ -304,8 +304,11 @@ TEST(DrmsContext, ArrayRedeclarationMismatchIsRejected) {
 TEST(DrmsContext, TimingAccountingWithCostModel) {
   Volume volume(16);
   const drms::sim::CostModel cost = drms::sim::CostModel::paper_sp16();
+  // Timing flows through the storage backend, so this test needs one
+  // carrying the cost model (TestVolume's default backend is untimed).
+  drms::store::PiofsBackend timed(volume.piofs(), &cost);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &timed;
   env.cost = &cost;
   DrmsProgram program("mini", env, tiny_segment(), 4);
   TaskGroup group(placement_of(4));

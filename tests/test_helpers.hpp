@@ -4,12 +4,57 @@
 #include <array>
 #include <span>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/dist_array.hpp"
 #include "core/dist_spec.hpp"
+#include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
 #include "sim/machine.hpp"
+#include "store/piofs_backend.hpp"
 
 namespace drms::test {
+
+/// A PIOFS volume paired with its storage-backend view. Tests construct
+/// one wherever the seed used a bare volume: the engines and the catalog
+/// consume the backend (through the implicit conversions), while
+/// corruption injection and host-directory migration keep access to the
+/// underlying volume via piofs().
+class TestVolume {
+ public:
+  explicit TestVolume(int servers) : volume_(servers), backend_(volume_) {}
+  TestVolume(const TestVolume&) = delete;
+  TestVolume& operator=(const TestVolume&) = delete;
+
+  operator store::StorageBackend&() { return backend_; }
+  operator const store::StorageBackend&() const { return backend_; }
+
+  [[nodiscard]] store::PiofsBackend& backend() { return backend_; }
+  [[nodiscard]] piofs::Volume& piofs() { return volume_; }
+
+  // Pass-throughs for the direct file operations the tests perform.
+  store::FileHandle create(const std::string& name) {
+    return backend_.create(name);
+  }
+  [[nodiscard]] store::FileHandle open(const std::string& name) const {
+    return backend_.open(name);
+  }
+  [[nodiscard]] bool exists(const std::string& name) const {
+    return backend_.exists(name);
+  }
+  void remove(const std::string& name) { backend_.remove(name); }
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const {
+    return backend_.list(prefix);
+  }
+  [[nodiscard]] int server_count() const { return volume_.server_count(); }
+
+ private:
+  piofs::Volume volume_;
+  store::PiofsBackend backend_;
+};
 
 inline sim::Placement placement_of(int tasks) {
   sim::Machine machine = sim::Machine::paper_sp16();

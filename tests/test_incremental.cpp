@@ -13,7 +13,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::cube;
@@ -111,7 +111,7 @@ struct IncApp {
 TEST(IncrementalCheckpoint, SkipsUnchangedArrays) {
   Volume volume(16);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.incremental = true;
   DrmsProgram program("inc", env, tiny_segment(), 4);
   TaskGroup group(placement_of(4));
@@ -133,7 +133,7 @@ TEST(IncrementalCheckpoint, SkipsUnchangedArrays) {
 TEST(IncrementalCheckpoint, FirstCheckpointWritesEverything) {
   Volume volume(16);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.incremental = true;
   DrmsProgram program("inc", env, tiny_segment(), 3);
   TaskGroup group(placement_of(3));
@@ -149,7 +149,7 @@ TEST(IncrementalCheckpoint, RestartFromIncrementalStateIsExact) {
   const auto run_to = [&](Volume& volume, int tasks, int iterations,
                           bool incremental, const std::string& restart) {
     DrmsEnv env;
-    env.volume = &volume;
+    env.storage = &volume.backend();
     env.incremental = incremental;
     env.restart_prefix = restart;
     DrmsProgram program("inc", env, tiny_segment(), tasks);
@@ -186,7 +186,7 @@ TEST(IncrementalCheckpoint, RestartFromIncrementalStateIsExact) {
 TEST(IncrementalCheckpoint, PrefixChangeInvalidatesFingerprints) {
   Volume volume(16);
   DrmsEnv env;
-  env.volume = &volume;
+  env.storage = &volume.backend();
   env.incremental = true;
   DrmsProgram program("inc", env, tiny_segment(), 2);
   TaskGroup group(placement_of(2));

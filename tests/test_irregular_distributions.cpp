@@ -19,7 +19,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::support::Rng;

@@ -18,7 +18,7 @@ namespace {
 
 namespace sim = drms::sim;
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::test::cube;
 using drms::test::tag_of;
@@ -175,7 +175,7 @@ TEST(Mpmd, CoordinatedCheckpointAndIndividuallyReconfiguredRestart) {
     Volume ref_volume(16);
     MpmdCoordinator coordinator({"flow", "structure"});
     DrmsEnv env;
-    env.volume = &ref_volume;
+    env.storage = &ref_volume.backend();
     DrmsProgram flow("flow", env, tiny_segment(), 3);
     DrmsProgram structure("structure", env, tiny_segment(), 2);
     std::vector<MpmdComponent> components;
@@ -205,7 +205,7 @@ TEST(Mpmd, CoordinatedCheckpointAndIndividuallyReconfiguredRestart) {
   {
     MpmdCoordinator coordinator({"flow", "structure"});
     DrmsEnv env;
-    env.volume = &volume;
+    env.storage = &volume.backend();
     DrmsProgram flow("flow", env, tiny_segment(), 3);
     DrmsProgram structure("structure", env, tiny_segment(), 2);
     std::vector<MpmdComponent> components;
@@ -230,10 +230,10 @@ TEST(Mpmd, CoordinatedCheckpointAndIndividuallyReconfiguredRestart) {
   {
     MpmdCoordinator coordinator({"flow", "structure"});
     DrmsEnv flow_env;
-    flow_env.volume = &volume;
+    flow_env.storage = &volume.backend();
     flow_env.restart_prefix = "mp.flow";
     DrmsEnv structure_env;
-    structure_env.volume = &volume;
+    structure_env.storage = &volume.backend();
     structure_env.restart_prefix = "mp.structure";
     DrmsProgram flow("flow", flow_env, tiny_segment(), 2);
     DrmsProgram structure("structure", structure_env, tiny_segment(), 4);

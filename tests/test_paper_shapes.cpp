@@ -12,6 +12,7 @@
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
 #include "sim/cost_model.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/error.hpp"
 
 namespace {
@@ -30,6 +31,7 @@ struct Cell {
 Cell measure(const AppSpec& spec, int tasks, CheckpointMode mode) {
   piofs::Volume volume(16);
   const sim::CostModel cost = sim::CostModel::paper_sp16();
+  store::PiofsBackend storage(volume, &cost);
 
   apps::SolverOptions options;
   options.spec = spec;
@@ -42,7 +44,7 @@ Cell measure(const AppSpec& spec, int tasks, CheckpointMode mode) {
   Cell cell;
   {
     core::DrmsEnv env;
-    env.volume = &volume;
+    env.storage = &storage;
     env.cost = &cost;
     env.mode = mode;
     auto program = apps::make_program(options, env, tasks);
@@ -59,7 +61,7 @@ Cell measure(const AppSpec& spec, int tasks, CheckpointMode mode) {
   }
   {
     core::DrmsEnv env;
-    env.volume = &volume;
+    env.storage = &storage;
     env.cost = &cost;
     env.mode = mode;
     env.restart_prefix = "shape";

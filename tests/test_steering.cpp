@@ -17,7 +17,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::cube;
@@ -56,7 +56,7 @@ struct SteeredApp {
   /// channel, then scales the field by 2.
   void run(int tasks, int iterations) {
     DrmsEnv env;
-    env.volume = &volume;
+    env.storage = &volume.backend();
     DrmsProgram program("steered", env, tiny_segment(), tasks);
     TaskGroup group(placement_of(tasks));
     const auto result = group.run([&](TaskContext& ctx) {

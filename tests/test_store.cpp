@@ -1,0 +1,347 @@
+// Tests for the pluggable storage layer (drms::store): PIOFS-adapter
+// equivalence, the in-memory tier's capacity accounting, and the tiered
+// backend's staging semantics — spill on capacity exhaustion, background
+// drain, and restart after a simulated fast-tier loss.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_format.hpp"
+#include "core/drms_context.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "store/tiered_backend.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms;
+using store::CapacityExceeded;
+using store::FileHandle;
+using store::MemoryBackend;
+using store::PiofsBackend;
+using store::StorageBackend;
+using store::TieredBackend;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  std::string out(b.size(), '\0');
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+/// Generic round trip every backend must support.
+void round_trip(StorageBackend& storage) {
+  auto f = storage.create("dir/a");
+  f.write_at(0, bytes_of("hello"));
+  f.append(bytes_of(" world"));
+  f.write_zeros_at(11, 5);
+  EXPECT_EQ(f.size(), 16u);
+  EXPECT_EQ(string_of(storage.open("dir/a").read_at(0, 11)), "hello world");
+  EXPECT_TRUE(storage.exists("dir/a"));
+  EXPECT_FALSE(storage.exists("dir/b"));
+  EXPECT_THROW((void)storage.open("dir/b"), support::IoError);
+  EXPECT_EQ(storage.file_size("dir/a"), 16u);
+  EXPECT_EQ(storage.total_size("dir/"), 16u);
+
+  (void)storage.create("dir/b");
+  EXPECT_EQ(storage.list("dir/").size(), 2u);
+  EXPECT_EQ(storage.remove_prefix("dir/"), 2);
+  EXPECT_TRUE(storage.list().empty());
+}
+
+TEST(PiofsBackend, RoundTrip) {
+  piofs::Volume volume(16);
+  PiofsBackend storage(volume);
+  round_trip(storage);
+  EXPECT_EQ(storage.server_count(), 16);
+  EXPECT_FALSE(storage.charges_time());
+}
+
+TEST(MemoryBackend, RoundTrip) {
+  MemoryBackend storage;
+  round_trip(storage);
+  EXPECT_EQ(storage.server_count(), 1);
+}
+
+TEST(TieredBackend, RoundTrip) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+  round_trip(storage);
+  EXPECT_EQ(storage.server_count(), 16);
+}
+
+TEST(PiofsBackend, AdapterIsBitIdenticalWithTheVolume) {
+  piofs::Volume volume(16);
+  PiofsBackend storage(volume);
+  auto f = storage.create("x");
+  f.write_at(3, bytes_of("abc"));
+  // The same bytes are visible through the raw volume and vice versa.
+  EXPECT_EQ(string_of(volume.open("x").read_at(3, 3)), "abc");
+  volume.open("x").write_at(0, bytes_of("zzz"));
+  EXPECT_EQ(string_of(storage.open("x").read_at(0, 6)), "zzzabc");
+}
+
+TEST(PiofsBackend, TimingMatchesTheCostModelExactly) {
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  piofs::Volume volume(16);
+  const PiofsBackend storage(volume, &cost);
+  ASSERT_TRUE(storage.charges_time());
+  sim::LoadContext load;
+  load.busy_server_fraction = 0.5;
+  load.per_task_resident_bytes = 32 * support::kMiB;
+  EXPECT_EQ(storage.single_write_seconds(1 << 20, load, nullptr),
+            cost.single_write_seconds(1 << 20, load, nullptr));
+  EXPECT_EQ(storage.concurrent_write_seconds(1 << 20, 8, load, nullptr),
+            cost.concurrent_write_seconds(1 << 20, 8, load, nullptr));
+  EXPECT_EQ(storage.shared_read_seconds(1 << 20, 8, load, nullptr),
+            cost.shared_read_seconds(1 << 20, 8, load, nullptr));
+  EXPECT_EQ(storage.private_read_seconds(1 << 20, 8, load, nullptr),
+            cost.private_read_seconds(1 << 20, 8, load, nullptr));
+  EXPECT_EQ(storage.stream_write_round_seconds(1 << 20, 8, load, nullptr),
+            cost.stream_write_round_seconds(1 << 20, 8, load, nullptr));
+  EXPECT_EQ(storage.stream_read_round_seconds(1 << 20, 8, load, nullptr),
+            cost.stream_read_round_seconds(1 << 20, 8, load, nullptr));
+}
+
+TEST(MemoryBackend, CapacityExhaustionThrowsBeforeMutating) {
+  MemoryBackend storage(/*capacity_bytes=*/64);
+  auto f = storage.create("a");
+  f.write_at(0, std::vector<std::byte>(48));
+  EXPECT_EQ(storage.used_bytes(), 48u);
+  // 48 + 32 > 64: refused, and the file is untouched.
+  EXPECT_THROW(f.write_at(48, std::vector<std::byte>(32)),
+               CapacityExceeded);
+  EXPECT_EQ(f.size(), 48u);
+  EXPECT_EQ(storage.used_bytes(), 48u);
+  // Overwriting in place needs no new capacity.
+  f.write_at(0, std::vector<std::byte>(48));
+  // Freeing room makes the write admissible again.
+  storage.remove("a");
+  EXPECT_EQ(storage.used_bytes(), 0u);
+  auto g = storage.create("b");
+  g.write_at(0, std::vector<std::byte>(64));
+  EXPECT_EQ(storage.used_bytes(), 64u);
+}
+
+TEST(MemoryBackend, ChargesMemoryBandwidthTime) {
+  sim::CostModel cost = sim::CostModel::paper_sp16();
+  const MemoryBackend storage(0, &cost);
+  sim::LoadContext load;
+  const double seconds =
+      storage.single_write_seconds(150 * support::kMiB, load, nullptr);
+  // 150 MiB at 150 MiB/s + fixed latency.
+  EXPECT_NEAR(seconds, 1.0 + cost.memory_op_latency, 1e-9);
+  // Far cheaper than the server-limited PIOFS path for the same phase.
+  EXPECT_LT(seconds,
+            cost.single_write_seconds(150 * support::kMiB, load, nullptr));
+}
+
+TEST(TieredBackend, CapacityOverflowSpillsToTheSlowTier) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast(/*capacity_bytes=*/64);
+  TieredBackend storage(fast, slow);
+
+  auto small = storage.create("small");
+  small.write_at(0, std::vector<std::byte>(40, std::byte{1}));
+  // The second file overflows the fast tier mid-write: its staged bytes
+  // move to PIOFS and the write completes there.
+  auto big = storage.create("big");
+  big.write_at(0, std::vector<std::byte>(20, std::byte{2}));
+  big.write_at(20, std::vector<std::byte>(40, std::byte{3}));
+  EXPECT_EQ(big.size(), 60u);
+  EXPECT_EQ(storage.stats().fast_spills, 1u);
+  EXPECT_TRUE(volume.exists("big"));       // spilled to PIOFS
+  EXPECT_FALSE(fast.exists("big"));        // no longer staged
+  EXPECT_TRUE(fast.exists("small"));       // still staged
+  EXPECT_FALSE(volume.exists("small"));    // not drained yet
+  // Later writes to the spilled file go straight to the slow tier.
+  big.append(std::vector<std::byte>(8, std::byte{4}));
+  EXPECT_EQ(storage.open("big").size(), 68u);
+  EXPECT_EQ(string_of(storage.open("big").read_at(20, 1)),
+            std::string(1, '\x03'));
+}
+
+TEST(TieredBackend, DrainCopiesStagedFilesToTheSlowTier) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  storage.create("a").write_at(0, bytes_of("aaaa"));
+  storage.create("b").write_at(0, bytes_of("bb"));
+  EXPECT_EQ(storage.drain_backlog_bytes(), 6u);
+
+  const auto report = storage.drain();
+  EXPECT_EQ(report.files_drained, 2);
+  EXPECT_EQ(report.bytes_drained, 6u);
+  EXPECT_EQ(storage.drain_backlog_bytes(), 0u);
+  EXPECT_EQ(string_of(volume.open("a").read_at(0, 4)), "aaaa");
+  EXPECT_EQ(string_of(volume.open("b").read_at(0, 2)), "bb");
+  // A second drain has nothing to do.
+  EXPECT_EQ(storage.drain().files_drained, 0);
+  // New writes re-dirty the file.
+  storage.open("a").append(bytes_of("!"));
+  EXPECT_EQ(storage.drain().files_drained, 1);
+  EXPECT_EQ(string_of(volume.open("a").read_at(0, 5)), "aaaa!");
+}
+
+TEST(TieredBackend, FastTierLossFallsBackToDrainedCopies) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  storage.create("drained").write_at(0, bytes_of("safe"));
+  (void)storage.drain();
+  storage.create("undrained").write_at(0, bytes_of("gone"));
+
+  storage.fail_fast_tier();
+  EXPECT_FALSE(storage.fast_holds_data());
+  // The drained file survives on PIOFS...
+  EXPECT_TRUE(storage.exists("drained"));
+  EXPECT_EQ(string_of(storage.open("drained").read_at(0, 4)), "safe");
+  // ...the undrained one is lost, loudly.
+  EXPECT_FALSE(storage.exists("undrained"));
+  EXPECT_THROW((void)storage.open("undrained"), support::IoError);
+}
+
+TEST(TieredBackend, AdoptsCheckpointsAlreadyOnTheSlowTier) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  volume.create("old").write_at(0, bytes_of("prior"));
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+  EXPECT_TRUE(storage.exists("old"));
+  EXPECT_EQ(string_of(storage.open("old").read_at(0, 5)), "prior");
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a DRMS checkpoint staged to memory survives a fast-tier
+// loss once drained, and the restart reads the PIOFS copy.
+// ---------------------------------------------------------------------------
+
+core::AppSegmentModel tiny_segment() {
+  core::AppSegmentModel m;
+  m.static_local_bytes = 64 * 1024;
+  m.system_bytes = 64 * 1024;
+  return m;
+}
+
+constexpr core::Index kN = 8;
+
+void run_mini(core::DrmsProgram& program, int tasks, bool expect_restart) {
+  rt::TaskGroup group(drms::test::placement_of(tasks));
+  const auto result = group.run([&](rt::TaskContext& task) {
+    core::DrmsContext drms(program, task);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    const std::array<core::Index, 3> lo{0, 0, 0};
+    const std::array<core::Index, 3> hi{kN - 1, kN - 1, kN - 1};
+    core::DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, core::DistSpec::block_auto(
+                           u.global_box(), tasks,
+                           std::vector<core::Index>(3, 0)));
+    if (!drms.restarted()) {
+      EXPECT_FALSE(expect_restart);
+      drms::test::fill_assigned_tagged(u, task.rank());
+      task.barrier();
+      it = 5;
+      (void)drms.reconfig_checkpoint("tiered.ck");
+    } else {
+      EXPECT_TRUE(expect_restart);
+      EXPECT_EQ(it, 5);
+      EXPECT_EQ(drms::test::count_mapped_mismatches(u, task.rank()), 0);
+    }
+  });
+  ASSERT_TRUE(result.completed);
+}
+
+TEST(TieredBackend, DrmsRestartAfterFastTierLossReadsTheDrainedCopy) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  core::DrmsEnv env;
+  env.storage = &storage;
+  {
+    core::DrmsProgram program("mini", env, tiny_segment(), 4);
+    run_mini(program, 4, /*expect_restart=*/false);
+  }
+  // The checkpoint committed against the memory tier only.
+  EXPECT_GT(storage.drain_backlog_bytes(), 0u);
+  EXPECT_FALSE(volume.exists(core::meta_file_name("tiered.ck")));
+
+  // Background drain, then the node (and its memory tier) dies.
+  const auto report = storage.drain();
+  EXPECT_GT(report.bytes_drained, 0u);
+  storage.fail_fast_tier();
+
+  // Reconfigured restart (4 -> 3 tasks) from the drained PIOFS copies.
+  core::DrmsEnv renv;
+  renv.storage = &storage;
+  renv.restart_prefix = "tiered.ck";
+  core::DrmsProgram program("mini", renv, tiny_segment(), 3);
+  run_mini(program, 3, /*expect_restart=*/true);
+}
+
+TEST(TieredBackend, DrmsCheckpointLostWithoutDrainFailsTheRestart) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  core::DrmsEnv env;
+  env.storage = &storage;
+  {
+    core::DrmsProgram program("mini", env, tiny_segment(), 2);
+    run_mini(program, 2, /*expect_restart=*/false);
+  }
+  storage.fail_fast_tier();  // crash BEFORE any drain
+  EXPECT_FALSE(core::checkpoint_exists(storage, "tiered.ck"));
+}
+
+TEST(TieredBackend, DrmsCheckpointSpillsWhenTheFastTierIsTooSmall) {
+  // Fast tier far smaller than the checkpoint: every stream overflows and
+  // the state lands directly on PIOFS; the checkpoint still verifies.
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast(/*capacity_bytes=*/4 * 1024);
+  TieredBackend storage(fast, slow);
+
+  core::DrmsEnv env;
+  env.storage = &storage;
+  {
+    core::DrmsProgram program("mini", env, tiny_segment(), 4);
+    run_mini(program, 4, /*expect_restart=*/false);
+  }
+  EXPECT_GT(storage.stats().fast_spills, 0u);
+  // The bulk of the state spilled straight to PIOFS; a drain flushes the
+  // few small files (meta record) that did fit, then the tier dies.
+  (void)storage.drain();
+  storage.fail_fast_tier();
+  core::DrmsEnv renv;
+  renv.storage = &storage;
+  renv.restart_prefix = "tiered.ck";
+  core::DrmsProgram program("mini", renv, tiny_segment(), 4);
+  run_mini(program, 4, /*expect_restart=*/true);
+}
+
+}  // namespace

@@ -15,7 +15,7 @@
 namespace {
 
 using namespace drms::core;
-using drms::piofs::Volume;
+using Volume = drms::test::TestVolume;
 using drms::rt::TaskContext;
 using drms::rt::TaskGroup;
 using drms::test::count_mapped_mismatches;
@@ -289,7 +289,8 @@ TEST(Streamer, ChargesSimulatedTimeWhenCostModelPresent) {
       array.install_distribution(DistSpec::block_auto(box, kP, shadow));
     }
     ctx.barrier();
-    const ArrayStreamer streamer(&cost, load, 4096);
+    const drms::store::PiofsBackend timed(volume.piofs(), &cost);
+    const ArrayStreamer streamer(&timed, load, 4096);
     streamer.write_section(ctx, array, box, volume.open("out"), 0, kP);
     EXPECT_GT(ctx.sim_time(), 0.0);
   });

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a dedicated ASan+UBSan build tree, build
+# everything, and run the full test suite under the sanitizers.
+#
+#   tools/check.sh [build-dir]          (default: build-asan)
+#
+# Extra ctest arguments can be passed via CTEST_ARGS, e.g.
+#   CTEST_ARGS="-R Store" tools/check.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-${repo}/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${build}" -S "${repo}" -DASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build}" -j "${jobs}"
+
+# abort_on_error makes ASan failures fail the test instead of just logging.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "${build}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:-}
+echo "check.sh: all tests passed under ASan/UBSan"

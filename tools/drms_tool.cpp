@@ -2,19 +2,24 @@
 // exported to a host directory (piofs::Volume::export_to_directory): the
 // workflow behind the paper's checkpoint-migration story.
 //
-//   drms_tool list   <dir>             inventory of checkpointed states
-//   drms_tool verify <dir> [prefix]    offline integrity check (sizes,
-//                                      segment CRCs, array stream CRCs)
-//   drms_tool remove <dir> <prefix>    delete one state and re-export
-//   drms_tool info   <dir> <prefix>    per-array detail of one state
+//   drms_tool list   <dir>                 inventory of checkpointed states
+//   drms_tool verify <dir> [prefix]        offline integrity check (sizes,
+//                                          segment CRCs, array stream CRCs)
+//   drms_tool remove <dir> <prefix>        delete one state and re-export
+//   drms_tool info   <dir> <prefix>        per-array detail of one state
+//                                          (verifies the stored CRCs)
+//   drms_tool export <dir> <prefix> <dst>  copy one verified state to a
+//                                          fresh directory (migration)
 //
-// Exit code 0 on success; 1 on bad usage or a failed verification.
+// Exit code 0 on success; 1 on bad usage, a missing state, or a failed
+// CRC verification — info and export refuse to bless a corrupt state.
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "core/checkpoint_catalog.hpp"
 #include "piofs/volume.hpp"
+#include "store/piofs_backend.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -26,21 +31,40 @@ using namespace drms;
 int usage() {
   std::cerr
       << "usage: drms_tool <command> <directory> [args]\n"
-         "  list   <dir>            list checkpointed states\n"
-         "  verify <dir> [prefix]   verify integrity (all states or one)\n"
-         "  remove <dir> <prefix>   delete a state and rewrite the dir\n"
-         "  info   <dir> <prefix>   show per-array details of a state\n";
+         "  list   <dir>                 list checkpointed states\n"
+         "  verify <dir> [prefix]        verify integrity (all or one)\n"
+         "  remove <dir> <prefix>        delete a state, rewrite the dir\n"
+         "  info   <dir> <prefix>        show per-array details (verifies "
+         "CRCs)\n"
+         "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n";
   return 1;
 }
 
-void load(const std::string& dir, piofs::Volume& volume) {
-  volume.import_from_directory(dir, "");
+/// The tool's working store: a host directory imported into a volume,
+/// accessed through the storage-backend interface like every other
+/// consumer of checkpoint data.
+struct ToolStore {
+  piofs::Volume volume;
+  store::PiofsBackend backend;
+
+  explicit ToolStore(const std::string& dir) : volume(16), backend(volume) {
+    volume.import_from_directory(dir, "");
+  }
+};
+
+/// Run the offline verifier on one state and print any problems.
+/// Returns true when every stored CRC and size checks out.
+bool verify_and_report(const ToolStore& st, const core::CheckpointRecord& r) {
+  const auto result = core::verify_checkpoint(st.backend, r);
+  for (const auto& problem : result.problems) {
+    std::cerr << "    " << problem << "\n";
+  }
+  return result.ok;
 }
 
 int cmd_list(const std::string& dir) {
-  piofs::Volume volume(16);
-  load(dir, volume);
-  const auto records = core::list_checkpoints(volume);
+  const ToolStore st(dir);
+  const auto records = core::list_checkpoints(st.backend);
   if (records.empty()) {
     std::cout << "no checkpointed states in " << dir << "\n";
     return 0;
@@ -59,9 +83,8 @@ int cmd_list(const std::string& dir) {
 }
 
 int cmd_verify(const std::string& dir, const std::string& prefix) {
-  piofs::Volume volume(16);
-  load(dir, volume);
-  const auto records = core::list_checkpoints(volume, prefix);
+  const ToolStore st(dir);
+  const auto records = core::list_checkpoints(st.backend, prefix);
   if (records.empty()) {
     std::cerr << "no states" << (prefix.empty() ? "" : " under " + prefix)
               << " in " << dir << "\n";
@@ -69,7 +92,7 @@ int cmd_verify(const std::string& dir, const std::string& prefix) {
   }
   bool all_ok = true;
   for (const auto& r : records) {
-    const auto result = core::verify_checkpoint(volume, r);
+    const auto result = core::verify_checkpoint(st.backend, r);
     std::cout << r.prefix << ": "
               << (result.ok ? "OK" : "CORRUPT") << "\n";
     for (const auto& problem : result.problems) {
@@ -81,12 +104,11 @@ int cmd_verify(const std::string& dir, const std::string& prefix) {
 }
 
 int cmd_remove(const std::string& dir, const std::string& prefix) {
-  piofs::Volume volume(16);
-  load(dir, volume);
+  ToolStore st(dir);
   bool removed = false;
-  for (const auto& r : core::list_checkpoints(volume, prefix)) {
+  for (const auto& r : core::list_checkpoints(st.backend, prefix)) {
     if (r.prefix == prefix) {
-      core::remove_checkpoint(volume, r);
+      core::remove_checkpoint(st.backend, r);
       removed = true;
     }
   }
@@ -96,15 +118,14 @@ int cmd_remove(const std::string& dir, const std::string& prefix) {
   }
   // Rewrite the directory to reflect the volume.
   std::filesystem::remove_all(dir);
-  volume.export_to_directory("", dir);
+  st.volume.export_to_directory("", dir);
   std::cout << "removed " << prefix << "\n";
   return 0;
 }
 
 int cmd_info(const std::string& dir, const std::string& prefix) {
-  piofs::Volume volume(16);
-  load(dir, volume);
-  for (const auto& r : core::list_checkpoints(volume, prefix)) {
+  const ToolStore st(dir);
+  for (const auto& r : core::list_checkpoints(st.backend, prefix)) {
     if (r.prefix != prefix) {
       continue;
     }
@@ -124,6 +145,30 @@ int cmd_info(const std::string& dir, const std::string& prefix) {
       }
       table.print(std::cout);
     }
+    // The displayed CRCs are only trustworthy if the file contents still
+    // match them.
+    const bool ok = verify_and_report(st, r);
+    std::cout << "integrity: " << (ok ? "OK" : "CORRUPT") << "\n";
+    return ok ? 0 : 1;
+  }
+  std::cerr << "no state with prefix '" << prefix << "'\n";
+  return 1;
+}
+
+int cmd_export(const std::string& dir, const std::string& prefix,
+               const std::string& dst) {
+  const ToolStore st(dir);
+  for (const auto& r : core::list_checkpoints(st.backend, prefix)) {
+    if (r.prefix != prefix) {
+      continue;
+    }
+    // Never migrate a state that fails its own fingerprints.
+    if (!verify_and_report(st, r)) {
+      std::cerr << prefix << ": CORRUPT — not exported\n";
+      return 1;
+    }
+    st.volume.export_to_directory(prefix, dst);
+    std::cout << "exported " << prefix << " to " << dst << "\n";
     return 0;
   }
   std::cerr << "no state with prefix '" << prefix << "'\n";
@@ -150,6 +195,9 @@ int main(int argc, char** argv) {
     }
     if (command == "info" && argc > 3) {
       return cmd_info(dir, argv[3]);
+    }
+    if (command == "export" && argc > 4) {
+      return cmd_export(dir, argv[3], argv[4]);
     }
   } catch (const drms::support::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
