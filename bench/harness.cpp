@@ -77,6 +77,11 @@ support::RunningStats ExperimentResult::drain_totals() const {
   for (const auto& r : runs) s.add(r.drain_seconds);
   return s;
 }
+support::RunningStats ExperimentResult::checkpoint_commit() const {
+  support::RunningStats s;
+  for (const auto& r : runs) s.add(r.checkpoint.commit_seconds);
+  return s;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult result;

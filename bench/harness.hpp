@@ -64,6 +64,9 @@ struct ExperimentResult {
   [[nodiscard]] support::RunningStats restart_arrays() const;
   [[nodiscard]] support::RunningStats restart_init() const;
   [[nodiscard]] support::RunningStats drain_totals() const;
+  /// Commit-publication overhead (meta + manifest write), reported beside
+  /// the phase totals like drain_seconds — not part of checkpoint_totals().
+  [[nodiscard]] support::RunningStats checkpoint_commit() const;
 };
 
 /// Run the full checkpoint-at-midpoint / restart-from-midpoint experiment

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace drms::bench {
 
 class JsonWriter {
@@ -29,6 +31,7 @@ class JsonWriter {
     frames_.push_back(false);
   }
   void end_object() {
+    DRMS_EXPECTS_MSG(!frames_.empty(), "end_object without begin_object");
     out_ << '}';
     frames_.pop_back();
   }
@@ -38,6 +41,7 @@ class JsonWriter {
     frames_.push_back(false);
   }
   void end_array() {
+    DRMS_EXPECTS_MSG(!frames_.empty(), "end_array without begin_array");
     out_ << ']';
     frames_.pop_back();
   }
@@ -82,6 +86,7 @@ class JsonWriter {
     out_ << ':';
   }
   void quote(const std::string& s) {
+    static const char* kHex = "0123456789abcdef";
     out_ << '"';
     for (const char c : s) {
       switch (c) {
@@ -94,8 +99,21 @@ class JsonWriter {
         case '\n':
           out_ << "\\n";
           break;
-        default:
-          out_ << c;
+        case '\t':
+          out_ << "\\t";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        default: {
+          // RFC 8259: all other control characters MUST be escaped.
+          const auto u = static_cast<unsigned char>(c);
+          if (u < 0x20) {
+            out_ << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+          } else {
+            out_ << c;
+          }
+        }
       }
     }
     out_ << '"';

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "core/checkpoint_catalog.hpp"
 #include "core/drms_context.hpp"
 #include "core/redistribute.hpp"
 #include "piofs/volume.hpp"
@@ -137,6 +138,50 @@ int drms_volume_checkpoint_exists(const drms_volume_t* volume,
     return 0;
   }
   return drms::core::checkpoint_exists(volume->storage(), prefix) ? 1 : 0;
+}
+
+int drms_volume_checkpoint_committed(const drms_volume_t* volume,
+                                     const char* prefix) {
+  if (volume == nullptr || prefix == nullptr) {
+    return 0;
+  }
+  try {
+    const auto& storage = volume->storage();
+    return drms::core::commit_status(storage, prefix, false).committed ||
+                   drms::core::commit_status(storage, prefix, true).committed
+               ? 1
+               : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+int drms_volume_fsck(const drms_volume_t* volume) {
+  if (volume == nullptr) {
+    return DRMS_ERR;
+  }
+  try {
+    int torn = 0;
+    for (const auto& s : drms::core::fsck_scan(volume->storage())) {
+      if (!s.committed) {
+        ++torn;
+      }
+    }
+    return torn;
+  } catch (...) {
+    return DRMS_ERR;
+  }
+}
+
+int drms_volume_gc(drms_volume_t* volume) {
+  if (volume == nullptr) {
+    return DRMS_ERR;
+  }
+  try {
+    return drms::core::gc_torn_states(volume->storage());
+  } catch (...) {
+    return DRMS_ERR;
+  }
 }
 
 int drms_run_spmd(drms_volume_t* volume,

@@ -51,6 +51,18 @@ int drms_volume_checkpoint_exists(const drms_volume_t* volume,
  * PIOFS tier. Returns the number of files drained, 0 when nothing was
  * staged (including for non-tiered volumes), DRMS_ERR on failure. */
 int drms_volume_drain(drms_volume_t* volume);
+/* 1 if a COMMITTED checkpoint (either mode) exists under the prefix: its
+ * commit manifest was published and every listed file is intact. A state
+ * whose checkpoint crashed mid-write reports 0. */
+int drms_volume_checkpoint_committed(const drms_volume_t* volume,
+                                     const char* prefix);
+/* Count torn states on the volume (states with files on disk but no
+ * valid commit manifest). 0 means every state is crash-consistent;
+ * DRMS_ERR on failure. */
+int drms_volume_fsck(const drms_volume_t* volume);
+/* Reclaim the files of every torn state. Returns the number of files
+ * removed, DRMS_ERR on failure. */
+int drms_volume_gc(drms_volume_t* volume);
 
 /* ---- running an SPMD program ------------------------------------------ */
 

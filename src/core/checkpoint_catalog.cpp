@@ -1,6 +1,7 @@
 #include "core/checkpoint_catalog.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "support/byte_buffer.hpp"
 #include "support/crc32.hpp"
@@ -32,6 +33,36 @@ std::optional<std::string> prefix_of_meta(const std::string& name,
 
 }  // namespace
 
+CommitCheck commit_status(const store::StorageBackend& storage,
+                          const std::string& prefix, bool spmd) {
+  CommitCheck out;
+  const std::string commit_name = commit_file_name(prefix);
+  if (!storage.exists(commit_name)) {
+    out.problems.push_back(commit_name + ": missing (state not committed)");
+    return out;
+  }
+  try {
+    out.manifest = read_commit_manifest(storage, prefix);
+  } catch (const support::Error& e) {
+    out.problems.push_back(e.what());
+    return out;
+  }
+  if (out.manifest.spmd != spmd) {
+    out.problems.push_back(commit_name +
+                           ": manifest belongs to the other layout");
+    return out;
+  }
+  for (const auto& e : out.manifest.entries) {
+    if (!storage.exists(e.name)) {
+      out.problems.push_back(e.name + ": listed in manifest but missing");
+    } else if (storage.file_size(e.name) != e.size) {
+      out.problems.push_back(e.name + ": size differs from manifest");
+    }
+  }
+  out.committed = out.problems.empty();
+  return out;
+}
+
 std::vector<CheckpointRecord> list_checkpoints(
     const store::StorageBackend& storage, const std::string& prefix_filter) {
   std::vector<CheckpointRecord> records;
@@ -44,6 +75,9 @@ std::vector<CheckpointRecord> list_checkpoints(
     CheckpointRecord record;
     record.prefix = *prefix;
     record.spmd = spmd;
+    if (!commit_status(storage, *prefix, spmd).committed) {
+      continue;  // torn (crashed before publication): not a candidate
+    }
     try {
       record.meta = spmd ? read_spmd_meta(storage, *prefix)
                          : read_checkpoint_meta(storage, *prefix);
@@ -81,6 +115,9 @@ std::optional<CheckpointRecord> latest_checkpoint(
 
 void remove_checkpoint(store::StorageBackend& storage,
                        const CheckpointRecord& record) {
+  // Decommit first: the state must stop being a restart candidate before
+  // its files start disappearing.
+  decommit_checkpoint(storage, record.prefix);
   if (record.spmd) {
     storage.remove(spmd_meta_file_name(record.prefix));
     for (int r = 0; r < record.meta.task_count; ++r) {
@@ -136,6 +173,29 @@ void verify_sized_crc_record(const store::FileHandle& file,
 VerifyResult verify_checkpoint(const store::StorageBackend& storage,
                                const CheckpointRecord& record) {
   VerifyResult out;
+  // Commit-manifest check first: a state that was never published (or
+  // whose published file list no longer matches the volume) is torn.
+  const CommitCheck commit =
+      commit_status(storage, record.prefix, record.spmd);
+  for (const auto& p : commit.problems) {
+    check(false, p, out);
+  }
+  if (commit.committed) {
+    // Content CRCs the manifest carries beyond the size checks above: the
+    // meta record file (array streams are re-checked against the meta's
+    // own CRCs below, which the manifest mirrors).
+    const std::string meta_name = record.spmd
+                                      ? spmd_meta_file_name(record.prefix)
+                                      : meta_file_name(record.prefix);
+    const CommitEntry* entry = commit.manifest.entry(meta_name);
+    if (entry == nullptr) {
+      check(false, meta_name + ": not listed in commit manifest", out);
+    } else if (entry->has_crc) {
+      const auto file = storage.open(meta_name);
+      check(support::crc32c(file.read_at(0, file.size())) == entry->crc,
+            meta_name + ": CRC differs from manifest", out);
+    }
+  }
   if (record.spmd) {
     for (int r = 0; r < record.meta.task_count; ++r) {
       const std::string name = spmd_task_file_name(record.prefix, r);
@@ -191,6 +251,217 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
     }
   }
   return out;
+}
+
+namespace {
+
+/// Which state a file belongs to, derived from its name alone (fsck must
+/// classify files whose meta/manifest may be unreadable).
+struct ClassifiedFile {
+  std::string prefix;
+  enum class Kind { kDrms, kSpmd, kCommit } kind;
+};
+
+bool ends_with(const std::string& name, const std::string& suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::optional<ClassifiedFile> classify_state_file(const std::string& name) {
+  using Kind = ClassifiedFile::Kind;
+  static const std::string kCommit = ".commit";
+  static const std::string kSpmdMeta = ".spmd.meta";
+  static const std::string kSpmdTask = ".spmd.task";
+  static const std::string kMeta = ".meta";
+  static const std::string kSegment = ".segment";
+  static const std::string kArray = ".array.";
+  if (ends_with(name, kCommit)) {
+    return ClassifiedFile{name.substr(0, name.size() - kCommit.size()),
+                          Kind::kCommit};
+  }
+  if (ends_with(name, kSpmdMeta)) {
+    return ClassifiedFile{name.substr(0, name.size() - kSpmdMeta.size()),
+                          Kind::kSpmd};
+  }
+  const std::size_t task_pos = name.rfind(kSpmdTask);
+  if (task_pos != std::string::npos &&
+      task_pos + kSpmdTask.size() < name.size()) {
+    const std::string tail = name.substr(task_pos + kSpmdTask.size());
+    if (std::all_of(tail.begin(), tail.end(),
+                    [](char c) { return c >= '0' && c <= '9'; })) {
+      return ClassifiedFile{name.substr(0, task_pos), Kind::kSpmd};
+    }
+  }
+  if (ends_with(name, kMeta)) {
+    return ClassifiedFile{name.substr(0, name.size() - kMeta.size()),
+                          Kind::kDrms};
+  }
+  if (ends_with(name, kSegment)) {
+    return ClassifiedFile{name.substr(0, name.size() - kSegment.size()),
+                          Kind::kDrms};
+  }
+  const std::size_t array_pos = name.find(kArray);
+  if (array_pos != std::string::npos && array_pos > 0) {
+    return ClassifiedFile{name.substr(0, array_pos), Kind::kDrms};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t safe_file_size(const store::StorageBackend& storage,
+                             const std::string& name) {
+  try {
+    return storage.file_size(name);
+  } catch (const support::Error&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<FsckState> fsck_scan(const store::StorageBackend& storage,
+                                 const std::string& prefix_filter) {
+  struct Group {
+    std::vector<std::string> drms_files;
+    std::vector<std::string> spmd_files;
+    bool has_commit = false;
+  };
+  std::map<std::string, Group> groups;
+  for (const auto& name : storage.list(prefix_filter)) {
+    const auto c = classify_state_file(name);
+    if (!c.has_value()) {
+      continue;
+    }
+    Group& g = groups[c->prefix];
+    switch (c->kind) {
+      case ClassifiedFile::Kind::kCommit:
+        g.has_commit = true;
+        break;
+      case ClassifiedFile::Kind::kSpmd:
+        g.spmd_files.push_back(name);
+        break;
+      case ClassifiedFile::Kind::kDrms:
+        g.drms_files.push_back(name);
+        break;
+    }
+  }
+
+  std::vector<FsckState> out;
+  const auto reclaim = [&](FsckState& s, const std::string& file) {
+    s.reclaimable.push_back(file);
+    s.reclaimable_bytes += safe_file_size(storage, file);
+  };
+  for (auto& [prefix, g] : groups) {
+    std::optional<CommitManifest> manifest;
+    std::string manifest_problem;
+    if (g.has_commit) {
+      try {
+        manifest = read_commit_manifest(storage, prefix);
+      } catch (const support::Error& e) {
+        manifest_problem = e.what();
+      }
+    }
+    if (manifest.has_value()) {
+      FsckState s;
+      s.prefix = prefix;
+      s.spmd = manifest->spmd;
+      for (const auto& e : manifest->entries) {
+        if (!storage.exists(e.name)) {
+          s.problems.push_back(e.name + ": listed in manifest but missing");
+        } else if (storage.file_size(e.name) != e.size) {
+          s.problems.push_back(e.name + ": size differs from manifest");
+        }
+      }
+      s.committed = s.problems.empty();
+      std::vector<std::string>& own =
+          s.spmd ? g.spmd_files : g.drms_files;
+      if (s.committed) {
+        // Stray files in this state's namespace the manifest never
+        // published (e.g. an array dropped between incremental rounds).
+        for (const auto& f : own) {
+          if (manifest->entry(f) == nullptr) {
+            s.problems.push_back(f + ": stray (not in commit manifest)");
+            reclaim(s, f);
+          }
+        }
+      } else {
+        for (const auto& f : own) {
+          reclaim(s, f);
+        }
+        reclaim(s, commit_file_name(prefix));
+      }
+      out.push_back(std::move(s));
+      // Files of the OTHER layout under this prefix can never be covered
+      // by the (single) manifest: torn.
+      const std::vector<std::string>& other =
+          manifest->spmd ? g.drms_files : g.spmd_files;
+      if (!other.empty()) {
+        FsckState t;
+        t.prefix = prefix;
+        t.spmd = !manifest->spmd;
+        t.problems.push_back(
+            "state files present but the commit manifest belongs to the "
+            "other layout");
+        for (const auto& f : other) {
+          reclaim(t, f);
+        }
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    // No (readable) manifest: everything under this prefix is torn.
+    const std::string why =
+        g.has_commit ? manifest_problem
+                     : commit_file_name(prefix) +
+                           ": missing (checkpoint crashed before "
+                           "publication)";
+    bool commit_attached = !g.has_commit;
+    const auto emit_torn = [&](bool spmd,
+                               const std::vector<std::string>& files) {
+      if (files.empty()) {
+        return;
+      }
+      FsckState s;
+      s.prefix = prefix;
+      s.spmd = spmd;
+      s.problems.push_back(why);
+      for (const auto& f : files) {
+        reclaim(s, f);
+      }
+      if (!commit_attached) {
+        reclaim(s, commit_file_name(prefix));
+        commit_attached = true;
+      }
+      out.push_back(std::move(s));
+    };
+    emit_torn(false, g.drms_files);
+    emit_torn(true, g.spmd_files);
+    if (!commit_attached) {
+      // An unreadable manifest with no state files left at all.
+      FsckState s;
+      s.prefix = prefix;
+      s.problems.push_back(why);
+      reclaim(s, commit_file_name(prefix));
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+int gc_torn_states(store::StorageBackend& storage,
+                   const std::string& prefix_filter) {
+  int removed = 0;
+  for (const auto& s : fsck_scan(storage, prefix_filter)) {
+    for (const auto& f : s.reclaimable) {
+      try {
+        storage.remove(f);
+        ++removed;
+      } catch (const support::IoError&) {
+        // Vanished since the scan; reclaiming it was the goal anyway.
+      }
+    }
+  }
+  return removed;
 }
 
 }  // namespace drms::core

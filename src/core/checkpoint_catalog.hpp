@@ -22,9 +22,25 @@ struct CheckpointRecord {
   std::uint64_t state_bytes = 0;
 };
 
-/// All checkpointed states under `prefix_filter` (empty = whole volume),
-/// sorted by SOP ascending. States whose meta is unreadable are skipped
-/// (a torn meta is not a restart candidate).
+/// Commit status of one state under the two-phase protocol.
+struct CommitCheck {
+  /// Manifest present, parses, and every listed file exists with the
+  /// listed size.
+  bool committed = false;
+  std::vector<std::string> problems;
+  /// Valid only when the manifest parsed (problems may still flag files).
+  CommitManifest manifest;
+};
+
+/// Cheap (no content reads) commit check of the state under `prefix` in
+/// the given layout. `spmd` must match the manifest's recorded layout.
+[[nodiscard]] CommitCheck commit_status(const store::StorageBackend& storage,
+                                        const std::string& prefix, bool spmd);
+
+/// All COMMITTED checkpointed states under `prefix_filter` (empty = whole
+/// volume), sorted by SOP ascending. States whose meta is unreadable, and
+/// states without a valid commit manifest (torn: the checkpoint crashed
+/// before publication), are skipped — they are not restart candidates.
 [[nodiscard]] std::vector<CheckpointRecord> list_checkpoints(
     const store::StorageBackend& storage, const std::string& prefix_filter = "");
 
@@ -50,5 +66,30 @@ struct VerifyResult {
 /// the per-task segment CRCs.
 [[nodiscard]] VerifyResult verify_checkpoint(const store::StorageBackend& storage,
                                              const CheckpointRecord& record);
+
+/// One state as seen by the offline consistency scan (`drms_tool fsck`).
+struct FsckState {
+  std::string prefix;
+  bool spmd = false;
+  bool committed = false;
+  /// Why the state is torn (or, for a committed state, notes about stray
+  /// files). Empty for a clean committed state.
+  std::vector<std::string> problems;
+  /// Files `gc` may reclaim: every grouped file of a torn state, stray
+  /// files not listed in the manifest of a committed one.
+  std::vector<std::string> reclaimable;
+  std::uint64_t reclaimable_bytes = 0;
+};
+
+/// Group every state file on the storage by prefix and layout and evaluate
+/// its commit status. Unlike list_checkpoints this also surfaces torn
+/// states (no/invalid manifest, or manifest entries missing/short).
+[[nodiscard]] std::vector<FsckState> fsck_scan(
+    const store::StorageBackend& storage, const std::string& prefix_filter = "");
+
+/// Reclaim everything fsck_scan marks reclaimable (torn states' files and
+/// committed states' strays). Returns the number of files removed.
+int gc_torn_states(store::StorageBackend& storage,
+                   const std::string& prefix_filter = "");
 
 }  // namespace drms::core

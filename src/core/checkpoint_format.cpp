@@ -10,6 +10,8 @@ namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x444d4554;  // "DMET"
 constexpr std::uint32_t kMetaVersion = 2;
+constexpr std::uint32_t kCommitMagic = 0x544d4344;  // "DCMT"
+constexpr std::uint32_t kCommitVersion = 1;
 
 void serialize_meta(const CheckpointMeta& meta, support::ByteBuffer& out) {
   support::ByteBuffer body;
@@ -79,6 +81,61 @@ CheckpointMeta deserialize_meta(support::ByteBuffer& in,
   return meta;
 }
 
+void serialize_manifest(const CommitManifest& manifest,
+                        support::ByteBuffer& out) {
+  support::ByteBuffer body;
+  body.put_u32(kCommitMagic);
+  body.put_u32(kCommitVersion);
+  body.put_bool(manifest.spmd);
+  body.put_u64(manifest.entries.size());
+  for (const auto& e : manifest.entries) {
+    body.put_string(e.name);
+    body.put_u64(e.size);
+    body.put_bool(e.has_crc);
+    body.put_u32(e.crc);
+  }
+  out.put_u32(support::crc32c(body.bytes()));
+  out.put_u64(body.size());
+  out.append(body.bytes());
+}
+
+CommitManifest deserialize_manifest(support::ByteBuffer& in,
+                                    const std::string& what) {
+  if (in.remaining() < 4 + 8) {
+    throw support::CorruptCheckpoint(what + ": truncated commit manifest");
+  }
+  const std::uint32_t crc = in.get_u32();
+  const std::uint64_t size = in.get_u64();
+  if (in.remaining() < size) {
+    throw support::CorruptCheckpoint(what + ": truncated commit manifest");
+  }
+  support::ByteBuffer body(std::vector<std::byte>(
+      in.data() + in.cursor(), in.data() + in.cursor() + size));
+  if (support::crc32c(body.bytes()) != crc) {
+    throw support::CorruptCheckpoint(what + ": commit manifest CRC mismatch");
+  }
+  if (body.get_u32() != kCommitMagic) {
+    throw support::CorruptCheckpoint(what + ": bad commit manifest magic");
+  }
+  if (body.get_u32() != kCommitVersion) {
+    throw support::CorruptCheckpoint(what +
+                                     ": unsupported commit manifest version");
+  }
+  CommitManifest manifest;
+  manifest.spmd = body.get_bool();
+  const std::uint64_t n = body.get_u64();
+  manifest.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CommitEntry e;
+    e.name = body.get_string();
+    e.size = body.get_u64();
+    e.has_crc = body.get_bool();
+    e.crc = body.get_u32();
+    manifest.entries.push_back(std::move(e));
+  }
+  return manifest;
+}
+
 void write_meta_file(store::StorageBackend& storage, const std::string& file,
                      const CheckpointMeta& meta) {
   support::ByteBuffer buf;
@@ -115,6 +172,26 @@ std::uint64_t CheckpointMeta::arrays_total_bytes() const {
   return total;
 }
 
+const CommitEntry* CommitManifest::entry(const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t CommitManifest::listed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries) {
+    total += e.size;
+  }
+  return total;
+}
+
+std::string commit_file_name(const std::string& prefix) {
+  return prefix + ".commit";
+}
 std::string meta_file_name(const std::string& prefix) {
   return prefix + ".meta";
 }
@@ -130,6 +207,48 @@ std::string spmd_meta_file_name(const std::string& prefix) {
 }
 std::string spmd_task_file_name(const std::string& prefix, int rank) {
   return prefix + ".spmd.task" + std::to_string(rank);
+}
+
+support::ByteBuffer encode_checkpoint_meta(const CheckpointMeta& meta) {
+  support::ByteBuffer buf;
+  serialize_meta(meta, buf);
+  return buf;
+}
+
+support::ByteBuffer encode_commit_manifest(const CommitManifest& manifest) {
+  support::ByteBuffer buf;
+  serialize_manifest(manifest, buf);
+  return buf;
+}
+
+void write_commit_manifest(store::StorageBackend& storage,
+                           const std::string& prefix,
+                           const CommitManifest& manifest) {
+  const support::ByteBuffer buf = encode_commit_manifest(manifest);
+  storage.create(commit_file_name(prefix)).write_at(0, buf.bytes());
+}
+
+CommitManifest read_commit_manifest(const store::StorageBackend& storage,
+                                    const std::string& prefix) {
+  const std::string file = commit_file_name(prefix);
+  const store::FileHandle handle = storage.open(file);
+  support::ByteBuffer buf(handle.read_at(0, handle.size()));
+  return deserialize_manifest(buf, file);
+}
+
+bool commit_manifest_exists(const store::StorageBackend& storage,
+                            const std::string& prefix) {
+  return storage.exists(commit_file_name(prefix));
+}
+
+bool decommit_checkpoint(store::StorageBackend& storage,
+                         const std::string& prefix) {
+  const std::string file = commit_file_name(prefix);
+  if (!storage.exists(file)) {
+    return false;
+  }
+  storage.remove(file);
+  return true;
 }
 
 void write_checkpoint_meta(store::StorageBackend& storage, const std::string& prefix,

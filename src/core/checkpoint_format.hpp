@@ -16,6 +16,16 @@
 //                         real bytes of all its local array sections
 //                         (including shadows) + padding to the static
 //                         segment size
+//
+// Commit protocol (both layouts): the state files above are invisible to
+// the checkpoint catalog until "ckpt.commit" — a manifest listing every
+// state file with its size (and content CRC where the writer has one in
+// hand) — lands as the very last write of the checkpoint. A crash at any
+// earlier point leaves the state uncommitted (torn); restart falls back to
+// the previous committed SOP and `drms_tool fsck`/`gc` report/reclaim the
+// torn files. When a prefix is overwritten, the old manifest is removed
+// FIRST (decommit) so no crash window can publish a state whose files are
+// half old, half new.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 
 #include "core/slice.hpp"
 #include "store/storage_backend.hpp"
+#include "support/byte_buffer.hpp"
 
 namespace drms::core {
 
@@ -86,7 +97,31 @@ struct CheckpointMeta {
   [[nodiscard]] std::uint64_t arrays_total_bytes() const;
 };
 
+/// One file of a committed state as recorded in the commit manifest.
+struct CommitEntry {
+  std::string name;
+  std::uint64_t size = 0;
+  /// CRC-32C of the whole file; only meaningful when has_crc is set (the
+  /// writer records CRCs it already has in hand — meta and array streams —
+  /// and leaves files whose integrity is carried by an inner sized-CRC
+  /// record, segment and SPMD task files, size-only).
+  std::uint32_t crc = 0;
+  bool has_crc = false;
+};
+
+/// The COMMIT manifest published as the LAST write of a checkpoint. A
+/// state is committed iff its manifest parses and every listed file is
+/// present with the listed size.
+struct CommitManifest {
+  bool spmd = false;
+  std::vector<CommitEntry> entries;
+
+  [[nodiscard]] const CommitEntry* entry(const std::string& name) const;
+  [[nodiscard]] std::uint64_t listed_bytes() const;
+};
+
 /// ---- file-name helpers ------------------------------------------------------
+[[nodiscard]] std::string commit_file_name(const std::string& prefix);
 [[nodiscard]] std::string meta_file_name(const std::string& prefix);
 [[nodiscard]] std::string segment_file_name(const std::string& prefix);
 [[nodiscard]] std::string array_file_name(const std::string& prefix,
@@ -96,6 +131,22 @@ struct CheckpointMeta {
                                               int rank);
 
 /// ---- meta record I/O ---------------------------------------------------------
+/// Full on-volume image of a meta / manifest file ([crc][size][body]).
+/// Exposed so the engines can derive manifest CRCs and publication sizes
+/// from the exact bytes they are about to write.
+[[nodiscard]] support::ByteBuffer encode_checkpoint_meta(const CheckpointMeta& meta);
+[[nodiscard]] support::ByteBuffer encode_commit_manifest(const CommitManifest& manifest);
+
+void write_commit_manifest(store::StorageBackend& storage, const std::string& prefix,
+                           const CommitManifest& manifest);
+[[nodiscard]] CommitManifest read_commit_manifest(const store::StorageBackend& storage,
+                                                  const std::string& prefix);
+[[nodiscard]] bool commit_manifest_exists(const store::StorageBackend& storage,
+                                          const std::string& prefix);
+/// Remove the commit manifest if present (the decommit step that precedes
+/// overwriting a prefix). Returns true when a manifest was removed.
+bool decommit_checkpoint(store::StorageBackend& storage, const std::string& prefix);
+
 void write_checkpoint_meta(store::StorageBackend& storage, const std::string& prefix,
                            const CheckpointMeta& meta);
 [[nodiscard]] CheckpointMeta read_checkpoint_meta(const store::StorageBackend& storage,

@@ -4,7 +4,9 @@
 
 #include "core/array_fingerprint.hpp"
 #include "core/streamer.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/retry.hpp"
 
 namespace drms::core {
 
@@ -85,15 +87,20 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       std::max(segment_model.total(), payload_end);
 
   if (ctx.rank() == 0) {
-    store::FileHandle seg = storage_.create(segment_file_name(prefix));
+    // Decommit before the first overwrite: once any file under this
+    // prefix is touched, the previous state here must not look committed.
+    support::retry_io([&] { decommit_checkpoint(storage_, prefix); });
+    store::FileHandle seg = support::retry_io(
+        [&] { return storage_.create(segment_file_name(prefix)); });
     const support::ByteBuffer header = make_segment_header(
         SegHeaderFields{replicated.size(), total_bytes});
-    seg.write_at(0, header.bytes());
-    seg.write_at(kSegHeaderBytes, replicated.bytes());
+    support::retry_io([&] { seg.write_at(0, header.bytes()); });
+    support::retry_io([&] { seg.write_at(kSegHeaderBytes, replicated.bytes()); });
     if (total_bytes > payload_end) {
       // The private/system/local-section components of the data segment:
       // logically written (time and size accounted), stored sparsely.
-      seg.write_zeros_at(payload_end, total_bytes - payload_end);
+      support::retry_io(
+          [&] { seg.write_zeros_at(payload_end, total_bytes - payload_end); });
     }
   }
   if (storage_.charges_time()) {
@@ -148,7 +155,8 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   if (ctx.rank() == 0) {
     for (std::size_t i = 0; i < arrays.size(); ++i) {
       if (!skip[i]) {
-        storage_.create(array_file_name(prefix, arrays[i]->name()));
+        support::retry_io(
+            [&] { storage_.create(array_file_name(prefix, arrays[i]->name())); });
       }
     }
   }
@@ -191,8 +199,29 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     meta.arrays.push_back(std::move(am));
   }
 
+  // --- Publication: meta record, then the commit manifest as the LAST
+  // write. Built on every task (from collective-identical values) so the
+  // modeled commit overhead is identical everywhere; written by task 0.
+  const support::ByteBuffer meta_buf = encode_checkpoint_meta(meta);
+  CommitManifest manifest;
+  manifest.spmd = false;
+  manifest.entries.push_back(CommitEntry{meta_file_name(prefix),
+                                         meta_buf.size(),
+                                         support::crc32c(meta_buf.bytes()),
+                                         true});
+  manifest.entries.push_back(
+      CommitEntry{segment_file_name(prefix), total_bytes, 0, false});
+  for (const auto& am : meta.arrays) {
+    manifest.entries.push_back(CommitEntry{array_file_name(prefix, am.name),
+                                           am.stream_bytes, am.stream_crc,
+                                           true});
+  }
+  const support::ByteBuffer manifest_buf = encode_commit_manifest(manifest);
+
   if (ctx.rank() == 0) {
-    write_checkpoint_meta(storage_, prefix, meta);
+    support::retry_io([&] {
+      storage_.create(meta_file_name(prefix)).write_at(0, meta_buf.bytes());
+    });
     if (incremental != nullptr) {
       incremental->prefix = prefix;
       for (std::size_t i = 0; i < arrays.size(); ++i) {
@@ -201,6 +230,18 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       incremental->arrays_skipped = skipped;
       incremental->bytes_skipped = skipped_bytes;
     }
+    support::retry_io([&] {
+      storage_.create(commit_file_name(prefix))
+          .write_at(0, manifest_buf.bytes());
+    });
+  }
+  // Modeled (not charged) publication cost: meta + manifest land in one
+  // small write burst. Kept out of the phase clocks so the paper's
+  // Table 5/6 numbers are unchanged; no jitter draw either (the shared
+  // RNG stream must stay identical with commit enabled).
+  if (storage_.charges_time()) {
+    timing.commit_seconds = storage_.single_write_seconds(
+        meta_buf.size() + manifest_buf.size(), load_, nullptr);
   }
   ctx.barrier();
   timing.arrays_seconds = ctx.sim_time() - t1;

@@ -29,6 +29,11 @@ namespace drms::core {
 struct CheckpointTiming {
   double segment_seconds = 0.0;
   double arrays_seconds = 0.0;
+  /// Modeled cost of publishing the meta record + commit manifest (the
+  /// two-phase-commit overhead). Reported separately — meta writes have
+  /// never been part of the paper's Table 5/6 phase times, so it is NOT
+  /// included in total_seconds().
+  double commit_seconds = 0.0;
   [[nodiscard]] double total_seconds() const noexcept {
     return segment_seconds + arrays_seconds;
   }

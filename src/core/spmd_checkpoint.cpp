@@ -4,6 +4,7 @@
 
 #include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/retry.hpp"
 
 namespace drms::core {
 
@@ -33,6 +34,15 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   ctx.barrier();
   const double t0 = ctx.sim_time();
 
+  // Decommit before anyone overwrites a file under this prefix, and hold
+  // the other tasks back until the old manifest is gone. The barrier is
+  // timing-neutral: no simulated time is charged before it, so every
+  // task's clock is still t0.
+  if (ctx.rank() == 0) {
+    support::retry_io([&] { decommit_checkpoint(storage_, prefix); });
+  }
+  ctx.barrier();
+
   // Serialize this task's full segment: replicated payload, then the real
   // bytes of every local array section, then padding to the static size.
   support::ByteBuffer body;
@@ -53,24 +63,62 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   const std::uint64_t total_bytes =
       std::max(segment_model.total(), payload_end);
 
-  store::FileHandle file =
-      storage_.create(spmd_task_file_name(prefix, ctx.rank()));
+  store::FileHandle file = support::retry_io(
+      [&] { return storage_.create(spmd_task_file_name(prefix, ctx.rank())); });
   support::ByteBuffer head;
   head.put_u64(body.size());
   head.put_u32(crc);
-  file.write_at(0, head.bytes());
-  file.write_at(head.size(), body.bytes());
+  support::retry_io([&] { file.write_at(0, head.bytes()); });
+  support::retry_io([&] { file.write_at(head.size(), body.bytes()); });
   if (total_bytes > payload_end) {
-    file.write_zeros_at(payload_end, total_bytes - payload_end);
+    support::retry_io(
+        [&] { file.write_zeros_at(payload_end, total_bytes - payload_end); });
   }
 
+  // Every task file must be durable before task 0 publishes the state;
+  // timing-neutral (no charges since the previous barrier).
+  ctx.barrier();
+
+  // Publication: meta record, then the commit manifest as the LAST write.
+  // Built on every task so the modeled commit overhead is identical
+  // everywhere; written by task 0.
+  CheckpointMeta meta;
+  meta.app_name = app_name;
+  meta.task_count = ctx.size();
+  meta.sop = sop;
+  meta.segment_bytes = total_bytes;
+  const support::ByteBuffer meta_buf = encode_checkpoint_meta(meta);
+  CommitManifest manifest;
+  manifest.spmd = true;
+  manifest.entries.push_back(CommitEntry{spmd_meta_file_name(prefix),
+                                         meta_buf.size(),
+                                         support::crc32c(meta_buf.bytes()),
+                                         true});
+  for (int r = 0; r < ctx.size(); ++r) {
+    // Actual on-volume size: a task whose payload exceeds the static
+    // segment model writes a larger file than total_bytes says.
+    const std::string task_file = spmd_task_file_name(prefix, r);
+    manifest.entries.push_back(
+        CommitEntry{task_file, storage_.file_size(task_file), 0, false});
+  }
+  const support::ByteBuffer manifest_buf = encode_commit_manifest(manifest);
+
   if (ctx.rank() == 0) {
-    CheckpointMeta meta;
-    meta.app_name = app_name;
-    meta.task_count = ctx.size();
-    meta.sop = sop;
-    meta.segment_bytes = total_bytes;
-    write_spmd_meta(storage_, prefix, meta);
+    support::retry_io([&] {
+      storage_.create(spmd_meta_file_name(prefix))
+          .write_at(0, meta_buf.bytes());
+    });
+    support::retry_io([&] {
+      storage_.create(commit_file_name(prefix))
+          .write_at(0, manifest_buf.bytes());
+    });
+  }
+  // Modeled (not charged) publication cost; see CheckpointTiming — kept
+  // out of the phase clocks and drawn without jitter so the paper tables
+  // are unchanged by the commit protocol.
+  if (storage_.charges_time()) {
+    timing.commit_seconds = storage_.single_write_seconds(
+        meta_buf.size() + manifest_buf.size(), load_, nullptr);
   }
 
   if (storage_.charges_time()) {

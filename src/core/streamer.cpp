@@ -7,6 +7,7 @@
 #include "rt/collectives.hpp"
 #include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/retry.hpp"
 
 namespace drms::core {
 
@@ -143,7 +144,8 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
                             static_cast<std::size_t>(me);
       // The staging local is column-major over the chunk slice — already
       // in stream order.
-      file.write_at(file_offset + plan.offsets[c], staging.bytes());
+      support::retry_io(
+          [&] { file.write_at(file_offset + plan.offsets[c], staging.bytes()); });
       if (stream_crc != nullptr) {
         my_chunk_crcs.emplace_back(c, support::crc32c(staging.bytes()));
       }

@@ -1,0 +1,196 @@
+#include "store/fault_injection_backend.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace drms::store {
+
+namespace {
+
+/// FileObject wrapper routing every mutation through the backend's fault
+/// gate. Reads only check the dead flag (a lost node serves nothing).
+class FaultInjectedFile final : public FileObject {
+ public:
+  FaultInjectedFile(FaultInjectionBackend& owner, FileHandle inner)
+      : owner_(owner), inner_(std::move(inner)) {}
+
+  void write_at(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    if (owner_.before_mutation() ==
+        FaultInjectionBackend::Verdict::kTear) {
+      inner_.write_at(offset, data.first(data.size() / 2));
+      owner_.die("injected crash: torn write to '" + inner_.name() + "'");
+    }
+    inner_.write_at(offset, data);
+  }
+
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) override {
+    if (owner_.before_mutation() ==
+        FaultInjectionBackend::Verdict::kTear) {
+      inner_.write_zeros_at(offset, count / 2);
+      owner_.die("injected crash: torn zero-fill of '" + inner_.name() +
+                 "'");
+    }
+    inner_.write_zeros_at(offset, count);
+  }
+
+  [[nodiscard]] std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const override {
+    owner_.check_dead();
+    return inner_.read_at(offset, count);
+  }
+
+  void append(std::span<const std::byte> data) override {
+    if (owner_.before_mutation() ==
+        FaultInjectionBackend::Verdict::kTear) {
+      inner_.append(data.first(data.size() / 2));
+      owner_.die("injected crash: torn append to '" + inner_.name() + "'");
+    }
+    inner_.append(data);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    owner_.check_dead();
+    return inner_.size();
+  }
+  [[nodiscard]] const std::string& name() const override {
+    return inner_.name();
+  }
+
+ private:
+  FaultInjectionBackend& owner_;
+  FileHandle inner_;
+};
+
+}  // namespace
+
+void FaultInjectionBackend::arm_crash(std::uint64_t op_index,
+                                      CrashStyle style) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  crash_index_ = op_index;
+  style_ = style;
+  dead_ = false;
+  ops_ = 0;
+}
+
+void FaultInjectionBackend::disarm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  dead_ = false;
+  transient_budget_ = 0;
+}
+
+void FaultInjectionBackend::inject_transient_faults(int count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  transient_budget_ = count;
+}
+
+std::uint64_t FaultInjectionBackend::mutation_ops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+std::uint64_t FaultInjectionBackend::faults_injected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+bool FaultInjectionBackend::crashed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dead_;
+}
+
+void FaultInjectionBackend::die(const std::string& why) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    dead_ = true;
+  }
+  throw support::IoError(why);
+}
+
+void FaultInjectionBackend::check_dead() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_) {
+    throw support::IoError(
+        "storage unreachable: node lost by injected crash");
+  }
+}
+
+FaultInjectionBackend::Verdict FaultInjectionBackend::before_mutation() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_) {
+    throw support::IoError(
+        "storage unreachable: node lost by injected crash");
+  }
+  const std::uint64_t index = ops_++;
+  if (armed_ && index == crash_index_) {
+    ++faults_;
+    if (style_ == CrashStyle::kTornWrite) {
+      return Verdict::kTear;  // caller half-writes, then calls die()
+    }
+    dead_ = true;
+    throw support::IoError("injected crash at storage op " +
+                           std::to_string(index));
+  }
+  if (transient_budget_ > 0) {
+    --transient_budget_;
+    ++faults_;
+    throw support::TransientIoError("injected transient I/O fault at op " +
+                                    std::to_string(index));
+  }
+  return Verdict::kProceed;
+}
+
+FileHandle FaultInjectionBackend::create(const std::string& name) {
+  if (before_mutation() == Verdict::kTear) {
+    // There is no half of a create; treat it as a clean stop.
+    die("injected crash: create of '" + name + "'");
+  }
+  return FileHandle(
+      std::make_shared<FaultInjectedFile>(*this, inner_.create(name)));
+}
+
+FileHandle FaultInjectionBackend::open(const std::string& name) const {
+  check_dead();
+  return FileHandle(std::make_shared<FaultInjectedFile>(
+      const_cast<FaultInjectionBackend&>(*this), inner_.open(name)));
+}
+
+bool FaultInjectionBackend::exists(const std::string& name) const {
+  check_dead();
+  return inner_.exists(name);
+}
+
+void FaultInjectionBackend::remove(const std::string& name) {
+  if (before_mutation() == Verdict::kTear) {
+    die("injected crash: remove of '" + name + "'");
+  }
+  inner_.remove(name);
+}
+
+int FaultInjectionBackend::remove_prefix(const std::string& prefix) {
+  if (before_mutation() == Verdict::kTear) {
+    die("injected crash: remove_prefix of '" + prefix + "'");
+  }
+  return inner_.remove_prefix(prefix);
+}
+
+std::vector<std::string> FaultInjectionBackend::list(
+    const std::string& prefix) const {
+  check_dead();
+  return inner_.list(prefix);
+}
+
+std::uint64_t FaultInjectionBackend::file_size(const std::string& name) const {
+  check_dead();
+  return inner_.file_size(name);
+}
+
+std::uint64_t FaultInjectionBackend::total_size(
+    const std::string& prefix) const {
+  check_dead();
+  return inner_.total_size(prefix);
+}
+
+}  // namespace drms::store

@@ -1,0 +1,140 @@
+// Fault-injecting StorageBackend decorator (test/chaos harness).
+//
+// Wraps any backend and perturbs its MUTATING operations (create, remove,
+// remove_prefix, write_at, write_zeros_at, append) while delegating
+// everything else untouched:
+//
+//   arm_crash(n, style)      — the n-th mutation (0-based, counted across
+//                              the whole backend) fails; kStop fails it
+//                              outright, kTornWrite applies the first half
+//                              of the data first (a torn write). After the
+//                              crash the backend is DEAD: every subsequent
+//                              operation, reads included, throws IoError —
+//                              the node is gone — until disarm().
+//   inject_transient_faults  — the next n mutation attempts each fail once
+//                              with TransientIoError; a retry of the same
+//                              operation then succeeds. Models dropped
+//                              requests beneath the cost model's radar.
+//
+// mutation_ops() exposes the operation counter so a crash-point sweep can
+// size its index range from a clean dry run. Thread-safe: the checkpoint
+// engines mutate storage from many tasks at once.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/storage_backend.hpp"
+
+namespace drms::store {
+
+class FaultInjectionBackend final : public StorageBackend {
+ public:
+  enum class CrashStyle {
+    /// The armed operation fails without touching the inner backend.
+    kStop,
+    /// The armed operation applies roughly half of its bytes, then fails.
+    kTornWrite,
+  };
+
+  /// The decorator does not own `inner`; it must outlive this object.
+  explicit FaultInjectionBackend(StorageBackend& inner) : inner_(inner) {}
+
+  // ---- fault controls -------------------------------------------------------
+  void arm_crash(std::uint64_t op_index, CrashStyle style = CrashStyle::kStop);
+  /// Clear the crash point, the dead state, and any transient budget.
+  void disarm();
+  void inject_transient_faults(int count);
+  [[nodiscard]] std::uint64_t mutation_ops() const;
+  [[nodiscard]] std::uint64_t faults_injected() const;
+  /// True once an armed crash has fired (and until disarm()).
+  [[nodiscard]] bool crashed() const;
+
+  // ---- StorageBackend -------------------------------------------------------
+  FileHandle create(const std::string& name) override;
+  [[nodiscard]] FileHandle open(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  int remove_prefix(const std::string& prefix) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const override;
+  [[nodiscard]] std::uint64_t file_size(
+      const std::string& name) const override;
+  [[nodiscard]] std::uint64_t total_size(
+      const std::string& prefix) const override;
+
+  [[nodiscard]] StorageStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+  [[nodiscard]] std::string description() const override {
+    return "fault(" + inner_.description() + ")";
+  }
+  [[nodiscard]] int server_count() const override {
+    return inner_.server_count();
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return inner_.capacity_bytes();
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return inner_.used_bytes();
+  }
+
+  [[nodiscard]] const sim::CostModel* cost_model() const override {
+    return inner_.cost_model();
+  }
+  [[nodiscard]] double single_write_seconds(
+      std::uint64_t bytes, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.single_write_seconds(bytes, ctx, jitter);
+  }
+  [[nodiscard]] double concurrent_write_seconds(
+      std::uint64_t bytes_per_writer, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.concurrent_write_seconds(bytes_per_writer, writers, ctx,
+                                           jitter);
+  }
+  [[nodiscard]] double shared_read_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.shared_read_seconds(bytes, readers, ctx, jitter);
+  }
+  [[nodiscard]] double private_read_seconds(
+      std::uint64_t bytes_per_reader, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.private_read_seconds(bytes_per_reader, readers, ctx, jitter);
+  }
+  [[nodiscard]] double stream_write_round_seconds(
+      std::uint64_t bytes, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+  }
+  [[nodiscard]] double stream_read_round_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.stream_read_round_seconds(bytes, readers, ctx, jitter);
+  }
+
+  // ---- fault gate (used by the wrapped FileObjects; not a user API) ---------
+  /// Outcome of the fault gate for one mutation attempt.
+  enum class Verdict { kProceed, kTear };
+  /// Count one mutation attempt; throws (dead / crash / transient) or
+  /// returns whether the op should proceed normally or tear.
+  Verdict before_mutation();
+  void check_dead() const;
+  /// Mark the backend dead and throw the crash IoError.
+  [[noreturn]] void die(const std::string& why);
+
+ private:
+  StorageBackend& inner_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t faults_ = 0;
+  bool armed_ = false;
+  std::uint64_t crash_index_ = 0;
+  CrashStyle style_ = CrashStyle::kStop;
+  bool dead_ = false;
+  int transient_budget_ = 0;
+};
+
+}  // namespace drms::store

@@ -142,6 +142,15 @@ bool TieredBackend::fast_fits(std::uint64_t bytes) const {
   return capacity == 0 || fast_.used_bytes() + bytes <= capacity;
 }
 
+std::uint64_t TieredBackend::fast_admissible(std::uint64_t bytes) const {
+  const std::uint64_t capacity = fast_.capacity_bytes();
+  if (capacity == 0) {
+    return bytes;
+  }
+  const std::uint64_t used = fast_.used_bytes();
+  return used >= capacity ? 0 : std::min(bytes, capacity - used);
+}
+
 std::uint64_t TieredBackend::copy_to_slow_locked(const std::string& name) {
   const FileHandle src = fast_.open(name);
   FileHandle dst = slow_.create(name);
@@ -202,36 +211,45 @@ bool TieredBackend::exists(const std::string& name) const {
 }
 
 void TieredBackend::remove(const std::string& name) {
+  // Failure must be side-effect-free: live TieredFileObject handles share
+  // the entry, so the record may only change once something was actually
+  // removed.
   auto entry = find_entry(name, /*create_missing=*/false);
   bool removed = false;
   if (entry != nullptr) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->in_fast) {
-      fast_.remove(name);
-      entry->in_fast = false;
+    if (entry->in_fast || entry->in_slow) {
+      if (entry->in_fast) {
+        fast_.remove(name);
+        entry->in_fast = false;
+      }
+      if (entry->in_slow) {
+        slow_.remove(name);
+        entry->in_slow = false;
+      }
+      entry->dirty = false;
       removed = true;
     }
-    if (entry->in_slow) {
-      slow_.remove(name);
-      entry->in_slow = false;
-      removed = true;
-    }
-    entry->dirty = false;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.erase(name);
+    // else: lost with the fast tier — nothing to remove; keep the
+    // tombstone entry so existing handles stay consistently invalid.
   }
   if (!removed) {
     throw support::IoError("cannot remove missing file: '" + name + "'");
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(name);
 }
 
 int TieredBackend::remove_prefix(const std::string& prefix) {
   int removed = 0;
   for (const auto& name : list(prefix)) {
-    remove(name);
-    ++removed;
+    try {
+      remove(name);
+      ++removed;
+    } catch (const support::IoError&) {
+      // Vanished between list() and remove() (concurrent drain eviction /
+      // GC); MemoryBackend quietly skips these too.
+    }
   }
   return removed;
 }
@@ -368,9 +386,20 @@ bool TieredBackend::fast_holds_data() const {
 double TieredBackend::single_write_seconds(std::uint64_t bytes,
                                            const sim::LoadContext& ctx,
                                            support::Rng* jitter) const {
-  return fast_fits(bytes)
-             ? fast_.single_write_seconds(bytes, ctx, jitter)
-             : slow_.single_write_seconds(bytes, ctx, jitter);
+  // Mirror the data path: the write lands in the fast tier until it no
+  // longer fits, at which point spill_locked() re-copies the WHOLE file
+  // (staged prefix included) to the slow tier and the write finishes
+  // there. A mid-operation spill therefore costs the staged prefix at
+  // fast speed plus the full size at slow speed.
+  const std::uint64_t fast_part = fast_admissible(bytes);
+  if (fast_part == bytes) {
+    return fast_.single_write_seconds(bytes, ctx, jitter);
+  }
+  if (fast_part == 0) {
+    return slow_.single_write_seconds(bytes, ctx, jitter);
+  }
+  return fast_.single_write_seconds(fast_part, ctx, jitter) +
+         slow_.single_write_seconds(bytes, ctx, jitter);
 }
 
 double TieredBackend::concurrent_write_seconds(std::uint64_t bytes_per_writer,
@@ -409,9 +438,16 @@ double TieredBackend::stream_write_round_seconds(std::uint64_t bytes,
                                                  int writers,
                                                  const sim::LoadContext& ctx,
                                                  support::Rng* jitter) const {
-  return fast_fits(bytes)
-             ? fast_.stream_write_round_seconds(bytes, writers, ctx, jitter)
-             : slow_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+  // Same mid-round spill accounting as single_write_seconds.
+  const std::uint64_t fast_part = fast_admissible(bytes);
+  if (fast_part == bytes) {
+    return fast_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+  }
+  if (fast_part == 0) {
+    return slow_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+  }
+  return fast_.stream_write_round_seconds(fast_part, writers, ctx, jitter) +
+         slow_.stream_write_round_seconds(bytes, writers, ctx, jitter);
 }
 
 double TieredBackend::stream_read_round_seconds(std::uint64_t bytes,

@@ -140,6 +140,10 @@ class TieredBackend final : public StorageBackend {
   /// mutex. Returns bytes copied.
   std::uint64_t copy_to_slow_locked(const std::string& name);
   [[nodiscard]] bool fast_fits(std::uint64_t bytes) const;
+  /// How much of a `bytes`-sized write the fast tier can still absorb
+  /// before it overflows (the timing model's picture of a mid-operation
+  /// spill).
+  [[nodiscard]] std::uint64_t fast_admissible(std::uint64_t bytes) const;
 
   StorageBackend& fast_;
   StorageBackend& slow_;

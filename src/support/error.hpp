@@ -30,6 +30,14 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An I/O failure expected to succeed on retry (dropped request, brief
+/// server hiccup). The checkpoint engines retry these with bounded
+/// backoff; every other IoError propagates immediately.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
 /// Malformed or corrupted checkpoint data (bad magic, CRC mismatch, ...).
 class CorruptCheckpoint : public Error {
  public:

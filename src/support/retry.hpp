@@ -1,0 +1,41 @@
+// Bounded retry-with-backoff for transient I/O failures.
+//
+// The checkpoint engines wrap each idempotent storage mutation in
+// retry_io(): a TransientIoError is retried up to the attempt budget with
+// exponentially growing (real, microsecond-scale) backoff, while every
+// other exception — including plain IoError — propagates immediately.
+// Simulated time is never charged for retries; transients model request
+// hiccups beneath the resolution of the paper's cost model.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace drms::support {
+
+struct RetryPolicy {
+  /// Total attempts, first try included.
+  int attempts = 4;
+  /// Real (wall-clock) backoff before attempt k is 2^(k-1) * base.
+  std::chrono::microseconds backoff_base{50};
+};
+
+/// Run `op`, retrying on TransientIoError per `policy`. Returns op()'s
+/// result; rethrows the last TransientIoError when the budget is spent.
+template <typename Op>
+decltype(auto) retry_io(Op&& op, const RetryPolicy& policy = {}) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const TransientIoError&) {
+      if (attempt >= policy.attempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(policy.backoff_base * (1 << (attempt - 1)));
+    }
+  }
+}
+
+}  // namespace drms::support

@@ -185,6 +185,36 @@ TEST(CApi, ErrorReporting) {
   drms_volume_destroy(volume);
 }
 
+TEST(CApi, CommitQueriesFsckAndGc) {
+  drms_volume_t* volume = drms_volume_create(8);
+  ASSERT_NE(volume, nullptr);
+  CAppState state;
+  state.prefix = "c.commit";
+  state.iterations = 4;  // one checkpoint, at it == 3
+  drms_run_options_t options{};
+  options.app_name = "commitapp";
+  options.tasks = 2;
+  options.mode = DRMS_MODE_DRMS;
+  ASSERT_EQ(drms_run_spmd(volume, &options, c_task, &state), DRMS_OK);
+  ASSERT_EQ(state.failures.load(), 0);
+
+  // The published state is both present and committed; the volume is
+  // crash-consistent, so fsck finds nothing and gc reclaims nothing.
+  EXPECT_EQ(drms_volume_checkpoint_exists(volume, "c.commit"), 1);
+  EXPECT_EQ(drms_volume_checkpoint_committed(volume, "c.commit"), 1);
+  EXPECT_EQ(drms_volume_checkpoint_committed(volume, "nope"), 0);
+  EXPECT_EQ(drms_volume_fsck(volume), 0);
+  EXPECT_EQ(drms_volume_gc(volume), 0);
+  EXPECT_EQ(drms_volume_fsck(volume), 0);
+
+  // Null handling.
+  EXPECT_EQ(drms_volume_checkpoint_committed(nullptr, "p"), 0);
+  EXPECT_EQ(drms_volume_checkpoint_committed(volume, nullptr), 0);
+  EXPECT_EQ(drms_volume_fsck(nullptr), DRMS_ERR);
+  EXPECT_EQ(drms_volume_gc(nullptr), DRMS_ERR);
+  drms_volume_destroy(volume);
+}
+
 TEST(CApi, NullArgumentsAreRejected) {
   EXPECT_EQ(drms_volume_create(0), nullptr);
   drms_run_options_t options{};

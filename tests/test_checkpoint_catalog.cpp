@@ -180,6 +180,103 @@ TEST(CheckpointCatalog, VerifyFlagsACorruptSpmdSegment) {
   EXPECT_FALSE(result.ok);
 }
 
+TEST(CheckpointCatalog, CommitStatusDescribesACleanState) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 1, CheckpointMode::kDrms);
+  const auto check = commit_status(volume, "alpha.even", /*spmd=*/false);
+  EXPECT_TRUE(check.committed) << (check.problems.empty()
+                                       ? ""
+                                       : check.problems.front());
+  // The manifest lists the meta, the segment and the array file, each
+  // with its exact on-volume size.
+  ASSERT_GE(check.manifest.entries.size(), 3u);
+  for (const auto& entry : check.manifest.entries) {
+    EXPECT_TRUE(volume.exists(entry.name)) << entry.name;
+    EXPECT_EQ(volume.backend().file_size(entry.name), entry.size);
+  }
+  // The manifest records the layout: the wrong one is not committed.
+  EXPECT_FALSE(commit_status(volume, "alpha.even", /*spmd=*/true).committed);
+  // A prefix with no state at all is simply uncommitted.
+  EXPECT_FALSE(commit_status(volume, "nothing", /*spmd=*/false).committed);
+}
+
+TEST(CheckpointCatalog, TruncatedArrayFileIsExcludedAndFlagged) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(latest_checkpoint(volume, "alpha")->prefix, "alpha.odd");
+
+  // Truncate the newest state's array file to half its size; its meta
+  // record stays perfectly readable — only the manifest size check can
+  // tell the state is torn.
+  const std::string victim = array_file_name("alpha.odd", "u");
+  const std::uint64_t full = volume.backend().file_size(victim);
+  volume.create(victim).write_zeros_at(0, full / 2);
+
+  // The damaged state is no longer a restart candidate...
+  const auto latest = latest_checkpoint(volume, "alpha");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->prefix, "alpha.even");
+  EXPECT_EQ(latest->meta.sop, 1);
+  // ...the verifier flags it, given the record taken while whole...
+  for (const auto& record : records) {
+    const auto verdict = verify_checkpoint(volume, record);
+    EXPECT_EQ(verdict.ok, record.prefix != "alpha.odd");
+  }
+  // ...and the fsck scan reports it torn with its files reclaimable.
+  bool flagged = false;
+  for (const auto& state : fsck_scan(volume)) {
+    if (state.prefix == "alpha.odd") {
+      EXPECT_FALSE(state.committed);
+      EXPECT_FALSE(state.reclaimable.empty());
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(CheckpointCatalog, MissingManifestMeansTorn) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  // The meta and every data file of "alpha.odd" are intact; only the
+  // commit manifest is gone — exactly a crash between the meta write and
+  // publication. The state must not be offered for restart.
+  volume.remove(commit_file_name("alpha.odd"));
+
+  EXPECT_EQ(list_checkpoints(volume).size(), 1u);
+  ASSERT_TRUE(latest_checkpoint(volume, "alpha").has_value());
+  EXPECT_EQ(latest_checkpoint(volume, "alpha")->prefix, "alpha.even");
+
+  bool flagged = false;
+  for (const auto& state : fsck_scan(volume)) {
+    if (state.prefix == "alpha.odd") {
+      EXPECT_FALSE(state.committed);
+      EXPECT_FALSE(state.reclaimable.empty());
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+
+  // gc reclaims the torn files and leaves the committed state alone.
+  EXPECT_GT(gc_torn_states(volume), 0);
+  for (const auto& state : fsck_scan(volume)) {
+    EXPECT_TRUE(state.committed) << state.prefix;
+  }
+  EXPECT_EQ(latest_checkpoint(volume, "alpha")->prefix, "alpha.even");
+}
+
+TEST(CheckpointCatalog, RemoveCheckpointDecommitsFirst) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 1, CheckpointMode::kDrms);
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+  remove_checkpoint(volume, records.front());
+  EXPECT_FALSE(volume.exists(commit_file_name("alpha.even")));
+  // Nothing left behind for fsck to complain about.
+  EXPECT_TRUE(fsck_scan(volume).empty());
+}
+
 TEST(CheckpointCatalog, PrefixFilterNarrowsTheScan) {
   Volume volume(16);
   write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);

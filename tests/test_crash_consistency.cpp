@@ -1,0 +1,275 @@
+// Crash-consistency tests for the two-phase commit protocol: a crash
+// injected at EVERY storage-operation index during a checkpoint must
+// leave the previous committed state as the restart candidate, with the
+// torn attempt flagged by the fsck scan. Also covers torn (half-applied)
+// writes and transient-fault retry.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/checkpoint_catalog.hpp"
+#include "core/drms_checkpoint.hpp"
+#include "core/drms_context.hpp"
+#include "core/spmd_checkpoint.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "store/fault_injection_backend.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "store/tiered_backend.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms::core;
+using drms::store::FaultInjectionBackend;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::cube;
+using drms::test::fill_assigned_tagged;
+using drms::test::placement_of;
+
+constexpr int kTasks = 2;
+constexpr Index kN = 6;
+
+AppSegmentModel tiny_segment() {
+  AppSegmentModel m;
+  m.static_local_bytes = 4 * 1024;
+  m.system_bytes = 4 * 1024;
+  return m;
+}
+
+enum class BackendKind { kMemory, kPiofs, kTiered };
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMemory: return "Memory";
+    case BackendKind::kPiofs: return "Piofs";
+    case BackendKind::kTiered: return "Tiered";
+  }
+  return "?";
+}
+
+/// A fresh storage stack with the fault decorator on top — the engines
+/// only ever see `fault`.
+struct Stack {
+  std::unique_ptr<drms::piofs::Volume> volume;
+  std::unique_ptr<drms::store::PiofsBackend> piofs;
+  std::unique_ptr<drms::store::MemoryBackend> memory;
+  std::unique_ptr<drms::store::TieredBackend> tiered;
+  std::unique_ptr<FaultInjectionBackend> fault;
+};
+
+Stack make_stack(BackendKind kind) {
+  Stack s;
+  drms::store::StorageBackend* inner = nullptr;
+  switch (kind) {
+    case BackendKind::kMemory:
+      s.memory = std::make_unique<drms::store::MemoryBackend>();
+      inner = s.memory.get();
+      break;
+    case BackendKind::kPiofs:
+      s.volume = std::make_unique<drms::piofs::Volume>(4);
+      s.piofs = std::make_unique<drms::store::PiofsBackend>(*s.volume);
+      inner = s.piofs.get();
+      break;
+    case BackendKind::kTiered:
+      s.volume = std::make_unique<drms::piofs::Volume>(4);
+      s.piofs = std::make_unique<drms::store::PiofsBackend>(*s.volume);
+      s.memory = std::make_unique<drms::store::MemoryBackend>();
+      s.tiered = std::make_unique<drms::store::TieredBackend>(*s.memory,
+                                                              *s.piofs);
+      inner = s.tiered.get();
+      break;
+  }
+  s.fault = std::make_unique<FaultInjectionBackend>(*inner);
+  return s;
+}
+
+/// One full checkpoint attempt through the public engine API. Returns the
+/// group outcome: `completed == false` when an injected fault killed it.
+auto attempt_checkpoint(drms::store::StorageBackend& storage,
+                        CheckpointMode mode, const std::string& prefix,
+                        std::int64_t sop) {
+  TaskGroup group(placement_of(kTasks));
+  DistArray array("u", cube(kN), sizeof(double), kTasks);
+  return group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(
+          DistSpec::block_auto(cube(kN), kTasks, std::vector<Index>(3, 0)));
+    }
+    ctx.barrier();
+    fill_assigned_tagged(array, ctx.rank());
+    ctx.barrier();
+
+    std::int64_t it = sop;
+    ReplicatedStore store;
+    store.register_i64("it", &it);
+    const std::array<DistArray*, 1> arrays{&array};
+    if (mode == CheckpointMode::kDrms) {
+      DrmsCheckpoint engine(storage, {});
+      (void)engine.write(ctx, prefix, "sweep", sop, store, arrays,
+                         tiny_segment());
+    } else {
+      SpmdCheckpoint engine(storage, {});
+      (void)engine.write(ctx, prefix, "sweep", sop, store, arrays,
+                         tiny_segment());
+    }
+  });
+}
+
+/// Count the mutations of one checkpoint under prefix B on a stack that
+/// already holds a committed state under prefix A (the sweep scenario).
+std::uint64_t mutation_count(CheckpointMode mode, BackendKind kind) {
+  Stack s = make_stack(kind);
+  EXPECT_TRUE(attempt_checkpoint(*s.fault, mode, "sweep.a", 1).completed);
+  const std::uint64_t after_a = s.fault->mutation_ops();
+  EXPECT_TRUE(attempt_checkpoint(*s.fault, mode, "sweep.b", 2).completed);
+  return s.fault->mutation_ops() - after_a;
+}
+
+/// Crash index `i` of the B attempt; then check the recovery invariants:
+/// the committed state A is the restart candidate, and fsck flags B as
+/// torn whenever the crash left any of B's files behind.
+void crash_at_and_check(CheckpointMode mode, BackendKind kind,
+                        std::uint64_t i,
+                        FaultInjectionBackend::CrashStyle style) {
+  SCOPED_TRACE(std::string(to_string(kind)) + " crash index " +
+               std::to_string(i));
+  Stack s = make_stack(kind);
+  ASSERT_TRUE(attempt_checkpoint(*s.fault, mode, "sweep.a", 1).completed);
+
+  s.fault->arm_crash(i, style);
+  const auto result = attempt_checkpoint(*s.fault, mode, "sweep.b", 2);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(s.fault->crashed());
+  s.fault->disarm();
+
+  // Restart selects the last COMMITTED state.
+  const auto latest = latest_checkpoint(*s.fault, "sweep");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->prefix, "sweep.a");
+  EXPECT_EQ(latest->meta.sop, 1);
+
+  // ...and the interrupted attempt is never offered as a candidate.
+  for (const auto& record : list_checkpoints(*s.fault)) {
+    EXPECT_NE(record.prefix, "sweep.b");
+  }
+
+  // fsck: A committed, B torn (when the crash left files behind at all).
+  const bool b_has_files = !s.fault->list("sweep.b").empty();
+  bool b_torn = false;
+  for (const auto& state : fsck_scan(*s.fault)) {
+    if (state.prefix == "sweep.b") {
+      EXPECT_FALSE(state.committed);
+      EXPECT_FALSE(state.reclaimable.empty());
+      b_torn = true;
+    } else if (state.prefix == "sweep.a") {
+      EXPECT_TRUE(state.committed) << (state.problems.empty()
+                                           ? ""
+                                           : state.problems.front());
+    }
+  }
+  EXPECT_EQ(b_torn, b_has_files);
+
+  // gc reclaims the torn files; A survives and stays restartable.
+  const int removed = gc_torn_states(*s.fault);
+  if (b_has_files) {
+    EXPECT_GT(removed, 0);
+  }
+  EXPECT_TRUE(s.fault->list("sweep.b").empty());
+  const auto after_gc = latest_checkpoint(*s.fault, "sweep");
+  ASSERT_TRUE(after_gc.has_value());
+  EXPECT_EQ(after_gc->prefix, "sweep.a");
+}
+
+class CrashSweep
+    : public ::testing::TestWithParam<std::pair<CheckpointMode, BackendKind>> {
+};
+
+TEST_P(CrashSweep, EveryCrashIndexRecoversToCommittedState) {
+  const auto [mode, kind] = GetParam();
+  const std::uint64_t n = mutation_count(mode, kind);
+  ASSERT_GT(n, 0u);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    crash_at_and_check(mode, kind, i,
+                       FaultInjectionBackend::CrashStyle::kStop);
+  }
+}
+
+TEST_P(CrashSweep, TornFinalWriteLeavesStateUncommitted) {
+  // The last mutation is the manifest publication; half-applying it must
+  // not count as a commit.
+  const auto [mode, kind] = GetParam();
+  const std::uint64_t n = mutation_count(mode, kind);
+  ASSERT_GT(n, 0u);
+  crash_at_and_check(mode, kind, n - 1,
+                     FaultInjectionBackend::CrashStyle::kTornWrite);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndBackends, CrashSweep,
+    ::testing::Values(
+        std::make_pair(CheckpointMode::kDrms, BackendKind::kMemory),
+        std::make_pair(CheckpointMode::kDrms, BackendKind::kPiofs),
+        std::make_pair(CheckpointMode::kDrms, BackendKind::kTiered),
+        std::make_pair(CheckpointMode::kSpmd, BackendKind::kMemory),
+        std::make_pair(CheckpointMode::kSpmd, BackendKind::kPiofs),
+        std::make_pair(CheckpointMode::kSpmd, BackendKind::kTiered)),
+    [](const auto& info) {
+      return std::string(info.param.first == CheckpointMode::kDrms
+                             ? "Drms"
+                             : "Spmd") +
+             to_string(info.param.second);
+    });
+
+TEST(FaultInjection, TransientFaultsAreRetriedToSuccess) {
+  for (const CheckpointMode mode :
+       {CheckpointMode::kDrms, CheckpointMode::kSpmd}) {
+    Stack s = make_stack(BackendKind::kPiofs);
+    s.fault->inject_transient_faults(3);
+    const auto result = attempt_checkpoint(*s.fault, mode, "sweep.a", 1);
+    EXPECT_TRUE(result.completed) << result.kill_reason;
+    EXPECT_EQ(s.fault->faults_injected(), 3u);
+    // The retried checkpoint is fully committed and verifiable.
+    const auto records = list_checkpoints(*s.fault);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(verify_checkpoint(*s.fault, records.front()).ok);
+  }
+}
+
+TEST(FaultInjection, DeadBackendFailsEverythingUntilDisarmed) {
+  Stack s = make_stack(BackendKind::kMemory);
+  ASSERT_TRUE(
+      attempt_checkpoint(*s.fault, CheckpointMode::kDrms, "sweep.a", 1)
+          .completed);
+  s.fault->arm_crash(0);
+  EXPECT_FALSE(
+      attempt_checkpoint(*s.fault, CheckpointMode::kDrms, "sweep.b", 2)
+          .completed);
+  // The node is gone: even reads fail now.
+  EXPECT_THROW((void)s.fault->list(), drms::support::IoError);
+  EXPECT_THROW((void)s.fault->exists("sweep.a.meta"),
+               drms::support::IoError);
+  s.fault->disarm();
+  EXPECT_TRUE(s.fault->exists(meta_file_name("sweep.a")));
+}
+
+TEST(FaultInjection, MutationOpsCountsOnlyMutations) {
+  Stack s = make_stack(BackendKind::kMemory);
+  ASSERT_TRUE(
+      attempt_checkpoint(*s.fault, CheckpointMode::kDrms, "sweep.a", 1)
+          .completed);
+  const std::uint64_t ops = s.fault->mutation_ops();
+  EXPECT_GT(ops, 0u);
+  // Reads, listings and size queries do not advance the counter.
+  (void)s.fault->list();
+  (void)s.fault->exists(meta_file_name("sweep.a"));
+  (void)s.fault->file_size(meta_file_name("sweep.a"));
+  (void)latest_checkpoint(*s.fault, "sweep");
+  EXPECT_EQ(s.fault->mutation_ops(), ops);
+}
+
+}  // namespace

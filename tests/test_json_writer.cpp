@@ -1,0 +1,81 @@
+// Tests for the bench JSON writer: structure/comma bookkeeping, RFC 8259
+// string escaping (control characters included), non-finite numbers, and
+// the unbalanced-frame guards.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "../bench/json_writer.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using drms::bench::JsonWriter;
+
+TEST(JsonWriter, NestedStructureWithCommas) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("a", 1);
+  json.field("b", "x");
+  json.begin_array("cells");
+  json.begin_object();
+  json.field("n", std::uint64_t{7});
+  json.end_object();
+  json.begin_object();
+  json.field("ok", true);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            R"({"a":1,"b":"x","cells":[{"n":7},{"ok":true}]})");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("s", std::string("a\"b\\c\nd\te\rf"));
+  // Raw control characters (here: 0x01 and 0x1f) must become \u00XX, not
+  // leak into the output and corrupt the document.
+  json.field("ctl", std::string("x\x01y\x1fz"));
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\te\\rf\","
+            "\"ctl\":\"x\\u0001y\\u001fz\"}");
+}
+
+TEST(JsonWriter, EscapedKeysToo) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field(std::string("k\x02"), 1);
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"k\\u0002\":1}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("nan", std::numeric_limits<double>::quiet_NaN());
+  json.field("inf", std::numeric_limits<double>::infinity());
+  json.field("x", 0.5);
+  json.end_object();
+  EXPECT_EQ(out.str(), R"({"nan":null,"inf":null,"x":0.5})");
+}
+
+TEST(JsonWriter, UnbalancedEndIsAContractViolation) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  EXPECT_THROW(json.end_object(), drms::support::ContractViolation);
+  EXPECT_THROW(json.end_array(), drms::support::ContractViolation);
+  // A balanced document still works on the same writer.
+  json.begin_object();
+  json.end_object();
+  EXPECT_THROW(json.end_object(), drms::support::ContractViolation);
+}
+
+}  // namespace

@@ -221,6 +221,88 @@ TEST(TieredBackend, FastTierLossFallsBackToDrainedCopies) {
   EXPECT_THROW((void)storage.open("undrained"), support::IoError);
 }
 
+TEST(TieredBackend, FailedRemoveIsSideEffectFree) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  storage.create("drained").write_at(0, bytes_of("safe"));
+  (void)storage.drain();
+  storage.create("lost").write_at(0, bytes_of("gone"));
+  storage.fail_fast_tier();
+
+  // The undrained file's bytes died with the fast tier: remove() fails...
+  EXPECT_THROW(storage.remove("lost"), support::IoError);
+  // ...and fails identically again — the first failure changed nothing.
+  EXPECT_THROW(storage.remove("lost"), support::IoError);
+  EXPECT_THROW(storage.remove("never-existed"), support::IoError);
+  // Other files are untouched and still removable.
+  EXPECT_TRUE(storage.exists("drained"));
+  EXPECT_EQ(string_of(storage.open("drained").read_at(0, 4)), "safe");
+  // The lost name can be re-created and behaves normally afterwards.
+  storage.create("lost").write_at(0, bytes_of("new"));
+  EXPECT_EQ(string_of(storage.open("lost").read_at(0, 3)), "new");
+  storage.remove("lost");
+  EXPECT_FALSE(storage.exists("lost"));
+  storage.remove("drained");
+  EXPECT_FALSE(storage.exists("drained"));
+}
+
+TEST(TieredBackend, RemovePrefixToleratesVanishedNames) {
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume);
+  MemoryBackend fast;
+  TieredBackend storage(fast, slow);
+
+  storage.create("ck.a").write_at(0, bytes_of("a"));
+  storage.create("ck.b").write_at(0, bytes_of("b"));
+  (void)storage.drain();
+  storage.fail_fast_tier();
+  // "ck.b" vanishes beneath the tiered view (GC on the shared volume):
+  // the sweep must remove what it can and skip the stale name.
+  volume.remove("ck.b");
+  EXPECT_EQ(storage.remove_prefix("ck."), 1);
+  EXPECT_FALSE(storage.exists("ck.a"));
+  // An empty sweep is a clean no-op.
+  EXPECT_EQ(storage.remove_prefix("ck."), 0);
+}
+
+TEST(TieredBackend, PartialFitTimingChargesBothTiers) {
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  piofs::Volume volume(16);
+  PiofsBackend slow(volume, &cost);
+  MemoryBackend fast(/*capacity_bytes=*/64 * support::kKiB, &cost);
+  TieredBackend storage(fast, slow);
+  const sim::LoadContext load;
+  const std::uint64_t k16 = 16 * support::kKiB;
+  const std::uint64_t k32 = 32 * support::kKiB;
+
+  // Everything fits: pure fast-tier price.
+  EXPECT_EQ(storage.single_write_seconds(k16, load, nullptr),
+            fast.single_write_seconds(k16, load, nullptr));
+
+  // Occupy 48 KiB, leaving 16 KiB of fast headroom: a 32 KiB phase now
+  // overflows mid-operation. The spill re-copies the WHOLE file to the
+  // slow tier, so the price is the staged prefix at fast speed plus the
+  // full size at slow speed.
+  storage.create("staged").write_at(
+      0, std::vector<std::byte>(48 * support::kKiB));
+  EXPECT_EQ(storage.single_write_seconds(k32, load, nullptr),
+            fast.single_write_seconds(k16, load, nullptr) +
+                slow.single_write_seconds(k32, load, nullptr));
+  EXPECT_EQ(storage.stream_write_round_seconds(k32, 4, load, nullptr),
+            fast.stream_write_round_seconds(k16, 4, load, nullptr) +
+                slow.stream_write_round_seconds(k32, 4, load, nullptr));
+
+  // Fast tier full: pure slow-tier price.
+  storage.create("staged2").write_at(0, std::vector<std::byte>(k16));
+  EXPECT_EQ(storage.single_write_seconds(k32, load, nullptr),
+            slow.single_write_seconds(k32, load, nullptr));
+  EXPECT_EQ(storage.stream_write_round_seconds(k32, 4, load, nullptr),
+            slow.stream_write_round_seconds(k32, 4, load, nullptr));
+}
+
 TEST(TieredBackend, AdoptsCheckpointsAlreadyOnTheSlowTier) {
   piofs::Volume volume(16);
   PiofsBackend slow(volume);

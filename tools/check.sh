@@ -6,6 +6,9 @@
 #
 # Extra ctest arguments can be passed via CTEST_ARGS, e.g.
 #   CTEST_ARGS="-R Store" tools/check.sh
+# TARGETS bounds the build to the named test targets (space-separated);
+# pair it with a CTEST_ARGS filter so the unbuilt targets' placeholder
+# tests are not selected.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,7 +16,12 @@ build="${1:-${repo}/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "${build}" -S "${repo}" -DASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${build}" -j "${jobs}"
+if [[ -n "${TARGETS:-}" ]]; then
+  # shellcheck disable=SC2086
+  cmake --build "${build}" -j "${jobs}" --target ${TARGETS}
+else
+  cmake --build "${build}" -j "${jobs}"
+fi
 
 # abort_on_error makes ASan failures fail the test instead of just logging.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"

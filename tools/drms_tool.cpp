@@ -10,9 +10,15 @@
 //                                          (verifies the stored CRCs)
 //   drms_tool export <dir> <prefix> <dst>  copy one verified state to a
 //                                          fresh directory (migration)
+//   drms_tool fsck   <dir> [prefix]        report committed vs torn states
+//                                          (a torn state crashed before its
+//                                          commit manifest was published)
+//   drms_tool gc     <dir> [prefix]        reclaim torn states' files and
+//                                          re-export the directory
 //
-// Exit code 0 on success; 1 on bad usage, a missing state, or a failed
-// CRC verification — info and export refuse to bless a corrupt state.
+// Exit code 0 on success; 1 on bad usage, a missing state, a failed CRC
+// verification — info and export refuse to bless a corrupt state — or,
+// for fsck, when any torn state is found.
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -36,7 +42,9 @@ int usage() {
          "  remove <dir> <prefix>        delete a state, rewrite the dir\n"
          "  info   <dir> <prefix>        show per-array details (verifies "
          "CRCs)\n"
-         "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n";
+         "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n"
+         "  fsck   <dir> [prefix]        report committed vs torn states\n"
+         "  gc     <dir> [prefix]        reclaim torn states' files\n";
   return 1;
 }
 
@@ -175,6 +183,48 @@ int cmd_export(const std::string& dir, const std::string& prefix,
   return 1;
 }
 
+int cmd_fsck(const std::string& dir, const std::string& prefix) {
+  const ToolStore st(dir);
+  const auto states = core::fsck_scan(st.backend, prefix);
+  if (states.empty()) {
+    std::cout << "no checkpointed states"
+              << (prefix.empty() ? "" : " under " + prefix) << " in " << dir
+              << "\n";
+    return 0;
+  }
+  support::TextTable table(
+      {"prefix", "mode", "status", "reclaimable"});
+  int torn = 0;
+  for (const auto& s : states) {
+    table.add_row({s.prefix, s.spmd ? "SPMD" : "DRMS",
+                   s.committed ? "committed" : "TORN",
+                   support::format_bytes(s.reclaimable_bytes)});
+    if (!s.committed) {
+      ++torn;
+    }
+  }
+  table.print(std::cout);
+  for (const auto& s : states) {
+    for (const auto& p : s.problems) {
+      std::cout << "  " << s.prefix << ": " << p << "\n";
+    }
+  }
+  std::cout << torn << " torn state" << (torn == 1 ? "" : "s") << "\n";
+  return torn == 0 ? 0 : 1;
+}
+
+int cmd_gc(const std::string& dir, const std::string& prefix) {
+  ToolStore st(dir);
+  const int removed = core::gc_torn_states(st.backend, prefix);
+  if (removed > 0) {
+    std::filesystem::remove_all(dir);
+    st.volume.export_to_directory("", dir);
+  }
+  std::cout << "reclaimed " << removed << " file" << (removed == 1 ? "" : "s")
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,6 +248,12 @@ int main(int argc, char** argv) {
     }
     if (command == "export" && argc > 4) {
       return cmd_export(dir, argv[3], argv[4]);
+    }
+    if (command == "fsck") {
+      return cmd_fsck(dir, argc > 3 ? argv[3] : "");
+    }
+    if (command == "gc") {
+      return cmd_gc(dir, argc > 3 ? argv[3] : "");
     }
   } catch (const drms::support::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
