@@ -1,0 +1,409 @@
+// Data-plane microbenchmark — host wall-clock throughput of the byte-
+// moving layers under the checkpoint engines, at the paper's 64^3 array
+// shape:
+//
+//   crc          CRC-32C kernels (bytewise / slicing-by-16 / hardware)
+//                over a 64 MiB buffer, plus the runtime-dispatched one
+//   gather       LocalArray::extract into a stream-ordered buffer
+//   scatter      LocalArray::insert back from the stream
+//   exchange     one exchange_sections round across an 8-task group
+//   checkpoint   full DrmsCheckpoint write / restore against the memory
+//                backend (null cost model: pure host data plane)
+//
+// All numbers are HOST wall-clock GB/s — the simulated-time tables are
+// untouched by definition (this bench charges no simulated seconds). A
+// machine-readable BENCH_dataplane.json is written alongside the table.
+// Exit status is 1 when the dispatched CRC kernel fails to beat the
+// bytewise reference by at least 4x (the hardware/slicing paths are the
+// point of the fast data plane).
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/drms_checkpoint.hpp"
+#include "core/exchange.hpp"
+#include "core/streamer.hpp"
+#include "json_writer.hpp"
+#include "rt/task_group.hpp"
+#include "sim/machine.hpp"
+#include "store/memory_backend.hpp"
+#include "support/crc32.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double gbps(std::uint64_t bytes, double seconds) {
+  return seconds <= 0.0 ? 0.0
+                        : static_cast<double>(bytes) / seconds / 1.0e9;
+}
+
+std::string fmt_gbps(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Deterministic non-trivial fill (no RNG state shared with the
+/// simulation paths).
+void fill_pattern(std::span<std::byte> out) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::byte>(x);
+  }
+}
+
+/// Run `body` enough times to accumulate a measurable interval; returns
+/// wall seconds per call.
+template <typename F>
+double time_per_call(int reps, F&& body) {
+  body();  // warm-up (page in buffers, resolve dispatch)
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) {
+    body();
+  }
+  return seconds_since(t0) / reps;
+}
+
+struct CrcResult {
+  std::string kernel;
+  bool available = false;
+  double gb_per_s = 0.0;
+  double speedup_vs_bytewise = 0.0;
+};
+
+std::vector<CrcResult> bench_crc(std::uint64_t buffer_bytes, int reps) {
+  std::vector<std::byte> buffer(static_cast<std::size_t>(buffer_bytes));
+  fill_pattern(buffer);
+
+  const std::uint32_t reference =
+      support::crc32c(support::Crc32cKernel::kBytewise, buffer);
+
+  std::vector<CrcResult> results;
+  double bytewise_gbps = 0.0;
+  for (const auto kernel : {support::Crc32cKernel::kBytewise,
+                            support::Crc32cKernel::kSlicing16,
+                            support::Crc32cKernel::kHardware}) {
+    CrcResult r;
+    r.kernel = support::to_string(kernel);
+    r.available = support::crc32c_kernel_available(kernel);
+    if (r.available) {
+      // Every kernel must agree before being timed — a fast wrong answer
+      // is worthless.
+      if (support::crc32c(kernel, buffer) != reference) {
+        std::cerr << "FATAL: kernel " << r.kernel
+                  << " disagrees with the bytewise reference\n";
+        std::exit(1);
+      }
+      volatile std::uint32_t sink = 0;
+      const double per_call = time_per_call(
+          kernel == support::Crc32cKernel::kBytewise ? std::max(1, reps / 8)
+                                                     : reps,
+          [&] { sink = support::crc32c(kernel, buffer); });
+      (void)sink;
+      r.gb_per_s = gbps(buffer_bytes, per_call);
+      if (kernel == support::Crc32cKernel::kBytewise) {
+        bytewise_gbps = r.gb_per_s;
+      }
+      r.speedup_vs_bytewise =
+          bytewise_gbps > 0.0 ? r.gb_per_s / bytewise_gbps : 0.0;
+    }
+    results.push_back(r);
+  }
+  // The kernel the data plane actually uses.
+  CrcResult active;
+  active.kernel = std::string("dispatched(") +
+                  support::to_string(support::crc32c_active_kernel()) + ")";
+  active.available = true;
+  volatile std::uint32_t sink = 0;
+  const double per_call =
+      time_per_call(reps, [&] { sink = support::crc32c(buffer); });
+  (void)sink;
+  active.gb_per_s = gbps(buffer_bytes, per_call);
+  active.speedup_vs_bytewise =
+      bytewise_gbps > 0.0 ? active.gb_per_s / bytewise_gbps : 0.0;
+  results.push_back(active);
+  return results;
+}
+
+struct PlainResult {
+  std::string name;
+  std::uint64_t bytes_per_call = 0;
+  double gb_per_s = 0.0;
+};
+
+/// extract/insert over the paper shape: one task's 64^3 double block.
+std::vector<PlainResult> bench_gather_scatter(int reps) {
+  const core::Slice box = core::Slice::box(
+      std::vector<core::Index>{0, 0, 0}, std::vector<core::Index>{63, 63, 63});
+  core::LocalArray local(box, sizeof(double));
+  fill_pattern(local.bytes());
+  std::vector<std::byte> stream(local.byte_size());
+
+  std::vector<PlainResult> out;
+  {
+    PlainResult r;
+    r.name = "gather (extract)";
+    r.bytes_per_call = local.byte_size();
+    const double per_call =
+        time_per_call(reps, [&] { local.extract(box, stream); });
+    r.gb_per_s = gbps(r.bytes_per_call, per_call);
+    out.push_back(r);
+  }
+  {
+    PlainResult r;
+    r.name = "scatter (insert)";
+    r.bytes_per_call = local.byte_size();
+    const double per_call =
+        time_per_call(reps, [&] { local.insert(box, stream); });
+    r.gb_per_s = gbps(r.bytes_per_call, per_call);
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// One parallel-write exchange round on an 8-task group: block-distributed
+/// 64^3 array redistributed into the canonical per-chunk staging locals.
+PlainResult bench_exchange(int reps) {
+  constexpr int kTasks = 8;
+  const core::Slice box = core::Slice::box(
+      std::vector<core::Index>{0, 0, 0}, std::vector<core::Index>{63, 63, 63});
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(box.element_count()) * sizeof(double);
+
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  core::DistArray array("u", box, sizeof(double), kTasks);
+
+  // Round 0 of an 8-wide stream plan: task q stages chunk q.
+  const core::StreamPlan plan =
+      core::make_stream_plan(box, sizeof(double), kTasks,
+                             total_bytes / kTasks + 1);
+  double per_call = 0.0;
+  const auto result = group.run([&](rt::TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(core::DistSpec::block_auto(
+          box, kTasks, std::vector<core::Index>(3, 0)));
+    }
+    ctx.barrier();
+    fill_pattern(array.local(ctx.rank()).bytes());
+    ctx.barrier();
+
+    const core::Slice empty = core::Slice::empty_of_rank(3);
+    std::vector<core::Slice> dst_mapped(kTasks, empty);
+    for (int q = 0; q < kTasks; ++q) {
+      if (static_cast<std::size_t>(q) < plan.chunk_count()) {
+        dst_mapped[static_cast<std::size_t>(q)] =
+            plan.chunks[static_cast<std::size_t>(q)];
+      }
+    }
+    const core::Slice& mine =
+        dst_mapped[static_cast<std::size_t>(ctx.rank())];
+    core::LocalArray staging =
+        mine.empty() ? core::LocalArray()
+                     : core::LocalArray(mine, sizeof(double));
+    const std::vector<core::Slice> src_assigned =
+        array.distribution().assigned_slices();
+
+    const auto run_once = [&] {
+      core::exchange_sections(
+          ctx, src_assigned, &array.local(ctx.rank()), dst_mapped,
+          staging.element_count() > 0 ? &staging : nullptr, sizeof(double));
+    };
+    run_once();  // warm-up
+    ctx.barrier();
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      run_once();
+    }
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      per_call = seconds_since(t0) / reps;
+    }
+  });
+  if (!result.completed) {
+    std::cerr << "FATAL: exchange bench group did not complete\n";
+    std::exit(1);
+  }
+
+  PlainResult r;
+  r.name = "exchange round (8 tasks)";
+  r.bytes_per_call = total_bytes;
+  r.gb_per_s = gbps(r.bytes_per_call, per_call);
+  return r;
+}
+
+/// Full checkpoint write and restore of a 64^3 double array through the
+/// DRMS engine against the in-memory backend (null cost model — the run
+/// is pure host data plane: exchange, CRC, write_at, read_at_into).
+std::vector<PlainResult> bench_checkpoint(int reps) {
+  constexpr int kTasks = 8;
+  const core::Slice box = core::Slice::box(
+      std::vector<core::Index>{0, 0, 0}, std::vector<core::Index>{63, 63, 63});
+  const std::uint64_t array_bytes =
+      static_cast<std::uint64_t>(box.element_count()) * sizeof(double);
+
+  store::MemoryBackend backend;  // unlimited, no cost model
+  core::DrmsCheckpoint engine(backend, {}, kTasks);
+  core::AppSegmentModel segment;
+  segment.private_bytes = 1 * support::kMiB;
+
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  core::DistArray array("u", box, sizeof(double), kTasks);
+  std::int64_t sop = 42;
+  core::ReplicatedStore store;
+  store.register_i64("sop", &sop);
+
+  double write_per_call = 0.0;
+  double restore_per_call = 0.0;
+  const auto result = group.run([&](rt::TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(core::DistSpec::block_auto(
+          box, kTasks, std::vector<core::Index>(3, 0)));
+    }
+    ctx.barrier();
+    fill_pattern(array.local(ctx.rank()).bytes());
+    ctx.barrier();
+
+    core::DistArray* arrays[] = {&array};
+    const auto write_once = [&] {
+      engine.write(ctx, "bench/ckpt", "bench", sop, store, arrays, segment);
+    };
+    write_once();  // warm-up; also leaves a checkpoint for the reads
+    ctx.barrier();
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      write_once();
+    }
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      write_per_call = seconds_since(t0) / reps;
+    }
+
+    const auto restore_once = [&] {
+      core::RestartTiming timing;
+      const core::CheckpointMeta meta =
+          engine.restore_segment(ctx, "bench/ckpt", store, segment, timing);
+      engine.restore_array(ctx, "bench/ckpt", meta, array, timing);
+    };
+    restore_once();  // warm-up
+    ctx.barrier();
+    t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      restore_once();
+    }
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      restore_per_call = seconds_since(t0) / reps;
+    }
+  });
+  if (!result.completed) {
+    std::cerr << "FATAL: checkpoint bench group did not complete\n";
+    std::exit(1);
+  }
+
+  std::vector<PlainResult> out;
+  out.push_back({"checkpoint write (DRMS, memory)", array_bytes,
+                 gbps(array_bytes, write_per_call)});
+  out.push_back({"checkpoint restore (DRMS, memory)", array_bytes,
+                 gbps(array_bytes, restore_per_call)});
+  return out;
+}
+
+void write_json(const std::string& path, std::uint64_t crc_buffer_bytes,
+                const std::vector<CrcResult>& crc,
+                const std::vector<PlainResult>& rest) {
+  std::ofstream out(path);
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.field("benchmark", "data_plane");
+  json.field("units", "GB_per_second_wall_clock");
+  json.field("array_shape", "64x64x64 doubles");
+  json.field("crc_buffer_bytes", crc_buffer_bytes);
+  json.begin_array("crc");
+  for (const auto& r : crc) {
+    json.begin_object();
+    json.field("kernel", r.kernel);
+    json.field("available", r.available);
+    json.field("gb_per_s", r.gb_per_s);
+    json.field("speedup_vs_bytewise", r.speedup_vs_bytewise);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("data_path");
+  for (const auto& r : rest) {
+    json.begin_object();
+    json.field("name", r.name);
+    json.field("bytes_per_call", r.bytes_per_call);
+    json.field("gb_per_s", r.gb_per_s);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: fewer repetitions (CI perf smoke); numbers are noisier but
+  // the >= 4x CRC gate still has an order of magnitude of headroom.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    }
+  }
+  const int crc_reps = quick ? 4 : 32;
+  const int data_reps = quick ? 8 : 64;
+  const std::uint64_t crc_buffer_bytes =
+      (quick ? 16 : 64) * support::kMiB;
+
+  const std::vector<CrcResult> crc = bench_crc(crc_buffer_bytes, crc_reps);
+  std::vector<PlainResult> rest = bench_gather_scatter(data_reps);
+  rest.push_back(bench_exchange(data_reps));
+  for (auto& r : bench_checkpoint(quick ? 4 : 16)) {
+    rest.push_back(r);
+  }
+
+  support::TextTable table({"Stage", "GB/s", "vs bytewise"});
+  for (const auto& r : crc) {
+    table.add_row({"crc32c " + r.kernel,
+                   r.available ? fmt_gbps(r.gb_per_s) : "n/a",
+                   r.available ? fmt_gbps(r.speedup_vs_bytewise) + "x"
+                               : "n/a"});
+  }
+  table.add_rule();
+  for (const auto& r : rest) {
+    table.add_row({r.name, fmt_gbps(r.gb_per_s), ""});
+  }
+  table.print(std::cout);
+
+  write_json("BENCH_dataplane.json", crc_buffer_bytes, crc, rest);
+  std::cout << "\nwrote BENCH_dataplane.json\n";
+
+  const double dispatched_speedup = crc.back().speedup_vs_bytewise;
+  if (dispatched_speedup < 4.0) {
+    std::cerr << "REGRESSION: dispatched CRC-32C is only "
+              << fmt_gbps(dispatched_speedup)
+              << "x the bytewise reference (expected >= 4x)\n";
+    return 1;
+  }
+  std::cout << "dispatched CRC-32C speedup: "
+            << fmt_gbps(dispatched_speedup) << "x (>= 4x required)\n";
+  return 0;
+}

@@ -157,15 +157,18 @@ void verify_sized_crc_record(const store::FileHandle& file,
     check(false, what + ": truncated record header", out);
     return;
   }
-  drms::support::ByteBuffer head(file.read_at(offset, 12));
+  drms::support::ByteBuffer head =
+      store::read_to_buffer(file, offset, 12);
   const std::uint64_t body_size = head.get_u64();
   const std::uint32_t crc = head.get_u32();
   if (offset + 12 + body_size > file.size()) {
     check(false, what + ": truncated record body", out);
     return;
   }
-  const auto body = file.read_at(offset + 12, body_size);
-  check(drms::support::crc32c(body) == crc, what + ": CRC mismatch", out);
+  const drms::support::ByteBuffer body =
+      store::read_to_buffer(file, offset + 12, body_size);
+  check(drms::support::crc32c(body.bytes()) == crc, what + ": CRC mismatch",
+        out);
 }
 
 }  // namespace
@@ -192,7 +195,9 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
       check(false, meta_name + ": not listed in commit manifest", out);
     } else if (entry->has_crc) {
       const auto file = storage.open(meta_name);
-      check(support::crc32c(file.read_at(0, file.size())) == entry->crc,
+      const support::ByteBuffer bytes =
+          store::read_to_buffer(file, 0, file.size());
+      check(support::crc32c(bytes.bytes()) == entry->crc,
             meta_name + ": CRC differs from manifest", out);
     }
   }
@@ -220,8 +225,8 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
     check(seg.size() == record.meta.segment_bytes,
           seg_name + ": unexpected size", out);
     if (seg.size() >= wire::kSegmentHeaderBytes) {
-      support::ByteBuffer header(
-          seg.read_at(0, wire::kSegmentHeaderBytes));
+      support::ByteBuffer header =
+          store::read_to_buffer(seg, 0, wire::kSegmentHeaderBytes);
       check(header.get_u32() == wire::kSegmentMagic,
             seg_name + ": bad magic", out);
       check(header.get_u32() == wire::kSegmentVersion,
@@ -245,8 +250,9 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
     const auto file = storage.open(name);
     check(file.size() == a.stream_bytes, name + ": unexpected size", out);
     if (file.size() == a.stream_bytes) {
-      const auto bytes = file.read_at(0, file.size());
-      check(support::crc32c(bytes) == a.stream_crc,
+      const support::ByteBuffer bytes =
+          store::read_to_buffer(file, 0, file.size());
+      check(support::crc32c(bytes.bytes()) == a.stream_crc,
             name + ": stream CRC mismatch", out);
     }
   }

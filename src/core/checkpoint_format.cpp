@@ -45,8 +45,8 @@ CheckpointMeta deserialize_meta(support::ByteBuffer& in,
   if (in.remaining() < size) {
     throw support::CorruptCheckpoint(what + ": truncated meta record");
   }
-  support::ByteBuffer body(std::vector<std::byte>(
-      in.data() + in.cursor(), in.data() + in.cursor() + size));
+  support::ByteBuffer body(std::span<const std::byte>(
+      in.data() + in.cursor(), static_cast<std::size_t>(size)));
   if (support::crc32c(body.bytes()) != crc) {
     throw support::CorruptCheckpoint(what + ": meta CRC mismatch");
   }
@@ -109,8 +109,8 @@ CommitManifest deserialize_manifest(support::ByteBuffer& in,
   if (in.remaining() < size) {
     throw support::CorruptCheckpoint(what + ": truncated commit manifest");
   }
-  support::ByteBuffer body(std::vector<std::byte>(
-      in.data() + in.cursor(), in.data() + in.cursor() + size));
+  support::ByteBuffer body(std::span<const std::byte>(
+      in.data() + in.cursor(), static_cast<std::size_t>(size)));
   if (support::crc32c(body.bytes()) != crc) {
     throw support::CorruptCheckpoint(what + ": commit manifest CRC mismatch");
   }
@@ -146,7 +146,7 @@ void write_meta_file(store::StorageBackend& storage, const std::string& file,
 CheckpointMeta read_meta_file(const store::StorageBackend& storage,
                               const std::string& file) {
   const store::FileHandle handle = storage.open(file);
-  support::ByteBuffer buf(handle.read_at(0, handle.size()));
+  support::ByteBuffer buf = store::read_to_buffer(handle, 0, handle.size());
   return deserialize_meta(buf, file);
 }
 
@@ -232,7 +232,7 @@ CommitManifest read_commit_manifest(const store::StorageBackend& storage,
                                     const std::string& prefix) {
   const std::string file = commit_file_name(prefix);
   const store::FileHandle handle = storage.open(file);
-  support::ByteBuffer buf(handle.read_at(0, handle.size()));
+  support::ByteBuffer buf = store::read_to_buffer(handle, 0, handle.size());
   return deserialize_manifest(buf, file);
 }
 

@@ -269,13 +269,14 @@ CheckpointMeta DrmsCheckpoint::restore_segment(
 
   // Every task loads the single shared segment file.
   const store::FileHandle seg = storage_.open(segment_file_name(prefix));
-  support::ByteBuffer header(seg.read_at(0, kSegHeaderBytes));
+  support::ByteBuffer header =
+      store::read_to_buffer(seg, 0, kSegHeaderBytes);
   const SegHeaderFields h = parse_segment_header(header);
   if (h.total_bytes != seg.size()) {
     throw support::CorruptCheckpoint("segment file: size mismatch");
   }
-  support::ByteBuffer payload(
-      seg.read_at(kSegHeaderBytes, h.replicated_size));
+  support::ByteBuffer payload =
+      store::read_to_buffer(seg, kSegHeaderBytes, h.replicated_size);
   store.deserialize(payload);
 
   if (storage_.charges_time()) {

@@ -30,11 +30,14 @@ void exchange_sections(rt::TaskContext& ctx,
       if (piece.empty()) {
         continue;
       }
+      // Gather straight into the outgoing mailbox buffer: the buffer grows
+      // by exactly the piece size in one allocation and extract() writes
+      // the element runs in place (no intermediate vector).
       auto& buf = outgoing[static_cast<std::size_t>(dst)];
-      std::vector<std::byte> bytes(
-          static_cast<std::size_t>(piece.element_count()) * elem_size);
-      my_src->extract(piece, bytes);
-      buf.append(bytes);
+      my_src->extract(
+          piece,
+          buf.append_uninitialized(
+              static_cast<std::size_t>(piece.element_count()) * elem_size));
     }
   }
 

@@ -11,8 +11,7 @@ void FileSource::read(std::span<std::byte> out) {
     throw support::IoError("sequential source: premature end of file '" +
                            file_.name() + "'");
   }
-  const auto bytes = file_.read_at(cursor_, out.size());
-  std::copy(bytes.begin(), bytes.end(), out.begin());
+  file_.read_at_into(cursor_, out);
   cursor_ += out.size();
 }
 

@@ -156,10 +156,10 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
 
   const store::FileHandle file =
       storage_.open(spmd_task_file_name(prefix, ctx.rank()));
-  support::ByteBuffer head(file.read_at(0, 12));
+  support::ByteBuffer head = store::read_to_buffer(file, 0, 12);
   const std::uint64_t body_size = head.get_u64();
   const std::uint32_t crc = head.get_u32();
-  support::ByteBuffer body(file.read_at(12, body_size));
+  support::ByteBuffer body = store::read_to_buffer(file, 12, body_size);
   if (support::crc32c(body.bytes()) != crc) {
     throw support::CorruptCheckpoint("SPMD task segment: CRC mismatch");
   }

@@ -1,6 +1,8 @@
 #include "core/streamer.hpp"
 
 #include <algorithm>
+#include <array>
+#include <future>
 #include <utility>
 
 #include "core/exchange.hpp"
@@ -24,6 +26,7 @@ std::uint32_t combine_chunk_crcs(
     const StreamPlan& plan, std::size_t elem_size) {
   const std::size_t total_chunks = plan.chunk_count();
   support::ByteBuffer contribution;
+  contribution.reserve(8 + mine.size() * 12);  // u64 count + (u64, u32) each
   contribution.put_u64(mine.size());
   for (const auto& [index, crc] : mine) {
     contribution.put_u64(index);
@@ -113,6 +116,30 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
           : 1.0;
 
   std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
+  const bool want_crc = stream_crc != nullptr;
+
+  // Round pipeline: while round r's chunk is checksummed and written by a
+  // background worker, the main thread already runs round r+1's
+  // exchange_sections. Two staging buffers alternate; a buffer is reused
+  // only after its in-flight write has been joined. Declaration order
+  // matters: `staging` must outlive `inflight` (futures from std::async
+  // block in their destructor), so staging is declared first.
+  std::array<LocalArray, 2> staging;
+  std::array<std::uint64_t, 2> inflight_chunk{};
+  std::array<std::future<std::uint32_t>, 2> inflight;
+
+  // Joining rethrows any worker exception (torn write, exhausted retries)
+  // so errors propagate out of write_section exactly as before, at most
+  // one round later.
+  const auto join = [&](std::size_t b) {
+    if (!inflight[b].valid()) {
+      return;
+    }
+    const std::uint32_t crc = inflight[b].get();
+    if (want_crc) {
+      my_chunk_crcs.emplace_back(inflight_chunk[b], crc);
+    }
+  };
 
   for (std::size_t r = 0; r < rounds; ++r) {
     // Canonical destination of this round: task q holds chunk r*P + q.
@@ -132,23 +159,35 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
       ++writers;
     }
 
+    const std::size_t b = r % 2;
+    join(b);  // buffer b carried round r-2; it must land before reuse
     const Slice& my_chunk = dst_mapped[static_cast<std::size_t>(me)];
-    LocalArray staging = my_chunk.empty() ? LocalArray()
-                                          : LocalArray(my_chunk, elem);
+    staging[b] = my_chunk.empty() ? LocalArray()
+                                  : LocalArray(my_chunk, elem);
     exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
-                      staging.element_count() > 0 ? &staging : nullptr,
+                      staging[b].element_count() > 0 ? &staging[b] : nullptr,
                       elem);
 
-    if (staging.element_count() > 0) {
+    if (staging[b].element_count() > 0) {
       const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
                             static_cast<std::size_t>(me);
       // The staging local is column-major over the chunk slice — already
-      // in stream order.
-      support::retry_io(
-          [&] { file.write_at(file_offset + plan.offsets[c], staging.bytes()); });
-      if (stream_crc != nullptr) {
-        my_chunk_crcs.emplace_back(c, support::crc32c(staging.bytes()));
-      }
+      // in stream order. The worker folds the CRC into the write pass:
+      // it checksums the buffer while it is cache-hot, immediately before
+      // the single write_at (one write op per chunk, as before).
+      inflight_chunk[b] = c;
+      inflight[b] = std::async(
+          std::launch::async,
+          [file, file_offset, c, &plan, &staging, b,
+           want_crc]() mutable -> std::uint32_t {
+            const std::uint32_t crc =
+                want_crc ? support::crc32c(staging[b].bytes()) : 0;
+            support::retry_io([&] {
+              file.write_at(file_offset + plan.offsets[c],
+                            staging[b].bytes());
+            });
+            return crc;
+          });
     }
 
     if (storage_ != nullptr && storage_->charges_time()) {
@@ -157,6 +196,13 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
     }
     ctx.barrier();
   }
+  // Join in round order so my_chunk_crcs stays in chunk-index order, then
+  // barrier: after it, every task's data writes have landed, so a caller
+  // (e.g. the commit protocol) may safely write its "data is complete"
+  // record. The barrier charges no simulated time.
+  join(rounds % 2);
+  join((rounds % 2) ^ 1);
+  ctx.barrier();
   if (stream_crc != nullptr) {
     *stream_crc = combine_chunk_crcs(ctx, my_chunk_crcs, plan, elem);
   }
@@ -194,7 +240,39 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
           : 1.0;
 
   std::vector<std::pair<std::uint64_t, std::uint32_t>> my_chunk_crcs;
+  const bool want_crc = stream_crc != nullptr;
 
+  // Round pipeline, read direction: while round r's bytes scatter through
+  // exchange_sections, a background worker already reads (and checksums)
+  // round r+1's chunk straight into the other staging buffer. `staging`
+  // must outlive `inflight` (async futures block in their destructor on
+  // early exit), so it is declared first.
+  std::array<LocalArray, 2> staging;
+  std::array<std::future<std::uint32_t>, 2> inflight;
+
+  // Kick off the read of round r's chunk into staging[r % 2]. The worker
+  // lands the bytes directly in the staging buffer (read_at_into, no
+  // intermediate vector) and checksums them while cache-hot.
+  const auto start_read = [&](std::size_t r) {
+    const std::size_t b = r % 2;
+    const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
+                          static_cast<std::size_t>(me);
+    if (me >= io_tasks || c >= m) {
+      staging[b] = LocalArray();
+      return;
+    }
+    staging[b] = LocalArray(plan.chunks[c], elem);
+    inflight[b] = std::async(
+        std::launch::async,
+        [&file, file_offset, c, &plan, &staging, b,
+         want_crc]() -> std::uint32_t {
+          file.read_at_into(file_offset + plan.offsets[c],
+                            staging[b].bytes());
+          return want_crc ? support::crc32c(staging[b].bytes()) : 0;
+        });
+  };
+
+  start_read(0);
   for (std::size_t r = 0; r < rounds; ++r) {
     std::vector<Slice> src_chunks(static_cast<std::size_t>(p), empty);
     std::uint64_t round_bytes = 0;
@@ -212,22 +290,22 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
       ++readers;
     }
 
-    const Slice& my_chunk = src_chunks[static_cast<std::size_t>(me)];
-    LocalArray staging;
-    if (!my_chunk.empty()) {
-      staging = LocalArray(my_chunk, elem);
-      const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
-                            static_cast<std::size_t>(me);
-      const std::vector<std::byte> bytes = file.read_at(
-          file_offset + plan.offsets[c], staging.byte_size());
-      std::copy(bytes.begin(), bytes.end(), staging.bytes().begin());
-      if (stream_crc != nullptr) {
-        my_chunk_crcs.emplace_back(c, support::crc32c(bytes));
+    const std::size_t b = r % 2;
+    if (inflight[b].valid()) {
+      const std::uint32_t crc = inflight[b].get();  // rethrows read errors
+      if (want_crc) {
+        my_chunk_crcs.emplace_back(
+            r * static_cast<std::size_t>(io_tasks) +
+                static_cast<std::size_t>(me),
+            crc);
       }
+    }
+    if (r + 1 < rounds) {
+      start_read(r + 1);  // overlaps this round's exchange below
     }
 
     exchange_sections(ctx, src_chunks,
-                      staging.element_count() > 0 ? &staging : nullptr,
+                      staging[b].element_count() > 0 ? &staging[b] : nullptr,
                       dst_mapped,
                       my_local.element_count() > 0 ? &my_local : nullptr,
                       elem);

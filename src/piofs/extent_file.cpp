@@ -49,10 +49,15 @@ void ExtentFile::write_zeros_at(std::uint64_t offset, std::uint64_t count) {
 
 std::vector<std::byte> ExtentFile::read_at(std::uint64_t offset,
                                            std::uint64_t count) const {
-  DRMS_EXPECTS_MSG(offset + count <= size_,
+  std::vector<std::byte> out(static_cast<std::size_t>(count));
+  read_at_into(offset, out);
+  return out;
+}
+
+void ExtentFile::read_at_into(std::uint64_t offset,
+                              std::span<std::byte> out) const {
+  DRMS_EXPECTS_MSG(offset + out.size() <= size_,
                    "ExtentFile read beyond end of file");
-  std::vector<std::byte> out(static_cast<std::size_t>(count),
-                             std::byte{0});
   std::uint64_t pos = offset;
   std::size_t dst = 0;
   while (dst < out.size()) {
@@ -63,11 +68,12 @@ std::vector<std::byte> ExtentFile::read_at(std::uint64_t offset,
     const auto it = blocks_.find(block_index);
     if (it != blocks_.end()) {
       std::memcpy(out.data() + dst, it->second.data() + in_block, n);
+    } else {
+      std::memset(out.data() + dst, 0, n);  // sparse region reads as zeros
     }
     pos += n;
     dst += n;
   }
-  return out;
 }
 
 void ExtentFile::truncate() {

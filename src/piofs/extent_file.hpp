@@ -27,6 +27,10 @@ class ExtentFile {
   [[nodiscard]] std::vector<std::byte> read_at(std::uint64_t offset,
                                                std::uint64_t count) const;
 
+  /// Zero-copy read: lands out.size() bytes starting at `offset` directly
+  /// in the caller's buffer (no intermediate vector).
+  void read_at_into(std::uint64_t offset, std::span<std::byte> out) const;
+
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
 
   /// Bytes of real backing storage (for tests of the sparse behaviour).

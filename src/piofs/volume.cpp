@@ -38,20 +38,26 @@ void FileHandle::write_zeros_at(std::uint64_t offset, std::uint64_t count) {
 
 std::vector<std::byte> FileHandle::read_at(std::uint64_t offset,
                                            std::uint64_t count) const {
+  std::vector<std::byte> out(static_cast<std::size_t>(count));
+  read_at_into(offset, out);
+  return out;
+}
+
+void FileHandle::read_at_into(std::uint64_t offset,
+                              std::span<std::byte> out) const {
   DRMS_EXPECTS_MSG(valid(), "read through an invalid file handle");
-  std::vector<std::byte> out;
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
-    if (offset + count > state_->data.size()) {
+    if (offset + out.size() > state_->data.size()) {
       throw support::IoError("read past end of file '" + state_->name +
                              "' (offset " + std::to_string(offset) +
-                             " count " + std::to_string(count) + " size " +
-                             std::to_string(state_->data.size()) + ")");
+                             " count " + std::to_string(out.size()) +
+                             " size " + std::to_string(state_->data.size()) +
+                             ")");
     }
-    out = state_->data.read_at(offset, count);
+    state_->data.read_at_into(offset, out);
   }
-  state_->volume->account_read(offset, count);
-  return out;
+  state_->volume->account_read(offset, out.size());
 }
 
 void FileHandle::append(std::span<const std::byte> data) {

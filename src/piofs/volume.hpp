@@ -51,6 +51,8 @@ class FileHandle {
   void write_zeros_at(std::uint64_t offset, std::uint64_t count);
   [[nodiscard]] std::vector<std::byte> read_at(std::uint64_t offset,
                                                std::uint64_t count) const;
+  /// Zero-copy read: lands the bytes directly in the caller's buffer.
+  void read_at_into(std::uint64_t offset, std::span<std::byte> out) const;
   /// Append at the current end of file (serial streaming; no seek needed).
   void append(std::span<const std::byte> data);
 

@@ -40,6 +40,12 @@ class FaultInjectedFile final : public FileObject {
     return inner_.read_at(offset, count);
   }
 
+  void read_at_into(std::uint64_t offset,
+                    std::span<std::byte> out) const override {
+    owner_.check_dead();
+    inner_.read_at_into(offset, out);
+  }
+
   void append(std::span<const std::byte> data) override {
     if (owner_.before_mutation() ==
         FaultInjectionBackend::Verdict::kTear) {

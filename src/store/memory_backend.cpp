@@ -52,6 +52,20 @@ class MemoryBackend::MemFileObject final : public FileObject {
     return file_->data.read_at(offset, count);
   }
 
+  void read_at_into(std::uint64_t offset,
+                    std::span<std::byte> out) const override {
+    const std::lock_guard<std::mutex> lock(backend_->mutex_);
+    if (offset + out.size() > file_->data.size()) {
+      throw support::IoError("read past end of file '" + file_->name +
+                             "' (offset " + std::to_string(offset) +
+                             " count " + std::to_string(out.size()) +
+                             " size " + std::to_string(file_->data.size()) +
+                             ")");
+    }
+    backend_->account_read(out.size());
+    file_->data.read_at_into(offset, out);
+  }
+
   void append(std::span<const std::byte> data) override {
     const std::lock_guard<std::mutex> lock(backend_->mutex_);
     backend_->account_write(data.size(), data.size());

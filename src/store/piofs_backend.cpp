@@ -24,6 +24,10 @@ class PiofsFileObject final : public FileObject {
       std::uint64_t offset, std::uint64_t count) const override {
     return file_.read_at(offset, count);
   }
+  void read_at_into(std::uint64_t offset,
+                    std::span<std::byte> out) const override {
+    file_.read_at_into(offset, out);
+  }
   void append(std::span<const std::byte> data) override {
     file_.append(data);
   }

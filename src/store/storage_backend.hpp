@@ -24,6 +24,7 @@
 // engines skip charging entirely — exactly the seed's null-cost behaviour.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "support/byte_buffer.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -75,6 +77,15 @@ class FileObject {
   virtual void write_zeros_at(std::uint64_t offset, std::uint64_t count) = 0;
   [[nodiscard]] virtual std::vector<std::byte> read_at(
       std::uint64_t offset, std::uint64_t count) const = 0;
+  /// Zero-copy read: lands out.size() bytes at `offset` directly in the
+  /// caller's buffer. The default bridges through read_at() so every
+  /// existing backend stays correct; the in-tree backends override it to
+  /// skip the intermediate vector.
+  virtual void read_at_into(std::uint64_t offset,
+                            std::span<std::byte> out) const {
+    const std::vector<std::byte> bytes = read_at(offset, out.size());
+    std::copy(bytes.begin(), bytes.end(), out.begin());
+  }
   /// Append at the current end of file (serial streaming; no seek needed).
   virtual void append(std::span<const std::byte> data) = 0;
   [[nodiscard]] virtual std::uint64_t size() const = 0;
@@ -102,6 +113,11 @@ class FileHandle {
     DRMS_EXPECTS_MSG(valid(), "read through an invalid file handle");
     return object_->read_at(offset, count);
   }
+  /// Zero-copy read into a caller-owned buffer (see FileObject).
+  void read_at_into(std::uint64_t offset, std::span<std::byte> out) const {
+    DRMS_EXPECTS_MSG(valid(), "read through an invalid file handle");
+    object_->read_at_into(offset, out);
+  }
   void append(std::span<const std::byte> data) {
     DRMS_EXPECTS_MSG(valid(), "append through an invalid file handle");
     object_->append(data);
@@ -119,6 +135,17 @@ class FileHandle {
  private:
   std::shared_ptr<FileObject> object_;
 };
+
+/// Read `count` bytes at `offset` straight into a fresh ByteBuffer with no
+/// intermediate vector (the buffer's storage is default-initialized, then
+/// filled in place by the backend).
+[[nodiscard]] inline support::ByteBuffer read_to_buffer(
+    const FileHandle& file, std::uint64_t offset, std::uint64_t count) {
+  support::ByteBuffer buf;
+  file.read_at_into(offset,
+                    buf.append_uninitialized(static_cast<std::size_t>(count)));
+  return buf;
+}
 
 class StorageBackend {
  public:

@@ -61,6 +61,12 @@ class TieredBackend::TieredFileObject final : public FileObject {
     return current_file().read_at(offset, count);
   }
 
+  void read_at_into(std::uint64_t offset,
+                    std::span<std::byte> out) const override {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    current_file().read_at_into(offset, out);
+  }
+
   void append(std::span<const std::byte> data) override {
     const std::lock_guard<std::mutex> lock(entry_->mutex);
     if (entry_->in_fast) {

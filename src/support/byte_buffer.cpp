@@ -37,9 +37,17 @@ void ByteBuffer::put_bytes(std::span<const std::byte> bytes) {
   append(bytes);
 }
 
+void ByteBuffer::raise_underflow(const char* what,
+                                 std::uint64_t wanted) const {
+  throw ContractViolation(
+      "ByteBuffer underflow: " + std::string(what) + " of " +
+      std::to_string(wanted) + " bytes at cursor " + std::to_string(cursor_) +
+      " exceeds buffer size " + std::to_string(data_.size()) + " (" +
+      std::to_string(data_.size() - cursor_) + " readable)");
+}
+
 void ByteBuffer::read_raw(void* p, std::size_t n) {
-  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
-                   "ByteBuffer read past end of buffer");
+  require_readable("read_raw", n);
   std::memcpy(p, data_.data() + cursor_, n);
   cursor_ += n;
 }
@@ -76,20 +84,18 @@ double ByteBuffer::get_f64() {
 
 std::string ByteBuffer::get_string() {
   const std::uint64_t n = get_u64();
-  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
-                   "ByteBuffer string length exceeds buffer");
-  std::string s(n, '\0');
-  read_raw(s.data(), n);
+  require_readable("get_string", n);
+  std::string s(static_cast<std::size_t>(n), '\0');
+  read_raw(s.data(), static_cast<std::size_t>(n));
   return s;
 }
 
 std::vector<std::byte> ByteBuffer::get_bytes() {
   const std::uint64_t n = get_u64();
-  DRMS_EXPECTS_MSG(cursor_ + n <= data_.size(),
-                   "ByteBuffer byte-array length exceeds buffer");
-  std::vector<std::byte> out(n);
+  require_readable("get_bytes", n);
+  std::vector<std::byte> out(static_cast<std::size_t>(n));
   if (n > 0) {
-    read_raw(out.data(), n);
+    read_raw(out.data(), static_cast<std::size_t>(n));
   }
   return out;
 }

@@ -6,6 +6,8 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,9 +15,12 @@
 #include "core/drms_context.hpp"
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
+#include "store/fault_injection_backend.hpp"
 #include "store/memory_backend.hpp"
 #include "store/piofs_backend.hpp"
+#include "store/storage_backend.hpp"
 #include "store/tiered_backend.hpp"
+#include "support/byte_buffer.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
 #include "test_helpers.hpp"
@@ -424,6 +429,138 @@ TEST(TieredBackend, DrmsCheckpointSpillsWhenTheFastTierIsTooSmall) {
   renv.restart_prefix = "tiered.ck";
   core::DrmsProgram program("mini", renv, tiny_segment(), 4);
   run_mini(program, 4, /*expect_restart=*/true);
+}
+
+/// Zero-copy read contract every backend must honour: bytes land exactly
+/// in the caller's span, sparse regions read back as zeros even into a
+/// poisoned destination, and out-of-range reads fail without touching it.
+void read_at_into_contract(StorageBackend& storage) {
+  auto f = storage.create("ri/file");
+  f.write_at(0, bytes_of("abcdefgh"));
+  f.write_zeros_at(8, 8);  // sparse tail (piofs-backed stores skip blocks)
+  f.write_at(16, bytes_of("tail"));
+  ASSERT_EQ(f.size(), 20u);
+
+  const auto handle = storage.open("ri/file");
+  std::vector<std::byte> out(20, std::byte{0xEE});  // poisoned
+  handle.read_at_into(0, out);
+  EXPECT_EQ(string_of(out),
+            std::string("abcdefgh") + std::string(8, '\0') + "tail");
+
+  // Partial mid-file read into a sub-span leaves the rest untouched.
+  std::vector<std::byte> part(6, std::byte{0xEE});
+  handle.read_at_into(2, std::span(part).subspan(0, 4));
+  EXPECT_EQ(string_of(part).substr(0, 4), "cdef");
+  EXPECT_EQ(part[4], std::byte{0xEE});
+  EXPECT_EQ(part[5], std::byte{0xEE});
+
+  // Zero-length read anywhere in range is a no-op.
+  handle.read_at_into(20, std::span<std::byte>());
+
+  // Past-EOF reads throw and must not scribble on the destination.
+  std::vector<std::byte> over(8, std::byte{0xEE});
+  EXPECT_THROW(handle.read_at_into(16, over), support::IoError);
+
+  // The span path and the allocating path see identical bytes.
+  EXPECT_EQ(handle.read_at(0, 20), out);
+}
+
+TEST(PiofsBackend, ReadAtIntoContract) {
+  piofs::Volume volume(4);
+  PiofsBackend backend(volume);
+  read_at_into_contract(backend);
+}
+
+TEST(MemoryBackend, ReadAtIntoContract) {
+  MemoryBackend backend;
+  read_at_into_contract(backend);
+}
+
+TEST(TieredBackend, ReadAtIntoContract) {
+  MemoryBackend fast;
+  piofs::Volume slow_volume(4);
+  PiofsBackend slow(slow_volume);
+  TieredBackend tiered(fast, slow);
+  read_at_into_contract(tiered);
+}
+
+TEST(FaultInjectionBackend, ReadAtIntoContract) {
+  MemoryBackend inner;
+  store::FaultInjectionBackend faulty(inner);
+  read_at_into_contract(faulty);
+}
+
+TEST(MemoryBackend, ReadAtIntoAccountsLikeReadAt) {
+  MemoryBackend backend;
+  auto f = backend.create("x");
+  f.write_at(0, bytes_of("0123456789"));
+  backend.reset_stats();
+  std::vector<std::byte> out(10);
+  backend.open("x").read_at_into(0, out);
+  const auto stats = backend.stats();
+  EXPECT_EQ(stats.bytes_read, 10u);
+  EXPECT_EQ(stats.read_ops, 1u);
+}
+
+/// FileObject implementing only the allocating read — read_at_into must
+/// work through the base-class bridge, so third-party backends stay
+/// correct without overriding the fast path.
+class BridgeOnlyFile final : public store::FileObject {
+ public:
+  void write_at(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    if (offset + data.size() > data_.size()) {
+      data_.resize(static_cast<std::size_t>(offset) + data.size());
+    }
+    std::copy(data.begin(), data.end(),
+              data_.begin() + static_cast<long>(offset));
+  }
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) override {
+    write_at(offset, std::vector<std::byte>(
+                         static_cast<std::size_t>(count), std::byte{0}));
+  }
+  [[nodiscard]] std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const override {
+    ++allocating_reads_;
+    return {data_.begin() + static_cast<long>(offset),
+            data_.begin() + static_cast<long>(offset + count)};
+  }
+  void append(std::span<const std::byte> data) override {
+    write_at(data_.size(), data);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] int allocating_reads() const { return allocating_reads_; }
+
+ private:
+  std::string name_ = "bridge-only";
+  std::vector<std::byte> data_;
+  mutable int allocating_reads_ = 0;
+};
+
+TEST(StorageBackend, ReadAtIntoDefaultBridgesThroughReadAt) {
+  auto object = std::make_shared<BridgeOnlyFile>();
+  FileHandle handle{object};
+  handle.write_at(0, bytes_of("bridged"));
+  std::vector<std::byte> out(7, std::byte{0xEE});
+  handle.read_at_into(0, out);
+  EXPECT_EQ(string_of(out), "bridged");
+  EXPECT_EQ(object->allocating_reads(), 1)
+      << "the default read_at_into must route through read_at";
+}
+
+TEST(StorageBackend, ReadToBufferYieldsReadableBuffer) {
+  MemoryBackend backend;
+  auto f = backend.create("buf");
+  support::ByteBuffer payload;
+  payload.put_u64(77);
+  payload.put_string("zero copy");
+  f.write_at(0, payload.bytes());
+  support::ByteBuffer read =
+      store::read_to_buffer(backend.open("buf"), 0, f.size());
+  EXPECT_EQ(read.get_u64(), 77u);
+  EXPECT_EQ(read.get_string(), "zero copy");
+  EXPECT_EQ(read.remaining(), 0u);
 }
 
 }  // namespace

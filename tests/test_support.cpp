@@ -63,6 +63,77 @@ TEST(ByteBuffer, RewindRereads) {
   EXPECT_EQ(buf.get_u64(), 99u);
 }
 
+TEST(ByteBuffer, UnderflowErrorCarriesCursorAndSizeContext) {
+  ByteBuffer buf;
+  buf.put_u32(7);
+  (void)buf.get_u32();
+  try {
+    (void)buf.get_u64();
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("underflow"), std::string::npos);
+    EXPECT_NE(what.find("8 bytes"), std::string::npos);   // wanted
+    EXPECT_NE(what.find("cursor 4"), std::string::npos);  // position
+    EXPECT_NE(what.find("size 4"), std::string::npos);    // buffer size
+  }
+}
+
+TEST(ByteBuffer, LengthPrefixedUnderflowThrowsBeforePartialRead) {
+  // A corrupt length prefix must raise the underflow error, not allocate
+  // or partially read.
+  ByteBuffer buf;
+  buf.put_u64(1000);  // claims 1000 payload bytes; none follow
+  const std::size_t cursor_before_payload = 8;
+  EXPECT_THROW((void)buf.get_bytes(), ContractViolation);
+  buf.rewind();
+  EXPECT_THROW((void)buf.get_string(), ContractViolation);
+  buf.rewind();
+  (void)buf.get_u64();
+  EXPECT_EQ(buf.cursor(), cursor_before_payload)
+      << "failed read must not advance past the length prefix";
+}
+
+TEST(ByteBuffer, AppendUninitializedHandsOutWritableSpan) {
+  ByteBuffer buf;
+  buf.put_u32(0xaabbccdd);
+  const std::span<std::byte> region = buf.append_uninitialized(3);
+  ASSERT_EQ(region.size(), 3u);
+  region[0] = std::byte{1};
+  region[1] = std::byte{2};
+  region[2] = std::byte{3};
+  EXPECT_EQ(buf.size(), 7u);
+  EXPECT_EQ(buf.get_u32(), 0xaabbccddu);
+  std::byte tail[3];
+  buf.read_raw(tail, 3);
+  EXPECT_EQ(tail[0], std::byte{1});
+  EXPECT_EQ(tail[1], std::byte{2});
+  EXPECT_EQ(tail[2], std::byte{3});
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, ResizeUninitializedClampsCursorOnShrink) {
+  ByteBuffer buf;
+  buf.put_u64(1);
+  buf.put_u64(2);
+  (void)buf.get_u64();
+  (void)buf.get_u64();
+  EXPECT_EQ(buf.cursor(), 16u);
+  buf.resize_uninitialized(4);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.cursor(), 4u);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, SpanConstructorCopiesSubRange) {
+  ByteBuffer src;
+  src.put_u32(0x01020304);
+  src.put_u32(0x05060708);
+  ByteBuffer view(src.bytes().subspan(4, 4));
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.get_u32(), 0x05060708u);
+}
+
 TEST(Crc32c, KnownVectors) {
   // RFC 3720 test vector: CRC-32C of "123456789" is 0xE3069283.
   const char* digits = "123456789";
@@ -73,6 +144,64 @@ TEST(Crc32c, KnownVectors) {
   // 32 zero bytes -> 0x8A9136AA (iSCSI test vector).
   const std::vector<std::byte> zeros(32, std::byte{0});
   EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, KnownVectorsOnEveryAvailableKernel) {
+  // RFC 3720 test vectors, checked against EVERY dispatchable kernel —
+  // a hardware path that disagrees with the portable one would corrupt
+  // cross-host checkpoint verification silently.
+  const char* digits = "123456789";
+  std::vector<std::byte> digit_bytes(9);
+  std::memcpy(digit_bytes.data(), digits, 9);
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  const std::vector<std::byte> ones(32, std::byte{0xff});
+  for (const auto kernel :
+       {Crc32cKernel::kBytewise, Crc32cKernel::kSlicing16,
+        Crc32cKernel::kHardware}) {
+    if (!crc32c_kernel_available(kernel)) {
+      continue;
+    }
+    EXPECT_EQ(crc32c(kernel, digit_bytes), 0xE3069283u)
+        << to_string(kernel);
+    EXPECT_EQ(crc32c(kernel, zeros), 0x8A9136AAu) << to_string(kernel);
+    EXPECT_EQ(crc32c(kernel, ones), 0x62A8AB43u) << to_string(kernel);
+    EXPECT_EQ(crc32c(kernel, {}), 0u) << to_string(kernel);
+  }
+}
+
+TEST(Crc32c, ActiveKernelIsAvailableAndUsedByDefaultPath) {
+  const Crc32cKernel active = crc32c_active_kernel();
+  EXPECT_TRUE(crc32c_kernel_available(active));
+  std::vector<std::byte> data(4097);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 31 + 5);
+  }
+  EXPECT_EQ(crc32c(data), crc32c(active, data));
+}
+
+TEST(Crc32c, KernelsAgreeOnRandomSizesAndAlignments) {
+  // Identical values across kernels for arbitrary lengths and (crucially
+  // for the hardware kernels' head/tail handling) arbitrary alignments.
+  Rng rng(0xC3C3);
+  std::vector<std::byte> pool(16384 + 64);
+  for (auto& x : pool) {
+    x = static_cast<std::byte>(rng.uniform_int(0, 255));
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto offset = static_cast<std::size_t>(rng.uniform_int(0, 63));
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 16384));
+    const std::span<const std::byte> view =
+        std::span(pool).subspan(offset, len);
+    const std::uint32_t reference = crc32c(Crc32cKernel::kBytewise, view);
+    for (const auto kernel :
+         {Crc32cKernel::kSlicing16, Crc32cKernel::kHardware}) {
+      if (!crc32c_kernel_available(kernel)) {
+        continue;
+      }
+      EXPECT_EQ(crc32c(kernel, view), reference)
+          << to_string(kernel) << " offset=" << offset << " len=" << len;
+    }
+  }
 }
 
 TEST(Crc32c, IncrementalMatchesOneShot) {

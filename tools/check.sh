@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer gate: configure a dedicated ASan+UBSan build tree, build
-# everything, and run the full test suite under the sanitizers.
+# everything, and run the full test suite under the sanitizers. A full
+# (unbounded) run finishes with a Release (-O2) perf smoke: the data-plane
+# micro-benchmark must still clear its CRC speedup gate at optimized
+# codegen, so a dispatch or kernel regression fails CI, not just a chart.
 #
 #   tools/check.sh [build-dir]          (default: build-asan)
 #
@@ -8,7 +11,9 @@
 #   CTEST_ARGS="-R Store" tools/check.sh
 # TARGETS bounds the build to the named test targets (space-separated);
 # pair it with a CTEST_ARGS filter so the unbuilt targets' placeholder
-# tests are not selected.
+# tests are not selected. Setting TARGETS also skips the perf smoke —
+# the in-tree asan_gate ctest test always sets it, which keeps the gate
+# from recursing into another full build.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,3 +34,16 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 ctest --test-dir "${build}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:-}
 echo "check.sh: all tests passed under ASan/UBSan"
+
+# Perf smoke (skipped for TARGETS-bounded runs, e.g. the asan_gate test):
+# sanitizer instrumentation distorts throughput, so benchmark in a plain
+# Release tree. bench_data_plane exits non-zero if the dispatched CRC-32C
+# kernel is not at least 4x the bytewise baseline.
+if [[ -z "${TARGETS:-}" ]]; then
+  perf_build="${build}-perf"
+  cmake -B "${perf_build}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+  cmake --build "${perf_build}" -j "${jobs}" --target bench_data_plane
+  (cd "${perf_build}/bench" && ./bench_data_plane --quick)
+  echo "check.sh: data-plane perf smoke passed (Release -O2)"
+fi
