@@ -27,6 +27,9 @@
 #include "core/exchange.hpp"
 #include "core/streamer.hpp"
 #include "json_writer.hpp"
+#include "obs/instrumented_backend.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "rt/task_group.hpp"
 #include "sim/machine.hpp"
 #include "store/memory_backend.hpp"
@@ -324,6 +327,58 @@ std::vector<PlainResult> bench_checkpoint(int reps) {
   return out;
 }
 
+/// --trace: one extra (untimed) checkpoint write + restore with the
+/// recorder attached and the store instrumented, dumped as a Chrome
+/// trace. Runs after the timed loops so the recording cost (span
+/// bookkeeping, store wrapping) cannot touch the reported numbers.
+void trace_checkpoint(const std::string& path) {
+  constexpr int kTasks = 8;
+  const core::Slice box = core::Slice::box(
+      std::vector<core::Index>{0, 0, 0}, std::vector<core::Index>{63, 63, 63});
+
+  obs::Recorder recorder;
+  store::MemoryBackend memory;
+  obs::InstrumentedBackend backend(memory, &recorder, "memory");
+  core::DrmsCheckpoint engine(backend, {}, /*io_tasks=*/0, support::kMiB,
+                              /*jitter=*/false, &recorder);
+  core::AppSegmentModel segment;
+  segment.private_bytes = 1 * support::kMiB;
+
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  core::DistArray array("u", box, sizeof(double), kTasks);
+  std::int64_t sop = 42;
+  core::ReplicatedStore store;
+  store.register_i64("sop", &sop);
+
+  const auto result = group.run([&](rt::TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(core::DistSpec::block_auto(
+          box, kTasks, std::vector<core::Index>(3, 0)));
+    }
+    ctx.barrier();
+    fill_pattern(array.local(ctx.rank()).bytes());
+    ctx.barrier();
+
+    core::DistArray* arrays[] = {&array};
+    engine.write(ctx, "bench/trace", "bench", sop, store, arrays, segment);
+    core::RestartTiming timing;
+    const core::CheckpointMeta meta =
+        engine.restore_segment(ctx, "bench/trace", store, segment, timing);
+    engine.restore_array(ctx, "bench/trace", meta, array, timing);
+  });
+  if (!result.completed) {
+    std::cerr << "FATAL: traced checkpoint group did not complete\n";
+    std::exit(1);
+  }
+
+  std::ofstream out(path);
+  obs::write_chrome_trace(out, recorder);
+  out << '\n';
+  std::cout << "wrote " << path << " (" << recorder.span_count()
+            << " spans)\n";
+}
+
 void write_json(const std::string& path, std::uint64_t crc_buffer_bytes,
                 const std::vector<CrcResult>& crc,
                 const std::vector<PlainResult>& rest) {
@@ -363,9 +418,12 @@ int main(int argc, char** argv) {
   // --quick: fewer repetitions (CI perf smoke); numbers are noisier but
   // the >= 4x CRC gate still has an order of magnitude of headroom.
   bool quick = false;
+  bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") {
       quick = true;
+    } else if (std::string(argv[i]) == "--trace") {
+      trace = true;
     }
   }
   const int crc_reps = quick ? 4 : 32;
@@ -395,6 +453,9 @@ int main(int argc, char** argv) {
 
   write_json("BENCH_dataplane.json", crc_buffer_bytes, crc, rest);
   std::cout << "\nwrote BENCH_dataplane.json\n";
+  if (trace) {
+    trace_checkpoint("TRACE_dataplane.json");
+  }
 
   const double dispatched_speedup = crc.back().speedup_vs_bytewise;
   if (dispatched_speedup < 4.0) {

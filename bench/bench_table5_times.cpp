@@ -7,6 +7,8 @@
 
 #include "harness.hpp"
 #include "json_writer.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -96,6 +98,10 @@ int main(int argc, char** argv) {
   support::TextTable rst({"App", "8PE DRMS", "8PE SPMD", "16PE DRMS",
                           "16PE SPMD", "paper 8 D/S", "paper 16 D/S"});
 
+  // --trace: record run 0 of every cell into one recorder and dump the
+  // Chrome trace alongside the JSON. Recording never touches simulated
+  // time, so BENCH_table5.json is bit-identical with or without it.
+  obs::Recorder trace_recorder;
   int i = 0;
   std::vector<JsonCell> json_cells;
   for (const auto& spec : apps::AppSpec::all()) {
@@ -111,6 +117,7 @@ int main(int argc, char** argv) {
         cfg.tasks = parts[p];
         cfg.mode = modes[m];
         cfg.runs = args.runs;
+        cfg.recorder = args.trace ? &trace_recorder : nullptr;
         cell[p][m] = bench::run_experiment(cfg);
         json_cells.push_back(
             JsonCell{spec.name, parts[p], modes[m], cell[p][m]});
@@ -154,5 +161,12 @@ int main(int argc, char** argv) {
       "below the threshold (BT/SP at 8PE) SPMD restart beats DRMS restart.\n";
   write_json("BENCH_table5.json", args, json_cells);
   std::cout << "\nwrote BENCH_table5.json\n";
+  if (args.trace) {
+    std::ofstream trace_out("TRACE_table5.json");
+    obs::write_chrome_trace(trace_out, trace_recorder);
+    trace_out << "\n";
+    std::cout << "wrote TRACE_table5.json (" << trace_recorder.span_count()
+              << " spans)\n";
+  }
   return 0;
 }

@@ -116,6 +116,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       env.cost = &cost;
       env.jitter = true;
       env.mode = cfg.mode;
+      env.recorder = run == 0 ? cfg.recorder : nullptr;
       const apps::SolverOptions options = solver_options(cfg, prefix);
       auto program = apps::make_program(options, env, cfg.tasks);
       rt::TaskGroup group(paper_placement(cfg.tasks), seed);
@@ -154,6 +155,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       env.cost = &cost;
       env.jitter = true;
       env.mode = cfg.mode;
+      env.recorder = run == 0 ? cfg.recorder : nullptr;
       env.restart_prefix = prefix;
       apps::SolverOptions options = solver_options(cfg, prefix);
       options.stop_at_iteration = 1;  // resume at it=1, do no more work
@@ -218,6 +220,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       if (c == "S") args.problem_class = apps::ProblemClass::kS;
       if (c == "W") args.problem_class = apps::ProblemClass::kW;
       if (c == "A") args.problem_class = apps::ProblemClass::kA;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      args.trace = true;
     }
   }
   return args;

@@ -11,6 +11,7 @@
 #include "apps/app_spec.hpp"
 #include "apps/solver.hpp"
 #include "core/drms_context.hpp"
+#include "obs/recorder.hpp"
 #include "support/stats.hpp"
 
 namespace drms::bench {
@@ -37,6 +38,11 @@ struct ExperimentConfig {
   /// Tiered: drop the memory tier between checkpoint and restart (node
   /// loss), forcing the restart to read the drained PIOFS copies.
   bool fail_fast_before_restart = false;
+  /// Non-null: record trace spans and metrics for run 0 only (repeated
+  /// runs would bloat the trace without adding information). Recording
+  /// never perturbs simulated time, so the measured results are identical
+  /// with or without it.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One run's simulated-time measurements.
@@ -83,11 +89,13 @@ struct ExperimentResult {
 [[nodiscard]] std::string mean_pm_sigma(const support::RunningStats& s,
                                         int precision = 0);
 
-/// Parse a "--runs N" / "--class S|W|A" style command line (very small,
-/// shared by the bench mains). Unknown flags are ignored.
+/// Parse a "--runs N" / "--class S|W|A" / "--trace" style command line
+/// (very small, shared by the bench mains). Unknown flags are ignored.
 struct BenchArgs {
   int runs = 10;
   apps::ProblemClass problem_class = apps::ProblemClass::kA;
+  /// Additionally dump a Chrome trace_event JSON of an instrumented pass.
+  bool trace = false;
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
 

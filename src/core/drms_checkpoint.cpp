@@ -49,18 +49,27 @@ SegHeaderFields parse_segment_header(support::ByteBuffer& buf) {
 
 DrmsCheckpoint::DrmsCheckpoint(store::StorageBackend& storage,
                                sim::LoadContext load, int io_tasks,
-                               std::uint64_t target_chunk_bytes, bool jitter)
+                               std::uint64_t target_chunk_bytes, bool jitter,
+                               obs::Recorder* recorder)
     : storage_(storage),
       load_(load),
       io_tasks_(io_tasks),
       target_chunk_bytes_(target_chunk_bytes),
-      jitter_(jitter) {}
+      jitter_(jitter),
+      recorder_(recorder) {}
 
 int DrmsCheckpoint::effective_io_tasks(const rt::TaskContext& ctx) const {
   if (io_tasks_ <= 0) {
     return ctx.size();
   }
   return std::min(io_tasks_, ctx.size());
+}
+
+support::RetryPolicy DrmsCheckpoint::retry_policy(const char* what) const {
+  support::RetryPolicy policy;
+  policy.observer = recorder_;
+  policy.what = what;
+  return policy;
 }
 
 CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
@@ -78,6 +87,10 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   CheckpointTiming timing;
   ctx.barrier();
   const double t0 = ctx.sim_time();
+  obs::ScopedSpan op_span(
+      recorder_, "ckpt", "write", ctx.rank(), t0,
+      {obs::Attr::str("prefix", prefix),
+       obs::Attr::num("arrays", static_cast<std::int64_t>(arrays.size()))});
 
   // --- Phase 1: one representative task writes the shared data segment.
   support::ByteBuffer replicated;
@@ -86,21 +99,34 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   const std::uint64_t total_bytes =
       std::max(segment_model.total(), payload_end);
 
+  obs::ScopedSpan segment_span(recorder_, "ckpt", "segment", ctx.rank(), t0,
+                               {obs::Attr::num("bytes", static_cast<std::int64_t>(
+                                                            total_bytes))});
   if (ctx.rank() == 0) {
     // Decommit before the first overwrite: once any file under this
     // prefix is touched, the previous state here must not look committed.
-    support::retry_io([&] { decommit_checkpoint(storage_, prefix); });
+    {
+      obs::ScopedSpan decommit_span(recorder_, "ckpt", "decommit", 0,
+                                    ctx.sim_time());
+      support::retry_io([&] { decommit_checkpoint(storage_, prefix); },
+                        retry_policy("decommit"));
+      decommit_span.end(ctx.sim_time());
+    }
     store::FileHandle seg = support::retry_io(
-        [&] { return storage_.create(segment_file_name(prefix)); });
+        [&] { return storage_.create(segment_file_name(prefix)); },
+        retry_policy("segment.create"));
     const support::ByteBuffer header = make_segment_header(
         SegHeaderFields{replicated.size(), total_bytes});
-    support::retry_io([&] { seg.write_at(0, header.bytes()); });
-    support::retry_io([&] { seg.write_at(kSegHeaderBytes, replicated.bytes()); });
+    support::retry_io([&] { seg.write_at(0, header.bytes()); },
+                      retry_policy("segment.write"));
+    support::retry_io([&] { seg.write_at(kSegHeaderBytes, replicated.bytes()); },
+                      retry_policy("segment.write"));
     if (total_bytes > payload_end) {
       // The private/system/local-section components of the data segment:
       // logically written (time and size accounted), stored sparsely.
       support::retry_io(
-          [&] { seg.write_zeros_at(payload_end, total_bytes - payload_end); });
+          [&] { seg.write_zeros_at(payload_end, total_bytes - payload_end); },
+          retry_policy("segment.write"));
     }
   }
   if (storage_.charges_time()) {
@@ -109,6 +135,7 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   }
   ctx.barrier();
   timing.segment_seconds = ctx.sim_time() - t0;
+  segment_span.end(ctx.sim_time());
 
   // --- Phase 2: stream every distributed array, in sequence.
   const double t1 = ctx.sim_time();
@@ -156,14 +183,15 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     for (std::size_t i = 0; i < arrays.size(); ++i) {
       if (!skip[i]) {
         support::retry_io(
-            [&] { storage_.create(array_file_name(prefix, arrays[i]->name())); });
+            [&] { storage_.create(array_file_name(prefix, arrays[i]->name())); },
+            retry_policy("array.create"));
       }
     }
   }
   ctx.barrier();
 
   const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
-                               jitter_);
+                               jitter_, recorder_);
   const int writers = effective_io_tasks(ctx);
   CheckpointMeta meta;
   meta.app_name = app_name;
@@ -181,11 +209,22 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       skipped_bytes += bytes;
       // The file is untouched; carry the CRC it was written with.
       crc = previous_crcs[i];
+      if (recorder_ != nullptr) {
+        recorder_->instant("ckpt", "array.skip", ctx.rank(), ctx.sim_time(),
+                           {obs::Attr::str("array", a->name()),
+                            obs::Attr::num("bytes",
+                                           static_cast<std::int64_t>(bytes))});
+      }
     } else {
+      obs::ScopedSpan array_span(
+          recorder_, "ckpt", "array", ctx.rank(), ctx.sim_time(),
+          {obs::Attr::str("array", a->name()),
+           obs::Attr::num("bytes", static_cast<std::int64_t>(bytes))});
       store::FileHandle file =
           storage_.open(array_file_name(prefix, a->name()));
       bytes = streamer.write_section(ctx, *a, a->global_box(), file, 0,
                                      writers, &crc);
+      array_span.end(ctx.sim_time());
     }
     ArrayMeta am;
     am.name = a->name();
@@ -219,9 +258,17 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   const support::ByteBuffer manifest_buf = encode_commit_manifest(manifest);
 
   if (ctx.rank() == 0) {
-    support::retry_io([&] {
-      storage_.create(meta_file_name(prefix)).write_at(0, meta_buf.bytes());
-    });
+    {
+      obs::ScopedSpan meta_span(recorder_, "ckpt", "meta", 0,
+                                ctx.sim_time());
+      support::retry_io(
+          [&] {
+            storage_.create(meta_file_name(prefix))
+                .write_at(0, meta_buf.bytes());
+          },
+          retry_policy("meta.write"));
+      meta_span.end(ctx.sim_time());
+    }
     if (incremental != nullptr) {
       incremental->prefix = prefix;
       for (std::size_t i = 0; i < arrays.size(); ++i) {
@@ -230,10 +277,15 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
       incremental->arrays_skipped = skipped;
       incremental->bytes_skipped = skipped_bytes;
     }
-    support::retry_io([&] {
-      storage_.create(commit_file_name(prefix))
-          .write_at(0, manifest_buf.bytes());
-    });
+    obs::ScopedSpan commit_span(recorder_, "ckpt", "commit", 0,
+                                ctx.sim_time());
+    support::retry_io(
+        [&] {
+          storage_.create(commit_file_name(prefix))
+              .write_at(0, manifest_buf.bytes());
+        },
+        retry_policy("commit.write"));
+    commit_span.end(ctx.sim_time());
   }
   // Modeled (not charged) publication cost: meta + manifest land in one
   // small write burst. Kept out of the phase clocks so the paper's
@@ -245,6 +297,7 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   }
   ctx.barrier();
   timing.arrays_seconds = ctx.sim_time() - t1;
+  op_span.end(ctx.sim_time());
   return timing;
 }
 
@@ -253,6 +306,8 @@ CheckpointMeta DrmsCheckpoint::restore_segment(
     const AppSegmentModel& segment_model, RestartTiming& timing) {
   ctx.barrier();
   const double t0 = ctx.sim_time();
+  obs::ScopedSpan op_span(recorder_, "restore", "segment", ctx.rank(), t0,
+                          {obs::Attr::str("prefix", prefix)});
 
   // Application text load (the paper's residual "other" restart component).
   // This is machine cost, not storage cost, so it comes straight from the
@@ -286,6 +341,7 @@ CheckpointMeta DrmsCheckpoint::restore_segment(
   }
   ctx.barrier();
   timing.segment_seconds += ctx.sim_time() - t1;
+  op_span.end(ctx.sim_time());
   return meta;
 }
 
@@ -301,11 +357,16 @@ void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
                    "checkpointed array shape does not match declaration");
   ctx.barrier();
   const double t0 = ctx.sim_time();
+  obs::ScopedSpan op_span(
+      recorder_, "restore", "array", ctx.rank(), t0,
+      {obs::Attr::str("array", array.name()),
+       obs::Attr::num("bytes", static_cast<std::int64_t>(
+                                   array.global_byte_count()))});
 
   const store::FileHandle file =
       storage_.open(array_file_name(prefix, array.name()));
   const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
-                               jitter_);
+                               jitter_, recorder_);
   std::uint32_t crc = 0;
   streamer.read_section(ctx, array, array.global_box(), file, 0,
                         effective_io_tasks(ctx), &crc);
@@ -316,6 +377,7 @@ void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
   }
   ctx.barrier();
   timing.arrays_seconds += ctx.sim_time() - t0;
+  op_span.end(ctx.sim_time());
 }
 
 }  // namespace drms::core

@@ -19,6 +19,7 @@
 #include "core/checkpoint_format.hpp"
 #include "core/dist_array.hpp"
 #include "core/replicated_store.hpp"
+#include "obs/recorder.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 #include "support/units.hpp"
@@ -69,10 +70,12 @@ class DrmsCheckpoint {
   /// Timing is charged through `storage`'s primitives; a backend with no
   /// cost model charges nothing (pure-correctness tests).
   /// `io_tasks` bounds the parallel-streaming width (0 = all tasks).
+  /// A non-null `recorder` receives per-phase trace spans and retry
+  /// counters; recording never charges simulated time.
   DrmsCheckpoint(store::StorageBackend& storage, sim::LoadContext load,
                  int io_tasks = 0,
                  std::uint64_t target_chunk_bytes = support::kMiB,
-                 bool jitter = false);
+                 bool jitter = false, obs::Recorder* recorder = nullptr);
 
   /// COLLECTIVE: write a full checkpoint under `prefix`. `store` is the
   /// calling task's replicated store (task 0's copy is the one saved);
@@ -105,12 +108,14 @@ class DrmsCheckpoint {
 
  private:
   [[nodiscard]] int effective_io_tasks(const rt::TaskContext& ctx) const;
+  [[nodiscard]] support::RetryPolicy retry_policy(const char* what) const;
 
   store::StorageBackend& storage_;
   sim::LoadContext load_;
   int io_tasks_;
   std::uint64_t target_chunk_bytes_;
   bool jitter_;
+  obs::Recorder* recorder_;
 };
 
 }  // namespace drms::core

@@ -77,11 +77,12 @@ void DrmsContext::initialize() {
   RestartTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
     DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
-                          env.target_chunk_bytes, env.jitter);
+                          env.target_chunk_bytes, env.jitter, env.recorder);
     restart_meta_ = engine.restore_segment(ctx_, env.restart_prefix, store_,
                                            program_.segment_model_, timing);
   } else {
-    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
+                          env.recorder);
     restart_meta_ = engine.restore_begin(ctx_, env.restart_prefix, store_,
                                          program_.segment_model_, timing,
                                          spmd_cursor_);
@@ -155,11 +156,12 @@ void DrmsContext::distribute(DistArray& array, const DistSpec& spec) {
   RestartTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
     DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
-                          env.target_chunk_bytes, env.jitter);
+                          env.target_chunk_bytes, env.jitter, env.recorder);
     engine.restore_array(ctx_, env.restart_prefix, *restart_meta_, array,
                          timing);
   } else {
-    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
+                          env.recorder);
     engine.restore_array_from(spmd_cursor_, array, ctx_.rank());
     ctx_.barrier();
   }
@@ -194,7 +196,8 @@ int DrmsContext::service_steering(SteeringChannel& channel) {
 
   const std::uint64_t count = descriptors.get_u64();
   const ArrayStreamer streamer(nullptr, {},
-                               program_.env_.target_chunk_bytes);
+                               program_.env_.target_chunk_bytes,
+                               /*jitter=*/false, program_.env_.recorder);
   for (std::uint64_t i = 0; i < count; ++i) {
     const bool is_store = descriptors.get_u8() == 1;
     const std::string name = descriptors.get_string();
@@ -297,13 +300,14 @@ ReconfigResult DrmsContext::do_checkpoint(const std::string& prefix) {
   CheckpointTiming timing;
   if (env.mode == CheckpointMode::kDrms) {
     DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
-                          env.target_chunk_bytes, env.jitter);
+                          env.target_chunk_bytes, env.jitter, env.recorder);
     timing = engine.write(
         ctx_, prefix, program_.app_name_, sop_counter_, store_, arrays,
         program_.segment_model_,
         env.incremental ? &program_.incremental_state_ : nullptr);
   } else {
-    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter);
+    SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
+                          env.recorder);
     timing = engine.write(ctx_, prefix, program_.app_name_, sop_counter_,
                           store_, arrays, program_.segment_model_);
   }

@@ -83,6 +83,10 @@ struct DrmsEnv {
   /// content fingerprint keep their file from the previous checkpoint
   /// under the same prefix instead of being restreamed.
   bool incremental = false;
+  /// Non-null: trace spans and metrics from every engine operation land
+  /// here (see drms::obs). Null (the default) records nothing and adds
+  /// no overhead; recording never perturbs simulated time.
+  obs::Recorder* recorder = nullptr;
 };
 
 class DrmsContext;

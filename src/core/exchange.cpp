@@ -9,12 +9,15 @@ void exchange_sections(rt::TaskContext& ctx,
                        const std::vector<Slice>& src_assigned,
                        const LocalArray* my_src,
                        const std::vector<Slice>& dst_mapped,
-                       LocalArray* my_dst, std::size_t elem_size) {
+                       LocalArray* my_dst, std::size_t elem_size,
+                       obs::Recorder* recorder) {
   const int p = ctx.size();
   const int me = ctx.rank();
   DRMS_EXPECTS_MSG(static_cast<int>(src_assigned.size()) == p &&
                        static_cast<int>(dst_mapped.size()) == p,
                    "exchange_sections needs one slice per task");
+  obs::ScopedSpan span(recorder, "exchange", "sections", me,
+                       ctx.sim_time());
 
   const Slice& my_assigned = src_assigned[static_cast<std::size_t>(me)];
   const Slice& my_mapped = dst_mapped[static_cast<std::size_t>(me)];
@@ -41,8 +44,24 @@ void exchange_sections(rt::TaskContext& ctx,
     }
   }
 
+  if (recorder != nullptr) {
+    std::uint64_t bytes_out = 0;
+    for (const auto& buf : outgoing) {
+      bytes_out += buf.size();
+    }
+    recorder->count("exchange.bytes_sent", bytes_out);
+  }
+
   std::vector<support::ByteBuffer> incoming =
       rt::all_to_all(ctx, std::move(outgoing));
+
+  if (recorder != nullptr) {
+    std::uint64_t bytes_in = 0;
+    for (const auto& buf : incoming) {
+      bytes_in += buf.size();
+    }
+    recorder->count("exchange.bytes_received", bytes_in);
+  }
 
   if (my_dst != nullptr && !my_mapped.empty()) {
     for (int src = 0; src < p; ++src) {
@@ -59,6 +78,7 @@ void exchange_sections(rt::TaskContext& ctx,
       my_dst->insert(piece, buf.bytes());
     }
   }
+  span.end(ctx.sim_time());
 }
 
 }  // namespace drms::core

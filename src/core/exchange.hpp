@@ -15,14 +15,18 @@
 
 #include "core/local_array.hpp"
 #include "core/slice.hpp"
+#include "obs/recorder.hpp"
 #include "rt/task_context.hpp"
 
 namespace drms::core {
 
+/// `recorder`, when non-null, gets one "exchange"/"sections" span per
+/// call (attrs: bytes sent/received) plus byte counters.
 void exchange_sections(rt::TaskContext& ctx,
                        const std::vector<Slice>& src_assigned,
                        const LocalArray* my_src,
                        const std::vector<Slice>& dst_mapped,
-                       LocalArray* my_dst, std::size_t elem_size);
+                       LocalArray* my_dst, std::size_t elem_size,
+                       obs::Recorder* recorder = nullptr);
 
 }  // namespace drms::core

@@ -16,8 +16,16 @@ constexpr std::uint32_t kTaskSegVersion = wire::kSpmdSegmentVersion;
 }  // namespace
 
 SpmdCheckpoint::SpmdCheckpoint(store::StorageBackend& storage,
-                               sim::LoadContext load, bool jitter)
-    : storage_(storage), load_(load), jitter_(jitter) {}
+                               sim::LoadContext load, bool jitter,
+                               obs::Recorder* recorder)
+    : storage_(storage), load_(load), jitter_(jitter), recorder_(recorder) {}
+
+support::RetryPolicy SpmdCheckpoint::retry_policy(const char* what) const {
+  support::RetryPolicy policy;
+  policy.observer = recorder_;
+  policy.what = what;
+  return policy;
+}
 
 CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
                                        const std::string& prefix,
@@ -33,13 +41,20 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   CheckpointTiming timing;
   ctx.barrier();
   const double t0 = ctx.sim_time();
+  obs::ScopedSpan op_span(
+      recorder_, "spmd", "write", ctx.rank(), t0,
+      {obs::Attr::str("prefix", prefix),
+       obs::Attr::num("arrays", static_cast<std::int64_t>(arrays.size()))});
 
   // Decommit before anyone overwrites a file under this prefix, and hold
   // the other tasks back until the old manifest is gone. The barrier is
   // timing-neutral: no simulated time is charged before it, so every
   // task's clock is still t0.
   if (ctx.rank() == 0) {
-    support::retry_io([&] { decommit_checkpoint(storage_, prefix); });
+    obs::ScopedSpan decommit_span(recorder_, "spmd", "decommit", 0, t0);
+    support::retry_io([&] { decommit_checkpoint(storage_, prefix); },
+                      retry_policy("decommit"));
+    decommit_span.end(ctx.sim_time());
   }
   ctx.barrier();
 
@@ -63,17 +78,25 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   const std::uint64_t total_bytes =
       std::max(segment_model.total(), payload_end);
 
+  obs::ScopedSpan segment_span(
+      recorder_, "spmd", "segment", ctx.rank(), ctx.sim_time(),
+      {obs::Attr::num("bytes", static_cast<std::int64_t>(total_bytes))});
   store::FileHandle file = support::retry_io(
-      [&] { return storage_.create(spmd_task_file_name(prefix, ctx.rank())); });
+      [&] { return storage_.create(spmd_task_file_name(prefix, ctx.rank())); },
+      retry_policy("segment.create"));
   support::ByteBuffer head;
   head.put_u64(body.size());
   head.put_u32(crc);
-  support::retry_io([&] { file.write_at(0, head.bytes()); });
-  support::retry_io([&] { file.write_at(head.size(), body.bytes()); });
+  support::retry_io([&] { file.write_at(0, head.bytes()); },
+                    retry_policy("segment.write"));
+  support::retry_io([&] { file.write_at(head.size(), body.bytes()); },
+                    retry_policy("segment.write"));
   if (total_bytes > payload_end) {
     support::retry_io(
-        [&] { file.write_zeros_at(payload_end, total_bytes - payload_end); });
+        [&] { file.write_zeros_at(payload_end, total_bytes - payload_end); },
+        retry_policy("segment.write"));
   }
+  segment_span.end(ctx.sim_time());
 
   // Every task file must be durable before task 0 publishes the state;
   // timing-neutral (no charges since the previous barrier).
@@ -104,14 +127,26 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   const support::ByteBuffer manifest_buf = encode_commit_manifest(manifest);
 
   if (ctx.rank() == 0) {
-    support::retry_io([&] {
-      storage_.create(spmd_meta_file_name(prefix))
-          .write_at(0, meta_buf.bytes());
-    });
-    support::retry_io([&] {
-      storage_.create(commit_file_name(prefix))
-          .write_at(0, manifest_buf.bytes());
-    });
+    {
+      obs::ScopedSpan meta_span(recorder_, "spmd", "meta", 0,
+                                ctx.sim_time());
+      support::retry_io(
+          [&] {
+            storage_.create(spmd_meta_file_name(prefix))
+                .write_at(0, meta_buf.bytes());
+          },
+          retry_policy("meta.write"));
+      meta_span.end(ctx.sim_time());
+    }
+    obs::ScopedSpan commit_span(recorder_, "spmd", "commit", 0,
+                                ctx.sim_time());
+    support::retry_io(
+        [&] {
+          storage_.create(commit_file_name(prefix))
+              .write_at(0, manifest_buf.bytes());
+        },
+        retry_policy("commit.write"));
+    commit_span.end(ctx.sim_time());
   }
   // Modeled (not charged) publication cost; see CheckpointTiming — kept
   // out of the phase clocks and drawn without jitter so the paper tables
@@ -128,6 +163,7 @@ CheckpointTiming SpmdCheckpoint::write(rt::TaskContext& ctx,
   }
   ctx.barrier();
   timing.segment_seconds = ctx.sim_time() - t0;
+  op_span.end(ctx.sim_time());
   return timing;
 }
 
@@ -137,6 +173,8 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
     SpmdRestoreCursor& cursor) {
   ctx.barrier();
   const double t0 = ctx.sim_time();
+  obs::ScopedSpan op_span(recorder_, "spmd", "restore", ctx.rank(), t0,
+                          {obs::Attr::str("prefix", prefix)});
   if (storage_.charges_time()) {
     ctx.charge(storage_.cost_model()->restart_init_seconds(
         segment_model.text_bytes, jitter_ ? &ctx.shared_rng() : nullptr));
@@ -185,6 +223,7 @@ CheckpointMeta SpmdCheckpoint::restore_begin(
   }
   ctx.barrier();
   timing.segment_seconds += ctx.sim_time() - t1;
+  op_span.end(ctx.sim_time());
   return meta;
 }
 

@@ -21,8 +21,10 @@ namespace drms::core {
 
 class SpmdCheckpoint {
  public:
+  /// A non-null `recorder` receives per-phase trace spans and retry
+  /// counters; recording never charges simulated time.
   SpmdCheckpoint(store::StorageBackend& storage, sim::LoadContext load,
-                 bool jitter = false);
+                 bool jitter = false, obs::Recorder* recorder = nullptr);
 
   /// COLLECTIVE: every task writes its own segment file; all synchronize
   /// at the end (the paper's blocking-checkpoint semantics).
@@ -60,9 +62,12 @@ class SpmdCheckpoint {
                           int rank) const;
 
  private:
+  [[nodiscard]] support::RetryPolicy retry_policy(const char* what) const;
+
   store::StorageBackend& storage_;
   sim::LoadContext load_;
   bool jitter_;
+  obs::Recorder* recorder_;
 };
 
 }  // namespace drms::core

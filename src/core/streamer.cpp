@@ -127,6 +127,11 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
   std::array<LocalArray, 2> staging;
   std::array<std::uint64_t, 2> inflight_chunk{};
   std::array<std::future<std::uint32_t>, 2> inflight;
+  // Trace span covering a chunk's in-flight window. Opened at async
+  // launch and closed at join — both on the main task thread, so the
+  // recorded overlap (round r+1's exchange beginning before round r's
+  // in-flight span ends) is program-order and therefore deterministic.
+  std::array<std::size_t, 2> inflight_span{obs::kNoSpan, obs::kNoSpan};
 
   // Joining rethrows any worker exception (torn write, exhausted retries)
   // so errors propagate out of write_section exactly as before, at most
@@ -138,6 +143,10 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
     const std::uint32_t crc = inflight[b].get();
     if (want_crc) {
       my_chunk_crcs.emplace_back(inflight_chunk[b], crc);
+    }
+    if (recorder_ != nullptr && inflight_span[b] != obs::kNoSpan) {
+      recorder_->end_span(inflight_span[b], ctx.sim_time());
+      inflight_span[b] = obs::kNoSpan;
     }
   };
 
@@ -164,9 +173,19 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
     const Slice& my_chunk = dst_mapped[static_cast<std::size_t>(me)];
     staging[b] = my_chunk.empty() ? LocalArray()
                                   : LocalArray(my_chunk, elem);
-    exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
-                      staging[b].element_count() > 0 ? &staging[b] : nullptr,
-                      elem);
+    {
+      obs::ScopedSpan exchange_span(
+          recorder_, "stream", "exchange", me, ctx.sim_time(),
+          {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+           obs::Attr::str("dir", "write"),
+           obs::Attr::num("bytes",
+                          static_cast<std::int64_t>(round_bytes))});
+      exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
+                        staging[b].element_count() > 0 ? &staging[b]
+                                                       : nullptr,
+                        elem, recorder_);
+      exchange_span.end(ctx.sim_time());
+    }
 
     if (staging[b].element_count() > 0) {
       const std::size_t c = r * static_cast<std::size_t>(io_tasks) +
@@ -176,16 +195,36 @@ std::uint64_t ArrayStreamer::write_section(rt::TaskContext& ctx,
       // it checksums the buffer while it is cache-hot, immediately before
       // the single write_at (one write op per chunk, as before).
       inflight_chunk[b] = c;
+      obs::Recorder* const rec = recorder_;
+      if (rec != nullptr) {
+        inflight_span[b] = rec->begin_span(
+            "stream", "write_inflight", me, ctx.sim_time(),
+            {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+             obs::Attr::num("chunk", static_cast<std::int64_t>(c)),
+             obs::Attr::num("bytes", static_cast<std::int64_t>(
+                                         staging[b].bytes().size()))});
+      }
       inflight[b] = std::async(
           std::launch::async,
-          [file, file_offset, c, &plan, &staging, b,
-           want_crc]() mutable -> std::uint32_t {
-            const std::uint32_t crc =
-                want_crc ? support::crc32c(staging[b].bytes()) : 0;
-            support::retry_io([&] {
-              file.write_at(file_offset + plan.offsets[c],
-                            staging[b].bytes());
-            });
+          [file, file_offset, c, &plan, &staging, b, want_crc, rec,
+           me]() mutable -> std::uint32_t {
+            std::uint32_t crc = 0;
+            {
+              obs::ScopedSpan crc_span(rec, "stream.worker", "crc", me,
+                                       -1.0);
+              crc = want_crc ? support::crc32c(staging[b].bytes()) : 0;
+            }
+            obs::ScopedSpan write_span(rec, "stream.worker", "write", me,
+                                       -1.0);
+            support::RetryPolicy policy;
+            policy.observer = rec;
+            policy.what = "stream.write";
+            support::retry_io(
+                [&] {
+                  file.write_at(file_offset + plan.offsets[c],
+                                staging[b].bytes());
+                },
+                policy);
             return crc;
           });
     }
@@ -249,6 +288,9 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
   // early exit), so it is declared first.
   std::array<LocalArray, 2> staging;
   std::array<std::future<std::uint32_t>, 2> inflight;
+  // In-flight read window, opened at launch / closed at the get() —
+  // both on the main task thread (see write_section).
+  std::array<std::size_t, 2> inflight_span{obs::kNoSpan, obs::kNoSpan};
 
   // Kick off the read of round r's chunk into staging[r % 2]. The worker
   // lands the bytes directly in the staging buffer (read_at_into, no
@@ -262,12 +304,26 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
       return;
     }
     staging[b] = LocalArray(plan.chunks[c], elem);
+    obs::Recorder* const rec = recorder_;
+    if (rec != nullptr) {
+      inflight_span[b] = rec->begin_span(
+          "stream", "read_inflight", me, ctx.sim_time(),
+          {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+           obs::Attr::num("chunk", static_cast<std::int64_t>(c)),
+           obs::Attr::num("bytes", static_cast<std::int64_t>(
+                                       staging[b].bytes().size()))});
+    }
     inflight[b] = std::async(
         std::launch::async,
-        [&file, file_offset, c, &plan, &staging, b,
-         want_crc]() -> std::uint32_t {
-          file.read_at_into(file_offset + plan.offsets[c],
-                            staging[b].bytes());
+        [&file, file_offset, c, &plan, &staging, b, want_crc, rec,
+         me]() -> std::uint32_t {
+          {
+            obs::ScopedSpan read_span(rec, "stream.worker", "read", me,
+                                      -1.0);
+            file.read_at_into(file_offset + plan.offsets[c],
+                              staging[b].bytes());
+          }
+          obs::ScopedSpan crc_span(rec, "stream.worker", "crc", me, -1.0);
           return want_crc ? support::crc32c(staging[b].bytes()) : 0;
         });
   };
@@ -299,16 +355,26 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
                 static_cast<std::size_t>(me),
             crc);
       }
+      if (recorder_ != nullptr && inflight_span[b] != obs::kNoSpan) {
+        recorder_->end_span(inflight_span[b], ctx.sim_time());
+        inflight_span[b] = obs::kNoSpan;
+      }
     }
     if (r + 1 < rounds) {
       start_read(r + 1);  // overlaps this round's exchange below
     }
 
+    obs::ScopedSpan exchange_span(
+        recorder_, "stream", "exchange", me, ctx.sim_time(),
+        {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+         obs::Attr::str("dir", "read"),
+         obs::Attr::num("bytes", static_cast<std::int64_t>(round_bytes))});
     exchange_sections(ctx, src_chunks,
                       staging[b].element_count() > 0 ? &staging[b] : nullptr,
                       dst_mapped,
                       my_local.element_count() > 0 ? &my_local : nullptr,
-                      elem);
+                      elem, recorder_);
+    exchange_span.end(ctx.sim_time());
 
     if (storage_ != nullptr && storage_->charges_time()) {
       ctx.charge(jitter_factor * storage_->stream_read_round_seconds(

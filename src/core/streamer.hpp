@@ -18,6 +18,7 @@
 
 #include "core/dist_array.hpp"
 #include "core/sequential_channel.hpp"
+#include "obs/recorder.hpp"
 #include "store/storage_backend.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
@@ -52,14 +53,17 @@ class ArrayStreamer {
  public:
   /// `jitter` enables per-round lognormal timing noise drawn from each
   /// task's deterministic RNG stream (used by the benchmark harness to
-  /// reproduce the paper's run-to-run spread).
+  /// reproduce the paper's run-to-run spread). `recorder`, when non-null,
+  /// receives per-round trace spans (exchange, in-flight I/O, worker
+  /// CRC/write) — recording never touches the simulated clock.
   ArrayStreamer(const store::StorageBackend* storage, sim::LoadContext load,
                 std::uint64_t target_chunk_bytes = support::kMiB,
-                bool jitter = false)
+                bool jitter = false, obs::Recorder* recorder = nullptr)
       : storage_(storage),
         load_(load),
         target_chunk_bytes_(target_chunk_bytes),
-        jitter_(jitter) {}
+        jitter_(jitter),
+        recorder_(recorder) {}
 
   /// COLLECTIVE: stream section `x` of `array` out to `file` starting at
   /// byte `file_offset`, with `io_tasks` tasks performing I/O
@@ -101,6 +105,8 @@ class ArrayStreamer {
   sim::LoadContext load_;
   std::uint64_t target_chunk_bytes_;
   bool jitter_;
+  /// May be null: no trace recording (the zero-overhead default).
+  obs::Recorder* recorder_;
 };
 
 }  // namespace drms::core

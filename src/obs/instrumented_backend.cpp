@@ -1,0 +1,150 @@
+#include "obs/instrumented_backend.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace drms::obs {
+namespace {
+
+/// Shared recording context for one wrapped backend's file objects.
+struct Sink {
+  Recorder* recorder;
+  std::string label;
+
+  // Events are recorded AFTER the inner operation returns, so a crashed
+  // or faulted operation leaves no trace — the recorded mutation sequence
+  // is exactly the set of mutations that reached the inner backend.
+  void op(const char* name, const std::string& file, std::int64_t offset,
+          std::uint64_t bytes, bool mutation, std::uint64_t begin_ns) const {
+    const std::uint64_t dur_ns = recorder->wall_now_ns() - begin_ns;
+    std::vector<Attr> attrs;
+    attrs.reserve(5);
+    attrs.push_back(Attr::str("backend", label));
+    attrs.push_back(Attr::str("file", file));
+    if (offset >= 0) {
+      attrs.push_back(Attr::num("offset", offset));
+    }
+    attrs.push_back(Attr::num("bytes", static_cast<std::int64_t>(bytes)));
+    attrs.push_back(Attr::num("dur_ns", static_cast<std::int64_t>(dur_ns)));
+    recorder->instant("store", name, /*rank=*/-1, /*sim_time=*/-1.0,
+                      std::move(attrs));
+
+    const std::string key = "store." + label + "." + name;
+    recorder->count(key + ".ops");
+    if (bytes > 0) {
+      recorder->count(key + ".bytes", bytes);
+    }
+    recorder->record_ns(key + ".ns", dur_ns);
+    if (mutation) {
+      recorder->count("store.mutation");
+    }
+  }
+};
+
+class InstrumentedFile final : public store::FileObject {
+ public:
+  InstrumentedFile(store::FileHandle inner, std::shared_ptr<const Sink> sink)
+      : inner_(std::move(inner)), sink_(std::move(sink)) {}
+
+  void write_at(std::uint64_t offset, std::span<const std::byte> data) override {
+    const std::uint64_t t0 = sink_->recorder->wall_now_ns();
+    inner_.write_at(offset, data);
+    sink_->op("write_at", inner_.name(), static_cast<std::int64_t>(offset),
+              data.size(), /*mutation=*/true, t0);
+  }
+  void write_zeros_at(std::uint64_t offset, std::uint64_t count) override {
+    const std::uint64_t t0 = sink_->recorder->wall_now_ns();
+    inner_.write_zeros_at(offset, count);
+    sink_->op("write_zeros_at", inner_.name(),
+              static_cast<std::int64_t>(offset), count, /*mutation=*/true, t0);
+  }
+  [[nodiscard]] std::vector<std::byte> read_at(
+      std::uint64_t offset, std::uint64_t count) const override {
+    const std::uint64_t t0 = sink_->recorder->wall_now_ns();
+    std::vector<std::byte> bytes = inner_.read_at(offset, count);
+    sink_->op("read_at", inner_.name(), static_cast<std::int64_t>(offset),
+              count, /*mutation=*/false, t0);
+    return bytes;
+  }
+  void read_at_into(std::uint64_t offset,
+                    std::span<std::byte> out) const override {
+    const std::uint64_t t0 = sink_->recorder->wall_now_ns();
+    inner_.read_at_into(offset, out);
+    sink_->op("read_at", inner_.name(), static_cast<std::int64_t>(offset),
+              out.size(), /*mutation=*/false, t0);
+  }
+  void append(std::span<const std::byte> data) override {
+    const std::uint64_t t0 = sink_->recorder->wall_now_ns();
+    const std::uint64_t offset = inner_.size();
+    inner_.append(data);
+    sink_->op("append", inner_.name(), static_cast<std::int64_t>(offset),
+              data.size(), /*mutation=*/true, t0);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
+  [[nodiscard]] const std::string& name() const override {
+    return inner_.name();
+  }
+
+ private:
+  store::FileHandle inner_;
+  std::shared_ptr<const Sink> sink_;
+};
+
+store::FileHandle wrap(store::FileHandle inner, Recorder* recorder,
+                       const std::string& label) {
+  if (recorder == nullptr || !inner.valid()) {
+    return inner;
+  }
+  auto sink = std::make_shared<const Sink>(Sink{recorder, label});
+  return store::FileHandle(
+      std::make_shared<InstrumentedFile>(std::move(inner), std::move(sink)));
+}
+
+}  // namespace
+
+store::FileHandle InstrumentedBackend::create(const std::string& name) {
+  if (recorder_ == nullptr) {
+    return inner_.create(name);
+  }
+  const std::uint64_t t0 = recorder_->wall_now_ns();
+  store::FileHandle handle = inner_.create(name);
+  Sink{recorder_, label_}.op("create", name, /*offset=*/-1, /*bytes=*/0,
+                             /*mutation=*/true, t0);
+  return wrap(std::move(handle), recorder_, label_);
+}
+
+store::FileHandle InstrumentedBackend::open(const std::string& name) const {
+  if (recorder_ == nullptr) {
+    return inner_.open(name);
+  }
+  const std::uint64_t t0 = recorder_->wall_now_ns();
+  store::FileHandle handle = inner_.open(name);
+  Sink{recorder_, label_}.op("open", name, /*offset=*/-1, /*bytes=*/0,
+                             /*mutation=*/false, t0);
+  return wrap(std::move(handle), recorder_, label_);
+}
+
+void InstrumentedBackend::remove(const std::string& name) {
+  if (recorder_ == nullptr) {
+    inner_.remove(name);
+    return;
+  }
+  const std::uint64_t t0 = recorder_->wall_now_ns();
+  inner_.remove(name);
+  Sink{recorder_, label_}.op("remove", name, /*offset=*/-1, /*bytes=*/0,
+                             /*mutation=*/true, t0);
+}
+
+int InstrumentedBackend::remove_prefix(const std::string& prefix) {
+  if (recorder_ == nullptr) {
+    return inner_.remove_prefix(prefix);
+  }
+  const std::uint64_t t0 = recorder_->wall_now_ns();
+  const int removed = inner_.remove_prefix(prefix);
+  Sink{recorder_, label_}.op("remove_prefix", prefix, /*offset=*/-1,
+                             static_cast<std::uint64_t>(removed),
+                             /*mutation=*/true, t0);
+  return removed;
+}
+
+}  // namespace drms::obs

@@ -1,0 +1,118 @@
+// Recording StorageBackend decorator.
+//
+// Wraps any backend and records every namespace/file operation into an
+// obs::Recorder: one "store" span per operation (attrs: backend label,
+// file name, offset, byte count), per-backend/op counters and byte
+// totals ("store.<label>.<op>.ops" / ".bytes"), wall-clock latency
+// histograms ("store.<label>.<op>.ns"), and a flat "store.mutation"
+// counter that advances once per mutating operation — the same set of
+// operations FaultInjectionBackend gates (create, remove, remove_prefix,
+// write_at, write_zeros_at, append), so stacking this layer UNDER a
+// fault injector lets tests assert exactly how many mutations survived
+// an injected crash.
+//
+// Simulated time is untouched: the `*_seconds` primitives delegate
+// verbatim and record nothing (they are pure cost queries, not I/O).
+// With a null recorder the decorator is pass-through: create()/open()
+// hand back the inner backend's file handles unwrapped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "store/storage_backend.hpp"
+
+namespace drms::obs {
+
+class InstrumentedBackend final : public store::StorageBackend {
+ public:
+  /// Does not own `inner` or `recorder`; both must outlive this object
+  /// and any file handles it creates. `label` keys the metric names.
+  InstrumentedBackend(store::StorageBackend& inner, Recorder* recorder,
+                      std::string label = "store")
+      : inner_(inner), recorder_(recorder), label_(std::move(label)) {}
+
+  [[nodiscard]] Recorder* recorder() const { return recorder_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  // ---- StorageBackend -------------------------------------------------------
+  store::FileHandle create(const std::string& name) override;
+  [[nodiscard]] store::FileHandle open(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  void remove(const std::string& name) override;
+  int remove_prefix(const std::string& prefix) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const override {
+    return inner_.list(prefix);
+  }
+  [[nodiscard]] std::uint64_t file_size(
+      const std::string& name) const override {
+    return inner_.file_size(name);
+  }
+  [[nodiscard]] std::uint64_t total_size(
+      const std::string& prefix) const override {
+    return inner_.total_size(prefix);
+  }
+
+  [[nodiscard]] store::StorageStats stats() const override {
+    return inner_.stats();
+  }
+  void reset_stats() override { inner_.reset_stats(); }
+  [[nodiscard]] std::string description() const override {
+    return "obs(" + inner_.description() + ")";
+  }
+  [[nodiscard]] int server_count() const override {
+    return inner_.server_count();
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return inner_.capacity_bytes();
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return inner_.used_bytes();
+  }
+
+  [[nodiscard]] const sim::CostModel* cost_model() const override {
+    return inner_.cost_model();
+  }
+  [[nodiscard]] double single_write_seconds(
+      std::uint64_t bytes, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.single_write_seconds(bytes, ctx, jitter);
+  }
+  [[nodiscard]] double concurrent_write_seconds(
+      std::uint64_t bytes_per_writer, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.concurrent_write_seconds(bytes_per_writer, writers, ctx,
+                                           jitter);
+  }
+  [[nodiscard]] double shared_read_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.shared_read_seconds(bytes, readers, ctx, jitter);
+  }
+  [[nodiscard]] double private_read_seconds(
+      std::uint64_t bytes_per_reader, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.private_read_seconds(bytes_per_reader, readers, ctx, jitter);
+  }
+  [[nodiscard]] double stream_write_round_seconds(
+      std::uint64_t bytes, int writers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.stream_write_round_seconds(bytes, writers, ctx, jitter);
+  }
+  [[nodiscard]] double stream_read_round_seconds(
+      std::uint64_t bytes, int readers, const sim::LoadContext& ctx,
+      support::Rng* jitter) const override {
+    return inner_.stream_read_round_seconds(bytes, readers, ctx, jitter);
+  }
+
+ private:
+  store::StorageBackend& inner_;
+  Recorder* recorder_;
+  std::string label_;
+};
+
+}  // namespace drms::obs

@@ -1,0 +1,160 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace drms::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int log2_bucket(std::uint64_t v) {
+  int b = 0;
+  while (v > 1 && b < Histogram::kBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+const Attr* SpanRecord::attr(std::string_view key) const {
+  for (const Attr& a : attrs) {
+    if (a.key == key) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t SpanRecord::attr_num(std::string_view key,
+                                  std::int64_t fallback) const {
+  const Attr* a = attr(key);
+  return (a != nullptr && a->numeric) ? a->value : fallback;
+}
+
+void Histogram::add(std::uint64_t v) {
+  ++buckets[log2_bucket(v)];
+  if (count == 0 || v < min) {
+    min = v;
+  }
+  if (count == 0 || v > max) {
+    max = v;
+  }
+  ++count;
+  sum += v;
+}
+
+Recorder::Recorder() : wall_base_ns_(steady_ns()) {}
+
+std::size_t Recorder::begin_span(std::string_view category,
+                                 std::string_view name, int rank,
+                                 double sim_time, std::vector<Attr> attrs) {
+  const std::uint64_t wall = steady_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord& span = spans_.emplace_back();
+  span.category.assign(category);
+  span.name.assign(name);
+  span.rank = rank;
+  span.begin_seq = seq_++;
+  span.end_seq = span.begin_seq;
+  span.begin_sim = sim_time;
+  span.begin_wall_ns = wall - wall_base_ns_;
+  span.end_wall_ns = span.begin_wall_ns;
+  span.attrs = std::move(attrs);
+  return spans_.size() - 1;
+}
+
+void Recorder::end_span(std::size_t id, double sim_time) {
+  const std::uint64_t wall = steady_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= spans_.size() || spans_[id].closed) {
+    return;
+  }
+  SpanRecord& span = spans_[id];
+  span.end_seq = seq_++;
+  span.end_sim = sim_time;
+  span.end_wall_ns = wall - wall_base_ns_;
+  span.closed = true;
+}
+
+void Recorder::instant(std::string_view category, std::string_view name,
+                       int rank, double sim_time, std::vector<Attr> attrs) {
+  const std::uint64_t wall = steady_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord& span = spans_.emplace_back();
+  span.category.assign(category);
+  span.name.assign(name);
+  span.rank = rank;
+  span.begin_seq = seq_++;
+  span.end_seq = span.begin_seq;
+  span.begin_sim = sim_time;
+  span.end_sim = sim_time;
+  span.begin_wall_ns = wall - wall_base_ns_;
+  span.end_wall_ns = span.begin_wall_ns;
+  span.attrs = std::move(attrs);
+  span.closed = true;
+}
+
+void Recorder::count(std::string_view key, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(key), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Recorder::record_ns(std::string_view key, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(key), Histogram{}).first;
+  }
+  it->second.add(ns);
+}
+
+void Recorder::on_transient_retry(const char* what, int attempt) {
+  (void)attempt;
+  count("retry.transient");
+  count(std::string("retry.transient.") + what);
+}
+
+std::vector<SpanRecord> Recorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Recorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::map<std::string, std::uint64_t> Recorder::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::uint64_t Recorder::counter(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, Histogram> Recorder::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+std::uint64_t Recorder::wall_now_ns() const {
+  return steady_ns() - wall_base_ns_;
+}
+
+}  // namespace drms::obs

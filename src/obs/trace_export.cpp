@@ -1,0 +1,152 @@
+#include "obs/trace_export.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace drms::obs {
+namespace {
+
+/// Events recorded with no task context (rank -1) share one trace lane.
+constexpr int kStoreTid = 1000;
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+        } else {
+          out << c;
+        }
+      }
+    }
+  }
+  out << '"';
+}
+
+void write_double(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << value;
+  out << tmp.str();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Recorder& recorder) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : recorder.spans()) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"name\":";
+    write_escaped(out, span.name);
+    out << ",\"cat\":";
+    write_escaped(out, span.category);
+    out << ",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << (span.rank >= 0 ? span.rank : kStoreTid) << ",\"ts\":";
+    write_double(out, static_cast<double>(span.begin_wall_ns) / 1000.0);
+    out << ",\"dur\":";
+    const std::uint64_t wall_dur =
+        span.end_wall_ns >= span.begin_wall_ns
+            ? span.end_wall_ns - span.begin_wall_ns
+            : 0;
+    write_double(out, static_cast<double>(wall_dur) / 1000.0);
+    out << ",\"args\":{\"seq\":" << span.begin_seq
+        << ",\"end_seq\":" << span.end_seq;
+    if (span.begin_sim >= 0.0) {
+      out << ",\"sim_begin_s\":";
+      write_double(out, span.begin_sim);
+    }
+    if (span.end_sim >= 0.0) {
+      out << ",\"sim_end_s\":";
+      write_double(out, span.end_sim);
+    }
+    if (!span.closed) {
+      out << ",\"open\":true";
+    }
+    for (const Attr& attr : span.attrs) {
+      out << ',';
+      write_escaped(out, attr.key);
+      out << ':';
+      if (attr.numeric) {
+        out << attr.value;
+      } else {
+        write_escaped(out, attr.text);
+      }
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::ostringstream out;
+  write_chrome_trace(out, recorder);
+  return out.str();
+}
+
+void write_stats_table(std::ostream& out, const Recorder& recorder) {
+  const auto counters = recorder.counters();
+  const auto histograms = recorder.histograms();
+  if (counters.empty() && histograms.empty()) {
+    out << "no recorded metrics\n";
+    return;
+  }
+  if (!counters.empty()) {
+    support::TextTable table({"counter", "value"});
+    table.set_align(1, support::Align::kRight);
+    for (const auto& [key, value] : counters) {
+      table.add_row({key, std::to_string(value)});
+    }
+    table.print(out);
+  }
+  if (!histograms.empty()) {
+    support::TextTable table(
+        {"histogram (ns)", "count", "min", "mean", "max"});
+    for (std::size_t c = 1; c <= 4; ++c) {
+      table.set_align(c, support::Align::kRight);
+    }
+    for (const auto& [key, h] : histograms) {
+      const std::uint64_t mean = h.count == 0 ? 0 : h.sum / h.count;
+      table.add_row({key, std::to_string(h.count), std::to_string(h.min),
+                     std::to_string(mean), std::to_string(h.max)});
+    }
+    table.print(out);
+  }
+}
+
+std::string stats_table(const Recorder& recorder) {
+  std::ostringstream out;
+  write_stats_table(out, recorder);
+  return out.str();
+}
+
+}  // namespace drms::obs

@@ -1,0 +1,26 @@
+// Export of a Recorder's contents in two shapes:
+//
+//   * Chrome trace_event JSON (chrome://tracing, Perfetto): one complete
+//     "X" event per span. `ts`/`dur` come from the host wall clock in
+//     microseconds; the deterministic fields (global sequence numbers,
+//     simulated-clock begin/end) and every span attribute ride along in
+//     `args`. Ranks map to tids; rank-less events (storage ops recorded
+//     outside any task context) land on a dedicated "store" tid.
+//   * A flat stats table: every counter, then every latency histogram
+//     (count / min / mean / max, nanoseconds).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace drms::obs {
+
+void write_chrome_trace(std::ostream& out, const Recorder& recorder);
+[[nodiscard]] std::string chrome_trace_json(const Recorder& recorder);
+
+void write_stats_table(std::ostream& out, const Recorder& recorder);
+[[nodiscard]] std::string stats_table(const Recorder& recorder);
+
+}  // namespace drms::obs

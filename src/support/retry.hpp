@@ -15,11 +15,25 @@
 
 namespace drms::support {
 
+/// Observer hook for transient-fault absorption: notified once per caught
+/// TransientIoError (including the final one when the budget is spent), so
+/// an observability layer can count retries against the exact fault
+/// schedule a test injected. Implemented by obs::Recorder.
+class RetryObserver {
+ public:
+  virtual ~RetryObserver() = default;
+  virtual void on_transient_retry(const char* what, int attempt) = 0;
+};
+
 struct RetryPolicy {
   /// Total attempts, first try included.
   int attempts = 4;
   /// Real (wall-clock) backoff before attempt k is 2^(k-1) * base.
   std::chrono::microseconds backoff_base{50};
+  /// Optional retry observer (null: no accounting, the zero-overhead
+  /// default) and the operation label it sees.
+  RetryObserver* observer = nullptr;
+  const char* what = "io";
 };
 
 /// Run `op`, retrying on TransientIoError per `policy`. Returns op()'s
@@ -30,6 +44,9 @@ decltype(auto) retry_io(Op&& op, const RetryPolicy& policy = {}) {
     try {
       return op();
     } catch (const TransientIoError&) {
+      if (policy.observer != nullptr) {
+        policy.observer->on_transient_retry(policy.what, attempt);
+      }
       if (attempt >= policy.attempts) {
         throw;
       }

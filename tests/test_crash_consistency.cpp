@@ -13,6 +13,8 @@
 #include "core/drms_checkpoint.hpp"
 #include "core/drms_context.hpp"
 #include "core/spmd_checkpoint.hpp"
+#include "obs/instrumented_backend.hpp"
+#include "obs/recorder.hpp"
 #include "piofs/volume.hpp"
 #include "rt/task_group.hpp"
 #include "store/fault_injection_backend.hpp"
@@ -255,6 +257,55 @@ TEST(FaultInjection, DeadBackendFailsEverythingUntilDisarmed) {
                drms::support::IoError);
   s.fault->disarm();
   EXPECT_TRUE(s.fault->exists(meta_file_name("sweep.a")));
+}
+
+TEST(CrashTrace, PostCrashMutationCountMatchesInjectedOpIndex) {
+  // Stack the trace recorder UNDER the fault injector: the instrumented
+  // layer only sees operations the injector let through, so after a crash
+  // armed at op index i the recorder's "store.mutation" counter is the
+  // exact number of mutations that reached storage — i for a clean stop,
+  // i + 1 for a torn write (the half-write lands in the inner backend
+  // before the node dies).
+  for (const CheckpointMode mode :
+       {CheckpointMode::kDrms, CheckpointMode::kSpmd}) {
+    const std::uint64_t n = mutation_count(mode, BackendKind::kMemory);
+    ASSERT_GT(n, 1u);
+    const std::pair<std::uint64_t, FaultInjectionBackend::CrashStyle>
+        schedule[] = {
+            {0, FaultInjectionBackend::CrashStyle::kStop},
+            {n / 2, FaultInjectionBackend::CrashStyle::kStop},
+            {n - 1, FaultInjectionBackend::CrashStyle::kStop},
+            {n - 1, FaultInjectionBackend::CrashStyle::kTornWrite},
+        };
+    for (const auto& [index, style] : schedule) {
+      SCOPED_TRACE(std::string(mode == CheckpointMode::kDrms ? "Drms"
+                                                             : "Spmd") +
+                   " crash index " + std::to_string(index) +
+                   (style == FaultInjectionBackend::CrashStyle::kTornWrite
+                        ? " torn"
+                        : " stop"));
+      drms::store::MemoryBackend inner;
+      ASSERT_TRUE(
+          attempt_checkpoint(inner, mode, "sweep.a", 1).completed);
+
+      drms::obs::Recorder rec;
+      drms::obs::InstrumentedBackend instrumented(inner, &rec, "mem");
+      FaultInjectionBackend fault(instrumented);
+      fault.arm_crash(index, style);
+      EXPECT_FALSE(attempt_checkpoint(fault, mode, "sweep.b", 2).completed);
+      EXPECT_TRUE(fault.crashed());
+
+      const std::uint64_t expected =
+          index +
+          (style == FaultInjectionBackend::CrashStyle::kTornWrite ? 1 : 0);
+      EXPECT_EQ(rec.counter("store.mutation"), expected);
+
+      // The count is final: the dead (then disarmed) backend admits no
+      // further mutations from this attempt.
+      fault.disarm();
+      EXPECT_EQ(rec.counter("store.mutation"), expected);
+    }
+  }
 }
 
 TEST(FaultInjection, MutationOpsCountsOnlyMutations) {

@@ -14,13 +14,27 @@
 # tests are not selected. Setting TARGETS also skips the perf smoke —
 # the in-tree asan_gate ctest test always sets it, which keeps the gate
 # from recursing into another full build.
+#
+# COVERAGE=1 switches the build from sanitizers to gcov instrumentation
+# (default build dir: build-cov) and prints a line-coverage summary after
+# the test run — via gcovr when available, else aggregated from gcov
+# directly. Informational only: no threshold is enforced yet.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-${repo}/build-asan}"
+coverage="${COVERAGE:-}"
+if [[ -n "${coverage}" ]]; then
+  build="${1:-${repo}/build-cov}"
+else
+  build="${1:-${repo}/build-asan}"
+fi
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "${build}" -S "${repo}" -DASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [[ -n "${coverage}" ]]; then
+  cmake -B "${build}" -S "${repo}" -DCOVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+else
+  cmake -B "${build}" -S "${repo}" -DASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
 if [[ -n "${TARGETS:-}" ]]; then
   # shellcheck disable=SC2086
   cmake --build "${build}" -j "${jobs}" --target ${TARGETS}
@@ -33,7 +47,37 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 ctest --test-dir "${build}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:-}
-echo "check.sh: all tests passed under ASan/UBSan"
+if [[ -n "${coverage}" ]]; then
+  echo "check.sh: all tests passed (coverage build)"
+else
+  echo "check.sh: all tests passed under ASan/UBSan"
+fi
+
+# Coverage summary. Prefer gcovr's report; without it, run gcov over the
+# src/ object files and aggregate its per-file "Lines executed" output.
+if [[ -n "${coverage}" ]]; then
+  echo "---- line coverage (src/) ----"
+  if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root "${repo}" --filter "${repo}/src/" "${build}" || true
+  else
+    find "${build}/src" -name '*.gcda' -print0 |
+      xargs -0 -r gcov -n 2>/dev/null |
+      awk '/^File .*\/src\//    { f=$2; keep=1; next }
+           /^File/              { keep=0; next }
+           keep && /^Lines executed:/ {
+             split($0, a, ":"); split(a[2], b, "% of ");
+             covered += b[1] / 100.0 * b[2]; total += b[2]; keep=0;
+             printf "  %6.2f%% of %5d  %s\n", b[1], b[2], f;
+           }
+           END {
+             if (total > 0)
+               printf "TOTAL %.2f%% of %d lines\n", covered * 100.0 / total, total;
+             else
+               print "no coverage data found";
+           }'
+  fi
+  exit 0
+fi
 
 # Perf smoke (skipped for TARGETS-bounded runs, e.g. the asan_gate test):
 # sanitizer instrumentation distorts throughput, so benchmark in a plain

@@ -15,15 +15,24 @@
 //                                          commit manifest was published)
 //   drms_tool gc     <dir> [prefix]        reclaim torn states' files and
 //                                          re-export the directory
+//   drms_tool trace  <dir> <prefix>        run a traced integrity pass over
+//                                          one state and emit the Chrome
+//                                          trace_event JSON on stdout
+//   drms_tool stats  <dir> [prefix]        same pass, but print the flat
+//                                          counter/latency table instead
 //
-// Exit code 0 on success; 1 on bad usage, a missing state, a failed CRC
-// verification — info and export refuse to bless a corrupt state — or,
-// for fsck, when any torn state is found.
+// Exit code 0 on success; 2 on bad usage (unknown subcommand or missing
+// arguments); 1 on a missing state or a failed CRC verification — info
+// and export refuse to bless a corrupt state — or, for fsck, when any
+// torn state is found.
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "core/checkpoint_catalog.hpp"
+#include "obs/instrumented_backend.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "piofs/volume.hpp"
 #include "store/piofs_backend.hpp"
 #include "support/error.hpp"
@@ -44,8 +53,12 @@ int usage() {
          "CRCs)\n"
          "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n"
          "  fsck   <dir> [prefix]        report committed vs torn states\n"
-         "  gc     <dir> [prefix]        reclaim torn states' files\n";
-  return 1;
+         "  gc     <dir> [prefix]        reclaim torn states' files\n"
+         "  trace  <dir> <prefix>        traced integrity pass -> Chrome "
+         "trace JSON\n"
+         "  stats  <dir> [prefix]        traced integrity pass -> stats "
+         "table\n";
+  return 2;
 }
 
 /// The tool's working store: a host directory imported into a volume,
@@ -213,6 +226,51 @@ int cmd_fsck(const std::string& dir, const std::string& prefix) {
   return torn == 0 ? 0 : 1;
 }
 
+/// Shared engine of `trace` and `stats`: run the offline verifier over
+/// the selected states with an InstrumentedBackend between the catalog
+/// code and the store, so every read lands in the recorder. Returns the
+/// number of states visited, or -1 when any failed verification.
+int traced_verify(ToolStore& st, obs::Recorder& recorder,
+                  const std::string& prefix) {
+  obs::InstrumentedBackend instrumented(st.backend, &recorder, "piofs");
+  const auto records = core::list_checkpoints(instrumented, prefix);
+  bool all_ok = true;
+  for (const auto& r : records) {
+    const auto result = core::verify_checkpoint(instrumented, r);
+    for (const auto& problem : result.problems) {
+      std::cerr << r.prefix << ": " << problem << "\n";
+      all_ok = false;
+    }
+  }
+  return all_ok ? static_cast<int>(records.size()) : -1;
+}
+
+int cmd_trace(const std::string& dir, const std::string& prefix) {
+  ToolStore st(dir);
+  obs::Recorder recorder;
+  const int states = traced_verify(st, recorder, prefix);
+  if (states == 0) {
+    std::cerr << "no state with prefix '" << prefix << "'\n";
+    return 1;
+  }
+  obs::write_chrome_trace(std::cout, recorder);
+  return states < 0 ? 1 : 0;
+}
+
+int cmd_stats(const std::string& dir, const std::string& prefix) {
+  ToolStore st(dir);
+  obs::Recorder recorder;
+  const int states = traced_verify(st, recorder, prefix);
+  if (states == 0) {
+    std::cout << "no checkpointed states"
+              << (prefix.empty() ? "" : " under " + prefix) << " in " << dir
+              << "\n";
+    return 0;
+  }
+  obs::write_stats_table(std::cout, recorder);
+  return states < 0 ? 1 : 0;
+}
+
 int cmd_gc(const std::string& dir, const std::string& prefix) {
   ToolStore st(dir);
   const int removed = core::gc_torn_states(st.backend, prefix);
@@ -254,6 +312,12 @@ int main(int argc, char** argv) {
     }
     if (command == "gc") {
       return cmd_gc(dir, argc > 3 ? argv[3] : "");
+    }
+    if (command == "trace" && argc > 3) {
+      return cmd_trace(dir, argv[3]);
+    }
+    if (command == "stats") {
+      return cmd_stats(dir, argc > 3 ? argv[3] : "");
     }
   } catch (const drms::support::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
