@@ -19,12 +19,36 @@
 //
 // Expected-dilation is estimated by a seeded Monte Carlo simulation of
 // the failure/repair process (10k trials per cell).
+//
+// `--chaos [count] [base_seed]` switches to the MEASURED counterpart of
+// the model: a seeded chaos campaign that runs `count` randomized failure
+// schedules (task kills, node loss, transient storage faults, torn and
+// corrupt newest generations) through the RecoverySupervisor, across
+// {DRMS, SPMD} x {memory, PIOFS, tiered} storage, asserting every run
+// recovers WITHOUT manual intervention to the failure-free field
+// fingerprint, and emits BENCH_recovery.json with the per-phase MTTR
+// breakdown (detect / select / verify / reconfigure / resume).
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "apps/solver.hpp"
+#include "arch/cluster.hpp"
+#include "json_writer.hpp"
+#include "piofs/volume.hpp"
+#include "recovery/failure_schedule.hpp"
+#include "recovery/supervisor.hpp"
+#include "rt/task_group.hpp"
+#include "store/fault_injection_backend.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "store/tiered_backend.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -130,9 +154,330 @@ double expected_dilation(const Scenario& s, int trials, Rng& rng) {
   return (total / trials) / s.work_hours;
 }
 
+// ---- measured chaos campaign (--chaos) --------------------------------------
+
+namespace chaos {
+
+using namespace drms;
+
+constexpr int kIterations = 12;
+constexpr int kCheckpointEvery = 3;
+constexpr int kPreferredTasks = 4;
+
+enum class BackendKind { kMemory, kPiofs, kTiered };
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMemory: return "memory";
+    case BackendKind::kPiofs: return "piofs";
+    case BackendKind::kTiered: return "tiered";
+  }
+  return "?";
+}
+
+/// A fresh storage stack with the fault decorator on top, like the
+/// crash-consistency suite's.
+struct Stack {
+  std::unique_ptr<piofs::Volume> volume;
+  std::unique_ptr<store::PiofsBackend> piofs;
+  std::unique_ptr<store::MemoryBackend> memory;
+  std::unique_ptr<store::TieredBackend> tiered;
+  std::unique_ptr<store::FaultInjectionBackend> fault;
+};
+
+Stack make_stack(BackendKind kind) {
+  Stack s;
+  store::StorageBackend* inner = nullptr;
+  switch (kind) {
+    case BackendKind::kMemory:
+      s.memory = std::make_unique<store::MemoryBackend>();
+      inner = s.memory.get();
+      break;
+    case BackendKind::kPiofs:
+      s.volume = std::make_unique<piofs::Volume>(4);
+      s.piofs = std::make_unique<store::PiofsBackend>(*s.volume);
+      inner = s.piofs.get();
+      break;
+    case BackendKind::kTiered:
+      s.volume = std::make_unique<piofs::Volume>(4);
+      s.piofs = std::make_unique<store::PiofsBackend>(*s.volume);
+      s.memory = std::make_unique<store::MemoryBackend>();
+      s.tiered = std::make_unique<store::TieredBackend>(*s.memory, *s.piofs);
+      inner = s.tiered.get();
+      break;
+  }
+  s.fault = std::make_unique<store::FaultInjectionBackend>(*inner);
+  return s;
+}
+
+/// SP with most of its inventory trimmed away: the campaign measures the
+/// recovery loop, not the Table-4 data volume.
+apps::SolverOptions solver_options() {
+  apps::SolverOptions o;
+  o.spec = apps::AppSpec::sp();
+  o.spec.arrays.resize(2);
+  o.spec.private_bytes = 4 * 1024;
+  o.spec.system_bytes = 4 * 1024;
+  o.spec.text_bytes = 4 * 1024;
+  o.n = 8;
+  o.iterations = kIterations;
+  o.checkpoint_every = kCheckpointEvery;
+  o.prefix = "job";
+  return o;
+}
+
+/// The failure-free fingerprint. ONE baseline suffices: the solver's
+/// numerics are distribution-invariant, so the CRC is identical across
+/// task counts, storage backends and restart paths.
+std::uint32_t baseline_crc() {
+  store::MemoryBackend storage;
+  apps::SolverOptions o = solver_options();
+  o.prefix.clear();
+  core::DrmsEnv env;
+  env.storage = &storage;
+  auto program = apps::make_program(o, env, kPreferredTasks);
+  std::uint32_t crc = 0;
+  rt::TaskGroup group(sim::Placement::one_per_node(
+      sim::Machine::paper_sp16(), kPreferredTasks));
+  group.run([&](rt::TaskContext& ctx) {
+    const auto out = apps::run_solver(*program, ctx, o);
+    if (ctx.rank() == 0) {
+      crc = out.field_crc;
+    }
+  });
+  return crc;
+}
+
+struct CampaignRow {
+  std::uint64_t seed = 0;
+  bool spmd = false;
+  BackendKind backend = BackendKind::kMemory;
+  std::string schedule;
+  bool ok = false;
+  int launches = 0;
+  int generation_fallbacks = 0;
+  int reconfigurations = 0;
+  recovery::RecoveryPhases phases;  // summed over the run's recoveries
+  int recoveries = 0;
+};
+
+int run_campaign(int count, std::uint64_t base_seed) {
+  std::cout << "Chaos campaign: " << count
+            << " seeded failure schedules x {DRMS, SPMD} x {memory, "
+               "piofs, tiered}\n";
+  const std::uint32_t baseline = baseline_crc();
+  std::cout << "failure-free baseline field CRC: " << baseline << "\n\n";
+
+  recovery::ScheduleShape shape;
+  shape.iterations = kIterations;
+  shape.checkpoint_every = kCheckpointEvery;
+
+  std::vector<CampaignRow> rows;
+  bool kind_seen[5] = {};
+  int failures = 0;
+  for (int i = 0; i < count; ++i) {
+    CampaignRow row;
+    row.seed = base_seed + static_cast<std::uint64_t>(i);
+    row.spmd = i % 2 == 1;
+    row.backend = static_cast<BackendKind>((i / 2) % 3);
+    const recovery::FailureSchedule schedule =
+        recovery::FailureSchedule::random(row.seed, shape);
+    row.schedule = schedule.describe();
+    for (int k = 0; k < 5; ++k) {
+      if (schedule.has_kind(static_cast<recovery::FailureKind>(k))) {
+        kind_seen[k] = true;
+      }
+    }
+
+    // DRMS runs on a machine with NO spare nodes, so node loss forces a
+    // reconfigured restart (t2 < t1); SPMD — which can only restart on
+    // t2 == t1 — gets spares to shrink into.
+    sim::Machine machine;
+    machine.node_count = row.spmd ? kPreferredTasks + 2 : kPreferredTasks;
+    machine.server_count = machine.node_count;
+    arch::Cluster cluster(machine, nullptr);
+    Stack stack = make_stack(row.backend);
+
+    recovery::SupervisorOptions o;
+    o.solver = solver_options();
+    o.env.storage = stack.fault.get();
+    o.env.mode = row.spmd ? core::CheckpointMode::kSpmd
+                          : core::CheckpointMode::kDrms;
+    o.preferred_tasks = kPreferredTasks;
+    o.min_tasks = 1;
+    o.seed = row.seed;
+    o.fault = stack.fault.get();
+    o.backoff_base = std::chrono::microseconds(1);
+
+    recovery::RecoverySupervisor supervisor(cluster);
+    const recovery::RecoveryReport report = supervisor.run(o, schedule);
+    row.ok = report.completed && report.outcome.field_crc == baseline;
+    row.launches = static_cast<int>(report.launches.size());
+    row.generation_fallbacks = report.generation_fallbacks;
+    row.reconfigurations = report.reconfigurations;
+    row.recoveries = static_cast<int>(report.recoveries.size());
+    for (const auto& r : report.recoveries) {
+      row.phases.detect_ns += r.detect_ns;
+      row.phases.select_ns += r.select_ns;
+      row.phases.verify_ns += r.verify_ns;
+      row.phases.reconfigure_ns += r.reconfigure_ns;
+      row.phases.resume_ns += r.resume_ns;
+    }
+    if (!row.ok) {
+      ++failures;
+      std::cout << "FAILED seed " << row.seed << " ("
+                << (row.spmd ? "SPMD" : "DRMS") << "/"
+                << to_string(row.backend) << "): " << row.schedule
+                << (report.completed ? " — fingerprint mismatch"
+                                     : " — did not complete")
+                << "\n";
+    }
+    rows.push_back(row);
+  }
+
+  drms::support::TextTable table({"seed", "mode", "backend", "schedule",
+                                  "launches", "fallbacks", "reconfigs",
+                                  "MTTR us", "result"});
+  recovery::RecoveryPhases total;
+  int total_recoveries = 0;
+  int fallback_runs = 0;
+  int reconfig_runs = 0;
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.seed), row.spmd ? "SPMD" : "DRMS",
+                   to_string(row.backend), row.schedule,
+                   std::to_string(row.launches),
+                   std::to_string(row.generation_fallbacks),
+                   std::to_string(row.reconfigurations),
+                   std::to_string(row.phases.total_ns() / 1000),
+                   row.ok ? "OK" : "FAILED"});
+    total.detect_ns += row.phases.detect_ns;
+    total.select_ns += row.phases.select_ns;
+    total.verify_ns += row.phases.verify_ns;
+    total.reconfigure_ns += row.phases.reconfigure_ns;
+    total.resume_ns += row.phases.resume_ns;
+    total_recoveries += row.recoveries;
+    fallback_runs += row.generation_fallbacks > 0 ? 1 : 0;
+    reconfig_runs += row.reconfigurations > 0 ? 1 : 0;
+  }
+  table.print(std::cout);
+
+  const auto mean_us = [&](std::uint64_t ns) {
+    return total_recoveries == 0
+               ? 0.0
+               : static_cast<double>(ns) / total_recoveries / 1000.0;
+  };
+  std::cout << "\n"
+            << total_recoveries << " recoveries; mean MTTR breakdown: detect "
+            << format_fixed(mean_us(total.detect_ns), 1) << "us, select "
+            << format_fixed(mean_us(total.select_ns), 1) << "us, verify "
+            << format_fixed(mean_us(total.verify_ns), 1)
+            << "us, reconfigure "
+            << format_fixed(mean_us(total.reconfigure_ns), 1)
+            << "us, resume " << format_fixed(mean_us(total.resume_ns), 1)
+            << "us\n";
+
+  // Coverage: the campaign must actually exercise every failure class,
+  // at least one generation fallback and at least one t2 != t1 restart.
+  bool covered = true;
+  for (int k = 0; k < 5; ++k) {
+    if (!kind_seen[k]) {
+      std::cout << "COVERAGE GAP: no schedule of kind "
+                << recovery::to_string(
+                       static_cast<recovery::FailureKind>(k))
+                << "\n";
+      covered = false;
+    }
+  }
+  if (fallback_runs == 0) {
+    std::cout << "COVERAGE GAP: no run exercised generation fallback\n";
+    covered = false;
+  }
+  if (reconfig_runs == 0) {
+    std::cout << "COVERAGE GAP: no run exercised reconfiguration\n";
+    covered = false;
+  }
+
+  std::ofstream out("BENCH_recovery.json");
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.field("bench", "recovery_chaos");
+  json.field("schedules", count);
+  json.field("base_seed", base_seed);
+  json.field("baseline_crc", static_cast<std::uint64_t>(baseline));
+  json.begin_array("rows");
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("seed", row.seed);
+    json.field("mode", row.spmd ? "SPMD" : "DRMS");
+    json.field("backend", to_string(row.backend));
+    json.field("schedule", row.schedule);
+    json.field("ok", row.ok);
+    json.field("launches", row.launches);
+    json.field("recoveries", row.recoveries);
+    json.field("generation_fallbacks", row.generation_fallbacks);
+    json.field("reconfigurations", row.reconfigurations);
+    json.field("detect_ns", row.phases.detect_ns);
+    json.field("select_ns", row.phases.select_ns);
+    json.field("verify_ns", row.phases.verify_ns);
+    json.field("reconfigure_ns", row.phases.reconfigure_ns);
+    json.field("resume_ns", row.phases.resume_ns);
+    json.field("total_ns", row.phases.total_ns());
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_object("mttr");
+  json.field("recoveries", total_recoveries);
+  json.field("mean_detect_us", mean_us(total.detect_ns));
+  json.field("mean_select_us", mean_us(total.select_ns));
+  json.field("mean_verify_us", mean_us(total.verify_ns));
+  json.field("mean_reconfigure_us", mean_us(total.reconfigure_ns));
+  json.field("mean_resume_us", mean_us(total.resume_ns));
+  json.field("mean_total_us", mean_us(total.total_ns()));
+  json.end_object();
+  json.begin_object("coverage");
+  for (int k = 0; k < 5; ++k) {
+    json.field(recovery::to_string(static_cast<recovery::FailureKind>(k)),
+               kind_seen[k]);
+  }
+  json.field("fallback_runs", fallback_runs);
+  json.field("reconfig_runs", reconfig_runs);
+  json.end_object();
+  json.end_object();
+  out << "\n";
+  std::cout << "wrote BENCH_recovery.json\n";
+
+  if (failures > 0 || !covered) {
+    std::cout << "\nCHAOS CAMPAIGN FAILED: " << failures << " of " << count
+              << " schedules did not recover"
+              << (covered ? "" : " (and coverage gaps remain)") << "\n";
+    return 1;
+  }
+  std::cout << "\nall " << count
+            << " schedules recovered to the failure-free fingerprint.\n";
+  return 0;
+}
+
+}  // namespace chaos
+
+/// The original no-argument mode: the Wong & Franklin dilation table
+/// (byte-identical output to the pre-campaign version of this bench).
+int availability_table();
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--chaos") {
+    const int count = argc > 2 ? std::atoi(argv[2]) : 32;
+    const std::uint64_t base_seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    return chaos::run_campaign(std::max(count, 1), base_seed);
+  }
+  return availability_table();
+}
+
+namespace {
+
+int availability_table() {
   std::cout
       << "Availability model (Wong & Franklin [19]): expected completion\n"
       << "dilation vs. partition size, rigid restart vs. reconfigurable\n"
@@ -163,3 +508,5 @@ int main() {
       << "[19] and the motivation for scalable recovery.\n";
   return 0;
 }
+
+}  // namespace

@@ -1,140 +1,136 @@
-// Scalable recovery from a processor failure — the full §4 story:
+// Scalable recovery from a processor failure — the full §4 story, driven
+// end-to-end by the RecoverySupervisor:
 //
-//   A 16-node DRMS cluster runs the SP-like solver on 8 processors. Mid
-//   run (after a checkpoint) a node fails: the RC loses the TC connection,
-//   kills the application's whole TC pool, informs the user, and restarts
-//   the healthy TCs. The JSA then restarts the application from its latest
-//   checkpoint on the processors still available — WITHOUT waiting for the
-//   failed node's repair — and the run completes with exactly the field an
+//   An 8-node DRMS cluster runs the SP-like solver on all 8 processors.
+//   At a randomly chosen SOP a node fails: the RC loses the TC
+//   connection, kills the application's whole TC pool, informs the user,
+//   and restarts the healthy TCs. The supervisor then selects the newest
+//   committed generation, deep-verifies it, reconfigures the job onto the
+//   7 surviving processors (t2 != t1 — no spare nodes, no waiting for
+//   repair), and resumes. The run completes with exactly the field an
 //   uninterrupted run produces.
 //
-// Build & run:  ./examples/fault_recovery
-#include <atomic>
-#include <chrono>
+// Build & run:  ./examples/fault_recovery [seed]
+#include <cstdlib>
 #include <iostream>
-#include <thread>
 
 #include "apps/solver.hpp"
-#include "arch/uic.hpp"
 #include "piofs/volume.hpp"
+#include "recovery/supervisor.hpp"
 #include "store/piofs_backend.hpp"
+#include "support/rng.hpp"
 
 using namespace drms;
 
-int main() {
-  std::cout << "DRMS fault recovery demo (16-node cluster)\n\n";
+namespace {
 
-  arch::EventLog log;
-  arch::Cluster cluster(sim::Machine::paper_sp16(), &log);
-  arch::JobScheduler jsa(cluster, &log);
-  piofs::Volume volume(16);
-  store::PiofsBackend storage(volume);
-  arch::Uic uic(cluster, jsa, storage, log);
-
-  // Reference field from an uninterrupted run.
-  std::uint32_t reference_crc = 0;
-  {
-    piofs::Volume ref_volume(16);
-    store::PiofsBackend ref_storage(ref_volume);
-    apps::SolverOptions options;
-    options.spec = apps::AppSpec::sp();
-    options.n = 16;
-    options.iterations = 12;
-    options.checkpoint_every = 5;
-    options.prefix = "ref";
-    core::DrmsEnv env;
-    env.storage = &ref_storage;
-    auto program = apps::make_program(options, env, 8);
-    rt::TaskGroup group(sim::Placement::one_per_node(
-        sim::Machine::paper_sp16(), 8));
-    group.run([&](rt::TaskContext& ctx) {
-      const auto out = apps::run_solver(*program, ctx, options);
-      if (ctx.rank() == 0) {
-        reference_crc = out.field_crc;
-      }
-    });
-  }
-
-  // The job: SP on preferably 8 processors, checkpointing every 5
-  // iterations. After the it=5 checkpoint the solver blocks (simulating a
-  // long computation) so the failure lands deterministically mid-run.
-  std::atomic<bool> injected{false};
-  std::atomic<bool> ready_for_failure{false};
-  auto outcome_slot = std::make_shared<apps::SolverOutcome>();
-
+apps::SolverOptions solver_options() {
   apps::SolverOptions options;
   options.spec = apps::AppSpec::sp();
   options.n = 16;
   options.iterations = 12;
-  options.checkpoint_every = 5;
+  options.checkpoint_every = 3;
   options.prefix = "job.sp";
-  options.on_iteration = [&](std::int64_t it, rt::TaskContext& ctx) {
-    if (!injected.load() && it >= 6) {
-      if (ctx.rank() == 0) {
-        ready_for_failure.store(true);
-      }
-      for (;;) {  // wait for the injected kill
-        ctx.check_killed();
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-    }
-  };
+  return options;
+}
 
-  arch::JobDescriptor job;
-  job.name = "SP";
-  job.min_tasks = 2;
-  job.preferred_tasks = 8;
-  job.checkpoint_prefix = options.prefix;
-  job.base_env.storage = &storage;
-  job.make_program = [options](core::DrmsEnv env, int tasks) {
-    return apps::make_program(options, env, tasks);
-  };
-  job.body = [options, outcome_slot](core::DrmsProgram& program,
-                                     rt::TaskContext& ctx) {
-    const auto out = apps::run_solver(program, ctx, options);
+/// Reference field fingerprint from an uninterrupted run (the solver's
+/// numerics are distribution-invariant: one baseline covers any t2).
+std::uint32_t reference_crc() {
+  piofs::Volume volume(16);
+  store::PiofsBackend storage(volume);
+  apps::SolverOptions options = solver_options();
+  options.prefix.clear();
+  core::DrmsEnv env;
+  env.storage = &storage;
+  auto program = apps::make_program(options, env, 8);
+  std::uint32_t crc = 0;
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), 8));
+  group.run([&](rt::TaskContext& ctx) {
+    const auto out = apps::run_solver(*program, ctx, options);
     if (ctx.rank() == 0) {
-      *outcome_slot = out;
+      crc = out.field_crc;
     }
-  };
-
-  // Administrator thread: break node 3 once the job is in flight.
-  std::thread chaos([&] {
-    while (!ready_for_failure.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-    std::cout << ">>> injecting failure on node 3\n";
-    injected.store(true);
-    uic.admin_fail_node(3);
   });
+  return crc;
+}
 
-  const arch::JobOutcome outcome = uic.submit_and_wait(job);
-  chaos.join();
+}  // namespace
 
-  std::cout << "\nRC/JSA event trace:\n";
-  for (const auto& line : uic.event_trace()) {
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::cout << "DRMS fault recovery demo (8-node cluster, seed " << seed
+            << ")\n\n";
+  const std::uint32_t reference = reference_crc();
+
+  // An 8-node machine with NO spare processors: the job prefers all 8, so
+  // the node failure forces a reconfigured restart on 7.
+  sim::Machine machine;
+  machine.node_count = 8;
+  machine.server_count = 8;
+  arch::EventLog log;
+  arch::Cluster cluster(machine, &log);
+  piofs::Volume volume(8);
+  store::PiofsBackend storage(volume);
+
+  recovery::SupervisorOptions options;
+  options.solver = solver_options();
+  options.env.storage = &storage;
+  options.job_name = "SP";
+  options.min_tasks = 2;
+  options.preferred_tasks = 8;
+  options.seed = seed;
+
+  // Break a random node at a random SOP: the generator below lands the
+  // failure on a checkpoint boundary so the restart resumes mid-run.
+  support::Rng rng(seed);
+  const int sops = (options.solver.iterations - 1) /
+                   options.solver.checkpoint_every;
+  recovery::FailureEvent failure;
+  failure.kind = recovery::FailureKind::kNodeLoss;
+  failure.at_iteration = options.solver.checkpoint_every *
+                         static_cast<std::int64_t>(rng.uniform_int(1, sops));
+  failure.node_ordinal = static_cast<int>(rng.uniform_int(0, 7));
+  recovery::FailureSchedule schedule;
+  schedule.events.push_back(failure);
+  std::cout << ">>> schedule: " << schedule.describe() << "\n\n";
+
+  recovery::RecoverySupervisor supervisor(cluster, &log);
+  const recovery::RecoveryReport report = supervisor.run(options, schedule);
+
+  std::cout << "RC/supervisor event trace:\n";
+  for (const auto& line : log.formatted()) {
     std::cout << "  " << line << "\n";
   }
 
-  std::cout << "\nattempts: " << outcome.attempts.size() << "\n";
-  for (std::size_t i = 0; i < outcome.attempts.size(); ++i) {
-    const auto& a = outcome.attempts[i];
-    std::cout << "  attempt " << i + 1 << ": " << a.tasks << " tasks, "
-              << (a.from_checkpoint ? "from checkpoint" : "fresh") << ", "
-              << (a.completed ? "completed"
-                              : ("killed: " + a.kill_reason))
+  std::cout << "\nlaunches: " << report.launches.size() << "\n";
+  for (std::size_t i = 0; i < report.launches.size(); ++i) {
+    const auto& l = report.launches[i];
+    std::cout << "  launch " << i + 1 << ": " << l.tasks << " tasks, "
+              << (l.from_checkpoint ? "from " + l.restart_prefix : "fresh")
+              << ", "
+              << (l.completed ? "completed" : "killed: " + l.kill_reason)
               << "\n";
   }
-  std::cout << "available processors now: " << uic.available_processors()
-            << " (node 3 still awaiting repair)\n";
-  uic.admin_repair_node(3);
-  std::cout << "after repair: " << uic.available_processors() << "\n";
+  for (const auto& r : report.recoveries) {
+    std::cout << "recovery MTTR: detect " << r.detect_ns / 1000
+              << "us, select " << r.select_ns / 1000 << "us, verify "
+              << r.verify_ns / 1000 << "us, reconfigure "
+              << r.reconfigure_ns / 1000 << "us, resume "
+              << r.resume_ns / 1000 << "us\n";
+  }
+  std::cout << "available processors now: " << cluster.available_processors()
+            << " (failed node still awaiting repair)\n";
 
-  const bool ok = outcome.completed && outcome_slot->restarted &&
-                  outcome_slot->field_crc == reference_crc;
-  std::cout << "\nresumed at it=" << outcome_slot->start_iteration
-            << ", delta=" << outcome_slot->delta << ", field "
-            << (outcome_slot->field_crc == reference_crc
-                    ? "matches the uninterrupted run bit-for-bit.\n"
-                    : "MISMATCH!\n");
-  return ok ? 0 : 1;
+  const bool reconfigured = report.reconfigurations > 0;
+  const bool match = report.completed &&
+                     report.outcome.field_crc == reference;
+  std::cout << "\nresumed at it=" << report.outcome.start_iteration
+            << " on t2=" << report.launches.back().tasks << " (t1="
+            << report.launches.front().tasks << "), field "
+            << (match ? "matches the uninterrupted run bit-for-bit.\n"
+                      : "MISMATCH!\n");
+  return match && reconfigured ? 0 : 1;
 }

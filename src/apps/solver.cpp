@@ -224,9 +224,12 @@ SolverOutcome run_solver(core::DrmsProgram& program, rt::TaskContext& ctx,
   while (it < stop) {
     if (!options.prefix.empty() && it > 0 &&
         it % options.checkpoint_every == 0) {
+      const std::string ckpt_prefix = options.prefix_for_iteration
+                                          ? options.prefix_for_iteration(it)
+                                          : options.prefix;
       const core::ReconfigResult r =
-          options.use_chkenable ? drms.reconfig_chkenable(options.prefix)
-                                : drms.reconfig_checkpoint(options.prefix);
+          options.use_chkenable ? drms.reconfig_chkenable(ckpt_prefix)
+                                : drms.reconfig_checkpoint(ckpt_prefix);
       if (r.checkpoint_written) {
         ++out.checkpoints_written;
       }

@@ -34,6 +34,10 @@ struct SolverOptions {
   int checkpoint_every = 10;
   /// Prefix for checkpoints taken at SOPs; empty = SOPs never checkpoint.
   std::string prefix;
+  /// When set, overrides `prefix` per SOP (still gated on `prefix` being
+  /// non-empty). The recovery supervisor uses this to write per-generation
+  /// prefixes ("base.g000010") so older states survive as fallbacks.
+  std::function<std::string(std::int64_t iteration)> prefix_for_iteration;
   /// Stop early after this iteration count (simulates an interruption
   /// between SOPs); -1 = run to `iterations`.
   int stop_at_iteration = -1;

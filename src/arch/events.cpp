@@ -34,6 +34,12 @@ std::string to_string(EventKind kind) {
       return "JOB_PREEMPTED";
     case EventKind::kNodeDrained:
       return "NODE_DRAINED";
+    case EventKind::kGenerationFallback:
+      return "GENERATION_FALLBACK";
+    case EventKind::kReconfigured:
+      return "RECONFIGURED";
+    case EventKind::kRecoveryGaveUp:
+      return "RECOVERY_GAVE_UP";
   }
   return "UNKNOWN";
 }

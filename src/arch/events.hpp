@@ -25,6 +25,9 @@ enum class EventKind {
   kCheckpointRequested,
   kJobPreempted,
   kNodeDrained,
+  kGenerationFallback,
+  kReconfigured,
+  kRecoveryGaveUp,
 };
 
 [[nodiscard]] std::string to_string(EventKind kind);

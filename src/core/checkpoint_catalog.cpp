@@ -98,19 +98,30 @@ std::vector<CheckpointRecord> list_checkpoints(
   return records;
 }
 
-std::optional<CheckpointRecord> latest_checkpoint(
+std::vector<CheckpointRecord> restart_candidates(
     const store::StorageBackend& storage, const std::string& app_name,
     const std::string& prefix_filter) {
-  std::optional<CheckpointRecord> best;
+  std::vector<CheckpointRecord> out;
   for (auto& record : list_checkpoints(storage, prefix_filter)) {
-    if (record.meta.app_name != app_name) {
-      continue;
-    }
-    if (!best.has_value() || record.meta.sop > best->meta.sop) {
-      best = std::move(record);
+    if (record.meta.app_name == app_name) {
+      out.push_back(std::move(record));
     }
   }
-  return best;
+  // list_checkpoints sorts SOP ascending; a supervisor wants newest first.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::optional<CheckpointRecord> latest_checkpoint(
+    const store::StorageBackend& storage, const std::string& app_name,
+    const std::string& prefix_filter, const DeepVerifyHook& deep_verify) {
+  for (auto& record : restart_candidates(storage, app_name, prefix_filter)) {
+    if (deep_verify && !deep_verify(record)) {
+      continue;  // committed but corrupt: fall back to an older generation
+    }
+    return std::move(record);
+  }
+  return std::nullopt;
 }
 
 void remove_checkpoint(store::StorageBackend& storage,
@@ -150,9 +161,10 @@ void check(bool condition, const std::string& what, VerifyResult& out) {
 }
 
 /// Verify a segment payload of the form [u64 size][u32 crc][body...].
+/// Structural bounds checks always run; the body CRC only when `deep`.
 void verify_sized_crc_record(const store::FileHandle& file,
                              std::uint64_t offset, const std::string& what,
-                             VerifyResult& out) {
+                             bool deep, VerifyResult& out) {
   if (offset + 12 > file.size()) {
     check(false, what + ": truncated record header", out);
     return;
@@ -165,6 +177,9 @@ void verify_sized_crc_record(const store::FileHandle& file,
     check(false, what + ": truncated record body", out);
     return;
   }
+  if (!deep) {
+    return;
+  }
   const drms::support::ByteBuffer body =
       store::read_to_buffer(file, offset + 12, body_size);
   check(drms::support::crc32c(body.bytes()) == crc, what + ": CRC mismatch",
@@ -174,7 +189,7 @@ void verify_sized_crc_record(const store::FileHandle& file,
 }  // namespace
 
 VerifyResult verify_checkpoint(const store::StorageBackend& storage,
-                               const CheckpointRecord& record) {
+                               const CheckpointRecord& record, bool deep) {
   VerifyResult out;
   // Commit-manifest check first: a state that was never published (or
   // whose published file list no longer matches the volume) is torn.
@@ -193,7 +208,7 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
     const CommitEntry* entry = commit.manifest.entry(meta_name);
     if (entry == nullptr) {
       check(false, meta_name + ": not listed in commit manifest", out);
-    } else if (entry->has_crc) {
+    } else if (deep && entry->has_crc) {
       const auto file = storage.open(meta_name);
       const support::ByteBuffer bytes =
           store::read_to_buffer(file, 0, file.size());
@@ -211,7 +226,7 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
       const auto file = storage.open(name);
       check(file.size() == record.meta.segment_bytes,
             name + ": unexpected size", out);
-      verify_sized_crc_record(file, 0, name, out);
+      verify_sized_crc_record(file, 0, name, deep, out);
     }
     return out;
   }
@@ -236,7 +251,7 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
             seg_name + ": header/size mismatch", out);
       // The replicated payload carries its own sized CRC record.
       verify_sized_crc_record(seg, wire::kSegmentHeaderBytes, seg_name,
-                              out);
+                              deep, out);
     } else {
       check(false, seg_name + ": too small for a header", out);
     }
@@ -249,7 +264,7 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
     }
     const auto file = storage.open(name);
     check(file.size() == a.stream_bytes, name + ": unexpected size", out);
-    if (file.size() == a.stream_bytes) {
+    if (deep && file.size() == a.stream_bytes) {
       const support::ByteBuffer bytes =
           store::read_to_buffer(file, 0, file.size());
       check(support::crc32c(bytes.bytes()) == a.stream_crc,
@@ -466,6 +481,23 @@ int gc_torn_states(store::StorageBackend& storage,
         // Vanished since the scan; reclaiming it was the goal anyway.
       }
     }
+  }
+  return removed;
+}
+
+int gc_superseded_states(store::StorageBackend& storage,
+                         const std::string& app_name,
+                         const std::string& prefix_filter, int keep_last_k) {
+  const int keep = std::max(keep_last_k, 1);
+  // restart_candidates is SOP descending: everything past index keep-1 is
+  // superseded.
+  const std::vector<CheckpointRecord> candidates =
+      restart_candidates(storage, app_name, prefix_filter);
+  int removed = 0;
+  for (std::size_t i = static_cast<std::size_t>(keep);
+       i < candidates.size(); ++i) {
+    remove_checkpoint(storage, candidates[i]);
+    ++removed;
   }
   return removed;
 }

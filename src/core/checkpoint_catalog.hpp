@@ -5,6 +5,7 @@
 // candidate (normally the highest SOP).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,11 +45,27 @@ struct CommitCheck {
 [[nodiscard]] std::vector<CheckpointRecord> list_checkpoints(
     const store::StorageBackend& storage, const std::string& prefix_filter = "");
 
-/// The restart candidate with the highest SOP for an application name
-/// (all modes considered), if any.
-[[nodiscard]] std::optional<CheckpointRecord> latest_checkpoint(
+/// Accept/reject hook for candidate selection. Given a committed record,
+/// return true when the state's *contents* are sound (typically a
+/// deep-verify: segment + per-array CRCs). Candidates the hook rejects
+/// are skipped so selection falls back to the next-older generation.
+using DeepVerifyHook = std::function<bool(const CheckpointRecord&)>;
+
+/// Every committed restart candidate for an application name (all modes
+/// considered), sorted by SOP DESCENDING — the order a supervisor walks
+/// when the newest generation turns out torn or corrupt.
+[[nodiscard]] std::vector<CheckpointRecord> restart_candidates(
     const store::StorageBackend& storage, const std::string& app_name,
     const std::string& prefix_filter = "");
+
+/// The restart candidate with the highest SOP for an application name
+/// (all modes considered), if any. When `deep_verify` is supplied,
+/// committed-but-corrupt states are skipped instead of being returned
+/// unconditionally: the newest candidate the hook accepts wins.
+[[nodiscard]] std::optional<CheckpointRecord> latest_checkpoint(
+    const store::StorageBackend& storage, const std::string& app_name,
+    const std::string& prefix_filter = "",
+    const DeepVerifyHook& deep_verify = nullptr);
 
 /// Delete every file of one checkpointed state (retention management).
 void remove_checkpoint(store::StorageBackend& storage,
@@ -60,12 +77,16 @@ struct VerifyResult {
   std::vector<std::string> problems;
 };
 
-/// Offline integrity verification (no task group needed): every file of
-/// the state is present with the expected size, and each DRMS array file's
-/// contents match the stream CRC recorded in the meta. SPMD states check
-/// the per-task segment CRCs.
+/// Offline integrity verification (no task group needed). With
+/// `deep == false` only structural checks run: commit manifest valid,
+/// every file present with the expected size, segment header sane. With
+/// `deep == true` (the default) every byte is read back: the meta file's
+/// manifest CRC, the segment's sized-CRC record, and each DRMS array
+/// file's contents against the stream CRC recorded in the meta. SPMD
+/// states check the per-task segment CRCs.
 [[nodiscard]] VerifyResult verify_checkpoint(const store::StorageBackend& storage,
-                                             const CheckpointRecord& record);
+                                             const CheckpointRecord& record,
+                                             bool deep = true);
 
 /// One state as seen by the offline consistency scan (`drms_tool fsck`).
 struct FsckState {
@@ -91,5 +112,16 @@ struct FsckState {
 /// committed states' strays). Returns the number of files removed.
 int gc_torn_states(store::StorageBackend& storage,
                    const std::string& prefix_filter = "");
+
+/// Retention policy: keep only the `keep_last_k` newest (highest-SOP)
+/// committed states of the application and remove every older one,
+/// preserving bounded fallback depth without unbounded storage growth.
+/// States other applications own are untouched. Returns the number of
+/// states removed. `keep_last_k < 1` is clamped to 1 — the newest state
+/// is never retired by retention.
+int gc_superseded_states(store::StorageBackend& storage,
+                         const std::string& app_name,
+                         const std::string& prefix_filter = "",
+                         int keep_last_k = 2);
 
 }  // namespace drms::core

@@ -1,0 +1,74 @@
+// Declarative failure schedules for the recovery supervisor and the
+// chaos campaign: a seeded, reproducible list of fault events, each
+// pinned to (launch index, solver iteration), covering every failure
+// class the supervisor must survive — task kills, node loss, transient
+// storage faults, and torn/corrupt newest generations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drms::recovery {
+
+enum class FailureKind {
+  /// Raise the job's kill switch (rt/kill_switch.hpp): every task of the
+  /// group unwinds, no node leaves the pool.
+  kKillPool,
+  /// arch::Cluster::fail_node on one of the job's nodes: the RC teardown
+  /// protocol kills the pool AND the node stays down (reconfiguration
+  /// pressure).
+  kNodeLoss,
+  /// store::FaultInjectionBackend::inject_transient_faults: the next
+  /// mutations each fail once; the engines' retry_io absorbs them.
+  kTransientFaults,
+  /// Decommit the newest committed generation (models a crash between
+  /// the data files and the manifest publication): the catalog must skip
+  /// it and restart from the previous generation.
+  kTornNewest,
+  /// Flip one byte inside the newest committed generation's payload: the
+  /// state stays COMMITTED but deep verification must reject it
+  /// (generation fallback).
+  kCorruptNewest,
+};
+
+[[nodiscard]] const char* to_string(FailureKind kind);
+
+struct FailureEvent {
+  FailureKind kind = FailureKind::kKillPool;
+  /// 0-based index of the supervisor launch during which the event fires.
+  int launch = 0;
+  /// Fires at the top of the first iteration >= this (after its SOP).
+  std::int64_t at_iteration = 0;
+  /// kNodeLoss: ordinal into the job's current node list.
+  int node_ordinal = 0;
+  /// kTransientFaults: how many mutations fail once.
+  int transient_count = 1;
+};
+
+/// Shape parameters the random generator works within (must match the
+/// solver options the supervisor runs).
+struct ScheduleShape {
+  int iterations = 12;
+  int checkpoint_every = 3;
+  /// Allow a second fatal event in the relaunched run.
+  bool allow_second_failure = true;
+};
+
+struct FailureSchedule {
+  std::vector<FailureEvent> events;
+
+  /// Seeded random schedule. The primary failure class cycles with the
+  /// seed (seed % 5), so any 5 consecutive seeds cover every kind;
+  /// positions, node ordinals and fault counts vary with the seed's RNG
+  /// stream. Torn/corrupt primaries pair the storage mutilation with a
+  /// task kill in the same run so the restart exercises the fallback.
+  [[nodiscard]] static FailureSchedule random(std::uint64_t seed,
+                                              const ScheduleShape& shape);
+
+  [[nodiscard]] bool has_kind(FailureKind kind) const;
+  /// "kill@L0/i5; nodeloss#2@L1/i8" — for logs and the campaign JSON.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace drms::recovery

@@ -1,0 +1,33 @@
+#include "recovery/reconfig_policy.hpp"
+
+#include <algorithm>
+
+namespace drms::recovery {
+
+int SameCountPolicy::choose_tasks(const ReconfigInput& in) const {
+  const int want =
+      in.checkpoint_tasks > 0 ? in.checkpoint_tasks : in.preferred_tasks;
+  if (want < in.min_tasks || want > in.survivors) {
+    return 0;
+  }
+  return want;
+}
+
+int ShrinkToSurvivorsPolicy::choose_tasks(const ReconfigInput& in) const {
+  const int want = std::min(in.preferred_tasks, in.survivors);
+  return want >= in.min_tasks ? want : 0;
+}
+
+int PowerOfTwoPolicy::choose_tasks(const ReconfigInput& in) const {
+  const int cap = std::min(in.preferred_tasks, in.survivors);
+  if (cap < 1) {
+    return 0;
+  }
+  int want = 1;
+  while (want * 2 <= cap) {
+    want *= 2;
+  }
+  return want >= in.min_tasks ? want : 0;
+}
+
+}  // namespace drms::recovery

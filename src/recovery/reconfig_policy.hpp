@@ -1,0 +1,65 @@
+// Pluggable reconfiguration policies for the recovery supervisor.
+//
+// After a failure the supervisor must pick a new task count t2 from the
+// surviving resources (the paper's scalable-recovery axis: a DRMS
+// checkpoint written by t1 tasks restarts on any t2 >= 1). Fohry (2021)
+// frames this as a policy decision — whole-application rollback with the
+// same shape vs. localized adaptation — so the choice is a small
+// interface rather than a hard-wired rule.
+#pragma once
+
+#include <string>
+
+namespace drms::recovery {
+
+/// Everything a policy may look at when choosing t2.
+struct ReconfigInput {
+  /// Processors currently available in the cluster (failed nodes are out
+  /// of the pool until repaired).
+  int survivors = 0;
+  /// Task count t1 recorded in the chosen restart candidate; 0 when the
+  /// run starts fresh (no checkpoint survived).
+  int checkpoint_tasks = 0;
+  /// Job bounds: never run below min_tasks, never ask above preferred.
+  int min_tasks = 1;
+  int preferred_tasks = 1;
+};
+
+class ReconfigurationPolicy {
+ public:
+  virtual ~ReconfigurationPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// The task count to request for the restart, or 0 when the policy
+  /// cannot field a run from the surviving resources.
+  [[nodiscard]] virtual int choose_tasks(const ReconfigInput& in) const = 0;
+};
+
+/// Restart with exactly the checkpoint's task count (the conventional
+/// SPMD constraint; also useful to pin DRMS runs for A/B comparisons).
+/// Fails (returns 0) when fewer processors survive than the checkpoint
+/// used.
+class SameCountPolicy final : public ReconfigurationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "same-count"; }
+  [[nodiscard]] int choose_tasks(const ReconfigInput& in) const override;
+};
+
+/// Restart immediately on whatever survives: t2 = min(preferred,
+/// survivors), without waiting for repairs — the paper's §4 recipe.
+class ShrinkToSurvivorsPolicy final : public ReconfigurationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "shrink-to-survivors";
+  }
+  [[nodiscard]] int choose_tasks(const ReconfigInput& in) const override;
+};
+
+/// Largest power of two not above min(preferred, survivors) — for
+/// applications whose decomposition wants 2^k tasks.
+class PowerOfTwoPolicy final : public ReconfigurationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "power-of-two"; }
+  [[nodiscard]] int choose_tasks(const ReconfigInput& in) const override;
+};
+
+}  // namespace drms::recovery

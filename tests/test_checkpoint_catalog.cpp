@@ -277,6 +277,110 @@ TEST(CheckpointCatalog, RemoveCheckpointDecommitsFirst) {
   EXPECT_TRUE(fsck_scan(volume).empty());
 }
 
+TEST(CheckpointCatalog, RestartCandidatesAreSopDescending) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 3, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 1, CheckpointMode::kDrms);
+
+  const auto candidates = restart_candidates(volume, "alpha");
+  ASSERT_EQ(candidates.size(), 2u);  // SOP 3 overwrote SOP 1's prefix
+  EXPECT_GE(candidates[0].meta.sop, candidates[1].meta.sop);
+  EXPECT_EQ(candidates[0].meta.sop, 3);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.meta.app_name, "alpha");
+  }
+  EXPECT_TRUE(restart_candidates(volume, "gamma").empty());
+}
+
+TEST(CheckpointCatalog, LatestSkipsCommittedButCorruptWhenHookSupplied) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  ASSERT_EQ(latest_checkpoint(volume, "alpha")->prefix, "alpha.odd");
+
+  // Flip one payload byte of the newest state: still COMMITTED (manifest
+  // and sizes intact), but deep verification rejects it.
+  auto f = volume.open(array_file_name("alpha.odd", "u"));
+  auto b = f.read_at(64, 1);
+  b[0] ^= std::byte{0xff};
+  f.write_at(64, b);
+
+  // Without the hook the corrupt state still wins (it is committed)...
+  EXPECT_EQ(latest_checkpoint(volume, "alpha")->prefix, "alpha.odd");
+  // ...with the hook, selection falls back to the older generation.
+  const auto deep = [&](const CheckpointRecord& r) {
+    return verify_checkpoint(volume, r, /*deep=*/true).ok;
+  };
+  const auto chosen = latest_checkpoint(volume, "alpha", "", deep);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->prefix, "alpha.even");
+  EXPECT_EQ(chosen->meta.sop, 1);
+}
+
+TEST(CheckpointCatalog, ShallowVerifyMissesWhatDeepCatches) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 1, CheckpointMode::kDrms);
+  const auto records = list_checkpoints(volume);
+  ASSERT_EQ(records.size(), 1u);
+
+  auto f = volume.open(array_file_name("alpha.even", "u"));
+  auto b = f.read_at(128, 1);
+  b[0] ^= std::byte{0x20};
+  f.write_at(128, b);
+
+  // Structural checks (sizes, headers) cannot see a bit flip...
+  EXPECT_TRUE(verify_checkpoint(volume, records[0], /*deep=*/false).ok);
+  // ...the content pass can.
+  EXPECT_FALSE(verify_checkpoint(volume, records[0], /*deep=*/true).ok);
+}
+
+TEST(CheckpointCatalog, RetentionKeepsTheNewestK) {
+  Volume volume(16);
+  // Distinct prefixes so no SOP overwrites an older one: g1..g5.
+  DrmsEnv env;
+  env.storage = &volume.backend();
+  DrmsProgram program("alpha", env, tiny_segment(), 2);
+  TaskGroup group(placement_of(2));
+  const auto result = group.run([&](TaskContext& ctx) {
+    DrmsContext drms(program, ctx);
+    drms.initialize();
+    const std::array<Index, 3> lo{0, 0, 0};
+    const std::array<Index, 3> hi{5, 5, 5};
+    DistArray& u = drms.create_array("u", lo, hi);
+    drms.distribute(u, DistSpec::block_auto(cube(6), 2,
+                                            std::vector<Index>(3, 0)));
+    for (int c = 1; c <= 5; ++c) {
+      (void)drms.reconfig_checkpoint("alpha.g" + std::to_string(c));
+    }
+  });
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(restart_candidates(volume, "alpha").size(), 5u);
+
+  EXPECT_EQ(gc_superseded_states(volume, "alpha", "", 2), 3);
+  const auto kept = restart_candidates(volume, "alpha");
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].meta.sop, 5);
+  EXPECT_EQ(kept[1].meta.sop, 4);
+  // Nothing half-deleted for fsck to complain about.
+  for (const auto& state : fsck_scan(volume)) {
+    EXPECT_TRUE(state.committed) << state.prefix;
+  }
+  // keep_last_k < 1 clamps to 1: the newest state always survives.
+  EXPECT_EQ(gc_superseded_states(volume, "alpha", "", 0), 1);
+  ASSERT_EQ(restart_candidates(volume, "alpha").size(), 1u);
+  EXPECT_EQ(restart_candidates(volume, "alpha")[0].meta.sop, 5);
+  // Idempotent once within budget.
+  EXPECT_EQ(gc_superseded_states(volume, "alpha", "", 2), 0);
+}
+
+TEST(CheckpointCatalog, RetentionLeavesOtherAppsAlone) {
+  Volume volume(16);
+  write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);
+  write_states(volume, "beta", 2, 2, CheckpointMode::kDrms);
+  EXPECT_EQ(gc_superseded_states(volume, "alpha", "", 1), 1);
+  EXPECT_EQ(restart_candidates(volume, "alpha").size(), 1u);
+  EXPECT_EQ(restart_candidates(volume, "beta").size(), 2u);
+}
+
 TEST(CheckpointCatalog, PrefixFilterNarrowsTheScan) {
   Volume volume(16);
   write_states(volume, "alpha", 2, 2, CheckpointMode::kDrms);

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/checkpoint_catalog.hpp"
 #include "core/drms_checkpoint.hpp"
@@ -304,6 +306,82 @@ TEST(CrashTrace, PostCrashMutationCountMatchesInjectedOpIndex) {
       // further mutations from this attempt.
       fault.disarm();
       EXPECT_EQ(rec.counter("store.mutation"), expected);
+    }
+  }
+}
+
+/// The kill switch fired while checkpoint_write is mid-flight (a real
+/// asynchronous kill from a watcher thread, racing the engine's storage
+/// mutations). Unlike the deterministic crash sweep, where the kill lands
+/// inside the B attempt is timing-dependent; the invariant is not: the
+/// previously committed generation A must stay restorable, and anything
+/// the catalog offers as committed must survive deep verification.
+void kill_mid_write_and_check(CheckpointMode mode, std::uint64_t wait_ops) {
+  SCOPED_TRACE(std::string(mode == CheckpointMode::kDrms ? "Drms" : "Spmd") +
+               " kill after mutation " + std::to_string(wait_ops));
+  Stack s = make_stack(BackendKind::kMemory);
+  ASSERT_TRUE(attempt_checkpoint(*s.fault, mode, "sweep.a", 1).completed);
+  const std::uint64_t after_a = s.fault->mutation_ops();
+
+  TaskGroup group(placement_of(kTasks));
+  DistArray array("u", cube(kN), sizeof(double), kTasks);
+  std::thread watcher([&] {
+    while (s.fault->mutation_ops() < after_a + wait_ops) {
+      std::this_thread::yield();
+    }
+    group.kill("injected kill during checkpoint_write");
+  });
+  (void)group.run([&](TaskContext& ctx) {
+    if (ctx.rank() == 0) {
+      array.install_distribution(
+          DistSpec::block_auto(cube(kN), kTasks, std::vector<Index>(3, 0)));
+    }
+    ctx.barrier();
+    fill_assigned_tagged(array, ctx.rank());
+    ctx.barrier();
+    std::int64_t it = 2;
+    ReplicatedStore store;
+    store.register_i64("it", &it);
+    const std::array<DistArray*, 1> arrays{&array};
+    if (mode == CheckpointMode::kDrms) {
+      DrmsCheckpoint engine(*s.fault, {});
+      (void)engine.write(ctx, "sweep.b", "sweep", 2, store, arrays,
+                         tiny_segment());
+    } else {
+      SpmdCheckpoint engine(*s.fault, {});
+      (void)engine.write(ctx, "sweep.b", "sweep", 2, store, arrays,
+                         tiny_segment());
+    }
+  });
+  watcher.join();
+
+  // A stays committed and content-sound no matter where the kill landed.
+  bool saw_a = false;
+  for (const auto& record : list_checkpoints(*s.fault)) {
+    EXPECT_TRUE(verify_checkpoint(*s.fault, record, /*deep=*/true).ok)
+        << record.prefix;
+    saw_a = saw_a || record.prefix == "sweep.a";
+  }
+  EXPECT_TRUE(saw_a);
+  const auto latest = latest_checkpoint(*s.fault, "sweep");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_TRUE(latest->prefix == "sweep.a" || latest->prefix == "sweep.b");
+
+  // A torn B (kill between its first file and the manifest) is fsck
+  // debris; reclaiming it must leave A restartable.
+  (void)gc_torn_states(*s.fault);
+  const auto after_gc = latest_checkpoint(*s.fault, "sweep");
+  ASSERT_TRUE(after_gc.has_value());
+  EXPECT_TRUE(verify_checkpoint(*s.fault, *after_gc, /*deep=*/true).ok);
+}
+
+TEST(CrashSweepKillSwitch, KillDuringWriteLeavesPreviousGenerationGood) {
+  for (const CheckpointMode mode :
+       {CheckpointMode::kDrms, CheckpointMode::kSpmd}) {
+    const std::uint64_t n = mutation_count(mode, BackendKind::kMemory);
+    ASSERT_GT(n, 1u);
+    for (const std::uint64_t wait_ops : {std::uint64_t{0}, n / 2, n - 1}) {
+      kill_mid_write_and_check(mode, wait_ops);
     }
   }
 }

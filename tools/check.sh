@@ -19,6 +19,13 @@
 # (default build dir: build-cov) and prints a line-coverage summary after
 # the test run — via gcovr when available, else aggregated from gcov
 # directly. Informational only: no threshold is enforced yet.
+#
+# CHAOS=1 appends a recovery chaos campaign after the test run: the
+# availability bench's --chaos mode replays CHAOS_SCHEDULES (default 32)
+# seeded failure schedules under the sanitizers and fails unless every
+# run recovers to the failure-free fingerprint with full failure-kind
+# coverage. Fixed seeds (CHAOS_SEED, default 1) keep the gate
+# reproducible.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -77,6 +84,17 @@ if [[ -n "${coverage}" ]]; then
            }'
   fi
   exit 0
+fi
+
+# Chaos campaign (opt-in): replay the seeded failure schedules under the
+# sanitizers. The bench exits non-zero if any schedule fails to recover
+# bit-exactly or the campaign misses a failure kind, so a supervisor race
+# or a verify regression fails the gate here.
+if [[ -n "${CHAOS:-}" ]]; then
+  cmake --build "${build}" -j "${jobs}" --target bench_availability_model
+  (cd "${build}/bench" &&
+   ./bench_availability_model --chaos "${CHAOS_SCHEDULES:-32}" "${CHAOS_SEED:-1}")
+  echo "check.sh: recovery chaos campaign passed (${CHAOS_SCHEDULES:-32} schedules)"
 fi
 
 # Perf smoke (skipped for TARGETS-bounded runs, e.g. the asan_gate test):

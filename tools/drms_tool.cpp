@@ -3,8 +3,13 @@
 // workflow behind the paper's checkpoint-migration story.
 //
 //   drms_tool list   <dir>                 inventory of checkpointed states
-//   drms_tool verify <dir> [prefix]        offline integrity check (sizes,
-//                                          segment CRCs, array stream CRCs)
+//   drms_tool verify [--deep] <dir> [prefix]
+//                                          offline integrity check. Default:
+//                                          structural (manifest, sizes,
+//                                          headers). --deep: read every byte
+//                                          back against the stored CRCs
+//                                          (segment sized-CRC record, meta
+//                                          manifest CRC, array stream CRCs)
 //   drms_tool remove <dir> <prefix>        delete one state and re-export
 //   drms_tool info   <dir> <prefix>        per-array detail of one state
 //                                          (verifies the stored CRCs)
@@ -47,7 +52,11 @@ int usage() {
   std::cerr
       << "usage: drms_tool <command> <directory> [args]\n"
          "  list   <dir>                 list checkpointed states\n"
-         "  verify <dir> [prefix]        verify integrity (all or one)\n"
+         "  verify [--deep] <dir> [prefix]\n"
+         "                               verify integrity (all or one);\n"
+         "                               --deep reads every byte back "
+         "against\n"
+         "                               the stored CRCs\n"
          "  remove <dir> <prefix>        delete a state, rewrite the dir\n"
          "  info   <dir> <prefix>        show per-array details (verifies "
          "CRCs)\n"
@@ -103,7 +112,7 @@ int cmd_list(const std::string& dir) {
   return 0;
 }
 
-int cmd_verify(const std::string& dir, const std::string& prefix) {
+int cmd_verify(const std::string& dir, const std::string& prefix, bool deep) {
   const ToolStore st(dir);
   const auto records = core::list_checkpoints(st.backend, prefix);
   if (records.empty()) {
@@ -113,7 +122,7 @@ int cmd_verify(const std::string& dir, const std::string& prefix) {
   }
   bool all_ok = true;
   for (const auto& r : records) {
-    const auto result = core::verify_checkpoint(st.backend, r);
+    const auto result = core::verify_checkpoint(st.backend, r, deep);
     std::cout << r.prefix << ": "
               << (result.ok ? "OK" : "CORRUPT") << "\n";
     for (const auto& problem : result.problems) {
@@ -290,13 +299,23 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string command = argv[1];
-  const std::string dir = argv[2];
+  // `verify` takes an optional --deep flag before the directory.
+  bool deep = false;
+  int arg = 2;
+  if (command == "verify" && std::string(argv[arg]) == "--deep") {
+    deep = true;
+    ++arg;
+    if (argc <= arg) {
+      return usage();
+    }
+  }
+  const std::string dir = argv[arg];
   try {
     if (command == "list") {
       return cmd_list(dir);
     }
     if (command == "verify") {
-      return cmd_verify(dir, argc > 3 ? argv[3] : "");
+      return cmd_verify(dir, argc > arg + 1 ? argv[arg + 1] : "", deep);
     }
     if (command == "remove" && argc > 3) {
       return cmd_remove(dir, argv[3]);
