@@ -69,7 +69,34 @@ support::RetryPolicy DrmsCheckpoint::retry_policy(const char* what) const {
   support::RetryPolicy policy;
   policy.observer = recorder_;
   policy.what = what;
+  if (io_session_active()) {
+    // Contending jobs desynchronize their retries: the per-job token id
+    // seeds deterministic backoff jitter (see support::retry_backoff).
+    policy.jitter_seed = io_job_->id();
+  }
   return policy;
+}
+
+void DrmsCheckpoint::submit_io(const std::string& file, std::uint64_t bytes,
+                               std::function<void()> fn) {
+  if (!io_session_active()) {
+    fn();
+    return;
+  }
+  // The queueing model prices the item at the backend's modeled write
+  // time (jitter-free: the shared RNG stream must not move).
+  const double sim_seconds =
+      storage_.charges_time()
+          ? storage_.single_write_seconds(bytes, load_, nullptr)
+          : 0.0;
+  (void)io_->submit(*io_job_, svc::Priority::kForeground, file, bytes,
+                    sim_seconds, std::move(fn));
+}
+
+void DrmsCheckpoint::io_barrier() {
+  if (io_session_active()) {
+    io_->barrier(*io_job_);
+  }
 }
 
 CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
@@ -102,32 +129,59 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   obs::ScopedSpan segment_span(recorder_, "ckpt", "segment", ctx.rank(), t0,
                                {obs::Attr::num("bytes", static_cast<std::int64_t>(
                                                             total_bytes))});
+  // With an attached session, queued items may still be in flight when an
+  // exception unwinds write() — drain them before locals they reference
+  // go out of scope (queued errors are dropped; the original propagates).
+  struct DrainOnUnwind {
+    DrmsCheckpoint* self;
+    ~DrainOnUnwind() {
+      try {
+        self->io_barrier();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+  } drain_on_unwind{this};
+
   if (ctx.rank() == 0) {
     // Decommit before the first overwrite: once any file under this
     // prefix is touched, the previous state here must not look committed.
     {
       obs::ScopedSpan decommit_span(recorder_, "ckpt", "decommit", 0,
                                     ctx.sim_time());
-      support::retry_io([&] { decommit_checkpoint(storage_, prefix); },
-                        retry_policy("decommit"));
+      submit_io(commit_file_name(prefix), 0, [this, &prefix] {
+        support::retry_io([&] { decommit_checkpoint(storage_, prefix); },
+                          retry_policy("decommit"));
+      });
+      io_barrier();  // prefix files are untouchable until this completes
       decommit_span.end(ctx.sim_time());
     }
-    store::FileHandle seg = support::retry_io(
-        [&] { return storage_.create(segment_file_name(prefix)); },
-        retry_policy("segment.create"));
-    const support::ByteBuffer header = make_segment_header(
-        SegHeaderFields{replicated.size(), total_bytes});
-    support::retry_io([&] { seg.write_at(0, header.bytes()); },
-                      retry_policy("segment.write"));
-    support::retry_io([&] { seg.write_at(kSegHeaderBytes, replicated.bytes()); },
-                      retry_policy("segment.write"));
-    if (total_bytes > payload_end) {
-      // The private/system/local-section components of the data segment:
-      // logically written (time and size accounted), stored sparsely.
-      support::retry_io(
-          [&] { seg.write_zeros_at(payload_end, total_bytes - payload_end); },
-          retry_policy("segment.write"));
-    }
+    // The whole segment-file sequence is ONE queued item: its steps are
+    // internally ordered, and sharding by file name lets it overlap the
+    // array creates below on another shard.
+    submit_io(
+        segment_file_name(prefix), total_bytes,
+        [this, &prefix, &replicated, total_bytes, payload_end,
+         header = make_segment_header(
+             SegHeaderFields{replicated.size(), total_bytes})] {
+          store::FileHandle seg = support::retry_io(
+              [&] { return storage_.create(segment_file_name(prefix)); },
+              retry_policy("segment.create"));
+          support::retry_io([&] { seg.write_at(0, header.bytes()); },
+                            retry_policy("segment.write"));
+          support::retry_io(
+              [&] { seg.write_at(kSegHeaderBytes, replicated.bytes()); },
+              retry_policy("segment.write"));
+          if (total_bytes > payload_end) {
+            // The private/system/local-section components of the data
+            // segment: logically written (time and size accounted),
+            // stored sparsely.
+            support::retry_io(
+                [&] {
+                  seg.write_zeros_at(payload_end, total_bytes - payload_end);
+                },
+                retry_policy("segment.write"));
+          }
+        });
   }
   if (storage_.charges_time()) {
     ctx.charge(storage_.single_write_seconds(
@@ -182,11 +236,17 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   if (ctx.rank() == 0) {
     for (std::size_t i = 0; i < arrays.size(); ++i) {
       if (!skip[i]) {
-        support::retry_io(
-            [&] { storage_.create(array_file_name(prefix, arrays[i]->name())); },
-            retry_policy("array.create"));
+        const std::string file_name =
+            array_file_name(prefix, arrays[i]->name());
+        submit_io(file_name, 0, [this, file_name] {
+          support::retry_io([&] { storage_.create(file_name); },
+                            retry_policy("array.create"));
+        });
       }
     }
+    // Everything queued so far — the segment sequence and the array
+    // creates — must be durable before any rank opens these files.
+    io_barrier();
   }
   ctx.barrier();
 
@@ -261,12 +321,15 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     {
       obs::ScopedSpan meta_span(recorder_, "ckpt", "meta", 0,
                                 ctx.sim_time());
-      support::retry_io(
-          [&] {
-            storage_.create(meta_file_name(prefix))
-                .write_at(0, meta_buf.bytes());
-          },
-          retry_policy("meta.write"));
+      submit_io(meta_file_name(prefix), meta_buf.size(),
+                [this, &prefix, &meta_buf] {
+                  support::retry_io(
+                      [&] {
+                        storage_.create(meta_file_name(prefix))
+                            .write_at(0, meta_buf.bytes());
+                      },
+                      retry_policy("meta.write"));
+                });
       meta_span.end(ctx.sim_time());
     }
     if (incremental != nullptr) {
@@ -279,12 +342,20 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     }
     obs::ScopedSpan commit_span(recorder_, "ckpt", "commit", 0,
                                 ctx.sim_time());
-    support::retry_io(
-        [&] {
-          storage_.create(commit_file_name(prefix))
-              .write_at(0, manifest_buf.bytes());
-        },
-        retry_policy("commit.write"));
+    // Explicit completion barrier: the commit manifest is the LAST write
+    // of the checkpoint, so every queued item (meta included) must be
+    // durable before it is even submitted.
+    io_barrier();
+    submit_io(commit_file_name(prefix), manifest_buf.size(),
+              [this, &prefix, &manifest_buf] {
+                support::retry_io(
+                    [&] {
+                      storage_.create(commit_file_name(prefix))
+                          .write_at(0, manifest_buf.bytes());
+                    },
+                    retry_policy("commit.write"));
+              });
+    io_barrier();
     commit_span.end(ctx.sim_time());
   }
   // Modeled (not charged) publication cost: meta + manifest land in one

@@ -23,6 +23,7 @@
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
 #include "support/units.hpp"
+#include "svc/io_scheduler.hpp"
 
 namespace drms::core {
 
@@ -106,9 +107,33 @@ class DrmsCheckpoint {
                      const CheckpointMeta& meta, DistArray& array,
                      RestartTiming& timing);
 
+  /// Attach a checkpoint-service session: write()'s storage mutations are
+  /// submitted to `scheduler` under `job` as FOREGROUND-class items, with
+  /// explicit completion barriers preserving the commit ordering
+  /// (decommit first, every data write before meta, manifest LAST). The
+  /// retry policy also picks up the job id as its deterministic jitter
+  /// seed. Both pointers are borrowed and must outlive the engine's use;
+  /// pass nullptrs to detach (the default, fully synchronous path).
+  void attach_io_session(svc::IoScheduler* scheduler,
+                         const svc::JobToken* job) {
+    io_ = scheduler;
+    io_job_ = job;
+  }
+
  private:
   [[nodiscard]] int effective_io_tasks(const rt::TaskContext& ctx) const;
   [[nodiscard]] support::RetryPolicy retry_policy(const char* what) const;
+  [[nodiscard]] bool io_session_active() const {
+    return io_ != nullptr && io_job_ != nullptr && io_job_->valid();
+  }
+  /// Run `fn` (which carries its own retry_io wrapping) — synchronously
+  /// without a session, else as a queued FOREGROUND item sharded by
+  /// `file`. Async errors surface at the next io_barrier().
+  void submit_io(const std::string& file, std::uint64_t bytes,
+                 std::function<void()> fn);
+  /// Completion barrier over this engine's session job (no-op without a
+  /// session); rethrows the first queued error.
+  void io_barrier();
 
   store::StorageBackend& storage_;
   sim::LoadContext load_;
@@ -116,6 +141,8 @@ class DrmsCheckpoint {
   std::uint64_t target_chunk_bytes_;
   bool jitter_;
   obs::Recorder* recorder_;
+  svc::IoScheduler* io_ = nullptr;
+  const svc::JobToken* io_job_ = nullptr;
 };
 
 }  // namespace drms::core

@@ -121,6 +121,16 @@ void Recorder::record_ns(std::string_view key, std::uint64_t ns) {
   it->second.add(ns);
 }
 
+void Recorder::gauge_max(std::string_view key, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(key), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
 void Recorder::on_transient_retry(const char* what, int attempt) {
   (void)attempt;
   count("retry.transient");
@@ -151,6 +161,17 @@ std::uint64_t Recorder::counter(std::string_view key) const {
 std::map<std::string, Histogram> Recorder::histograms() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {histograms_.begin(), histograms_.end()};
+}
+
+std::map<std::string, std::uint64_t> Recorder::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::uint64_t Recorder::gauge(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  return it == gauges_.end() ? 0 : it->second;
 }
 
 std::uint64_t Recorder::wall_now_ns() const {

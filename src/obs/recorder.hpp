@@ -125,6 +125,9 @@ class Recorder final : public support::RetryObserver {
   void count(std::string_view key, std::uint64_t delta = 1);
   /// Record a latency sample (nanoseconds) into the named histogram.
   void record_ns(std::string_view key, std::uint64_t ns);
+  /// High-watermark gauge: keeps the maximum value ever reported (e.g.
+  /// svc.queue_depth.peak).
+  void gauge_max(std::string_view key, std::uint64_t value);
 
   // ---- support::RetryObserver ----------------------------------------------
   /// Counts "retry.transient" and "retry.transient.<what>".
@@ -136,6 +139,8 @@ class Recorder final : public support::RetryObserver {
   [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
   [[nodiscard]] std::uint64_t counter(std::string_view key) const;
   [[nodiscard]] std::map<std::string, Histogram> histograms() const;
+  [[nodiscard]] std::map<std::string, std::uint64_t> gauges() const;
+  [[nodiscard]] std::uint64_t gauge(std::string_view key) const;
 
   /// Wall nanoseconds since construction (the spans' wall clock base).
   [[nodiscard]] std::uint64_t wall_now_ns() const;
@@ -147,6 +152,7 @@ class Recorder final : public support::RetryObserver {
   std::vector<SpanRecord> spans_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, std::uint64_t, std::less<>> gauges_;
 };
 
 /// RAII helper for the null-recorder fast path: constructing with a null

@@ -1,12 +1,41 @@
 #include "piofs/volume.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
 #include "support/error.hpp"
 
 namespace drms::piofs {
+
+/// Per-server sharded, lock-free transfer counters (see header).
+struct Volume::Accounting {
+  explicit Accounting(int servers)
+      : per_server_written(static_cast<std::size_t>(servers)),
+        per_server_read(static_cast<std::size_t>(servers)) {}
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> write_ops{0};
+  std::atomic<std::uint64_t> read_ops{0};
+  std::atomic<std::uint64_t> files_created{0};
+  std::vector<std::atomic<std::uint64_t>> per_server_written;
+  std::vector<std::atomic<std::uint64_t>> per_server_read;
+
+  void reset() {
+    bytes_written.store(0);
+    bytes_read.store(0);
+    write_ops.store(0);
+    read_ops.store(0);
+    files_created.store(0);
+    for (auto& v : per_server_written) {
+      v.store(0);
+    }
+    for (auto& v : per_server_read) {
+      v.store(0);
+    }
+  }
+};
 
 struct FileHandle::FileState {
   explicit FileState(std::string file_name, Volume* owner)
@@ -86,11 +115,10 @@ Volume::Volume(int server_count, std::uint64_t stripe_unit)
     : server_count_(server_count), stripe_unit_(stripe_unit) {
   DRMS_EXPECTS(server_count_ > 0);
   DRMS_EXPECTS(stripe_unit_ > 0);
-  stats_.per_server_bytes_written.assign(
-      static_cast<std::size_t>(server_count_), 0);
-  stats_.per_server_bytes_read.assign(static_cast<std::size_t>(server_count_),
-                                      0);
+  accounting_ = std::make_unique<Accounting>(server_count_);
 }
+
+Volume::~Volume() = default;
 
 int Volume::server_of(std::uint64_t offset) const noexcept {
   return static_cast<int>((offset / stripe_unit_) %
@@ -103,7 +131,7 @@ FileHandle Volume::create(const std::string& name) {
   auto& slot = files_[name];
   if (slot == nullptr) {
     slot = std::make_shared<FileHandle::FileState>(name, this);
-    ++stats_.files_created;
+    accounting_->files_created.fetch_add(1, std::memory_order_relaxed);
   } else {
     const std::lock_guard<std::mutex> file_lock(slot->mutex);
     slot->data.truncate();
@@ -192,40 +220,54 @@ std::uint64_t Volume::total_size(const std::string& prefix) const {
 }
 
 void Volume::account_write(std::uint64_t offset, std::uint64_t count) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  stats_.bytes_written += count;
-  ++stats_.write_ops;
+  Accounting& acc = *accounting_;
+  acc.bytes_written.fetch_add(count, std::memory_order_relaxed);
+  acc.write_ops.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t pos = offset;
   std::uint64_t remaining = count;
   while (remaining > 0) {
     const std::uint64_t in_cell = pos % stripe_unit_;
     const std::uint64_t n = std::min(stripe_unit_ - in_cell, remaining);
-    stats_.per_server_bytes_written[static_cast<std::size_t>(
-        server_of(pos))] += n;
+    acc.per_server_written[static_cast<std::size_t>(server_of(pos))]
+        .fetch_add(n, std::memory_order_relaxed);
     pos += n;
     remaining -= n;
   }
 }
 
 void Volume::account_read(std::uint64_t offset, std::uint64_t count) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  stats_.bytes_read += count;
-  ++stats_.read_ops;
+  Accounting& acc = *accounting_;
+  acc.bytes_read.fetch_add(count, std::memory_order_relaxed);
+  acc.read_ops.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t pos = offset;
   std::uint64_t remaining = count;
   while (remaining > 0) {
     const std::uint64_t in_cell = pos % stripe_unit_;
     const std::uint64_t n = std::min(stripe_unit_ - in_cell, remaining);
-    stats_.per_server_bytes_read[static_cast<std::size_t>(server_of(pos))] +=
-        n;
+    acc.per_server_read[static_cast<std::size_t>(server_of(pos))].fetch_add(
+        n, std::memory_order_relaxed);
     pos += n;
     remaining -= n;
   }
 }
 
 VolumeStats Volume::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  const Accounting& acc = *accounting_;
+  VolumeStats out;
+  out.bytes_written = acc.bytes_written.load();
+  out.bytes_read = acc.bytes_read.load();
+  out.write_ops = acc.write_ops.load();
+  out.read_ops = acc.read_ops.load();
+  out.files_created = acc.files_created.load();
+  out.per_server_bytes_written.reserve(acc.per_server_written.size());
+  for (const auto& v : acc.per_server_written) {
+    out.per_server_bytes_written.push_back(v.load());
+  }
+  out.per_server_bytes_read.reserve(acc.per_server_read.size());
+  for (const auto& v : acc.per_server_read) {
+    out.per_server_bytes_read.push_back(v.load());
+  }
+  return out;
 }
 
 Volume::Usage Volume::usage() const {
@@ -240,18 +282,7 @@ Volume::Usage Volume::usage() const {
   return u;
 }
 
-void Volume::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  stats_.bytes_written = 0;
-  stats_.bytes_read = 0;
-  stats_.write_ops = 0;
-  stats_.read_ops = 0;
-  stats_.files_created = 0;
-  std::fill(stats_.per_server_bytes_written.begin(),
-            stats_.per_server_bytes_written.end(), 0ull);
-  std::fill(stats_.per_server_bytes_read.begin(),
-            stats_.per_server_bytes_read.end(), 0ull);
-}
+void Volume::reset_stats() { accounting_->reset(); }
 
 namespace {
 

@@ -76,6 +76,7 @@ class Volume {
 
   Volume(const Volume&) = delete;
   Volume& operator=(const Volume&) = delete;
+  ~Volume();  // out-of-line: Accounting is incomplete here
 
   /// Create (or truncate) a file.
   FileHandle create(const std::string& name);
@@ -127,17 +128,22 @@ class Volume {
                              const std::string& prefix);
 
  private:
+  /// Lock-free transfer accounting. Every data-path operation used to
+  /// take the volume-wide mutex just to bump these counters — the one
+  /// serialization point shared by otherwise-independent files. Atomics
+  /// shard the accounting per server; mutex_ now guards only the
+  /// NAMESPACE (create/open/remove/list), never the data path.
   struct Accounting;
   void account_write(std::uint64_t offset, std::uint64_t count);
   void account_read(std::uint64_t offset, std::uint64_t count) const;
 
   int server_count_;
   std::uint64_t stripe_unit_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // namespace only (files_, stripe_width_)
   /// Per-file stripe widths for create_striped files.
   std::map<std::string, int> stripe_width_;
   std::map<std::string, std::shared_ptr<FileHandle::FileState>> files_;
-  mutable VolumeStats stats_;
+  std::unique_ptr<Accounting> accounting_;
 
   friend class FileHandle;
 };

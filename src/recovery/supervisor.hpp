@@ -37,6 +37,7 @@
 #include "recovery/failure_schedule.hpp"
 #include "recovery/reconfig_policy.hpp"
 #include "store/fault_injection_backend.hpp"
+#include "svc/io_scheduler.hpp"
 
 namespace drms::recovery {
 
@@ -65,6 +66,13 @@ struct SupervisorOptions {
   /// as env.storage); null disables those events.
   store::FaultInjectionBackend* fault = nullptr;
   obs::Recorder* recorder = nullptr;
+  /// Optional checkpoint-service scheduler. When set, the supervisor
+  /// registers as a job, submits each deep verify as a RESTORE-class item
+  /// (restores beat queued foreground writes and drains), and holds a
+  /// RestoreGuard from the start of verify until the relaunched solver's
+  /// first iteration hook — background tier drains are parked for the
+  /// whole bring-back-up window instead of contending with it.
+  svc::IoScheduler* scheduler = nullptr;
 };
 
 /// Host-clock nanoseconds of one recovery, split by phase (the MTTR

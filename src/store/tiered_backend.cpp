@@ -309,33 +309,62 @@ std::string TieredBackend::description() const {
 
 TieredBackend::DrainReport TieredBackend::drain(
     const sim::LoadContext& load) {
-  // Snapshot the entry set; each file is then drained under its own lock
-  // so concurrent writers aren't blocked for the whole sweep.
+  // Synchronous sweep over the event-model primitives: snapshot the work
+  // list, then drain each file under its own lock so concurrent writers
+  // aren't blocked for the whole sweep.
+  DrainReport report;
+  for (const auto& item : drain_work()) {
+    const std::optional<std::uint64_t> copied = drain_file(item.name);
+    if (!copied.has_value()) {
+      continue;  // cleaned, spilled, or removed since the snapshot
+    }
+    ++report.files_drained;
+    report.bytes_drained += *copied;
+    report.simulated_seconds += drain_write_seconds(*copied, load);
+  }
+  return report;
+}
+
+std::vector<TieredBackend::DrainItem> TieredBackend::drain_work() const {
   std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     snapshot.assign(entries_.begin(), entries_.end());
   }
-  DrainReport report;
-  for (auto& [name, entry] : snapshot) {
+  std::vector<DrainItem> work;
+  for (const auto& [name, entry] : snapshot) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
-    if (!entry->in_fast || !entry->dirty) {
-      continue;
+    if (entry->in_fast && entry->dirty) {
+      work.push_back(DrainItem{name, fast_.file_size(name)});
     }
-    const std::uint64_t copied = copy_to_slow_locked(name);
-    entry->in_slow = true;
-    entry->dirty = false;
-    if (options_.evict_fast_after_drain) {
-      fast_.remove(name);
-      entry->in_fast = false;
-    }
-    ++report.files_drained;
-    report.bytes_drained += copied;
-    report.simulated_seconds +=
-        slow_.single_write_seconds(copied, load, nullptr);
-    drained_bytes_.fetch_add(copied);
   }
-  return report;
+  return work;
+}
+
+std::optional<std::uint64_t> TieredBackend::drain_file(
+    const std::string& name) {
+  auto entry = find_entry(name, /*create_missing=*/false);
+  if (entry == nullptr) {
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->in_fast || !entry->dirty) {
+    return std::nullopt;
+  }
+  const std::uint64_t copied = copy_to_slow_locked(name);
+  entry->in_slow = true;
+  entry->dirty = false;
+  if (options_.evict_fast_after_drain) {
+    fast_.remove(name);
+    entry->in_fast = false;
+  }
+  drained_bytes_.fetch_add(copied);
+  return copied;
+}
+
+double TieredBackend::drain_write_seconds(std::uint64_t bytes,
+                                          const sim::LoadContext& load) const {
+  return slow_.single_write_seconds(bytes, load, nullptr);
 }
 
 void TieredBackend::fail_fast_tier() {

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "store/storage_backend.hpp"
 
@@ -105,6 +106,28 @@ class TieredBackend final : public StorageBackend {
   /// simulated slow-tier write time of the report (a drain typically runs
   /// while the application computes, so the servers see its residency).
   DrainReport drain(const sim::LoadContext& load = {});
+
+  // ---- event-model drain ----------------------------------------------------
+  // drain() above is the synchronous sweep; the checkpoint service
+  // (svc::submit_drain) instead asks for the work list and drains one
+  // file per scheduler item, so restores can preempt between files.
+
+  /// One dirty file awaiting drain.
+  struct DrainItem {
+    std::string name;
+    std::uint64_t bytes = 0;  ///< staged size at snapshot time
+  };
+  /// Snapshot of the dirty fast-tier files (the drain work list).
+  [[nodiscard]] std::vector<DrainItem> drain_work() const;
+  /// Drain a single file: copy fast -> slow under the entry lock, mark it
+  /// clean, honour evict_fast_after_drain. Returns the bytes copied, or
+  /// nullopt when the file was already clean, spilled, or removed
+  /// meanwhile (callers race benignly with writers and GC).
+  std::optional<std::uint64_t> drain_file(const std::string& name);
+  /// Modeled background write time of draining `bytes` to the slow tier
+  /// (never charged to the application's clock).
+  [[nodiscard]] double drain_write_seconds(
+      std::uint64_t bytes, const sim::LoadContext& load = {}) const;
 
   /// Simulate losing the fast tier (node crash): every fast copy is
   /// dropped. Files already drained fall back to their slow copy;

@@ -1,0 +1,45 @@
+#include "svc/drain_service.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace drms::svc {
+
+store::TieredBackend::DrainReport DrainTicket::wait() const {
+  for (const Completion& completion : completions_) {
+    completion.wait();
+  }
+  if (state_ == nullptr) {
+    return {};
+  }
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->report;
+}
+
+DrainTicket submit_drain(IoScheduler& scheduler, const JobToken& job,
+                         store::TieredBackend& backend,
+                         const sim::LoadContext& load) {
+  DrainTicket ticket;
+  ticket.state_ = std::make_shared<DrainTicket::State>();
+  for (const auto& item : backend.drain_work()) {
+    auto state = ticket.state_;
+    ticket.completions_.push_back(scheduler.submit(
+        job, Priority::kDrain, item.name, item.bytes,
+        backend.drain_write_seconds(item.bytes, load),
+        [state, &backend, name = item.name, load] {
+          const std::optional<std::uint64_t> copied =
+              backend.drain_file(name);
+          if (!copied.has_value()) {
+            return;  // cleaned, spilled, or removed since the snapshot
+          }
+          const double sim = backend.drain_write_seconds(*copied, load);
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->report.files_drained += 1;
+          state->report.bytes_drained += *copied;
+          state->report.simulated_seconds += sim;
+        }));
+  }
+  return ticket;
+}
+
+}  // namespace drms::svc

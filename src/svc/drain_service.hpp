@@ -1,0 +1,50 @@
+// Event-queue drain: submits a TieredBackend's dirty-file work list to an
+// IoScheduler as DRAIN-class items (one item per file, sharded by file
+// name). Unlike the synchronous TieredBackend::drain() sweep, a queued
+// drain yields between files: a restore submitted while the backlog
+// flushes preempts at every file boundary, and a RestoreGuard parks the
+// remaining backlog entirely until recovery finishes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "store/tiered_backend.hpp"
+#include "svc/io_scheduler.hpp"
+
+namespace drms::svc {
+
+/// Handle for one submitted drain. wait() blocks until every queued file
+/// copy finished and returns the aggregate report (same shape as the
+/// synchronous TieredBackend::drain()).
+class DrainTicket {
+ public:
+  DrainTicket() = default;
+  [[nodiscard]] store::TieredBackend::DrainReport wait() const;
+  /// Files queued by this drain (0 = backlog was already clean).
+  [[nodiscard]] std::size_t files_submitted() const {
+    return completions_.size();
+  }
+
+ private:
+  friend DrainTicket submit_drain(IoScheduler&, const JobToken&,
+                                  store::TieredBackend&,
+                                  const sim::LoadContext&);
+  struct State {
+    std::mutex mutex;
+    store::TieredBackend::DrainReport report;
+  };
+  std::shared_ptr<State> state_;
+  std::vector<Completion> completions_;
+};
+
+/// Snapshot the backend's dirty work list and queue one DRAIN-class item
+/// per file under `job`. Returns immediately; the copies run on the
+/// scheduler's shard workers. Items race benignly with writers, GC and
+/// other drains — a file cleaned in the meantime drops out of the report.
+DrainTicket submit_drain(IoScheduler& scheduler, const JobToken& job,
+                         store::TieredBackend& backend,
+                         const sim::LoadContext& load = {});
+
+}  // namespace drms::svc

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -39,12 +40,31 @@ int run_tool(const std::string& args) {
   return WEXITSTATUS(status);
 }
 
+/// Captured stdout of `drms_tool <args>`.
+std::string run_tool_output(const std::string& args) {
+  const std::string command =
+      std::string(DRMS_TOOL_PATH) + " " + args + " 2> /dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  std::array<char, 256> buf{};
+  while (pipe != nullptr &&
+         std::fgets(buf.data(), static_cast<int>(buf.size()), pipe)) {
+    out += buf.data();
+  }
+  if (pipe != nullptr) {
+    ::pclose(pipe);
+  }
+  return out;
+}
+
 /// A fresh host directory holding one exported DRMS state ("app.even",
 /// arrays "u"), removed on destruction.
 class ExportedState {
  public:
-  ExportedState() : dir_(fs::temp_directory_path() /
-                         ("drms_tool_test_" + std::to_string(::getpid()))) {
+  explicit ExportedState(int generations = 1)
+      : dir_(fs::temp_directory_path() /
+             ("drms_tool_test_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
     Volume volume(16);
     AppSegmentModel segment;
@@ -63,6 +83,11 @@ class ExportedState {
       drms.distribute(u, DistSpec::block_auto(cube(6), 2,
                                               std::vector<Index>(3, 0)));
       (void)drms.reconfig_checkpoint("app.even");
+      // Extra committed generations of the same application (newer SOPs)
+      // supersede "app.even" in restart-candidate order.
+      for (int g = 1; g < generations; ++g) {
+        (void)drms.reconfig_checkpoint("app.g" + std::to_string(g));
+      }
     });
     EXPECT_TRUE(result.completed);
     volume.piofs().export_to_directory("", dir_.string());
@@ -113,6 +138,42 @@ TEST(DrmsTool, DeepFlagWithoutDirectoryIsUsage) {
 TEST(DrmsTool, VerifyUnknownPrefixExits1) {
   ExportedState state;
   EXPECT_EQ(run_tool("verify --deep " + state.dir() + " nothing"), 1);
+}
+
+TEST(DrmsTool, GcDryRunReportsTornStateWithoutDeleting) {
+  ExportedState state;
+  // Plant a torn state: a segment file with no commit manifest, as left
+  // by a crash before publication.
+  const fs::path torn = fs::path(state.dir()) / segment_file_name("app.torn");
+  {
+    std::ofstream f(torn, std::ios::binary);
+    f.write("torn", 4);
+  }
+  const std::string report = run_tool_output("gc --dry-run " + state.dir());
+  EXPECT_NE(report.find("app.torn"), std::string::npos) << report;
+  EXPECT_NE(report.find("TORN"), std::string::npos) << report;
+  EXPECT_NE(report.find("nothing deleted"), std::string::npos) << report;
+  // The dry run must not have touched the directory.
+  EXPECT_TRUE(fs::exists(torn));
+  EXPECT_EQ(run_tool("verify --deep " + state.dir() + " app.even"), 0);
+  // The real gc reclaims the torn file and keeps the committed state.
+  EXPECT_EQ(run_tool("gc " + state.dir()), 0);
+  EXPECT_FALSE(fs::exists(torn));
+  EXPECT_EQ(run_tool("verify --deep " + state.dir() + " app.even"), 0);
+}
+
+TEST(DrmsTool, GcDryRunReportsSupersededGenerations) {
+  ExportedState state(/*generations=*/3);
+  const std::string report = run_tool_output("gc --dry-run " + state.dir());
+  // Three committed generations of "app": two are superseded by the
+  // newest and eligible for retention — but dry-run deletes nothing.
+  EXPECT_NE(report.find("superseded"), std::string::npos) << report;
+  EXPECT_NE(report.find("2 superseded states"), std::string::npos) << report;
+  EXPECT_EQ(run_tool("verify --deep " + state.dir()), 0);
+}
+
+TEST(DrmsTool, GcDryRunWithoutDirectoryIsUsage) {
+  EXPECT_EQ(run_tool("gc --dry-run"), 2);
 }
 
 }  // namespace

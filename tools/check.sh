@@ -20,6 +20,13 @@
 # the test run — via gcovr when available, else aggregated from gcov
 # directly. Informational only: no threshold is enforced yet.
 #
+# TSAN=1 switches from ASan/UBSan to ThreadSanitizer (default build dir:
+# build-tsan) and, unless TARGETS/CTEST_ARGS narrow it, bounds the run to
+# the concurrency-heavy suites: the I/O scheduler (svc), the tiered-store
+# drain/restore races, the pipelined streamer, the recorder, and the
+# recovery supervisor. The perf smoke is skipped — TSan throughput is
+# meaningless.
+#
 # CHAOS=1 appends a recovery chaos campaign after the test run: the
 # availability bench's --chaos mode replays CHAOS_SCHEDULES (default 32)
 # seeded failure schedules under the sanitizers and fails unless every
@@ -30,15 +37,29 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 coverage="${COVERAGE:-}"
+tsan="${TSAN:-}"
 if [[ -n "${coverage}" ]]; then
   build="${1:-${repo}/build-cov}"
+elif [[ -n "${tsan}" ]]; then
+  build="${1:-${repo}/build-tsan}"
 else
   build="${1:-${repo}/build-asan}"
 fi
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+if [[ -n "${tsan}" ]]; then
+  # TSan mode defaults to the scheduler/drain race suites; an explicit
+  # TARGETS/CTEST_ARGS pair overrides the bound.
+  if [[ -z "${TARGETS:-}" && -z "${CTEST_ARGS:-}" ]]; then
+    TARGETS="test_svc test_store test_streamer test_obs test_recovery"
+    CTEST_ARGS="-R Svc|IoScheduler|TieredBackend|Streamer|Obs|Recovery"
+  fi
+fi
+
 if [[ -n "${coverage}" ]]; then
   cmake -B "${build}" -S "${repo}" -DCOVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+elif [[ -n "${tsan}" ]]; then
+  cmake -B "${build}" -S "${repo}" -DTSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 else
   cmake -B "${build}" -S "${repo}" -DASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
@@ -49,13 +70,17 @@ else
   cmake --build "${build}" -j "${jobs}"
 fi
 
-# abort_on_error makes ASan failures fail the test instead of just logging.
+# abort_on_error makes sanitizer failures fail the test instead of just
+# logging.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-abort_on_error=1:halt_on_error=1}"
 
 ctest --test-dir "${build}" --output-on-failure -j "${jobs}" ${CTEST_ARGS:-}
 if [[ -n "${coverage}" ]]; then
   echo "check.sh: all tests passed (coverage build)"
+elif [[ -n "${tsan}" ]]; then
+  echo "check.sh: all tests passed under TSan"
 else
   echo "check.sh: all tests passed under ASan/UBSan"
 fi
@@ -100,12 +125,16 @@ fi
 # Perf smoke (skipped for TARGETS-bounded runs, e.g. the asan_gate test):
 # sanitizer instrumentation distorts throughput, so benchmark in a plain
 # Release tree. bench_data_plane exits non-zero if the dispatched CRC-32C
-# kernel is not at least 4x the bytewise baseline.
-if [[ -z "${TARGETS:-}" ]]; then
+# kernel is not at least 4x the bytewise baseline; bench_contention exits
+# non-zero if the sharded I/O scheduler fails its 2x multi-tenant
+# throughput gate or restores regress behind queued drains (virtual-time
+# model, so sanitizer/host speed cannot skew it).
+if [[ -z "${TARGETS:-}" && -z "${tsan}" ]]; then
   perf_build="${build}-perf"
   cmake -B "${perf_build}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release \
         -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-  cmake --build "${perf_build}" -j "${jobs}" --target bench_data_plane
+  cmake --build "${perf_build}" -j "${jobs}" --target bench_data_plane bench_contention
   (cd "${perf_build}/bench" && ./bench_data_plane --quick)
-  echo "check.sh: data-plane perf smoke passed (Release -O2)"
+  (cd "${perf_build}/bench" && ./bench_contention --quick)
+  echo "check.sh: data-plane + contention perf smokes passed (Release -O2)"
 fi

@@ -18,8 +18,14 @@
 //   drms_tool fsck   <dir> [prefix]        report committed vs torn states
 //                                          (a torn state crashed before its
 //                                          commit manifest was published)
-//   drms_tool gc     <dir> [prefix]        reclaim torn states' files and
-//                                          re-export the directory
+//   drms_tool gc     [--dry-run] <dir> [prefix]
+//                                          reclaim torn states' files and
+//                                          re-export the directory.
+//                                          --dry-run: report what would be
+//                                          reclaimed (torn states, stray
+//                                          files, and committed generations
+//                                          superseded by a newer one of the
+//                                          same app) without deleting
 //   drms_tool trace  <dir> <prefix>        run a traced integrity pass over
 //                                          one state and emit the Chrome
 //                                          trace_event JSON on stdout
@@ -30,9 +36,12 @@
 // arguments); 1 on a missing state or a failed CRC verification — info
 // and export refuse to bless a corrupt state — or, for fsck, when any
 // torn state is found.
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint_catalog.hpp"
 #include "obs/instrumented_backend.hpp"
@@ -62,7 +71,12 @@ int usage() {
          "CRCs)\n"
          "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n"
          "  fsck   <dir> [prefix]        report committed vs torn states\n"
-         "  gc     <dir> [prefix]        reclaim torn states' files\n"
+         "  gc     [--dry-run] <dir> [prefix]\n"
+         "                               reclaim torn states' files;\n"
+         "                               --dry-run reports reclaimable "
+         "torn/\n"
+         "                               superseded states without "
+         "deleting\n"
          "  trace  <dir> <prefix>        traced integrity pass -> Chrome "
          "trace JSON\n"
          "  stats  <dir> [prefix]        traced integrity pass -> stats "
@@ -280,8 +294,61 @@ int cmd_stats(const std::string& dir, const std::string& prefix) {
   return states < 0 ? 1 : 0;
 }
 
-int cmd_gc(const std::string& dir, const std::string& prefix) {
+/// `gc --dry-run`: the same scans gc and retention run, reporting only.
+/// Torn states and strays are what `gc` itself would reclaim; committed
+/// generations superseded by a newer committed generation of the same
+/// application are what retention (keep-newest) could retire.
+int cmd_gc_dry_run(const ToolStore& st, const std::string& prefix) {
+  support::TextTable table({"prefix", "status", "files", "reclaimable"});
+  int torn_files = 0;
+  std::uint64_t torn_bytes = 0;
+  for (const auto& s : core::fsck_scan(st.backend, prefix)) {
+    if (s.reclaimable.empty()) {
+      continue;
+    }
+    table.add_row({s.prefix, s.committed ? "committed (strays)" : "TORN",
+                   std::to_string(s.reclaimable.size()),
+                   support::format_bytes(s.reclaimable_bytes)});
+    torn_files += static_cast<int>(s.reclaimable.size());
+    torn_bytes += s.reclaimable_bytes;
+  }
+  // Superseded committed generations: restart_candidates is SOP
+  // descending per application, so every committed record past the
+  // newest one has a newer fallback above it.
+  int superseded = 0;
+  std::uint64_t superseded_bytes = 0;
+  std::vector<std::string> apps;
+  for (const auto& r : core::list_checkpoints(st.backend, prefix)) {
+    if (std::find(apps.begin(), apps.end(), r.meta.app_name) == apps.end()) {
+      apps.push_back(r.meta.app_name);
+    }
+  }
+  for (const auto& app : apps) {
+    const auto candidates = core::restart_candidates(st.backend, app, prefix);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      table.add_row({candidates[i].prefix, "superseded", "-",
+                     support::format_bytes(candidates[i].state_bytes)});
+      ++superseded;
+      superseded_bytes += candidates[i].state_bytes;
+    }
+  }
+  if (torn_files > 0 || superseded > 0) {
+    table.print(std::cout);
+  }
+  std::cout << "gc would reclaim " << torn_files << " file"
+            << (torn_files == 1 ? "" : "s") << " ("
+            << support::format_bytes(torn_bytes) << "); " << superseded
+            << " superseded state" << (superseded == 1 ? "" : "s") << " ("
+            << support::format_bytes(superseded_bytes)
+            << ") eligible for retention; nothing deleted\n";
+  return 0;
+}
+
+int cmd_gc(const std::string& dir, const std::string& prefix, bool dry_run) {
   ToolStore st(dir);
+  if (dry_run) {
+    return cmd_gc_dry_run(st, prefix);
+  }
   const int removed = core::gc_torn_states(st.backend, prefix);
   if (removed > 0) {
     std::filesystem::remove_all(dir);
@@ -299,11 +366,20 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string command = argv[1];
-  // `verify` takes an optional --deep flag before the directory.
+  // `verify` takes an optional --deep flag before the directory, `gc` an
+  // optional --dry-run.
   bool deep = false;
+  bool dry_run = false;
   int arg = 2;
   if (command == "verify" && std::string(argv[arg]) == "--deep") {
     deep = true;
+    ++arg;
+    if (argc <= arg) {
+      return usage();
+    }
+  }
+  if (command == "gc" && std::string(argv[arg]) == "--dry-run") {
+    dry_run = true;
     ++arg;
     if (argc <= arg) {
       return usage();
@@ -330,7 +406,7 @@ int main(int argc, char** argv) {
       return cmd_fsck(dir, argc > 3 ? argv[3] : "");
     }
     if (command == "gc") {
-      return cmd_gc(dir, argc > 3 ? argv[3] : "");
+      return cmd_gc(dir, argc > arg + 1 ? argv[arg + 1] : "", dry_run);
     }
     if (command == "trace" && argc > 3) {
       return cmd_trace(dir, argv[3]);
