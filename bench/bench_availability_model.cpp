@@ -41,6 +41,8 @@
 #include "apps/solver.hpp"
 #include "arch/cluster.hpp"
 #include "json_writer.hpp"
+#include "obs/instrumented_backend.hpp"
+#include "obs/recorder.hpp"
 #include "piofs/volume.hpp"
 #include "recovery/failure_schedule.hpp"
 #include "recovery/supervisor.hpp"
@@ -48,6 +50,7 @@
 #include "store/fault_injection_backend.hpp"
 #include "store/memory_backend.hpp"
 #include "store/piofs_backend.hpp"
+#include "store/redundant_backend.hpp"
 #include "store/tiered_backend.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -261,6 +264,121 @@ struct CampaignRow {
   int recoveries = 0;
 };
 
+// ---- redundancy-encoded fast tier: scavenge vs PIOFS fallback ---------------
+
+/// One node-loss-before-drain trial of the redundant fast tier. The
+/// cluster maps its processors one-to-one onto the fast tier's store
+/// nodes (arch/placement.hpp), so a kNodeLoss schedule event takes the
+/// storage down with the processor.
+struct ScavengeRow {
+  std::string scheme;
+  std::string scenario;  // "scavenge" or "piofs_fallback"
+  bool ok = false;
+  int recoveries = 0;
+  std::uint64_t mttr_ns = 0;
+  std::uint64_t slow_reads = 0;    // store.slow.read_at.ops over the run
+  std::uint64_t files_rebuilt = 0; // recover.scavenge.rebuilt
+  std::uint64_t files_lost = 0;    // recover.scavenge.lost
+  std::string problem;
+};
+
+/// Run the supervisor under a single node-loss-before-drain schedule.
+/// `beyond_tolerance` additionally kills a second store node of the same
+/// redundancy group (without a second processor loss): the group is then
+/// unrecoverable and restore must fall back to the drained PIOFS copies.
+ScavengeRow run_scavenge_trial(store::RedundancyScheme scheme,
+                               bool beyond_tolerance, std::uint32_t baseline,
+                               std::uint64_t seed) {
+  ScavengeRow row;
+  row.scheme = scheme.describe();
+  row.scenario = beyond_tolerance ? "piofs_fallback" : "scavenge";
+
+  sim::Machine machine;
+  machine.node_count = kPreferredTasks;
+  machine.server_count = machine.node_count;
+  arch::Cluster cluster(machine, nullptr);
+
+  obs::Recorder rec;
+  piofs::Volume volume(4);
+  store::PiofsBackend piofs_backend(volume);
+  obs::InstrumentedBackend slow(piofs_backend, &rec, "slow");
+  store::RedundantBackend fast(kPreferredTasks, scheme);
+  store::TieredBackend tiered(fast, slow);
+
+  recovery::SupervisorOptions o;
+  o.solver = solver_options();
+  // Background protection, driven from the solver's iteration hook: the
+  // fast tier is always encoded by the time a failure can land, and only
+  // the fallback scenario ever drains to PIOFS.
+  o.solver.on_iteration = [&](std::int64_t, rt::TaskContext& ctx) {
+    if (ctx.rank() != 0) {
+      return;
+    }
+    fast.encode_all();
+    if (beyond_tolerance) {
+      tiered.drain();
+    }
+  };
+  o.env.storage = &tiered;
+  o.env.mode = core::CheckpointMode::kDrms;
+  o.preferred_tasks = kPreferredTasks;
+  o.min_tasks = 1;
+  o.seed = seed;
+  o.backoff_base = std::chrono::microseconds(1);
+  o.recorder = &rec;
+  o.on_node_loss = [&](int node) {
+    const int victim = node % kPreferredTasks;
+    fast.fail_node(victim);
+    if (beyond_tolerance) {
+      // A second storage-only loss inside the victim's redundancy group:
+      // one more than either scheme tolerates.
+      const int base = (victim / scheme.group_size) * scheme.group_size;
+      fast.fail_node(base + ((victim - base) + 1) % scheme.group_size);
+    }
+    tiered.reconcile_fast_tier();
+  };
+  o.scavenge = [&] { return fast.scavenge(); };
+
+  recovery::FailureSchedule schedule;
+  recovery::FailureEvent ev;
+  ev.kind = recovery::FailureKind::kNodeLoss;
+  ev.launch = 0;
+  // After the first generation committed (and was encoded by the hook),
+  // before the next SOP.
+  ev.at_iteration = kCheckpointEvery + 1;
+  ev.node_ordinal = 0;
+  schedule.events.push_back(ev);
+
+  recovery::RecoverySupervisor supervisor(cluster);
+  const recovery::RecoveryReport report = supervisor.run(o, schedule);
+
+  row.recoveries = static_cast<int>(report.recoveries.size());
+  row.mttr_ns = report.total_recovery_ns();
+  row.slow_reads = rec.counter("store.slow.read_at.ops");
+  row.files_rebuilt = rec.counter("recover.scavenge.rebuilt");
+  row.files_lost = rec.counter("recover.scavenge.lost");
+
+  if (!report.completed) {
+    row.problem = "did not complete";
+  } else if (report.outcome.field_crc != baseline) {
+    row.problem = "fingerprint mismatch";
+  } else if (row.recoveries == 0) {
+    row.problem = "node loss never fired";
+  } else if (!beyond_tolerance && row.slow_reads != 0) {
+    // The whole point: a tolerated loss recovers from the fast tier
+    // alone — not one byte comes back from PIOFS.
+    row.problem = "read PIOFS despite scavengeable fast tier";
+  } else if (!beyond_tolerance && row.files_rebuilt == 0) {
+    row.problem = "scavenge rebuilt nothing";
+  } else if (beyond_tolerance && row.slow_reads == 0) {
+    row.problem = "beyond-tolerance loss never touched PIOFS";
+  } else if (beyond_tolerance && row.files_lost == 0) {
+    row.problem = "beyond-tolerance loss lost no fast-tier file";
+  }
+  row.ok = row.problem.empty();
+  return row;
+}
+
 int run_campaign(int count, std::uint64_t base_seed) {
   std::cout << "Chaos campaign: " << count
             << " seeded failure schedules x {DRMS, SPMD} x {memory, "
@@ -397,6 +515,40 @@ int run_campaign(int count, std::uint64_t base_seed) {
     covered = false;
   }
 
+  // Redundant fast tier: node loss BEFORE any drain must recover from
+  // surviving fragments alone (zero PIOFS reads); losing more nodes of a
+  // group than the scheme tolerates must fall back to the drained PIOFS
+  // copies. The MTTR pair is the paper's scalable-recovery argument in
+  // one number.
+  std::cout << "\nRedundant fast tier: scavenge vs PIOFS fallback\n";
+  std::vector<ScavengeRow> scavenge_rows;
+  for (const auto& scheme :
+       {store::RedundancyScheme{store::RedundancyKind::kPartner, 2},
+        store::RedundancyScheme{store::RedundancyKind::kXor, 4}}) {
+    for (const bool beyond : {false, true}) {
+      scavenge_rows.push_back(
+          run_scavenge_trial(scheme, beyond, baseline, base_seed));
+    }
+  }
+  drms::support::TextTable stable({"scheme", "scenario", "recoveries",
+                                   "MTTR us", "slow reads", "rebuilt",
+                                   "lost", "result"});
+  int scavenge_failures = 0;
+  for (const auto& row : scavenge_rows) {
+    stable.add_row({row.scheme, row.scenario, std::to_string(row.recoveries),
+                    std::to_string(row.mttr_ns / 1000),
+                    std::to_string(row.slow_reads),
+                    std::to_string(row.files_rebuilt),
+                    std::to_string(row.files_lost),
+                    row.ok ? "OK" : "FAILED"});
+    if (!row.ok) {
+      ++scavenge_failures;
+      std::cout << "FAILED " << row.scheme << "/" << row.scenario << ": "
+                << row.problem << "\n";
+    }
+  }
+  stable.print(std::cout);
+
   std::ofstream out("BENCH_recovery.json");
   bench::JsonWriter json(out);
   json.begin_object();
@@ -442,13 +594,29 @@ int run_campaign(int count, std::uint64_t base_seed) {
   json.field("fallback_runs", fallback_runs);
   json.field("reconfig_runs", reconfig_runs);
   json.end_object();
+  json.begin_array("scavenge");
+  for (const auto& row : scavenge_rows) {
+    json.begin_object();
+    json.field("scheme", row.scheme);
+    json.field("scenario", row.scenario);
+    json.field("ok", row.ok);
+    json.field("recoveries", row.recoveries);
+    json.field("mttr_ns", row.mttr_ns);
+    json.field("slow_read_ops", row.slow_reads);
+    json.field("files_rebuilt", row.files_rebuilt);
+    json.field("files_lost", row.files_lost);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
   out << "\n";
   std::cout << "wrote BENCH_recovery.json\n";
 
-  if (failures > 0 || !covered) {
+  if (failures > 0 || scavenge_failures > 0 || !covered) {
     std::cout << "\nCHAOS CAMPAIGN FAILED: " << failures << " of " << count
               << " schedules did not recover"
+              << (scavenge_failures > 0 ? " (and the scavenge gate failed)"
+                                        : "")
               << (covered ? "" : " (and coverage gaps remain)") << "\n";
     return 1;
   }

@@ -25,6 +25,17 @@ bool Cluster::node_up(int node) const {
   return tc_state_[static_cast<std::size_t>(node)] == TcState::kConnected;
 }
 
+std::vector<int> Cluster::up_nodes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> up;
+  for (int node = 0; node < node_count(); ++node) {
+    if (tc_state_[static_cast<std::size_t>(node)] == TcState::kConnected) {
+      up.push_back(node);
+    }
+  }
+  return up;
+}
+
 int Cluster::available_processors() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   int n = 0;

@@ -40,6 +40,9 @@ class Cluster {
   }
   [[nodiscard]] bool node_up(int node) const;
   [[nodiscard]] int available_processors() const;
+  /// Every node whose TC connection is live (up, allocated or not) —
+  /// the survivor set a redundancy-encoded fast tier scavenges onto.
+  [[nodiscard]] std::vector<int> up_nodes() const;
 
   /// RC: allocate up to `want` processors for `job` (at least `min`).
   /// Returns the node list, or an empty vector when fewer than `min` are

@@ -1,0 +1,47 @@
+#include "arch/placement.hpp"
+
+#include "support/error.hpp"
+
+namespace drms::arch {
+
+std::vector<std::vector<int>> contiguous_groups(int node_count,
+                                                int group_size) {
+  DRMS_EXPECTS_MSG(group_size >= 2, "redundancy groups need >= 2 nodes");
+  DRMS_EXPECTS_MSG(node_count > 0 && node_count % group_size == 0,
+                   "node count must be a positive multiple of the group "
+                   "size");
+  std::vector<std::vector<int>> groups;
+  for (int base = 0; base < node_count; base += group_size) {
+    std::vector<int> group;
+    for (int k = 0; k < group_size; ++k) {
+      group.push_back(base + k);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+int partner_of(int node, int node_count) {
+  DRMS_EXPECTS_MSG(node >= 0 && node < node_count && node_count % 2 == 0,
+                   "partner pairing needs an even node count");
+  return node % 2 == 0 ? node + 1 : node - 1;
+}
+
+bool groups_scavengeable(const Cluster& cluster, int group_size,
+                         int tolerated) {
+  for (const auto& group :
+       contiguous_groups(cluster.node_count(), group_size)) {
+    int down = 0;
+    for (const int node : group) {
+      if (!cluster.node_up(node)) {
+        ++down;
+      }
+    }
+    if (down > tolerated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace drms::arch

@@ -1,0 +1,33 @@
+// Node/group placement for the redundancy-encoded fast tier.
+//
+// drms::store::RedundantBackend is deliberately arch-agnostic: it numbers
+// fast-tier stores 0..N-1 and knows nothing about processors, TC pools or
+// the RC protocol. These helpers are the bridge the harnesses (recovery
+// supervisor wiring, chaos campaign, tests) use to couple the two worlds:
+// a cluster sized for a redundancy scheme maps its processors one-to-one
+// onto fast-tier store nodes, so arch::Cluster::fail_node(k) and
+// RedundantBackend::fail_node(k) describe the same physical event.
+#pragma once
+
+#include <vector>
+
+#include "arch/cluster.hpp"
+
+namespace drms::arch {
+
+/// Contiguous redundancy groups over `node_count` nodes: {0..g-1},
+/// {g..2g-1}, ... `node_count` must be a positive multiple of
+/// `group_size` (the same invariant RedundantBackend enforces).
+[[nodiscard]] std::vector<std::vector<int>> contiguous_groups(int node_count,
+                                                              int group_size);
+
+/// Partner of `node` under pair grouping: 0<->1, 2<->3, ...
+[[nodiscard]] int partner_of(int node, int node_count);
+
+/// True when every redundancy group over the cluster's nodes still has at
+/// least `group_size - tolerated` live members — i.e. a scheme tolerating
+/// `tolerated` losses per group can scavenge every group.
+[[nodiscard]] bool groups_scavengeable(const Cluster& cluster, int group_size,
+                                       int tolerated);
+
+}  // namespace drms::arch

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
+#include "store/redundancy.hpp"
 #include "support/byte_buffer.hpp"
 #include "support/crc32.hpp"
 #include "support/error.hpp"
@@ -347,8 +349,30 @@ std::vector<FsckState> fsck_scan(const store::StorageBackend& storage,
     std::vector<std::string> spmd_files;
     bool has_commit = false;
   };
+  struct FragGroup {
+    std::set<int> present;
+    int expected = 0;
+  };
   std::map<std::string, Group> groups;
+  // prefix -> fragment base -> set summary. Keyed off the *base* name's
+  // classification so fragments report under the state that owns them.
+  std::map<std::string, std::map<std::string, FragGroup>> frag_groups;
   for (const auto& name : storage.list(prefix_filter)) {
+    // Redundancy fragments ("<base>#f<k>") are physical fast-tier files,
+    // not state files: classify them by their base name and keep them out
+    // of the torn/committed grouping entirely.
+    if (const auto frag = store::parse_fragment_name(name)) {
+      const auto base_class = classify_state_file(frag->base);
+      const std::string owner =
+          base_class.has_value() ? base_class->prefix : frag->base;
+      FragGroup& fg = frag_groups[owner][frag->base];
+      if (const auto header = store::read_fragment_header(storage, name)) {
+        fg.present.insert(frag->index);
+        fg.expected = std::max(
+            fg.expected, static_cast<int>(header->fragment_count));
+      }
+      continue;
+    }
     const auto c = classify_state_file(name);
     if (!c.has_value()) {
       continue;
@@ -464,6 +488,40 @@ std::vector<FsckState> fsck_scan(const store::StorageBackend& storage,
       s.problems.push_back(why);
       reclaim(s, commit_file_name(prefix));
       out.push_back(std::move(s));
+    }
+  }
+
+  // Attach fragment-set completeness to the owning state; a prefix with
+  // only fragments (fully-encoded fast tier) gets an encoded_only entry.
+  for (auto& [prefix, bases] : frag_groups) {
+    FsckState* target = nullptr;
+    for (auto& s : out) {
+      if (s.prefix == prefix) {
+        target = &s;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      FsckState s;
+      s.prefix = prefix;
+      s.encoded_only = true;
+      out.push_back(std::move(s));
+      target = &out.back();
+    }
+    for (auto& [base, fg] : bases) {
+      FsckFragmentSet fs;
+      fs.base = base;
+      fs.present = static_cast<int>(fg.present.size());
+      fs.expected = fg.expected;
+      // Both in-tree schemes tolerate one lost fragment per set.
+      fs.recoverable = fg.expected > 0 && fs.present >= fg.expected - 1;
+      if (!fs.recoverable) {
+        target->problems.push_back(
+            base + ": fragment set " + std::to_string(fs.present) + "/" +
+            std::to_string(fs.expected) +
+            " beyond scavenge tolerance");
+      }
+      target->fragment_sets.push_back(std::move(fs));
     }
   }
   return out;

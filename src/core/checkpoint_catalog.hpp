@@ -88,18 +88,38 @@ struct VerifyResult {
                                              const CheckpointRecord& record,
                                              bool deep = true);
 
+/// One logical file's redundancy-fragment set ("<base>#f<k>" files from a
+/// mirrored redundancy-encoded fast tier), as found by the offline scan.
+/// `expected` comes from the fragment headers (0 when none was readable);
+/// `present` counts fragments with a readable, untorn header. Both
+/// in-tree schemes tolerate one missing fragment per set, so a set is
+/// recoverable while `present >= expected - 1`.
+struct FsckFragmentSet {
+  std::string base;
+  int present = 0;
+  int expected = 0;
+  bool recoverable = false;
+};
+
 /// One state as seen by the offline consistency scan (`drms_tool fsck`).
 struct FsckState {
   std::string prefix;
   bool spmd = false;
   bool committed = false;
+  /// Only redundancy fragments were found under this prefix (a mirrored
+  /// encoded fast tier): commit status is not determinable offline, and
+  /// the state is not "torn" in the crash sense.
+  bool encoded_only = false;
   /// Why the state is torn (or, for a committed state, notes about stray
   /// files). Empty for a clean committed state.
   std::vector<std::string> problems;
   /// Files `gc` may reclaim: every grouped file of a torn state, stray
-  /// files not listed in the manifest of a committed one.
+  /// files not listed in the manifest of a committed one. Redundancy
+  /// fragments are never reclaimable — scavenge owns their lifecycle.
   std::vector<std::string> reclaimable;
   std::uint64_t reclaimable_bytes = 0;
+  /// Per-logical-file fragment completeness under this state's prefix.
+  std::vector<FsckFragmentSet> fragment_sets;
 };
 
 /// Group every state file on the storage by prefix and layout and evaluate

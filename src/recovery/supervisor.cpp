@@ -114,9 +114,12 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
           }
           fatal_event_ns.store(
               static_cast<std::int64_t>(ns_between(epoch, Clock::now())));
-          cluster_.fail_node(
-              nodes[static_cast<std::size_t>(ev.node_ordinal) %
-                    nodes.size()]);
+          const int victim =
+              nodes[static_cast<std::size_t>(ev.node_ordinal) % nodes.size()];
+          cluster_.fail_node(victim);
+          if (options.on_node_loss) {
+            options.on_node_loss(victim);
+          }
           break;
         }
         case FailureKind::kTransientFaults:
@@ -175,6 +178,24 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
   for (int launch = 0; launch < options.max_launches; ++launch) {
     const bool is_restart = launch > 0;
     LaunchReport lr;
+
+    // ---- scavenge: rebuild the redundancy-encoded fast tier ----------------
+    // Runs before select so rebuilt fast-tier generations are candidates;
+    // without it a survivable node loss would silently fall back to the
+    // slow tier.
+    if (is_restart && options.scavenge) {
+      obs::ScopedSpan scavenge_span(rec, "recover", "scavenge", -1, -1.0);
+      const store::ScavengeReport sr = options.scavenge();
+      if (rec != nullptr) {
+        rec->count("recover.scavenge.intact",
+                   static_cast<std::uint64_t>(sr.files_intact));
+        rec->count("recover.scavenge.rebuilt",
+                   static_cast<std::uint64_t>(sr.files_rebuilt));
+        rec->count("recover.scavenge.lost",
+                   static_cast<std::uint64_t>(sr.files_lost));
+        rec->count("recover.scavenge.bytes", sr.bytes_recovered);
+      }
+    }
 
     // ---- select: enumerate restart candidates, newest first ----------------
     Clock::time_point t0 = Clock::now();

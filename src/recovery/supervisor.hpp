@@ -27,6 +27,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "recovery/failure_schedule.hpp"
 #include "recovery/reconfig_policy.hpp"
 #include "store/fault_injection_backend.hpp"
+#include "store/redundancy.hpp"
 #include "svc/io_scheduler.hpp"
 
 namespace drms::recovery {
@@ -73,6 +75,18 @@ struct SupervisorOptions {
   /// first iteration hook — background tier drains are parked for the
   /// whole bring-back-up window instead of contending with it.
   svc::IoScheduler* scheduler = nullptr;
+  /// Fired after a kNodeLoss schedule event lands, with the failed node's
+  /// id. Harness hook for coupling the cluster to a redundancy-encoded
+  /// fast tier (RedundantBackend::fail_node + TieredBackend::
+  /// reconcile_fast_tier), so the storage side of the node dies with the
+  /// processor side.
+  std::function<void(int node)> on_node_loss;
+  /// When set, runs before the select phase of every restart: scavenge
+  /// the redundancy-encoded fast tier so select sees rebuilt generations
+  /// instead of falling back to the slow tier. Traced as a
+  /// "recover"/"scavenge" span; the report feeds recover.scavenge.*
+  /// counters.
+  std::function<store::ScavengeReport()> scavenge;
 };
 
 /// Host-clock nanoseconds of one recovery, split by phase (the MTTR

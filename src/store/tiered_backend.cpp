@@ -226,7 +226,9 @@ void TieredBackend::remove(const std::string& name) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->in_fast || entry->in_slow) {
       if (entry->in_fast) {
-        fast_.remove(name);
+        if (fast_.exists(name)) {
+          fast_.remove(name);
+        }
         entry->in_fast = false;
       }
       if (entry->in_slow) {
@@ -334,7 +336,7 @@ std::vector<TieredBackend::DrainItem> TieredBackend::drain_work() const {
   std::vector<DrainItem> work;
   for (const auto& [name, entry] : snapshot) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->in_fast && entry->dirty) {
+    if (entry->in_fast && entry->dirty && fast_.exists(name)) {
       work.push_back(DrainItem{name, fast_.file_size(name)});
     }
   }
@@ -349,6 +351,15 @@ std::optional<std::uint64_t> TieredBackend::drain_file(
   }
   const std::lock_guard<std::mutex> lock(entry->mutex);
   if (!entry->in_fast || !entry->dirty) {
+    return std::nullopt;
+  }
+  if (!fast_.exists(name)) {
+    // Deleted or superseded between drain_work() and execution (GC, a
+    // re-created generation, or a fast-tier node loss). Draining now
+    // would either throw or resurrect stale bytes onto the slow tier;
+    // instead the entry downgrades and the dirty set forgets the file.
+    entry->in_fast = false;
+    entry->dirty = false;
     return std::nullopt;
   }
   const std::uint64_t copied = copy_to_slow_locked(name);
@@ -376,13 +387,33 @@ void TieredBackend::fail_fast_tier() {
   for (auto& [name, entry] : snapshot) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->in_fast) {
-      fast_.remove(name);
+      if (fast_.exists(name)) {
+        fast_.remove(name);
+      }
       entry->in_fast = false;
       entry->dirty = false;
       // An undrained file has no surviving copy; its entry stays with
       // both flags cleared and open()/exists() report it gone.
     }
   }
+}
+
+int TieredBackend::reconcile_fast_tier() {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  int downgraded = 0;
+  for (auto& [name, entry] : snapshot) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_fast && !fast_.exists(name)) {
+      entry->in_fast = false;
+      entry->dirty = false;
+      ++downgraded;
+    }
+  }
+  return downgraded;
 }
 
 std::uint64_t TieredBackend::drain_backlog_bytes() const {
@@ -394,7 +425,7 @@ std::uint64_t TieredBackend::drain_backlog_bytes() const {
   std::uint64_t backlog = 0;
   for (const auto& [name, entry] : snapshot) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->in_fast && entry->dirty) {
+    if (entry->in_fast && entry->dirty && fast_.exists(name)) {
       backlog += fast_.file_size(name);
     }
   }

@@ -135,6 +135,14 @@ class TieredBackend final : public StorageBackend {
   /// the window a multi-level scheme accepts.
   void fail_fast_tier();
 
+  /// Re-sync the entry table with what the fast tier actually still
+  /// holds. A redundancy-encoded fast tier loses files out from under the
+  /// entries on a PARTIAL node failure (RedundantBackend::fail_node);
+  /// entries whose fast copy vanished are downgraded — drained files fall
+  /// back to their slow copy, undrained ones are lost. Returns the number
+  /// of entries downgraded.
+  int reconcile_fast_tier();
+
   /// Dirty fast-tier bytes awaiting drain.
   [[nodiscard]] std::uint64_t drain_backlog_bytes() const;
   /// True while any file still has a fast-tier copy.

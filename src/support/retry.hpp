@@ -65,8 +65,11 @@ struct RetryPolicy {
 /// jitter seed. Deterministic: a pure function of (policy, attempt).
 [[nodiscard]] inline std::chrono::microseconds retry_backoff(
     const RetryPolicy& policy, int attempt) {
+  // Saturate the exponent: a large attempt budget (total_backoff_budget
+  // is what bounds the storm then) must not shift past the int width —
+  // 2^30 * base is already hours of backoff for any sane base.
   const std::chrono::microseconds step =
-      policy.backoff_base * (1 << (attempt - 1));
+      policy.backoff_base * (1 << std::min(attempt - 1, 30));
   if (policy.jitter_seed == 0) {
     return step;
   }
@@ -95,10 +98,16 @@ decltype(auto) retry_io(Op&& op, const RetryPolicy& policy = {}) {
       }
       std::chrono::microseconds backoff = retry_backoff(policy, attempt);
       if (policy.total_backoff_budget.count() > 0) {
+        // Truncate the FINAL sleep to exactly the remaining budget rather
+        // than overshooting it — and the retry that truncated sleep pays
+        // for still runs. Only once the budget is spent to the last
+        // microsecond does the next transient rethrow instead of
+        // sleeping again (the budget bounds the sleeps, never the
+        // attempt a completed sleep already bought).
         const std::chrono::microseconds remaining =
             policy.total_backoff_budget - slept;
         if (remaining.count() <= 0) {
-          throw;  // total budget exhausted
+          throw;  // total budget exactly exhausted
         }
         backoff = std::min(backoff, remaining);
       }

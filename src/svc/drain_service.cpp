@@ -16,6 +16,43 @@ store::TieredBackend::DrainReport DrainTicket::wait() const {
   return state_->report;
 }
 
+EncodeReport EncodeTicket::wait() const {
+  for (const Completion& completion : completions_) {
+    completion.wait();
+  }
+  if (state_ == nullptr) {
+    return {};
+  }
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->report;
+}
+
+EncodeTicket submit_encode(IoScheduler& scheduler, const JobToken& job,
+                           store::RedundantBackend& backend,
+                           const sim::LoadContext& load) {
+  EncodeTicket ticket;
+  ticket.state_ = std::make_shared<EncodeTicket::State>();
+  for (const auto& item : backend.encode_work()) {
+    auto state = ticket.state_;
+    ticket.completions_.push_back(scheduler.submit(
+        job, Priority::kDrain, item.name, item.bytes,
+        backend.encode_write_seconds(item.bytes, load),
+        [state, &backend, name = item.name, load] {
+          const std::optional<std::uint64_t> encoded =
+              backend.encode_file(name);
+          if (!encoded.has_value()) {
+            return;  // encoded, re-created, or removed since the snapshot
+          }
+          const double sim = backend.encode_write_seconds(*encoded, load);
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->report.files_encoded += 1;
+          state->report.bytes_encoded += *encoded;
+          state->report.simulated_seconds += sim;
+        }));
+  }
+  return ticket;
+}
+
 DrainTicket submit_drain(IoScheduler& scheduler, const JobToken& job,
                          store::TieredBackend& backend,
                          const sim::LoadContext& load) {

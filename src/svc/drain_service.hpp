@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "store/redundant_backend.hpp"
 #include "store/tiered_backend.hpp"
 #include "svc/io_scheduler.hpp"
 
@@ -46,5 +47,45 @@ class DrainTicket {
 DrainTicket submit_drain(IoScheduler& scheduler, const JobToken& job,
                          store::TieredBackend& backend,
                          const sim::LoadContext& load = {});
+
+/// Aggregate outcome of one submitted redundancy-encode pass.
+struct EncodeReport {
+  int files_encoded = 0;
+  std::uint64_t bytes_encoded = 0;
+  /// Modeled background memory-write time of the fragment copies (never
+  /// charged to the application's clock, like drain time).
+  double simulated_seconds = 0.0;
+};
+
+/// Handle for one submitted encode pass (see submit_encode).
+class EncodeTicket {
+ public:
+  EncodeTicket() = default;
+  [[nodiscard]] EncodeReport wait() const;
+  [[nodiscard]] std::size_t files_submitted() const {
+    return completions_.size();
+  }
+
+ private:
+  friend EncodeTicket submit_encode(IoScheduler&, const JobToken&,
+                                    store::RedundantBackend&,
+                                    const sim::LoadContext&);
+  struct State {
+    std::mutex mutex;
+    EncodeReport report;
+  };
+  std::shared_ptr<State> state_;
+  std::vector<Completion> completions_;
+};
+
+/// Snapshot the fast tier's staged-but-unencoded work list and queue one
+/// DRAIN-class item per file (fragment encoding is background protection
+/// traffic: it yields to restores and foreground checkpoints, and a
+/// RestoreGuard parks it with the drains). Items race benignly with
+/// writers and GC — a file encoded, re-created, or removed in the
+/// meantime drops out of the report.
+EncodeTicket submit_encode(IoScheduler& scheduler, const JobToken& job,
+                           store::RedundantBackend& backend,
+                           const sim::LoadContext& load = {});
 
 }  // namespace drms::svc

@@ -154,11 +154,18 @@ void JobToken::release() {
 
 IoScheduler::RestoreGuard& IoScheduler::RestoreGuard::operator=(
     RestoreGuard&& other) noexcept {
-  if (this != &other) {
-    release();
-    scheduler_ = other.scheduler_;
-    other.scheduler_ = nullptr;
+  if (this == &other) {
+    return *this;  // self-move: the hold must survive untouched
   }
+  // Steal the incoming hold BEFORE releasing the old one: when both
+  // guards park the same scheduler the hold count stays >= 1 across the
+  // handover, so the drain class cannot wake in between. Each armed
+  // guard's hold is released exactly once (here for the overwritten one,
+  // by other's now-empty destructor for the stolen one).
+  IoScheduler* incoming = other.scheduler_;
+  other.scheduler_ = nullptr;
+  release();
+  scheduler_ = incoming;
   return *this;
 }
 

@@ -21,6 +21,7 @@
 #include "store/fault_injection_backend.hpp"
 #include "store/memory_backend.hpp"
 #include "store/piofs_backend.hpp"
+#include "store/redundant_backend.hpp"
 #include "store/storage_backend.hpp"
 #include "store/tiered_backend.hpp"
 #include "support/byte_buffer.hpp"
@@ -647,6 +648,65 @@ TEST(TieredBackend, ConcurrentDrainVersusRestoreIsNeverTorn) {
     EXPECT_EQ(string_of(storage.open(name(i)).read_at(0, kSize)),
               payload(i, 40));
   }
+}
+
+TEST(TieredBackend, DrainFileSkipsAFileRemovedAfterTheSnapshot) {
+  MemoryBackend fast;
+  MemoryBackend slow;
+  TieredBackend storage(fast, slow);
+  storage.create("a").write_at(0, bytes_of("payload"));
+  ASSERT_EQ(storage.drain_work().size(), 1u);
+
+  // The file vanishes between the drain_work snapshot and the queued
+  // item's execution: the drain must skip cleanly — no resurrection on
+  // the slow tier, no dirty-set leak.
+  storage.remove("a");
+  EXPECT_FALSE(storage.drain_file("a").has_value());
+  EXPECT_FALSE(slow.exists("a"));
+  EXPECT_TRUE(storage.drain_work().empty());
+  EXPECT_EQ(storage.drain_backlog_bytes(), 0u);
+  EXPECT_EQ(storage.drain().files_drained, 0);
+}
+
+TEST(TieredBackend, DrainFileSkipsAFileWhoseFastCopyVanished) {
+  MemoryBackend fast;
+  MemoryBackend slow;
+  TieredBackend storage(fast, slow);
+  storage.create("a").write_at(0, bytes_of("payload"));
+  ASSERT_EQ(storage.drain_work().size(), 1u);
+
+  // The physical fast-tier copy disappears while the entry still says
+  // in_fast (a node of a redundant fast tier died under the entry): the
+  // per-file drain must clear the stale flags instead of throwing.
+  fast.remove("a");
+  EXPECT_FALSE(storage.drain_file("a").has_value());
+  EXPECT_FALSE(slow.exists("a"));
+  EXPECT_TRUE(storage.drain_work().empty());
+  EXPECT_EQ(storage.drain().files_drained, 0);
+}
+
+TEST(TieredBackend, ReconcileFastTierDowngradesFilesLostWithTheirNodes) {
+  store::RedundantBackend fast(
+      2, store::RedundancyScheme{store::RedundancyKind::kPartner, 2});
+  MemoryBackend slow;
+  TieredBackend storage(fast, slow);
+  storage.create("a").write_at(0, bytes_of("drained"));
+  storage.create("b").write_at(0, bytes_of("lost"));
+  ASSERT_TRUE(storage.drain_file("a").has_value());  // safety copy on slow
+
+  // Both partner nodes die: every fast-tier copy is gone while the
+  // tiered entries still claim in_fast.
+  fast.fail_node(0);
+  fast.fail_node(1);
+  EXPECT_EQ(storage.reconcile_fast_tier(), 2);
+
+  // The drained file falls back to its slow-tier copy; the undrained
+  // one is honestly lost; and no stale dirty work remains.
+  EXPECT_TRUE(storage.exists("a"));
+  EXPECT_EQ(string_of(storage.open("a").read_at(0, 7)), "drained");
+  EXPECT_FALSE(storage.exists("b"));
+  EXPECT_TRUE(storage.drain_work().empty());
+  EXPECT_EQ(storage.drain().files_drained, 0);
 }
 
 TEST(StorageBackend, ReadToBufferYieldsReadableBuffer) {

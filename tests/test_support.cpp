@@ -458,6 +458,50 @@ TEST(Retry, TotalBackoffBudgetBoundsTheCumulativeSleep) {
   EXPECT_GE(elapsed, std::chrono::microseconds(3000));
 }
 
+TEST(Retry, ExactBudgetExhaustionStillRunsThePaidForAttempt) {
+  // Budget == the sum of the first two backoffs (1 ms + 2 ms) exactly.
+  // The budget bounds the SLEEPS, never the attempt a completed sleep
+  // already bought: attempt 3 (paid for by the second sleep) must still
+  // run, and can succeed.
+  RetryPolicy policy;
+  policy.attempts = 1000;
+  policy.backoff_base = std::chrono::microseconds(1000);
+  policy.total_backoff_budget = std::chrono::microseconds(3000);
+  int calls = 0;
+  const int got = retry_io(
+      [&calls] {
+        if (++calls < 3) {
+          throw TransientIoError("hiccup");
+        }
+        return 7;
+      },
+      policy);
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(calls, 3);
+
+  // When attempt 3 also fails, the exactly-exhausted budget rethrows
+  // without sleeping again: three calls, never a fourth.
+  calls = 0;
+  EXPECT_THROW(retry_io(
+                   [&calls]() -> int {
+                     ++calls;
+                     throw TransientIoError("saturated");
+                   },
+                   policy),
+               TransientIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, HugeAttemptIndicesSaturateInsteadOfOverflowing) {
+  // attempts can legitimately be huge when total_backoff_budget is what
+  // bounds the storm; the exponential step must saturate, not shift past
+  // the int width into undefined behaviour.
+  RetryPolicy policy;
+  EXPECT_EQ(retry_backoff(policy, 40), retry_backoff(policy, 31));
+  EXPECT_GT(retry_backoff(policy, 1000).count(), 0);
+  EXPECT_GE(retry_backoff(policy, 1000), retry_backoff(policy, 3));
+}
+
 TEST(Retry, NonTransientErrorsPropagateImmediately) {
   int calls = 0;
   EXPECT_THROW(retry_io([&calls]() -> int {

@@ -224,6 +224,71 @@ TEST(Svc, RestoreGuardParksDrainsUntilReleased) {
   EXPECT_EQ(drains.load(), 1);
 }
 
+TEST(Svc, RestoreGuardSelfMoveKeepsTheDrainsParked) {
+  IoScheduler::Options opts;
+  opts.start_paused = true;
+  opts.force_async = true;
+  IoScheduler scheduler(opts);
+  JobToken job = scheduler.register_job("tenant");
+  std::atomic<int> drains{0};
+  scheduler.submit(job, Priority::kDrain, "k", 0, 0.0,
+                   [&drains] { ++drains; });
+
+  auto guard = scheduler.preempt_drains();
+  auto* alias = &guard;
+  guard = std::move(*alias);  // self-move must neither release nor leak
+  EXPECT_TRUE(guard.held());
+  scheduler.resume();
+  scheduler.submit(job, Priority::kForeground, "k", 0, 0.0, [] {}).wait();
+  EXPECT_EQ(drains.load(), 0);  // still parked
+  guard.release();
+  scheduler.wait_idle();
+  EXPECT_EQ(drains.load(), 1);  // and not parked forever
+}
+
+TEST(Svc, RestoreGuardAssignOverArmedReleasesExactlyOneHold) {
+  IoScheduler::Options opts;
+  opts.start_paused = true;
+  opts.force_async = true;
+  IoScheduler scheduler(opts);
+  JobToken job = scheduler.register_job("tenant");
+  std::atomic<int> drains{0};
+  scheduler.submit(job, Priority::kDrain, "k", 0, 0.0,
+                   [&drains] { ++drains; });
+
+  auto a = scheduler.preempt_drains();
+  auto b = scheduler.preempt_drains();
+  a = std::move(b);  // drops a's hold, adopts b's: ONE hold remains
+  EXPECT_TRUE(a.held());
+  EXPECT_FALSE(b.held());
+  scheduler.resume();
+  scheduler.submit(job, Priority::kForeground, "k", 0, 0.0, [] {}).wait();
+  EXPECT_EQ(drains.load(), 0);  // the surviving hold still parks drains
+  a.release();
+  scheduler.wait_idle();
+  EXPECT_EQ(drains.load(), 1);  // hold count reached zero exactly once
+}
+
+TEST(Svc, RestoreGuardAssignEmptyOverArmedUnparks) {
+  IoScheduler::Options opts;
+  opts.start_paused = true;
+  opts.force_async = true;
+  IoScheduler scheduler(opts);
+  JobToken job = scheduler.register_job("tenant");
+  std::atomic<int> drains{0};
+  scheduler.submit(job, Priority::kDrain, "k", 0, 0.0,
+                   [&drains] { ++drains; });
+
+  auto guard = scheduler.preempt_drains();
+  guard = IoScheduler::RestoreGuard();  // assigning empty releases the hold
+  EXPECT_FALSE(guard.held());
+  scheduler.resume();
+  scheduler.wait_idle();
+  EXPECT_EQ(drains.load(), 1);
+  guard.release();  // double release stays idempotent
+  EXPECT_FALSE(guard.held());
+}
+
 TEST(Svc, BarrierRethrowsTheJobsFirstAsyncErrorOnce) {
   IoScheduler::Options opts;
   opts.force_async = true;

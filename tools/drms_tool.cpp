@@ -229,13 +229,29 @@ int cmd_fsck(const std::string& dir, const std::string& prefix) {
     return 0;
   }
   support::TextTable table(
-      {"prefix", "mode", "status", "reclaimable"});
+      {"prefix", "mode", "status", "fragments", "reclaimable"});
   int torn = 0;
   for (const auto& s : states) {
+    int sets_ok = 0;
+    for (const auto& fs : s.fragment_sets) {
+      if (fs.recoverable) {
+        ++sets_ok;
+      }
+    }
+    const std::string frag_cell =
+        s.fragment_sets.empty()
+            ? "-"
+            : std::to_string(sets_ok) + "/" +
+                  std::to_string(s.fragment_sets.size()) + " sets";
     table.add_row({s.prefix, s.spmd ? "SPMD" : "DRMS",
-                   s.committed ? "committed" : "TORN",
-                   support::format_bytes(s.reclaimable_bytes)});
-    if (!s.committed) {
+                   s.committed   ? "committed"
+                   : s.encoded_only ? "encoded"
+                                    : "TORN",
+                   frag_cell, support::format_bytes(s.reclaimable_bytes)});
+    // An encoded-only state is healthy while every fragment set is
+    // scavengeable; a set beyond tolerance is as fatal as a torn state.
+    if ((!s.committed && !s.encoded_only) ||
+        sets_ok != static_cast<int>(s.fragment_sets.size())) {
       ++torn;
     }
   }
@@ -243,6 +259,11 @@ int cmd_fsck(const std::string& dir, const std::string& prefix) {
   for (const auto& s : states) {
     for (const auto& p : s.problems) {
       std::cout << "  " << s.prefix << ": " << p << "\n";
+    }
+    for (const auto& fs : s.fragment_sets) {
+      std::cout << "  " << s.prefix << ": " << fs.base << ": "
+                << fs.present << "/" << fs.expected << " fragments"
+                << (fs.recoverable ? "" : " (BEYOND TOLERANCE)") << "\n";
     }
   }
   std::cout << torn << " torn state" << (torn == 1 ? "" : "s") << "\n";
