@@ -40,6 +40,7 @@
 
 #include "apps/solver.hpp"
 #include "arch/cluster.hpp"
+#include "core/checkpoint_format.hpp"
 #include "json_writer.hpp"
 #include "obs/instrumented_backend.hpp"
 #include "obs/recorder.hpp"
@@ -379,6 +380,84 @@ ScavengeRow run_scavenge_trial(store::RedundancyScheme scheme,
   return row;
 }
 
+// ---- base+delta chain recovery ----------------------------------------------
+
+/// One supervised kill/recover run with delta generations enabled: the
+/// failure lands right after the chain's first delta committed, so
+/// select/verify/restore must walk a base+delta chain. The launch
+/// reports' restart prefixes are checked against the on-storage metas —
+/// at least one recovery must come back through a delta-kind generation.
+struct DeltaChainRow {
+  bool ok = false;
+  int recoveries = 0;
+  int chain_restarts = 0;  // restarts whose generation was a delta
+  std::int64_t max_chain_depth = 0;
+  std::uint64_t mttr_ns = 0;
+  std::string problem;
+};
+
+DeltaChainRow run_delta_chain_trial(std::uint32_t baseline,
+                                    std::uint64_t seed) {
+  DeltaChainRow row;
+
+  sim::Machine machine;
+  machine.node_count = kPreferredTasks;
+  machine.server_count = machine.node_count;
+  arch::Cluster cluster(machine, nullptr);
+  store::MemoryBackend storage;
+
+  recovery::SupervisorOptions o;
+  o.solver = solver_options();
+  o.env.storage = &storage;
+  o.env.mode = core::CheckpointMode::kDrms;
+  o.env.delta = true;
+  // g3 is the chain's full base; g6/g9/g12 are deltas, so the kill below
+  // leaves a delta as the newest committed generation.
+  o.env.delta_full_every_k = 4;
+  o.env.delta_block_bytes = 64 * 1024;
+  o.preferred_tasks = kPreferredTasks;
+  o.min_tasks = 1;
+  o.seed = seed;
+  o.backoff_base = std::chrono::microseconds(1);
+
+  recovery::FailureSchedule schedule;
+  recovery::FailureEvent ev;
+  ev.kind = recovery::FailureKind::kKillPool;
+  ev.launch = 0;
+  // After the second generation — the chain's first delta — committed.
+  ev.at_iteration = 2 * kCheckpointEvery + 1;
+  schedule.events.push_back(ev);
+
+  recovery::RecoverySupervisor supervisor(cluster);
+  const recovery::RecoveryReport report = supervisor.run(o, schedule);
+
+  row.recoveries = static_cast<int>(report.recoveries.size());
+  row.mttr_ns = report.total_recovery_ns();
+  for (const auto& launch : report.launches) {
+    if (!launch.from_checkpoint) {
+      continue;
+    }
+    const core::CheckpointMeta meta =
+        core::read_checkpoint_meta(storage, launch.restart_prefix);
+    if (meta.kind == core::GenerationKind::kDelta) {
+      ++row.chain_restarts;
+      row.max_chain_depth = std::max(row.max_chain_depth, meta.chain_depth);
+    }
+  }
+
+  if (!report.completed) {
+    row.problem = "did not complete";
+  } else if (report.outcome.field_crc != baseline) {
+    row.problem = "fingerprint mismatch";
+  } else if (row.recoveries == 0) {
+    row.problem = "kill never fired";
+  } else if (row.chain_restarts == 0) {
+    row.problem = "no restart walked a base+delta chain";
+  }
+  row.ok = row.problem.empty();
+  return row;
+}
+
 int run_campaign(int count, std::uint64_t base_seed) {
   std::cout << "Chaos campaign: " << count
             << " seeded failure schedules x {DRMS, SPMD} x {memory, "
@@ -549,6 +628,20 @@ int run_campaign(int count, std::uint64_t base_seed) {
   }
   stable.print(std::cout);
 
+  // Base+delta chain recovery: one supervised kill with delta generations
+  // enabled. The delta subsystem's recovery bar: at least one restart
+  // must restore through a delta-kind generation (full base replayed,
+  // then the chain's dirty blocks), bit-exact against the baseline.
+  std::cout << "\nDelta-chain recovery trial (delta generations on)\n";
+  const DeltaChainRow delta_row = run_delta_chain_trial(baseline, base_seed);
+  std::cout << "  recoveries " << delta_row.recoveries << ", chain restarts "
+            << delta_row.chain_restarts << ", max chain depth "
+            << delta_row.max_chain_depth << ", MTTR "
+            << delta_row.mttr_ns / 1000 << "us — "
+            << (delta_row.ok ? std::string("OK")
+                             : "FAILED: " + delta_row.problem)
+            << "\n";
+
   std::ofstream out("BENCH_recovery.json");
   bench::JsonWriter json(out);
   json.begin_object();
@@ -608,16 +701,26 @@ int run_campaign(int count, std::uint64_t base_seed) {
     json.end_object();
   }
   json.end_array();
+  json.begin_object("delta_chain");
+  json.field("ok", delta_row.ok);
+  json.field("recoveries", delta_row.recoveries);
+  json.field("chain_restarts", delta_row.chain_restarts);
+  json.field("max_chain_depth",
+             static_cast<std::uint64_t>(delta_row.max_chain_depth));
+  json.field("mttr_ns", delta_row.mttr_ns);
+  json.end_object();
   json.end_object();
   out << "\n";
   std::cout << "wrote BENCH_recovery.json\n";
 
-  if (failures > 0 || scavenge_failures > 0 || !covered) {
+  if (failures > 0 || scavenge_failures > 0 || !covered || !delta_row.ok) {
     std::cout << "\nCHAOS CAMPAIGN FAILED: " << failures << " of " << count
               << " schedules did not recover"
               << (scavenge_failures > 0 ? " (and the scavenge gate failed)"
                                         : "")
-              << (covered ? "" : " (and coverage gaps remain)") << "\n";
+              << (covered ? "" : " (and coverage gaps remain)")
+              << (delta_row.ok ? "" : " (and the delta-chain trial failed)")
+              << "\n";
     return 1;
   }
   std::cout << "\nall " << count

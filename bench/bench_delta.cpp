@@ -1,0 +1,428 @@
+// Perf gate — block-level delta generations with the pipelined codec
+// stage vs plain full dumps, on a BT-like steady state.
+//
+// The application mutates its solution array everywhere each step (the
+// raw-span path: conservative mark-all), touches only a thin slab of the
+// rhs array (a precise insert: only the covered blocks go dirty), and
+// never writes the forcing/lhs arrays after initialization. Under
+// `env.delta` the engine stores one full base, then `full_every_k - 1`
+// delta generations holding only the dirtied blocks, each run through
+// the block codec inside the double-buffered streaming pass.
+//
+// Gates (exit 1 on failure):
+//   bytes    steady-state delta generations write >= 30% fewer array
+//            payload bytes than a full dump
+//   time     their simulated checkpoint time is >= 10% below a full dump
+//   restore  restarting from the chain tip reproduces the failure-free
+//            array fingerprints of BOTH legs (base + deltas replayed,
+//            newest block wins)
+//   verify   deep verify of the chain tip walks the whole chain clean
+//
+// A machine-readable BENCH_delta.json is written alongside the table.
+// The simulated-time tables of the paper runs are untouched: delta mode
+// defaults off everywhere else.
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/array_fingerprint.hpp"
+#include "core/checkpoint_catalog.hpp"
+#include "core/drms_context.hpp"
+#include "json_writer.hpp"
+#include "piofs/volume.hpp"
+#include "rt/task_group.hpp"
+#include "sim/cost_model.hpp"
+#include "store/piofs_backend.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace drms;
+using core::DistArray;
+using core::DistSpec;
+using core::DrmsContext;
+using core::DrmsEnv;
+using core::DrmsProgram;
+using core::Index;
+using support::format_fixed;
+using support::kKiB;
+using support::kMiB;
+
+constexpr int kTasks = 8;
+constexpr int kFullEveryK = 4;
+
+struct Params {
+  Index n = 32;
+  int generations = 8;
+};
+
+core::Slice grid_box(Index n) {
+  const std::array<Index, 4> lo{0, 0, 0, 0};
+  const std::array<Index, 4> hi{4, n - 1, n - 1, n - 1};
+  return core::Slice::box(lo, hi);
+}
+
+core::AppSegmentModel segment() {
+  core::AppSegmentModel m;
+  m.static_local_bytes = 8 * kMiB;
+  m.private_bytes = kMiB;
+  m.system_bytes = 4 * kMiB;
+  m.text_bytes = kMiB;
+  return m;
+}
+
+/// The BT-like step, identical in both legs: u rewritten everywhere
+/// through the raw typed view (mark-all), one z-plane slab of rhs
+/// updated through a precise insert, forcing and lhs untouched.
+void mutate_step(DistArray& u, DistArray& rhs, int rank, int gen) {
+  auto view = u.local(rank).as_f64();
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    view[i] = view[i] * 1.01 + 0.125 * static_cast<double>(gen + 1);
+  }
+
+  const core::Slice& assigned = rhs.distribution().assigned(rank);
+  if (assigned.empty()) {
+    return;
+  }
+  std::vector<Index> lo;
+  std::vector<Index> hi;
+  for (int k = 0; k < assigned.rank(); ++k) {
+    lo.push_back(assigned.range(k).first());
+    hi.push_back(k == assigned.rank() - 1 ? assigned.range(k).first()
+                                          : assigned.range(k).last());
+  }
+  const core::Slice slab = core::Slice::box(lo, hi);
+  core::LocalArray& local = rhs.local(rank);
+  std::vector<std::byte> buf(
+      static_cast<std::size_t>(slab.element_count()) * sizeof(double));
+  local.extract(slab, buf);
+  auto* vals = reinterpret_cast<double*>(buf.data());
+  for (std::size_t i = 0; i < buf.size() / sizeof(double); ++i) {
+    vals[i] = vals[i] * 0.99 + 0.0625 * static_cast<double>(gen + 1);
+  }
+  local.insert(slab, buf);
+}
+
+struct GenRecord {
+  std::string kind;
+  double seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t dirty_blocks = 0;
+  std::uint64_t total_blocks = 0;
+};
+
+struct LegResult {
+  std::vector<GenRecord> gens;
+  /// array_fingerprint of u, rhs, forcing, lhs after the last generation.
+  std::vector<std::uint32_t> final_fingerprints;
+  /// Delta leg only: fingerprints after restoring from the chain tip in
+  /// a fresh program, and the chain-tip deep-verify outcome.
+  std::vector<std::uint32_t> restored_fingerprints;
+  bool verify_ok = true;
+  std::vector<std::string> verify_problems;
+  std::string tip_prefix;
+};
+
+LegResult run_leg(bool delta, const Params& p) {
+  piofs::Volume volume(16);
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  store::PiofsBackend storage(volume, &cost);
+  const std::string app = delta ? "delta-bench" : "full-bench";
+  DrmsEnv env;
+  env.storage = &storage;
+  env.cost = &cost;
+  env.delta = delta;
+  env.delta_full_every_k = kFullEveryK;
+  env.delta_block_bytes = 64 * kKiB;
+  env.delta_codec = support::BlockCodec::kLz;
+  DrmsProgram program(app, env, segment(), kTasks);
+
+  LegResult result;
+  const std::array<int, 4> grid{1, 2, 2, 2};
+  const std::array<Index, 4> shadow{0, 0, 0, 0};
+  const DistSpec spec = DistSpec::block(grid_box(p.n), grid, shadow);
+
+  rt::TaskGroup group(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  const auto run = group.run([&](rt::TaskContext& ctx) {
+    DrmsContext drms(program, ctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+
+    std::vector<Index> lo(4, 0);
+    std::vector<Index> hi{4, p.n - 1, p.n - 1, p.n - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    DistArray& rhs = drms.create_array("rhs", lo, hi);
+    DistArray& forcing = drms.create_array("forcing", lo, hi);
+    DistArray& lhs = drms.create_array("lhs", lo, hi);
+    for (DistArray* a : {&u, &rhs, &forcing, &lhs}) {
+      drms.distribute(*a, spec);
+      auto view = a->local(ctx.rank()).as_f64();
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        view[i] = static_cast<double>(i % 97) * 0.25;
+      }
+    }
+    ctx.barrier();
+
+    const std::uint64_t all_array_bytes = 4 * u.global_byte_count();
+    for (int g = 0; g < p.generations; ++g) {
+      mutate_step(u, rhs, ctx.rank(), g);
+      ++it;
+      ctx.barrier();
+      char name[32];
+      std::snprintf(name, sizeof(name), "%s.g%03d", app.c_str(), g);
+      (void)drms.reconfig_checkpoint(name);
+      if (ctx.rank() == 0) {
+        GenRecord rec;
+        rec.seconds = program.last_checkpoint_timing().total_seconds();
+        if (delta) {
+          const auto state = program.delta_chain_state();
+          rec.kind = core::to_string(state.last_kind);
+          rec.bytes = state.last_stored_bytes;
+          rec.raw_bytes = state.last_raw_bytes;
+          rec.dirty_blocks = state.last_dirty_blocks;
+          rec.total_blocks = state.last_total_blocks;
+        } else {
+          rec.kind = "full";
+          rec.bytes = all_array_bytes;
+          rec.raw_bytes = all_array_bytes;
+        }
+        result.gens.push_back(rec);
+        result.tip_prefix = name;
+      }
+      ctx.barrier();
+    }
+    for (DistArray* a : {&u, &rhs, &forcing, &lhs}) {
+      const std::uint32_t fp = core::array_fingerprint(ctx, *a);
+      if (ctx.rank() == 0) {
+        result.final_fingerprints.push_back(fp);
+      }
+    }
+  });
+  if (!run.completed) {
+    throw support::Error("delta bench write leg failed: " + run.kill_reason);
+  }
+  if (!delta) {
+    return result;
+  }
+
+  // Deep verify walks the chain from the tip: the tip's own delta files,
+  // then every base link down to the full generation.
+  const auto tip = core::latest_checkpoint(storage, app);
+  if (!tip.has_value() || tip->prefix != result.tip_prefix) {
+    result.verify_ok = false;
+    result.verify_problems.push_back("chain tip is not the newest candidate");
+  } else {
+    const core::VerifyResult v =
+        core::verify_checkpoint(storage, *tip, /*deep=*/true);
+    result.verify_ok = v.ok;
+    result.verify_problems = v.problems;
+  }
+
+  // Restore leg: a fresh program restarts from the chain tip and must
+  // reproduce the failure-free fingerprints exactly.
+  DrmsEnv renv = env;
+  renv.restart_prefix = result.tip_prefix;
+  DrmsProgram restarted(app, renv, segment(), kTasks);
+  rt::TaskGroup rgroup(
+      sim::Placement::one_per_node(sim::Machine::paper_sp16(), kTasks));
+  const auto rrun = rgroup.run([&](rt::TaskContext& ctx) {
+    DrmsContext drms(restarted, ctx);
+    std::int64_t it = 0;
+    drms.store().register_i64("it", &it);
+    drms.initialize();
+    std::vector<Index> lo(4, 0);
+    std::vector<Index> hi{4, p.n - 1, p.n - 1, p.n - 1};
+    DistArray& u = drms.create_array("u", lo, hi);
+    DistArray& rhs = drms.create_array("rhs", lo, hi);
+    DistArray& forcing = drms.create_array("forcing", lo, hi);
+    DistArray& lhs = drms.create_array("lhs", lo, hi);
+    for (DistArray* a : {&u, &rhs, &forcing, &lhs}) {
+      drms.distribute(*a, spec);
+    }
+    ctx.barrier();
+    for (DistArray* a : {&u, &rhs, &forcing, &lhs}) {
+      const std::uint32_t fp = core::array_fingerprint(ctx, *a);
+      if (ctx.rank() == 0) {
+        result.restored_fingerprints.push_back(fp);
+      }
+    }
+  });
+  if (!rrun.completed) {
+    throw support::Error("delta bench restore leg failed: " +
+                         rrun.kill_reason);
+  }
+  return result;
+}
+
+/// Mean over the generations the predicate selects.
+template <typename Pred>
+double mean_seconds(const LegResult& leg, Pred&& pred) {
+  double sum = 0.0;
+  int count = 0;
+  for (const GenRecord& g : leg.gens) {
+    if (pred(g)) {
+      sum += g.seconds;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+template <typename Pred>
+double mean_bytes(const LegResult& leg, Pred&& pred) {
+  double sum = 0.0;
+  int count = 0;
+  for (const GenRecord& g : leg.gens) {
+    if (pred(g)) {
+      sum += static_cast<double>(g.bytes);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+void write_json(const std::string& path, const Params& p,
+                const LegResult& full, const LegResult& delta,
+                double bytes_reduction, double time_reduction,
+                bool restore_ok, bool fingerprints_match) {
+  std::ofstream out(path);
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.field("benchmark", "delta_generations");
+  json.field("tasks", kTasks);
+  json.field("n", static_cast<std::uint64_t>(p.n));
+  json.field("generations", p.generations);
+  json.field("full_every_k", kFullEveryK);
+  json.field("block_bytes", static_cast<std::uint64_t>(64 * kKiB));
+  json.field("codec", "lz");
+  for (const auto* leg : {&full, &delta}) {
+    json.begin_array(leg == &full ? "full" : "delta");
+    for (const GenRecord& g : leg->gens) {
+      json.begin_object();
+      json.field("kind", g.kind);
+      json.field("seconds", g.seconds);
+      json.field("bytes", g.bytes);
+      json.field("raw_bytes", g.raw_bytes);
+      json.field("dirty_blocks", g.dirty_blocks);
+      json.field("total_blocks", g.total_blocks);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.begin_object("gates");
+  json.field("bytes_reduction_percent", bytes_reduction);
+  json.field("time_reduction_percent", time_reduction);
+  json.field("restore_fingerprints_match", restore_ok);
+  json.field("cross_leg_fingerprints_match", fingerprints_match);
+  json.field("chain_deep_verify_ok", delta.verify_ok);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      p.n = 16;
+      p.generations = 6;
+    }
+  }
+
+  std::cout << "Delta generations vs full dumps (BT-like steady state: u "
+               "fully dirty,\none rhs z-plane dirty, forcing/lhs frozen; "
+               "full base every " << kFullEveryK << " generations)\n\n";
+
+  const LegResult full = run_leg(/*delta=*/false, p);
+  const LegResult delta = run_leg(/*delta=*/true, p);
+
+  support::TextTable table({"gen", "kind", "full (s)", "full (MB)",
+                            "delta (s)", "delta (MB)", "blocks", "saved"});
+  for (std::size_t i = 0; i < full.gens.size(); ++i) {
+    const GenRecord& f = full.gens[i];
+    const GenRecord& d = delta.gens[i];
+    const double fb = support::to_mib(f.bytes);
+    const double db = support::to_mib(d.bytes);
+    table.add_row({std::to_string(i + 1), d.kind, format_fixed(f.seconds, 2),
+                   format_fixed(fb, 2), format_fixed(d.seconds, 2),
+                   format_fixed(db, 2),
+                   std::to_string(d.dirty_blocks) + "/" +
+                       std::to_string(d.total_blocks),
+                   format_fixed(100.0 * (fb - db) / fb, 0) + "%"});
+  }
+  table.print(std::cout);
+
+  const auto is_delta = [](const GenRecord& g) { return g.kind == "delta"; };
+  const auto any = [](const GenRecord&) { return true; };
+  const double full_bytes = mean_bytes(full, any);
+  const double delta_bytes = mean_bytes(delta, is_delta);
+  const double full_seconds = mean_seconds(full, any);
+  const double delta_seconds = mean_seconds(delta, is_delta);
+  const double bytes_reduction =
+      full_bytes > 0.0 ? 100.0 * (full_bytes - delta_bytes) / full_bytes : 0.0;
+  const double time_reduction =
+      full_seconds > 0.0
+          ? 100.0 * (full_seconds - delta_seconds) / full_seconds
+          : 0.0;
+  const bool fingerprints_match =
+      full.final_fingerprints == delta.final_fingerprints;
+  const bool restore_ok =
+      !delta.restored_fingerprints.empty() &&
+      delta.restored_fingerprints == delta.final_fingerprints;
+
+  std::cout << "\nsteady-state delta generation: "
+            << format_fixed(bytes_reduction, 1) << "% fewer bytes, "
+            << format_fixed(time_reduction, 1)
+            << "% less simulated checkpoint time than a full dump\n";
+
+  write_json("BENCH_delta.json", p, full, delta, bytes_reduction,
+             time_reduction, restore_ok, fingerprints_match);
+  std::cout << "wrote BENCH_delta.json\n";
+
+  bool ok = true;
+  if (bytes_reduction < 30.0) {
+    std::cerr << "REGRESSION: delta generations only save "
+              << format_fixed(bytes_reduction, 1)
+              << "% of the bytes written (expected >= 30%)\n";
+    ok = false;
+  }
+  if (time_reduction < 10.0) {
+    std::cerr << "REGRESSION: delta generations only save "
+              << format_fixed(time_reduction, 1)
+              << "% of the checkpoint time (expected >= 10%)\n";
+    ok = false;
+  }
+  if (!fingerprints_match) {
+    std::cerr << "REGRESSION: the delta leg's final state differs from the "
+                 "full leg's\n";
+    ok = false;
+  }
+  if (!restore_ok) {
+    std::cerr << "REGRESSION: restoring from the chain tip ("
+              << delta.tip_prefix
+              << ") did not reproduce the failure-free fingerprints\n";
+    ok = false;
+  }
+  if (!delta.verify_ok) {
+    std::cerr << "REGRESSION: deep verify of the chain tip failed:\n";
+    for (const std::string& s : delta.verify_problems) {
+      std::cerr << "  " << s << "\n";
+    }
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "all delta gates passed (>= 30% bytes, >= 10% time, "
+                 "restore + verify clean)\n";
+  }
+  return ok ? 0 : 1;
+}

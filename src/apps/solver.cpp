@@ -79,6 +79,38 @@ LocalView view_of(DistArray& array, int rank) {
   return v;
 }
 
+/// Read-only counterpart of LocalView for arrays the solver never writes
+/// (the forcing term). Going through the const accessor leaves the
+/// array's mutation log untouched, so delta checkpoints see a frozen
+/// array as clean instead of re-dumping it every generation.
+struct ConstLocalView {
+  const double* data = nullptr;
+  Index c0 = 0, x0 = 0, y0 = 0, z0 = 0;
+  Index sc = 1, sx = 0, sy = 0, sz = 0;
+
+  [[nodiscard]] double at(Index c, Index x, Index y, Index z) const {
+    return data[(c - c0) * sc + (x - x0) * sx + (y - y0) * sy +
+                (z - z0) * sz];
+  }
+};
+
+ConstLocalView const_view_of(const DistArray& array, int rank) {
+  const core::LocalArray& local = array.local(rank);
+  const Slice& m = local.mapped();
+  DRMS_EXPECTS_MSG(m.rank() == 4, "solver arrays are 4-D");
+  ConstLocalView v;
+  v.data = local.as_f64().data();
+  v.c0 = m.range(0).first();
+  v.x0 = m.range(1).first();
+  v.y0 = m.range(2).first();
+  v.z0 = m.range(3).first();
+  v.sc = 1;
+  v.sx = m.range(0).size();
+  v.sy = v.sx * m.range(1).size();
+  v.sz = v.sy * m.range(2).size();
+  return v;
+}
+
 void fill_initial(DistArray& array, int array_index, int rank) {
   const Slice& assigned = array.distribution().assigned(rank);
   if (assigned.empty()) {
@@ -110,9 +142,9 @@ double relax(DistArray& u, DistArray& buf, DistArray* forcing,
   }
   const LocalView uv = view_of(u, rank);
   const LocalView bv = view_of(buf, rank);
-  LocalView fv;
+  ConstLocalView fv;
   if (forcing != nullptr) {
-    fv = view_of(*forcing, rank);
+    fv = const_view_of(*forcing, rank);
   }
   const auto& rc = assigned.range(0);
   const auto& rx = assigned.range(1);

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "core/delta_format.hpp"
 #include "store/redundancy.hpp"
 #include "support/byte_buffer.hpp"
 #include "support/crc32.hpp"
@@ -59,6 +60,54 @@ CommitCheck commit_status(const store::StorageBackend& storage,
       out.problems.push_back(e.name + ": listed in manifest but missing");
     } else if (storage.file_size(e.name) != e.size) {
       out.problems.push_back(e.name + ": size differs from manifest");
+    }
+  }
+  // A delta generation is only as committed as every generation under it:
+  // walk the base links and hold each member to the same standard, so a
+  // broken chain disqualifies the whole tail (restart falls back, gc
+  // reclaims).
+  if (out.problems.empty() && !out.manifest.base_prefix.empty()) {
+    std::set<std::string> seen{prefix};
+    std::string cur = out.manifest.base_prefix;
+    int depth = 0;
+    while (!cur.empty() && out.problems.empty()) {
+      if (++depth > wire::kMaxChainDepth) {
+        out.problems.push_back("chain under '" + prefix +
+                               "' exceeds the depth bound");
+        break;
+      }
+      if (!seen.insert(cur).second) {
+        out.problems.push_back("chain under '" + prefix + "' is cyclic at '" +
+                               cur + "'");
+        break;
+      }
+      if (!storage.exists(commit_file_name(cur))) {
+        out.problems.push_back(commit_file_name(cur) +
+                               ": chain base not committed");
+        break;
+      }
+      CommitManifest base;
+      try {
+        base = read_commit_manifest(storage, cur);
+      } catch (const support::Error& e) {
+        out.problems.push_back(e.what());
+        break;
+      }
+      if (base.spmd) {
+        out.problems.push_back(commit_file_name(cur) +
+                               ": chain base belongs to the SPMD layout");
+        break;
+      }
+      for (const auto& e : base.entries) {
+        if (!storage.exists(e.name)) {
+          out.problems.push_back(e.name +
+                                 ": listed in chain manifest but missing");
+        } else if (storage.file_size(e.name) != e.size) {
+          out.problems.push_back(e.name +
+                                 ": size differs from chain manifest");
+        }
+      }
+      cur = base.base_prefix;
     }
   }
   out.committed = out.problems.empty();
@@ -146,9 +195,12 @@ void remove_checkpoint(store::StorageBackend& storage,
     storage.remove(segment_file_name(record.prefix));
   }
   for (const auto& a : record.meta.arrays) {
-    const std::string file = array_file_name(record.prefix, a.name);
-    if (storage.exists(file)) {
-      storage.remove(file);
+    for (const std::string& file :
+         {array_file_name(record.prefix, a.name),
+          delta_array_file_name(record.prefix, a.name)}) {
+      if (storage.exists(file)) {
+        storage.remove(file);
+      }
     }
   }
 }
@@ -258,6 +310,37 @@ VerifyResult verify_checkpoint(const store::StorageBackend& storage,
       check(false, seg_name + ": too small for a header", out);
     }
   }
+  if (record.meta.kind == GenerationKind::kDelta) {
+    // Delta generation: each array's delta file carries per-block CRCs
+    // (raw + stored) behind a framed index; verify_delta_file checks the
+    // structure always and every block's round trip when deep.
+    for (const auto& a : record.meta.arrays) {
+      const std::string name = delta_array_file_name(record.prefix, a.name);
+      if (!verify_delta_file(storage, name, a.stream_bytes, deep,
+                             out.problems)) {
+        out.ok = false;
+      }
+    }
+    // The state is only restorable through its chain: the walk must
+    // resolve (cycle/commit checks), and the base must itself verify —
+    // recursing through the base covers every generation down to the
+    // full dump exactly once.
+    try {
+      (void)resolve_checkpoint_chain(storage, record.prefix);
+      CheckpointRecord base;
+      base.prefix = record.meta.base_prefix;
+      base.spmd = false;
+      base.meta = read_checkpoint_meta(storage, base.prefix);
+      const VerifyResult base_result =
+          verify_checkpoint(storage, base, deep);
+      for (const auto& p : base_result.problems) {
+        check(false, "chain: " + p, out);
+      }
+    } catch (const support::Error& e) {
+      check(false, e.what(), out);
+    }
+    return out;
+  }
   for (const auto& a : record.meta.arrays) {
     const std::string name = array_file_name(record.prefix, a.name);
     if (!storage.exists(name)) {
@@ -327,6 +410,11 @@ std::optional<ClassifiedFile> classify_state_file(const std::string& name) {
   const std::size_t array_pos = name.find(kArray);
   if (array_pos != std::string::npos && array_pos > 0) {
     return ClassifiedFile{name.substr(0, array_pos), Kind::kDrms};
+  }
+  static const std::string kDelta = ".delta.";
+  const std::size_t delta_pos = name.find(kDelta);
+  if (delta_pos != std::string::npos && delta_pos > 0) {
+    return ClassifiedFile{name.substr(0, delta_pos), Kind::kDrms};
   }
   return std::nullopt;
 }
@@ -415,6 +503,16 @@ std::vector<FsckState> fsck_scan(const store::StorageBackend& storage,
           s.problems.push_back(e.name + ": listed in manifest but missing");
         } else if (storage.file_size(e.name) != e.size) {
           s.problems.push_back(e.name + ": size differs from manifest");
+        }
+      }
+      if (s.problems.empty() && !manifest->base_prefix.empty()) {
+        // A delta whose chain is broken (base missing or torn) is not a
+        // restorable state: report it torn so gc reclaims the stranded
+        // tail. commit_status performs the full chain walk.
+        const CommitCheck chain_check =
+            commit_status(storage, prefix, manifest->spmd);
+        for (const auto& p : chain_check.problems) {
+          s.problems.push_back(p);
         }
       }
       s.committed = s.problems.empty();
@@ -551,9 +649,31 @@ int gc_superseded_states(store::StorageBackend& storage,
   // superseded.
   const std::vector<CheckpointRecord> candidates =
       restart_candidates(storage, app_name, prefix_filter);
+  // Chain closure of the keep set: a kept delta is only restorable
+  // through its chain, so every generation under it survives too — a base
+  // is never reclaimed while a committed delta depends on it.
+  std::set<std::string> keep_set;
+  for (std::size_t i = 0;
+       i < candidates.size() && i < static_cast<std::size_t>(keep); ++i) {
+    keep_set.insert(candidates[i].prefix);
+    if (candidates[i].meta.kind == GenerationKind::kDelta) {
+      try {
+        for (const auto& member :
+             resolve_checkpoint_chain(storage, candidates[i].prefix)) {
+          keep_set.insert(member);
+        }
+      } catch (const support::Error&) {
+        // Broken chain: the candidate would not have listed as committed;
+        // nothing extra to protect.
+      }
+    }
+  }
   int removed = 0;
   for (std::size_t i = static_cast<std::size_t>(keep);
        i < candidates.size(); ++i) {
+    if (keep_set.contains(candidates[i].prefix)) {
+      continue;  // a kept delta still chains through this generation
+    }
     remove_checkpoint(storage, candidates[i]);
     ++removed;
   }

@@ -10,13 +10,22 @@ namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x444d4554;  // "DMET"
 constexpr std::uint32_t kMetaVersion = 2;
+/// Version 3 extends version 2 with delta-generation fields: per-array
+/// raw/stored/block statistics, and a trailing (kind, base_prefix,
+/// chain_depth, delta_block_bytes) chain record. Full generations keep
+/// writing version 2 so their byte encoding (and everything derived from
+/// it — manifest CRCs, modeled commit time) is unchanged.
+constexpr std::uint32_t kMetaVersionDelta = 3;
 constexpr std::uint32_t kCommitMagic = 0x544d4344;  // "DCMT"
 constexpr std::uint32_t kCommitVersion = 1;
+/// Version 2 appends the chain base_prefix; only delta generations use it.
+constexpr std::uint32_t kCommitVersionDelta = 2;
 
 void serialize_meta(const CheckpointMeta& meta, support::ByteBuffer& out) {
+  const bool delta = meta.kind != GenerationKind::kFull;
   support::ByteBuffer body;
   body.put_u32(kMetaMagic);
-  body.put_u32(kMetaVersion);
+  body.put_u32(delta ? kMetaVersionDelta : kMetaVersion);
   body.put_string(meta.app_name);
   body.put_i64(meta.task_count);
   body.put_i64(meta.sop);
@@ -32,6 +41,18 @@ void serialize_meta(const CheckpointMeta& meta, support::ByteBuffer& out) {
     body.put_u64(a.elem_size);
     body.put_u64(a.stream_bytes);
     body.put_u32(a.stream_crc);
+    if (delta) {
+      body.put_u64(a.raw_bytes);
+      body.put_u64(a.stored_bytes);
+      body.put_u64(a.dirty_blocks);
+      body.put_u64(a.total_blocks);
+    }
+  }
+  if (delta) {
+    body.put_u8(static_cast<std::uint8_t>(meta.kind));
+    body.put_string(meta.base_prefix);
+    body.put_i64(meta.chain_depth);
+    body.put_u64(meta.delta_block_bytes);
   }
   out.put_u32(support::crc32c(body.bytes()));
   out.put_u64(body.size());
@@ -53,9 +74,11 @@ CheckpointMeta deserialize_meta(support::ByteBuffer& in,
   if (body.get_u32() != kMetaMagic) {
     throw support::CorruptCheckpoint(what + ": bad meta magic");
   }
-  if (body.get_u32() != kMetaVersion) {
+  const std::uint32_t version = body.get_u32();
+  if (version != kMetaVersion && version != kMetaVersionDelta) {
     throw support::CorruptCheckpoint(what + ": unsupported meta version");
   }
+  const bool delta = version == kMetaVersionDelta;
   CheckpointMeta meta;
   meta.app_name = body.get_string();
   meta.task_count = static_cast<int>(body.get_i64());
@@ -76,7 +99,26 @@ CheckpointMeta deserialize_meta(support::ByteBuffer& in,
     a.elem_size = body.get_u64();
     a.stream_bytes = body.get_u64();
     a.stream_crc = body.get_u32();
+    if (delta) {
+      a.raw_bytes = body.get_u64();
+      a.stored_bytes = body.get_u64();
+      a.dirty_blocks = body.get_u64();
+      a.total_blocks = body.get_u64();
+    }
     meta.arrays.push_back(std::move(a));
+  }
+  if (delta) {
+    const std::uint8_t kind = body.get_u8();
+    if (kind != static_cast<std::uint8_t>(GenerationKind::kDelta)) {
+      throw support::CorruptCheckpoint(what + ": bad generation kind");
+    }
+    meta.kind = GenerationKind::kDelta;
+    meta.base_prefix = body.get_string();
+    meta.chain_depth = body.get_i64();
+    meta.delta_block_bytes = body.get_u64();
+    if (meta.base_prefix.empty()) {
+      throw support::CorruptCheckpoint(what + ": delta meta without a base");
+    }
   }
   return meta;
 }
@@ -85,8 +127,12 @@ void serialize_manifest(const CommitManifest& manifest,
                         support::ByteBuffer& out) {
   support::ByteBuffer body;
   body.put_u32(kCommitMagic);
-  body.put_u32(kCommitVersion);
+  body.put_u32(manifest.base_prefix.empty() ? kCommitVersion
+                                            : kCommitVersionDelta);
   body.put_bool(manifest.spmd);
+  if (!manifest.base_prefix.empty()) {
+    body.put_string(manifest.base_prefix);
+  }
   body.put_u64(manifest.entries.size());
   for (const auto& e : manifest.entries) {
     body.put_string(e.name);
@@ -117,12 +163,20 @@ CommitManifest deserialize_manifest(support::ByteBuffer& in,
   if (body.get_u32() != kCommitMagic) {
     throw support::CorruptCheckpoint(what + ": bad commit manifest magic");
   }
-  if (body.get_u32() != kCommitVersion) {
+  const std::uint32_t version = body.get_u32();
+  if (version != kCommitVersion && version != kCommitVersionDelta) {
     throw support::CorruptCheckpoint(what +
                                      ": unsupported commit manifest version");
   }
   CommitManifest manifest;
   manifest.spmd = body.get_bool();
+  if (version == kCommitVersionDelta) {
+    manifest.base_prefix = body.get_string();
+    if (manifest.base_prefix.empty()) {
+      throw support::CorruptCheckpoint(what +
+                                       ": delta manifest without a base");
+    }
+  }
   const std::uint64_t n = body.get_u64();
   manifest.entries.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -151,6 +205,10 @@ CheckpointMeta read_meta_file(const store::StorageBackend& storage,
 }
 
 }  // namespace
+
+const char* to_string(GenerationKind kind) noexcept {
+  return kind == GenerationKind::kDelta ? "delta" : "full";
+}
 
 Slice ArrayMeta::box() const { return Slice::box(lower, upper); }
 
@@ -201,6 +259,10 @@ std::string segment_file_name(const std::string& prefix) {
 std::string array_file_name(const std::string& prefix,
                             const std::string& array_name) {
   return prefix + ".array." + array_name;
+}
+std::string delta_array_file_name(const std::string& prefix,
+                                  const std::string& array_name) {
+  return prefix + ".delta." + array_name;
 }
 std::string spmd_meta_file_name(const std::string& prefix) {
   return prefix + ".spmd.meta";
@@ -285,8 +347,10 @@ std::uint64_t drms_state_size(const store::StorageBackend& storage,
                               const std::string& prefix) {
   std::uint64_t total = storage.file_size(segment_file_name(prefix));
   const CheckpointMeta meta = read_checkpoint_meta(storage, prefix);
+  const bool delta = meta.kind == GenerationKind::kDelta;
   for (const auto& a : meta.arrays) {
-    total += storage.file_size(array_file_name(prefix, a.name));
+    total += storage.file_size(delta ? delta_array_file_name(prefix, a.name)
+                                     : array_file_name(prefix, a.name));
   }
   return total;
 }

@@ -70,15 +70,34 @@ struct AppSegmentModel {
   }
 };
 
+/// Whether a generation carries the full array state or only the blocks
+/// dirtied since its base. Deltas chain through base_prefix to the most
+/// recent full generation; restore replays base + deltas oldest-first.
+enum class GenerationKind : std::uint8_t {
+  kFull = 0,
+  kDelta = 1,
+};
+[[nodiscard]] const char* to_string(GenerationKind kind) noexcept;
+
 struct ArrayMeta {
   std::string name;
   std::vector<Index> lower;
   std::vector<Index> upper;
   std::uint64_t elem_size = 0;
+  /// Full generations: the column-major element stream's byte count.
+  /// Delta generations: the total size of the ".delta.<name>" file.
   std::uint64_t stream_bytes = 0;
   /// CRC-32C fingerprint of the stream contents, recorded at write time
-  /// and verified when the array is restored.
+  /// and verified when the array is restored. Zero for delta arrays —
+  /// their integrity is per-block (raw + stored CRCs in the delta index).
   std::uint32_t stream_crc = 0;
+  /// Delta-generation statistics (zero for full generations, which stay
+  /// on the version-2 wire encoding): bytes of the dirty blocks before
+  /// and after the codec stage, and the dirty/total block counts.
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t dirty_blocks = 0;
+  std::uint64_t total_blocks = 0;
 
   [[nodiscard]] Slice box() const;
 };
@@ -92,6 +111,14 @@ struct CheckpointMeta {
   std::int64_t sop = 0;
   std::uint64_t segment_bytes = 0;
   std::vector<ArrayMeta> arrays;
+  /// Generation chaining (delta checkpoints). Full generations keep the
+  /// defaults and serialize on the unchanged version-2 encoding; a delta
+  /// names its base generation, its distance from the chain's full base
+  /// (1 = first delta), and the dirty-tracking block granularity.
+  GenerationKind kind = GenerationKind::kFull;
+  std::string base_prefix;
+  std::int64_t chain_depth = 0;
+  std::uint64_t delta_block_bytes = 0;
 
   [[nodiscard]] const ArrayMeta& array(const std::string& name) const;
   [[nodiscard]] std::uint64_t arrays_total_bytes() const;
@@ -115,6 +142,11 @@ struct CommitEntry {
 struct CommitManifest {
   bool spmd = false;
   std::vector<CommitEntry> entries;
+  /// Non-empty for a delta generation: the prefix of the generation this
+  /// one chains to. Mirrored from the meta so the catalog and fsck can
+  /// walk chains without touching meta files. Full generations leave it
+  /// empty and serialize on the unchanged version-1 encoding.
+  std::string base_prefix;
 
   [[nodiscard]] const CommitEntry* entry(const std::string& name) const;
   [[nodiscard]] std::uint64_t listed_bytes() const;
@@ -126,6 +158,8 @@ struct CommitManifest {
 [[nodiscard]] std::string segment_file_name(const std::string& prefix);
 [[nodiscard]] std::string array_file_name(const std::string& prefix,
                                           const std::string& array_name);
+[[nodiscard]] std::string delta_array_file_name(const std::string& prefix,
+                                                const std::string& array_name);
 [[nodiscard]] std::string spmd_meta_file_name(const std::string& prefix);
 [[nodiscard]] std::string spmd_task_file_name(const std::string& prefix,
                                               int rank);

@@ -1,0 +1,232 @@
+#include "core/delta_format.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/checkpoint_format.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace drms::core {
+
+support::ByteBuffer encode_delta_header(const DeltaFileHeader& header) {
+  support::ByteBuffer out;
+  out.put_u32(wire::kDeltaMagic);
+  out.put_u32(wire::kDeltaVersion);
+  out.put_u64(header.block_bytes);
+  out.put_u64(header.total_blocks);
+  out.put_u64(header.record_count);
+  out.put_u64(header.payload_bytes);
+  out.put_u64(header.raw_bytes);
+  out.put_u64(header.index_offset);
+  out.put_u64(0);  // reserved
+  DRMS_ENSURES(out.size() == wire::kDeltaHeaderBytes);
+  return out;
+}
+
+support::ByteBuffer encode_delta_index(
+    const std::vector<DeltaBlockRecord>& records) {
+  support::ByteBuffer body;
+  body.put_u64(records.size());
+  for (const auto& r : records) {
+    body.put_u64(r.block_index);
+    body.put_u64(r.raw_bytes);
+    body.put_u64(r.stored_bytes);
+    body.put_u64(r.payload_offset);
+    body.put_u32(static_cast<std::uint32_t>(r.codec));
+    body.put_u32(r.raw_crc);
+    body.put_u32(r.stored_crc);
+  }
+  support::ByteBuffer out;
+  out.put_u32(support::crc32c(body.bytes()));
+  out.put_u64(body.size());
+  out.append(body.bytes());
+  return out;
+}
+
+DeltaFileHeader read_delta_header(const store::FileHandle& file,
+                                  const std::string& what) {
+  if (file.size() < wire::kDeltaHeaderBytes) {
+    throw support::CorruptCheckpoint(what + ": too small for a delta header");
+  }
+  support::ByteBuffer buf =
+      store::read_to_buffer(file, 0, wire::kDeltaHeaderBytes);
+  if (buf.get_u32() != wire::kDeltaMagic) {
+    throw support::CorruptCheckpoint(what + ": bad delta magic");
+  }
+  if (buf.get_u32() != wire::kDeltaVersion) {
+    throw support::CorruptCheckpoint(what + ": unsupported delta version");
+  }
+  DeltaFileHeader h;
+  h.block_bytes = buf.get_u64();
+  h.total_blocks = buf.get_u64();
+  h.record_count = buf.get_u64();
+  h.payload_bytes = buf.get_u64();
+  h.raw_bytes = buf.get_u64();
+  h.index_offset = buf.get_u64();
+  if (h.block_bytes == 0 ||
+      h.index_offset != wire::kDeltaHeaderBytes + h.payload_bytes ||
+      h.index_offset > file.size()) {
+    throw support::CorruptCheckpoint(what + ": inconsistent delta header");
+  }
+  return h;
+}
+
+std::vector<DeltaBlockRecord> read_delta_index(const store::FileHandle& file,
+                                               const DeltaFileHeader& header,
+                                               const std::string& what) {
+  if (header.index_offset + 12 > file.size()) {
+    throw support::CorruptCheckpoint(what + ": truncated delta index frame");
+  }
+  support::ByteBuffer frame = store::read_to_buffer(
+      file, header.index_offset, file.size() - header.index_offset);
+  const std::uint32_t crc = frame.get_u32();
+  const std::uint64_t size = frame.get_u64();
+  if (frame.remaining() < size) {
+    throw support::CorruptCheckpoint(what + ": truncated delta index body");
+  }
+  support::ByteBuffer body(std::span<const std::byte>(
+      frame.data() + frame.cursor(), static_cast<std::size_t>(size)));
+  if (support::crc32c(body.bytes()) != crc) {
+    throw support::CorruptCheckpoint(what + ": delta index CRC mismatch");
+  }
+  const std::uint64_t count = body.get_u64();
+  if (count != header.record_count) {
+    throw support::CorruptCheckpoint(what +
+                                     ": delta index count disagrees with "
+                                     "the header");
+  }
+  std::vector<DeltaBlockRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DeltaBlockRecord r;
+    r.block_index = body.get_u64();
+    r.raw_bytes = body.get_u64();
+    r.stored_bytes = body.get_u64();
+    r.payload_offset = body.get_u64();
+    const std::uint32_t codec = body.get_u32();
+    if (codec > static_cast<std::uint32_t>(support::BlockCodec::kLz)) {
+      throw support::CorruptCheckpoint(what + ": unknown block codec id");
+    }
+    r.codec = static_cast<support::BlockCodec>(codec);
+    r.raw_crc = body.get_u32();
+    r.stored_crc = body.get_u32();
+    if (r.block_index >= header.total_blocks ||
+        r.payload_offset + r.stored_bytes > header.payload_bytes) {
+      throw support::CorruptCheckpoint(what + ": delta record out of bounds");
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<std::uint64_t> collect_dirty_blocks(
+    const DistArray& array, const std::vector<Slice>& blocks) {
+  std::vector<std::uint64_t> out;
+  if (!array.dirty_tracking() || !array.distributed()) {
+    // No tracking: everything is conservatively dirty.
+    out.resize(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      out[b] = b;
+    }
+    return out;
+  }
+  const DistSpec& spec = array.distribution();
+  const int tasks = array.task_count();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    bool dirty = false;
+    for (int t = 0; t < tasks && !dirty; ++t) {
+      const MutationLog& log = array.mutation_log(t);
+      if (log.clean()) {
+        continue;
+      }
+      if (log.all) {
+        // Mark-all means "this task's whole mapped section" — clip it.
+        const Slice& mapped = spec.mapped(t);
+        dirty = !mapped.empty() && !blocks[b].intersect(mapped).empty();
+      } else {
+        dirty = log.intersects(blocks[b]);
+      }
+    }
+    if (dirty) {
+      out.push_back(static_cast<std::uint64_t>(b));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> resolve_checkpoint_chain(
+    const store::StorageBackend& storage, const std::string& prefix) {
+  std::vector<std::string> chain;
+  std::set<std::string> seen;
+  std::string cur = prefix;
+  for (int depth = 0; depth < wire::kMaxChainDepth; ++depth) {
+    if (!seen.insert(cur).second) {
+      throw support::CorruptCheckpoint("checkpoint chain at '" + prefix +
+                                       "' is cyclic");
+    }
+    if (!commit_manifest_exists(storage, cur)) {
+      throw support::CorruptCheckpoint("chain member '" + cur +
+                                       "' of checkpoint '" + prefix +
+                                       "' is not committed");
+    }
+    const CheckpointMeta meta = read_checkpoint_meta(storage, cur);
+    chain.push_back(cur);
+    if (meta.kind == GenerationKind::kFull) {
+      std::reverse(chain.begin(), chain.end());
+      return chain;
+    }
+    cur = meta.base_prefix;
+  }
+  throw support::CorruptCheckpoint("checkpoint chain at '" + prefix +
+                                   "' exceeds the depth bound");
+}
+
+bool verify_delta_file(const store::StorageBackend& storage,
+                       const std::string& name, std::uint64_t expected_size,
+                       bool deep, std::vector<std::string>& problems) {
+  const std::size_t before = problems.size();
+  if (!storage.exists(name)) {
+    problems.push_back(name + ": missing");
+    return false;
+  }
+  const store::FileHandle file = storage.open(name);
+  if (file.size() != expected_size) {
+    problems.push_back(name + ": unexpected size");
+  }
+  DeltaFileHeader header;
+  std::vector<DeltaBlockRecord> records;
+  try {
+    header = read_delta_header(file, name);
+    records = read_delta_index(file, header, name);
+  } catch (const support::Error& e) {
+    problems.push_back(e.what());
+    return false;
+  }
+  if (deep) {
+    for (const auto& r : records) {
+      const support::ByteBuffer stored = store::read_to_buffer(
+          file, wire::kDeltaHeaderBytes + r.payload_offset, r.stored_bytes);
+      if (support::crc32c(stored.bytes()) != r.stored_crc) {
+        problems.push_back(name + ": block " +
+                           std::to_string(r.block_index) +
+                           " stored CRC mismatch");
+        continue;
+      }
+      try {
+        support::ByteBuffer raw;
+        support::block_decode(r.codec, stored.bytes(), r.raw_bytes, raw);
+        if (support::crc32c(raw.bytes()) != r.raw_crc) {
+          problems.push_back(name + ": block " +
+                             std::to_string(r.block_index) +
+                             " raw CRC mismatch");
+        }
+      } catch (const support::Error& e) {
+        problems.push_back(e.what());
+      }
+    }
+  }
+  return problems.size() == before;
+}
+
+}  // namespace drms::core

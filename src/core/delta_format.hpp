@@ -1,0 +1,103 @@
+// On-volume layout of a delta generation's per-array block file, plus the
+// chain and dirty-block helpers shared by the engines, the catalog and
+// the offline tools.
+//
+// A delta generation under prefix "gen" stores, per array:
+//   gen.delta.<name> — [64-byte header][payload blocks][framed index]
+//     header   magic "DDLT", version, block_bytes, total_blocks,
+//              record_count, payload_bytes, raw_bytes, index_offset.
+//              Written LAST (the payload and index land first), so a
+//              torn write leaves a file the reader rejects outright.
+//     payload  the dirty blocks' bytes, each run through the block codec
+//              stage (raw fallback keeps blocks from ever expanding).
+//     index    [u32 crc][u64 size][u64 count][records…] — one 44-byte
+//              record per stored block: block index in the array's
+//              stream-order block plan, raw/stored byte counts, payload
+//              offset, codec id, and CRC-32C of both the raw and the
+//              stored bytes.
+// The meta (version 3) and commit manifest (version 2) carry the chain
+// link: base_prefix names the generation this delta applies on top of.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dist_array.hpp"
+#include "store/storage_backend.hpp"
+#include "support/block_codec.hpp"
+#include "support/byte_buffer.hpp"
+
+namespace drms::core {
+
+namespace wire {
+inline constexpr std::uint32_t kDeltaMagic = 0x44444c54;  // "DDLT"
+inline constexpr std::uint32_t kDeltaVersion = 1;
+inline constexpr std::uint64_t kDeltaHeaderBytes = 64;
+/// Safety bound on base-link walks: a longer chain is corrupt (cyclic or
+/// runaway), not a plausible retention policy.
+inline constexpr int kMaxChainDepth = 1024;
+}  // namespace wire
+
+/// One stored block in a delta file's index.
+struct DeltaBlockRecord {
+  std::uint64_t block_index = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  /// Offset within the payload region (i.e. relative to byte
+  /// kDeltaHeaderBytes of the file).
+  std::uint64_t payload_offset = 0;
+  support::BlockCodec codec = support::BlockCodec::kRaw;
+  std::uint32_t raw_crc = 0;
+  std::uint32_t stored_crc = 0;
+};
+
+struct DeltaFileHeader {
+  std::uint64_t block_bytes = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  /// File offset of the framed index (== kDeltaHeaderBytes + payload).
+  std::uint64_t index_offset = 0;
+};
+
+[[nodiscard]] support::ByteBuffer encode_delta_header(
+    const DeltaFileHeader& header);
+[[nodiscard]] support::ByteBuffer encode_delta_index(
+    const std::vector<DeltaBlockRecord>& records);
+
+/// Reads and validates the header/index of one delta file; throws
+/// CorruptCheckpoint on a torn or malformed file. `what` names the file
+/// in error messages.
+[[nodiscard]] DeltaFileHeader read_delta_header(const store::FileHandle& file,
+                                                const std::string& what);
+[[nodiscard]] std::vector<DeltaBlockRecord> read_delta_index(
+    const store::FileHandle& file, const DeltaFileHeader& header,
+    const std::string& what);
+
+/// Indices (ascending) of the blocks of `blocks` (the array's
+/// stream-order block plan over its global box) that any task's mutation
+/// log marks dirty. Reads every task's log, so it must run at a barrier
+/// (the engines call it right after their entry barrier); the result is
+/// identical on every task because the logs live in shared memory.
+[[nodiscard]] std::vector<std::uint64_t> collect_dirty_blocks(
+    const DistArray& array, const std::vector<Slice>& blocks);
+
+/// The chain of generations ending at `prefix`, base first (so
+/// chain.front() is the full generation and chain.back() == prefix).
+/// Every member must be committed with a readable meta; throws
+/// CorruptCheckpoint on a missing/uncommitted base, a cycle, or a chain
+/// deeper than wire::kMaxChainDepth.
+[[nodiscard]] std::vector<std::string> resolve_checkpoint_chain(
+    const store::StorageBackend& storage, const std::string& prefix);
+
+/// Offline integrity check of one delta file: header/index structure and
+/// sizes always; with `deep`, every stored block is read back, checked
+/// against its stored CRC, decoded, and checked against its raw CRC.
+/// Appends problems to `problems`; returns true when none were found.
+bool verify_delta_file(const store::StorageBackend& storage,
+                       const std::string& name, std::uint64_t expected_size,
+                       bool deep, std::vector<std::string>& problems);
+
+}  // namespace drms::core

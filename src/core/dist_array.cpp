@@ -30,6 +30,46 @@ void DistArray::install_distribution(const DistSpec& spec) {
       locals_[static_cast<std::size_t>(t)] = LocalArray(mapped, elem_size_);
     }
   }
+  if (tracking_) {
+    attach_logs();
+  }
+}
+
+void DistArray::attach_logs() {
+  logs_.assign(static_cast<std::size_t>(task_count()), MutationLog{});
+  for (int t = 0; t < task_count(); ++t) {
+    auto& log = logs_[static_cast<std::size_t>(t)];
+    // A fresh attachment knows nothing about prior content: start dirty
+    // so the next generation captures everything.
+    log.mark_all();
+    locals_[static_cast<std::size_t>(t)].attach_mutation_log(&log);
+  }
+}
+
+void DistArray::enable_dirty_tracking() {
+  if (tracking_) {
+    return;
+  }
+  tracking_ = true;
+  attach_logs();
+}
+
+const MutationLog& DistArray::mutation_log(int task) const {
+  DRMS_EXPECTS(tracking_);
+  DRMS_EXPECTS(task >= 0 && task < task_count());
+  return logs_[static_cast<std::size_t>(task)];
+}
+
+void DistArray::clear_mutation_logs() noexcept {
+  for (auto& log : logs_) {
+    log.clear();
+  }
+}
+
+void DistArray::mark_all_dirty() noexcept {
+  for (auto& log : logs_) {
+    log.mark_all();
+  }
 }
 
 bool DistArray::distributed() const noexcept { return spec_.has_value(); }

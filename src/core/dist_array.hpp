@@ -61,12 +61,37 @@ class DistArray {
   /// For tests and examples; solvers use LocalArray access.
   [[nodiscard]] double get_f64(std::span<const Index> point) const;
 
+  /// ---- dirty tracking (delta checkpoints) ---------------------------------
+  /// One MutationLog per task slot, attached to the LocalArrays so the
+  /// runtime write paths record what they touch. Enabling starts
+  /// conservatively dirty (everything must land in the next generation);
+  /// install_distribution re-attaches and re-marks, since redistribution
+  /// invalidates any per-slice history. Logs follow the SPMD discipline:
+  /// task t mutates log t between barriers, readers scan all logs only at
+  /// a barrier (the checkpoint engines do).
+  void enable_dirty_tracking();
+  [[nodiscard]] bool dirty_tracking() const noexcept { return tracking_; }
+  [[nodiscard]] const MutationLog& mutation_log(int task) const;
+  /// Clears every task's log — called by the engines once a generation
+  /// holding those mutations has committed.
+  void clear_mutation_logs() noexcept;
+  /// Conservatively marks every task's log dirty.
+  void mark_all_dirty() noexcept;
+
  private:
+  /// (Re)create the per-task logs, mark them all-dirty, and attach them
+  /// to the current LocalArrays.
+  void attach_logs();
+
   std::string name_;
   Slice box_;
   std::size_t elem_size_;
   std::optional<DistSpec> spec_;
   std::vector<LocalArray> locals_;
+  bool tracking_ = false;
+  /// Per-task logs; deque-free stable storage is unnecessary — the
+  /// vector is sized once per (re)distribution while logs are attached.
+  std::vector<MutationLog> logs_;
 };
 
 }  // namespace drms::core

@@ -106,13 +106,46 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
                                        const ReplicatedStore& store,
                                        std::span<DistArray* const> arrays,
                                        const AppSegmentModel& segment_model,
-                                       IncrementalState* incremental) {
+                                       IncrementalState* incremental,
+                                       const DeltaOptions* delta,
+                                       DeltaChainState* chain) {
   for (DistArray* const a : arrays) {
     DRMS_EXPECTS_MSG(a != nullptr && a->distributed(),
                      "every array must be distributed before checkpointing");
   }
   CheckpointTiming timing;
   ctx.barrier();
+
+  // --- Generation decision (collective-identical: derived from shared
+  // state read at the entry barrier). A delta rides on the live chain
+  // only while the chain is short enough, still committed, and does not
+  // contain this prefix — overwriting a chain member starts with a
+  // decommit, which would pull the base out from under its dependents.
+  const bool delta_mode = delta != nullptr && delta->enabled && chain != nullptr;
+  bool write_delta = false;
+  if (delta_mode) {
+    incremental = nullptr;  // chain replay subsumes whole-array skipping
+    write_delta =
+        !chain->chain.empty() &&
+        static_cast<int>(chain->chain.size()) < std::max(delta->full_every_k, 1) &&
+        std::find(chain->chain.begin(), chain->chain.end(), prefix) ==
+            chain->chain.end() &&
+        commit_manifest_exists(storage_, chain->chain.back());
+  }
+  // Dirty-block collection reads every task's mutation log, so it happens
+  // here, at the entry barrier, while the logs are quiescent.
+  std::vector<StreamPlan> plans;
+  std::vector<std::vector<std::uint64_t>> dirty;
+  if (write_delta) {
+    plans.reserve(arrays.size());
+    dirty.reserve(arrays.size());
+    for (DistArray* const a : arrays) {
+      plans.push_back(make_stream_plan(a->global_box(), a->elem_size(), 1,
+                                       delta->block_bytes));
+      dirty.push_back(collect_dirty_blocks(*a, plans.back().chunks));
+    }
+  }
+
   const double t0 = ctx.sim_time();
   obs::ScopedSpan op_span(
       recorder_, "ckpt", "write", ctx.rank(), t0,
@@ -123,8 +156,11 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   support::ByteBuffer replicated;
   store.serialize(replicated);
   const std::uint64_t payload_end = kSegHeaderBytes + replicated.size();
+  // A delta generation's segment is compact: the padding components
+  // (Table 4's local/private/system sections) are identical to the base's
+  // and are not re-dumped — only the replicated payload moves.
   const std::uint64_t total_bytes =
-      std::max(segment_model.total(), payload_end);
+      write_delta ? payload_end : std::max(segment_model.total(), payload_end);
 
   obs::ScopedSpan segment_span(recorder_, "ckpt", "segment", ctx.rank(), t0,
                                {obs::Attr::num("bytes", static_cast<std::int64_t>(
@@ -237,7 +273,8 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     for (std::size_t i = 0; i < arrays.size(); ++i) {
       if (!skip[i]) {
         const std::string file_name =
-            array_file_name(prefix, arrays[i]->name());
+            write_delta ? delta_array_file_name(prefix, arrays[i]->name())
+                        : array_file_name(prefix, arrays[i]->name());
         submit_io(file_name, 0, [this, file_name] {
           support::retry_io([&] { storage_.create(file_name); },
                             retry_policy("array.create"));
@@ -264,7 +301,55 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     DistArray* const a = arrays[i];
     std::uint64_t bytes = a->global_byte_count();
     std::uint32_t crc = 0;
-    if (skip[i]) {
+    ArrayMeta am;
+    if (write_delta) {
+      obs::ScopedSpan array_span(
+          recorder_, "ckpt", "array.delta", ctx.rank(), ctx.sim_time(),
+          {obs::Attr::str("array", a->name()),
+           obs::Attr::num("blocks",
+                          static_cast<std::int64_t>(dirty[i].size()))});
+      const std::string file_name = delta_array_file_name(prefix, a->name());
+      store::FileHandle file = storage_.open(file_name);
+      const ArrayStreamer::DeltaWriteResult res = streamer.write_delta_blocks(
+          ctx, *a, plans[i], dirty[i], file, writers, delta->codec);
+      // Rank 0 publishes the framed index and then the header — the
+      // header lands LAST, so a torn delta file has no valid header and
+      // the reader rejects it outright.
+      DeltaFileHeader h;
+      h.block_bytes = delta->block_bytes;
+      h.total_blocks = plans[i].chunk_count();
+      h.record_count = res.records.size();
+      h.payload_bytes = res.stored_bytes;
+      h.raw_bytes = res.raw_bytes;
+      h.index_offset = wire::kDeltaHeaderBytes + res.stored_bytes;
+      support::ByteBuffer index_buf = encode_delta_index(res.records);
+      const std::uint64_t tail_bytes =
+          wire::kDeltaHeaderBytes + index_buf.size();
+      bytes = h.index_offset + index_buf.size();
+      if (ctx.rank() == 0) {
+        submit_io(file_name, tail_bytes,
+                  [this, file_name, index = std::move(index_buf),
+                   header = encode_delta_header(h),
+                   index_offset = h.index_offset] {
+                    store::FileHandle f = support::retry_io(
+                        [&] { return storage_.open(file_name); },
+                        retry_policy("delta.open"));
+                    support::retry_io(
+                        [&] { f.write_at(index_offset, index.bytes()); },
+                        retry_policy("delta.index"));
+                    support::retry_io([&] { f.write_at(0, header.bytes()); },
+                                      retry_policy("delta.header"));
+                  });
+      }
+      if (storage_.charges_time()) {
+        ctx.charge(storage_.single_write_seconds(tail_bytes, load_, nullptr));
+      }
+      am.raw_bytes = res.raw_bytes;
+      am.stored_bytes = res.stored_bytes;
+      am.dirty_blocks = res.records.size();
+      am.total_blocks = plans[i].chunk_count();
+      array_span.end(ctx.sim_time());
+    } else if (skip[i]) {
       ++skipped;
       skipped_bytes += bytes;
       // The file is untouched; carry the CRC it was written with.
@@ -286,7 +371,6 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
                                      writers, &crc);
       array_span.end(ctx.sim_time());
     }
-    ArrayMeta am;
     am.name = a->name();
     for (int k = 0; k < a->global_box().rank(); ++k) {
       am.lower.push_back(a->global_box().range(k).first());
@@ -297,6 +381,12 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
     am.stream_crc = crc;
     meta.arrays.push_back(std::move(am));
   }
+  if (write_delta) {
+    meta.kind = GenerationKind::kDelta;
+    meta.base_prefix = chain->chain.back();
+    meta.chain_depth = static_cast<std::int64_t>(chain->chain.size());
+    meta.delta_block_bytes = delta->block_bytes;
+  }
 
   // --- Publication: meta record, then the commit manifest as the LAST
   // write. Built on every task (from collective-identical values) so the
@@ -304,6 +394,7 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   const support::ByteBuffer meta_buf = encode_checkpoint_meta(meta);
   CommitManifest manifest;
   manifest.spmd = false;
+  manifest.base_prefix = meta.base_prefix;
   manifest.entries.push_back(CommitEntry{meta_file_name(prefix),
                                          meta_buf.size(),
                                          support::crc32c(meta_buf.bytes()),
@@ -311,9 +402,16 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
   manifest.entries.push_back(
       CommitEntry{segment_file_name(prefix), total_bytes, 0, false});
   for (const auto& am : meta.arrays) {
-    manifest.entries.push_back(CommitEntry{array_file_name(prefix, am.name),
-                                           am.stream_bytes, am.stream_crc,
-                                           true});
+    if (write_delta) {
+      // Delta files carry their integrity inside (framed index + per-block
+      // CRCs); the manifest records presence and size only.
+      manifest.entries.push_back(CommitEntry{
+          delta_array_file_name(prefix, am.name), am.stream_bytes, 0, false});
+    } else {
+      manifest.entries.push_back(CommitEntry{array_file_name(prefix, am.name),
+                                             am.stream_bytes, am.stream_crc,
+                                             true});
+    }
   }
   const support::ByteBuffer manifest_buf = encode_commit_manifest(manifest);
 
@@ -357,6 +455,33 @@ CheckpointTiming DrmsCheckpoint::write(rt::TaskContext& ctx,
               });
     io_barrier();
     commit_span.end(ctx.sim_time());
+    if (delta_mode) {
+      // The generation is durable: advance the chain and retire the
+      // mutations it captured. Task 0 only, between barriers — the other
+      // tasks are already headed to the exit barrier and touch neither
+      // the chain state nor the logs.
+      if (write_delta) {
+        chain->chain.push_back(prefix);
+      } else {
+        chain->chain.assign(1, prefix);
+      }
+      chain->last_kind = write_delta ? GenerationKind::kDelta
+                                     : GenerationKind::kFull;
+      chain->last_raw_bytes = 0;
+      chain->last_stored_bytes = 0;
+      chain->last_dirty_blocks = 0;
+      chain->last_total_blocks = 0;
+      for (const auto& am : meta.arrays) {
+        chain->last_raw_bytes += write_delta ? am.raw_bytes : am.stream_bytes;
+        chain->last_stored_bytes +=
+            write_delta ? am.stored_bytes : am.stream_bytes;
+        chain->last_dirty_blocks += am.dirty_blocks;
+        chain->last_total_blocks += am.total_blocks;
+      }
+      for (DistArray* const a : arrays) {
+        a->clear_mutation_logs();
+      }
+    }
   }
   // Modeled (not charged) publication cost: meta + manifest land in one
   // small write burst. Kept out of the phase clocks so the paper's
@@ -434,17 +559,62 @@ void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
        obs::Attr::num("bytes", static_cast<std::int64_t>(
                                    array.global_byte_count()))});
 
-  const store::FileHandle file =
-      storage_.open(array_file_name(prefix, array.name()));
   const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
                                jitter_, recorder_);
-  std::uint32_t crc = 0;
-  streamer.read_section(ctx, array, array.global_box(), file, 0,
-                        effective_io_tasks(ctx), &crc);
-  if (crc != am.stream_crc) {
-    throw support::CorruptCheckpoint(
-        "array file for '" + array.name() +
-        "' is corrupt or torn (stream CRC mismatch)");
+  const int readers = effective_io_tasks(ctx);
+  if (meta.kind == GenerationKind::kFull) {
+    const store::FileHandle file =
+        storage_.open(array_file_name(prefix, array.name()));
+    std::uint32_t crc = 0;
+    streamer.read_section(ctx, array, array.global_box(), file, 0, readers,
+                          &crc);
+    if (crc != am.stream_crc) {
+      throw support::CorruptCheckpoint(
+          "array file for '" + array.name() +
+          "' is corrupt or torn (stream CRC mismatch)");
+    }
+  } else {
+    // Chain replay: the full base streams in first, then every delta's
+    // stored blocks scatter on top, oldest first — the newest write of
+    // each block wins. Every task resolves the chain and reads the delta
+    // indexes itself (deterministic reads of shared metadata), keeping
+    // the collective apply aligned.
+    const std::vector<std::string> links =
+        resolve_checkpoint_chain(storage_, prefix);
+    const CheckpointMeta base_meta =
+        read_checkpoint_meta(storage_, links.front());
+    const ArrayMeta& base_am = base_meta.array(array.name());
+    DRMS_EXPECTS_MSG(base_am.box() == array.global_box() &&
+                         base_am.elem_size == array.elem_size(),
+                     "chain base array shape does not match declaration");
+    {
+      const store::FileHandle base_file =
+          storage_.open(array_file_name(links.front(), array.name()));
+      std::uint32_t crc = 0;
+      streamer.read_section(ctx, array, array.global_box(), base_file, 0,
+                            readers, &crc);
+      if (crc != base_am.stream_crc) {
+        throw support::CorruptCheckpoint(
+            "chain base array file for '" + array.name() +
+            "' is corrupt or torn (stream CRC mismatch)");
+      }
+    }
+    for (std::size_t g = 1; g < links.size(); ++g) {
+      const std::string file_name =
+          delta_array_file_name(links[g], array.name());
+      const store::FileHandle file = storage_.open(file_name);
+      const DeltaFileHeader header = read_delta_header(file, file_name);
+      const std::vector<DeltaBlockRecord> records =
+          read_delta_index(file, header, file_name);
+      const StreamPlan blocks = make_stream_plan(
+          array.global_box(), array.elem_size(), 1, header.block_bytes);
+      if (blocks.chunk_count() != header.total_blocks) {
+        throw support::CorruptCheckpoint(
+            file_name + ": block plan disagrees with the array's shape");
+      }
+      streamer.apply_delta_blocks(ctx, array, blocks, records, file,
+                                  readers);
+    }
   }
   ctx.barrier();
   timing.arrays_seconds += ctx.sim_time() - t0;

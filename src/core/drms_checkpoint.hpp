@@ -22,6 +22,7 @@
 #include "obs/recorder.hpp"
 #include "rt/task_context.hpp"
 #include "sim/cost_model.hpp"
+#include "support/block_codec.hpp"
 #include "support/units.hpp"
 #include "svc/io_scheduler.hpp"
 
@@ -56,6 +57,37 @@ struct IncrementalState {
   std::uint64_t bytes_skipped = 0;
 };
 
+/// Policy knobs for block-level delta generations. Off by default: every
+/// generation is a full dump and the on-volume formats are byte-identical
+/// to the pre-delta layout.
+struct DeltaOptions {
+  bool enabled = false;
+  /// One full generation per `full_every_k` generations (<= 1: always
+  /// full). A chain never grows past k - 1 deltas.
+  int full_every_k = 4;
+  /// Dirty-tracking and storage granularity (stream-order blocks of the
+  /// array's element stream).
+  std::uint64_t block_bytes = 256 * support::kKiB;
+  /// Codec for the dirty blocks' payload; raw fallback per block keeps
+  /// stored blocks from ever expanding.
+  support::BlockCodec codec = support::BlockCodec::kLz;
+};
+
+/// Chain state carried between checkpoints (same ownership discipline as
+/// IncrementalState: owned by DrmsProgram, read on every task, mutated on
+/// task 0 only, between barriers). `chain` holds the committed prefixes
+/// of the live chain, full base first; empty until the first full
+/// generation commits.
+struct DeltaChainState {
+  std::vector<std::string> chain;
+  /// Statistics of the most recent write().
+  GenerationKind last_kind = GenerationKind::kFull;
+  std::uint64_t last_raw_bytes = 0;
+  std::uint64_t last_stored_bytes = 0;
+  std::uint64_t last_dirty_blocks = 0;
+  std::uint64_t last_total_blocks = 0;
+};
+
 /// Simulated-time components of one restart.
 struct RestartTiming {
   double init_seconds = 0.0;  // application text load ("other")
@@ -84,12 +116,23 @@ class DrmsCheckpoint {
   /// With a non-null `incremental`, arrays whose fingerprint is unchanged
   /// since the previous checkpoint under the same prefix keep their
   /// existing file instead of being restreamed.
+  ///
+  /// With non-null `delta` (enabled) AND `chain`, the engine writes a
+  /// DELTA generation — only the blocks dirtied since the chain's last
+  /// generation, run through the codec stage — whenever the live chain is
+  /// non-empty, shorter than full_every_k generations, still committed,
+  /// and does not contain `prefix` (overwriting a chain member would pull
+  /// the base out from under its dependents); otherwise it writes a full
+  /// generation that starts a fresh chain. Delta mode ignores
+  /// `incremental` (chain replay subsumes whole-array skipping).
   CheckpointTiming write(rt::TaskContext& ctx, const std::string& prefix,
                          const std::string& app_name, std::int64_t sop,
                          const ReplicatedStore& store,
                          std::span<DistArray* const> arrays,
                          const AppSegmentModel& segment_model,
-                         IncrementalState* incremental = nullptr);
+                         IncrementalState* incremental = nullptr,
+                         const DeltaOptions* delta = nullptr,
+                         DeltaChainState* chain = nullptr);
 
   /// COLLECTIVE: restore the data segment — every task reads the shared
   /// segment file and refreshes its replicated variables. Returns the
@@ -103,6 +146,9 @@ class DrmsCheckpoint {
 
   /// COLLECTIVE: load one array's data from the checkpoint into its
   /// (already installed) distribution. Adds to timing.arrays_seconds.
+  /// When `meta` names a delta generation, the whole chain is replayed:
+  /// the full base streams in first, then every delta's stored blocks are
+  /// decoded and scattered oldest-first (newest wins per block).
   void restore_array(rt::TaskContext& ctx, const std::string& prefix,
                      const CheckpointMeta& meta, DistArray& array,
                      RestartTiming& timing);

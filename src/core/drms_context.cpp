@@ -33,6 +33,11 @@ IncrementalState DrmsProgram::incremental_state() const {
   return incremental_state_;
 }
 
+DeltaChainState DrmsProgram::delta_chain_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return delta_chain_;
+}
+
 DrmsContext::DrmsContext(DrmsProgram& program, rt::TaskContext& ctx)
     : program_(program), ctx_(ctx) {
   DRMS_EXPECTS_MSG(ctx.size() == program.task_count_,
@@ -121,6 +126,11 @@ DistArray& DrmsContext::create_array(const std::string& name,
   }
   program_.arrays_.push_back(std::make_unique<DistArray>(
       name, box, elem_size, program_.task_count_));
+  if (program_.env_.delta && program_.env_.mode == CheckpointMode::kDrms) {
+    // Delta generations need the runtime write paths logging from the
+    // first mutation on; a freshly attached log starts all-dirty anyway.
+    program_.arrays_.back()->enable_dirty_tracking();
+  }
   return *program_.arrays_.back();
 }
 
@@ -301,10 +311,17 @@ ReconfigResult DrmsContext::do_checkpoint(const std::string& prefix) {
   if (env.mode == CheckpointMode::kDrms) {
     DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
                           env.target_chunk_bytes, env.jitter, env.recorder);
+    DeltaOptions delta_opts;
+    delta_opts.enabled = env.delta;
+    delta_opts.full_every_k = env.delta_full_every_k;
+    delta_opts.block_bytes = env.delta_block_bytes;
+    delta_opts.codec = env.delta_codec;
     timing = engine.write(
         ctx_, prefix, program_.app_name_, sop_counter_, store_, arrays,
         program_.segment_model_,
-        env.incremental ? &program_.incremental_state_ : nullptr);
+        env.incremental ? &program_.incremental_state_ : nullptr,
+        env.delta ? &delta_opts : nullptr,
+        env.delta ? &program_.delta_chain_ : nullptr);
   } else {
     SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
                           env.recorder);

@@ -83,6 +83,15 @@ struct DrmsEnv {
   /// content fingerprint keep their file from the previous checkpoint
   /// under the same prefix instead of being restreamed.
   bool incremental = false;
+  /// Block-level delta generations (DRMS mode): arrays get runtime dirty
+  /// tracking, and checkpoints between periodic fulls store only the
+  /// dirtied blocks (codec-compressed) chained to the latest full base.
+  /// Default off — all on-volume formats stay byte-identical. Ignores
+  /// `incremental` while on. See DeltaOptions for the knobs' semantics.
+  bool delta = false;
+  int delta_full_every_k = 4;
+  std::uint64_t delta_block_bytes = 256 * support::kKiB;
+  support::BlockCodec delta_codec = support::BlockCodec::kLz;
   /// Non-null: trace spans and metrics from every engine operation land
   /// here (see drms::obs). Null (the default) records nothing and adds
   /// no overhead; recording never perturbs simulated time.
@@ -120,6 +129,8 @@ class DrmsProgram {
   /// Incremental-checkpoint statistics of the last write (when
   /// env.incremental is on).
   [[nodiscard]] IncrementalState incremental_state() const;
+  /// Delta-chain state after the last write (when env.delta is on).
+  [[nodiscard]] DeltaChainState delta_chain_state() const;
   /// Number of checkpoints written during the run.
   [[nodiscard]] int checkpoints_written() const noexcept {
     return checkpoints_written_.load();
@@ -145,6 +156,8 @@ class DrmsProgram {
   /// every task concurrently and mutates it on task 0 between barriers,
   /// so no additional locking is required during a collective write.
   IncrementalState incremental_state_;
+  /// Live delta chain between checkpoints (same ownership discipline).
+  DeltaChainState delta_chain_;
 };
 
 class DrmsContext {

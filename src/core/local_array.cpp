@@ -137,6 +137,9 @@ void LocalArray::insert(const Slice& s, std::span<const std::byte> in) {
   if (s.empty()) {
     return;
   }
+  if (log_ != nullptr) {
+    log_->mark(s);
+  }
   const auto tables = position_tables(s);
   const std::uint64_t needed =
       static_cast<std::uint64_t>(s.element_count()) * elem_size_;
@@ -200,11 +203,22 @@ void LocalArray::set_f64(std::span<const Index> point, double value) {
   DRMS_EXPECTS(elem_size_ == sizeof(double));
   const auto off = offset_of(point);
   DRMS_EXPECTS_MSG(off.has_value(), "point not in the mapped section");
+  if (log_ != nullptr && !log_->all) {
+    std::vector<Range> point_ranges;
+    point_ranges.reserve(point.size());
+    for (const Index v : point) {
+      point_ranges.push_back(Range::single(v));
+    }
+    log_->mark(Slice(std::move(point_ranges)));
+  }
   std::memcpy(data_.data() + *off, &value, sizeof value);
 }
 
 std::span<double> LocalArray::as_f64() {
   DRMS_EXPECTS(elem_size_ == sizeof(double));
+  if (log_ != nullptr) {
+    log_->mark_all();
+  }
   return {reinterpret_cast<double*>(data_.data()),
           data_.size() / sizeof(double)};
 }

@@ -14,6 +14,54 @@
 
 namespace drms::core {
 
+/// Dirty-region log for delta checkpoints. Mutation paths record the
+/// global sub-slices they touched; when precise tracking is unavailable
+/// (raw-span access) or the slice list overflows, the log degrades to a
+/// conservative mark-all over the owner's mapped section. Consumers test
+/// blocks with intersects() — a clean() log means the section is
+/// provably unchanged since the last clear().
+struct MutationLog {
+  /// Bound on precise slices before degrading to mark-all: keeps the
+  /// per-mutation cost O(1) amortized and the per-block dirty test cheap.
+  static constexpr std::size_t kMaxSlices = 64;
+
+  bool all = false;
+  std::vector<Slice> slices;
+
+  void mark_all() noexcept {
+    all = true;
+    slices.clear();
+  }
+  void mark(const Slice& s) {
+    if (all || s.empty()) {
+      return;
+    }
+    if (slices.size() >= kMaxSlices) {
+      mark_all();
+      return;
+    }
+    slices.push_back(s);
+  }
+  void clear() noexcept {
+    all = false;
+    slices.clear();
+  }
+  [[nodiscard]] bool clean() const noexcept { return !all && slices.empty(); }
+  /// True when the marked regions overlap `s`. `all` intersects
+  /// everything — callers clip against the owner's mapped section.
+  [[nodiscard]] bool intersects(const Slice& s) const {
+    if (all) {
+      return true;
+    }
+    for (const Slice& m : slices) {
+      if (!m.intersect(s).empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
 class LocalArray {
  public:
   /// An empty local array (no mapped section).
@@ -34,8 +82,18 @@ class LocalArray {
     return {data_.data(), data_.size()};
   }
   [[nodiscard]] std::span<std::byte> bytes() noexcept {
+    if (log_ != nullptr) {
+      log_->mark_all();
+    }
     return {data_.data(), data_.size()};
   }
+
+  /// Attach (or detach, with nullptr) a dirty log. The log outlives the
+  /// attachment; mutation paths record into it: insert() marks its target
+  /// slice, set_f64() marks the point, and the raw-span accessors
+  /// (non-const bytes()/as_f64()) conservatively mark everything.
+  void attach_mutation_log(MutationLog* log) noexcept { log_ = log; }
+  [[nodiscard]] MutationLog* mutation_log() const noexcept { return log_; }
 
   /// Byte offset of a global multi-index, or nullopt when the point is not
   /// in the mapped section.
@@ -68,6 +126,9 @@ class LocalArray {
 
   Slice mapped_;
   std::size_t elem_size_ = 0;
+  /// Optional dirty log (owned by the enclosing DistArray); null when
+  /// delta tracking is off — the hooks then cost one branch.
+  MutationLog* log_ = nullptr;
   /// Column-major strides in elements, per axis.
   std::vector<Index> stride_;
   std::vector<std::byte> data_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <future>
 #include <utility>
 
@@ -386,6 +387,312 @@ std::uint64_t ArrayStreamer::read_section(rt::TaskContext& ctx,
     *stream_crc = combine_chunk_crcs(ctx, my_chunk_crcs, plan, elem);
   }
   return plan.total_bytes;
+}
+
+ArrayStreamer::DeltaWriteResult ArrayStreamer::write_delta_blocks(
+    rt::TaskContext& ctx, const DistArray& array, const StreamPlan& blocks,
+    const std::vector<std::uint64_t>& dirty, store::FileHandle file,
+    int io_tasks, support::BlockCodec codec) const {
+  DRMS_EXPECTS_MSG(io_tasks >= 1 && io_tasks <= ctx.size(),
+                   "io_tasks must be within the task group size");
+  const std::size_t elem = array.elem_size();
+  const std::vector<Slice> src_assigned =
+      array.distribution().assigned_slices();
+  const int p = ctx.size();
+  const int me = ctx.rank();
+
+  const std::size_t m = dirty.size();
+  const std::size_t rounds = (m + static_cast<std::size_t>(io_tasks) - 1) /
+                             static_cast<std::size_t>(io_tasks);
+  const Slice empty = Slice::empty_of_rank(array.global_box().rank());
+
+  const double jitter_factor =
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
+          : 1.0;
+
+  DeltaWriteResult result;
+
+  /// Worker output of the codec stage (the encoded bytes land in the
+  /// buffer slot's ByteBuffer).
+  struct Compressed {
+    std::uint32_t raw_crc = 0;
+    std::uint32_t stored_crc = 0;
+    support::BlockCodec used = support::BlockCodec::kRaw;
+  };
+
+  // Two-slot pipeline over (staging, encoded) pairs. A slot's write from
+  // round r-2 must land before round r reuses it; its compression from
+  // round r-1 is joined when that round's stored sizes are agreed.
+  // Declaration order: buffers before futures (future destructors block).
+  std::array<LocalArray, 2> staging;
+  std::array<support::ByteBuffer, 2> encoded;
+  std::array<std::future<Compressed>, 2> compressing;
+  std::array<std::future<void>, 2> writing;
+  std::uint64_t payload_cursor = 0;
+
+  // Close out the round whose compression was launched in iteration r:
+  // join the codec worker, agree on this round's stored sizes (an
+  // all_gather in rank order == block order, since compressed sizes are
+  // data-dependent and offsets cannot be precomputed), record the index
+  // entries, and launch the pipelined payload write.
+  const auto finalize_round = [&](std::size_t r) {
+    const std::size_t b = r % 2;
+    Compressed mine{};
+    const bool have = compressing[b].valid();
+    if (have) {
+      mine = compressing[b].get();  // rethrows codec-worker errors
+    }
+    support::ByteBuffer contribution;
+    contribution.put_bool(have);
+    if (have) {
+      contribution.put_u64(staging[b].byte_size());
+      contribution.put_u64(encoded[b].size());
+      contribution.put_u32(static_cast<std::uint32_t>(mine.used));
+      contribution.put_u32(mine.raw_crc);
+      contribution.put_u32(mine.stored_crc);
+    }
+    auto all = rt::all_gather(ctx, std::move(contribution));
+    std::uint64_t my_offset = 0;
+    std::uint64_t round_stored = 0;
+    int writers = 0;
+    for (int q = 0; q < p; ++q) {
+      auto& buf = all[static_cast<std::size_t>(q)];
+      if (!buf.get_bool()) {
+        continue;
+      }
+      DeltaBlockRecord rec;
+      rec.block_index = dirty[r * static_cast<std::size_t>(io_tasks) +
+                              static_cast<std::size_t>(q)];
+      rec.raw_bytes = buf.get_u64();
+      rec.stored_bytes = buf.get_u64();
+      rec.codec = static_cast<support::BlockCodec>(buf.get_u32());
+      rec.raw_crc = buf.get_u32();
+      rec.stored_crc = buf.get_u32();
+      rec.payload_offset = payload_cursor;
+      if (q == me) {
+        my_offset = payload_cursor;
+      }
+      payload_cursor += rec.stored_bytes;
+      round_stored += rec.stored_bytes;
+      ++writers;
+      result.raw_bytes += rec.raw_bytes;
+      result.stored_bytes += rec.stored_bytes;
+      result.records.push_back(rec);
+    }
+    if (have) {
+      obs::Recorder* const rec = recorder_;
+      writing[b] = std::async(
+          std::launch::async,
+          [file, off = wire::kDeltaHeaderBytes + my_offset, &encoded, b,
+           rec, me]() mutable {
+            obs::ScopedSpan write_span(rec, "delta.worker", "write", me, -1.0);
+            support::RetryPolicy policy;
+            policy.observer = rec;
+            policy.what = "delta.write";
+            support::retry_io([&] { file.write_at(off, encoded[b].bytes()); },
+                              policy);
+          });
+    }
+    if (storage_ != nullptr && storage_->charges_time()) {
+      ctx.charge(jitter_factor * storage_->stream_write_round_seconds(
+                                     round_stored, std::max(writers, 1),
+                                     load_, nullptr));
+    }
+    ctx.barrier();
+  };
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t b = r % 2;
+    if (writing[b].valid()) {
+      writing[b].get();  // slot b carried round r-2; land before reuse
+    }
+    std::vector<Slice> dst_mapped(static_cast<std::size_t>(p), empty);
+    for (int q = 0; q < io_tasks; ++q) {
+      const std::size_t i = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(q);
+      if (i >= m) {
+        break;
+      }
+      dst_mapped[static_cast<std::size_t>(q)] =
+          blocks.chunks[static_cast<std::size_t>(dirty[i])];
+    }
+    const Slice& my_block = dst_mapped[static_cast<std::size_t>(me)];
+    staging[b] = my_block.empty() ? LocalArray() : LocalArray(my_block, elem);
+    {
+      obs::ScopedSpan exchange_span(
+          recorder_, "delta", "exchange", me, ctx.sim_time(),
+          {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+           obs::Attr::str("dir", "write")});
+      exchange_sections(ctx, src_assigned, &array.local(me), dst_mapped,
+                        staging[b].element_count() > 0 ? &staging[b]
+                                                       : nullptr,
+                        elem, recorder_);
+      exchange_span.end(ctx.sim_time());
+    }
+    if (staging[b].element_count() > 0) {
+      encoded[b].clear();
+      obs::Recorder* const rec = recorder_;
+      compressing[b] = std::async(
+          std::launch::async,
+          [&staging, &encoded, b, codec, rec, me]() -> Compressed {
+            Compressed out;
+            {
+              obs::ScopedSpan crc_span(rec, "delta.worker", "crc", me, -1.0);
+              out.raw_crc = support::crc32c(
+                  std::as_const(staging[b]).bytes());
+            }
+            obs::ScopedSpan encode_span(rec, "delta.worker", "encode", me,
+                                        -1.0);
+            out.used = support::block_encode(
+                codec, std::as_const(staging[b]).bytes(), encoded[b]);
+            out.stored_crc = support::crc32c(encoded[b].bytes());
+            return out;
+          });
+    }
+    if (r >= 1) {
+      finalize_round(r - 1);  // overlaps round r's codec worker
+    }
+  }
+  if (rounds >= 1) {
+    finalize_round(rounds - 1);
+  }
+  if (writing[0].valid()) {
+    writing[0].get();
+  }
+  if (writing[1].valid()) {
+    writing[1].get();
+  }
+  // After this barrier every task's payload writes have landed; the
+  // engine may write the index and (last) the header.
+  ctx.barrier();
+  return result;
+}
+
+void ArrayStreamer::apply_delta_blocks(
+    rt::TaskContext& ctx, DistArray& array, const StreamPlan& blocks,
+    const std::vector<DeltaBlockRecord>& records, store::FileHandle file,
+    int io_tasks) const {
+  DRMS_EXPECTS_MSG(io_tasks >= 1 && io_tasks <= ctx.size(),
+                   "io_tasks must be within the task group size");
+  const std::size_t elem = array.elem_size();
+  for (const auto& rec : records) {
+    if (rec.block_index >= blocks.chunks.size() ||
+        rec.raw_bytes !=
+            static_cast<std::uint64_t>(
+                blocks.chunks[static_cast<std::size_t>(rec.block_index)]
+                    .element_count()) *
+                elem) {
+      throw support::CorruptCheckpoint(
+          "delta record does not match the array's block plan");
+    }
+  }
+  const std::vector<Slice> dst_mapped =
+      array.distribution().mapped_slices();
+  const int p = ctx.size();
+  const int me = ctx.rank();
+  const std::size_t m = records.size();
+  const std::size_t rounds = (m + static_cast<std::size_t>(io_tasks) - 1) /
+                             static_cast<std::size_t>(io_tasks);
+  const Slice empty = Slice::empty_of_rank(array.global_box().rank());
+  LocalArray& my_local = array.local(me);
+
+  const double jitter_factor =
+      (jitter_ && storage_ != nullptr && storage_->charges_time())
+          ? ctx.shared_rng().jitter(storage_->cost_model()->jitter_sigma)
+          : 1.0;
+
+  std::array<LocalArray, 2> staging;
+  std::array<std::future<void>, 2> inflight;
+
+  // Read + verify + decode round r's block on a background worker, landing
+  // the raw bytes in the staging buffer — the decode overlaps the
+  // previous round's scatter exchange, mirroring read_section.
+  const auto start_read = [&](std::size_t r) {
+    const std::size_t b = r % 2;
+    const std::size_t i = r * static_cast<std::size_t>(io_tasks) +
+                          static_cast<std::size_t>(me);
+    if (me >= io_tasks || i >= m) {
+      staging[b] = LocalArray();
+      return;
+    }
+    const DeltaBlockRecord& rec = records[i];
+    staging[b] = LocalArray(
+        blocks.chunks[static_cast<std::size_t>(rec.block_index)], elem);
+    obs::Recorder* const obsrec = recorder_;
+    inflight[b] = std::async(
+        std::launch::async, [&file, rec, &staging, b, obsrec, me]() {
+          support::ByteBuffer stored;
+          {
+            obs::ScopedSpan read_span(obsrec, "delta.worker", "read", me,
+                                      -1.0);
+            file.read_at_into(
+                wire::kDeltaHeaderBytes + rec.payload_offset,
+                stored.append_uninitialized(
+                    static_cast<std::size_t>(rec.stored_bytes)));
+          }
+          obs::ScopedSpan decode_span(obsrec, "delta.worker", "decode", me,
+                                      -1.0);
+          if (support::crc32c(stored.bytes()) != rec.stored_crc) {
+            throw support::CorruptCheckpoint(
+                "delta block " + std::to_string(rec.block_index) +
+                ": stored CRC mismatch");
+          }
+          support::ByteBuffer raw;
+          support::block_decode(rec.codec, stored.bytes(), rec.raw_bytes,
+                                raw);
+          if (support::crc32c(raw.bytes()) != rec.raw_crc) {
+            throw support::CorruptCheckpoint(
+                "delta block " + std::to_string(rec.block_index) +
+                ": raw CRC mismatch");
+          }
+          std::memcpy(staging[b].bytes().data(), raw.data(), raw.size());
+        });
+  };
+
+  start_read(0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Slice> src_chunks(static_cast<std::size_t>(p), empty);
+    std::uint64_t round_stored = 0;
+    int readers = 0;
+    for (int q = 0; q < io_tasks; ++q) {
+      const std::size_t i = r * static_cast<std::size_t>(io_tasks) +
+                            static_cast<std::size_t>(q);
+      if (i >= m) {
+        break;
+      }
+      src_chunks[static_cast<std::size_t>(q)] =
+          blocks.chunks[static_cast<std::size_t>(records[i].block_index)];
+      round_stored += records[i].stored_bytes;
+      ++readers;
+    }
+
+    const std::size_t b = r % 2;
+    if (inflight[b].valid()) {
+      inflight[b].get();  // rethrows read/verify/decode errors
+    }
+    if (r + 1 < rounds) {
+      start_read(r + 1);  // overlaps this round's exchange below
+    }
+
+    obs::ScopedSpan exchange_span(
+        recorder_, "delta", "exchange", me, ctx.sim_time(),
+        {obs::Attr::num("round", static_cast<std::int64_t>(r)),
+         obs::Attr::str("dir", "read")});
+    exchange_sections(ctx, src_chunks,
+                      staging[b].element_count() > 0 ? &staging[b] : nullptr,
+                      dst_mapped,
+                      my_local.element_count() > 0 ? &my_local : nullptr,
+                      elem, recorder_);
+    exchange_span.end(ctx.sim_time());
+
+    if (storage_ != nullptr && storage_->charges_time()) {
+      ctx.charge(jitter_factor * storage_->stream_read_round_seconds(
+                                     round_stored, std::max(readers, 1),
+                                     load_, nullptr));
+    }
+    ctx.barrier();
+  }
 }
 
 std::uint64_t ArrayStreamer::write_section_sequential(

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/delta_format.hpp"
 #include "core/dist_array.hpp"
 #include "core/sequential_channel.hpp"
 #include "obs/recorder.hpp"
@@ -98,6 +99,42 @@ class ArrayStreamer {
   std::uint64_t read_section_sequential(rt::TaskContext& ctx,
                                         DistArray& array, const Slice& x,
                                         SequentialSource& source) const;
+
+  /// Totals of one delta-block write; identical on every task.
+  struct DeltaWriteResult {
+    /// One record per stored block, ascending block order — the delta
+    /// file's index contents (payload offsets already assigned).
+    std::vector<DeltaBlockRecord> records;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t stored_bytes = 0;
+  };
+
+  /// COLLECTIVE: stream the dirty blocks (`dirty` indexes into `blocks`,
+  /// the array's stream-order block plan) out to `file`'s payload region
+  /// (starting at wire::kDeltaHeaderBytes), passing each block through
+  /// the codec stage where write_section folds in the CRC: round r's
+  /// blocks compress on a background worker while round r+1's exchange
+  /// runs, and land with a pipelined write once the round's stored sizes
+  /// have been agreed collectively (compressed sizes are data-dependent,
+  /// so offsets cannot be precomputed). The caller (engine) writes the
+  /// index and header afterwards. Simulated time is charged on STORED
+  /// bytes — the codec's win shows up in checkpoint time.
+  DeltaWriteResult write_delta_blocks(rt::TaskContext& ctx,
+                                      const DistArray& array,
+                                      const StreamPlan& blocks,
+                                      const std::vector<std::uint64_t>& dirty,
+                                      store::FileHandle file, int io_tasks,
+                                      support::BlockCodec codec) const;
+
+  /// COLLECTIVE: the restore inverse — read each indexed block's stored
+  /// bytes, verify + decode on a background worker (overlapping the
+  /// previous round's scatter exchange), and scatter the raw block into
+  /// the array's current distribution. Applying records newer than the
+  /// base naturally overwrites older bytes (newest wins per block).
+  void apply_delta_blocks(rt::TaskContext& ctx, DistArray& array,
+                          const StreamPlan& blocks,
+                          const std::vector<DeltaBlockRecord>& records,
+                          store::FileHandle file, int io_tasks) const;
 
  private:
   /// May be null: no time accounting (pure data movement).

@@ -1,0 +1,56 @@
+// Block codecs for delta checkpoint generations — compress fixed-size
+// dirty blocks inside the pipelined streamer pass, exactly where the CRC
+// already folds in, so compression overlaps exchange/I/O.
+//
+// Three codecs share one wire contract (decode(encode(x)) == x):
+//   kRaw      identity — the fallback every encoder degrades to when its
+//             output would not be smaller than the input, so stored
+//             blocks never expand.
+//   kZeroRle  run-length encoding of zero bytes: solver state is full of
+//             zero-initialized halo/padding regions, and a zero run
+//             collapses to a 5-byte record.
+//   kLz       byte-oriented LZSS: control byte carrying 8 literal/match
+//             flags, matches are (u16 back-distance, u8 length-4) over a
+//             64 KiB window — cheap, portable, deterministic.
+// Like the CRC-32C kernels, codecs are runtime-dispatched by value and
+// every codec is available on every host; the codec id is recorded per
+// block in the delta index so readers never guess.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "support/byte_buffer.hpp"
+
+namespace drms::support {
+
+enum class BlockCodec : std::uint8_t {
+  kRaw = 0,
+  kZeroRle = 1,
+  kLz = 2,
+};
+
+[[nodiscard]] const char* to_string(BlockCodec codec) noexcept;
+
+/// Parses the names printed by to_string ("raw", "zero_rle", "lz").
+[[nodiscard]] std::optional<BlockCodec> block_codec_from_name(
+    std::string_view name) noexcept;
+
+/// Encodes `raw` with the requested codec, appending to `out`, and
+/// returns the codec actually used: when the requested codec would not
+/// shrink the block it falls back to kRaw (a plain copy), so stored
+/// blocks are never larger than their raw bytes.
+[[nodiscard]] BlockCodec block_encode(BlockCodec requested,
+                                      std::span<const std::byte> raw,
+                                      ByteBuffer& out);
+
+/// Decodes a block stored with `codec`, appending exactly `raw_bytes`
+/// bytes to `out`. Throws CorruptCheckpoint when the stored bytes are
+/// malformed or do not decode to `raw_bytes`.
+void block_decode(BlockCodec codec, std::span<const std::byte> stored,
+                  std::uint64_t raw_bytes, ByteBuffer& out);
+
+}  // namespace drms::support

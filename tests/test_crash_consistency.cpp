@@ -386,6 +386,139 @@ TEST(CrashSweepKillSwitch, KillDuringWriteLeavesPreviousGenerationGood) {
   }
 }
 
+/// Delta-commit crash sweep: a full base A commits, then a DELTA attempt
+/// B (chained on A) crashes at an injected mutation index. The chain adds
+/// write ordering of its own — payload blocks, framed index, then the
+/// delta header LAST, before the usual meta/manifest publication — and
+/// every crash point must degrade to "A restorable, B invisible".
+struct DeltaSweepHarness {
+  Stack stack;
+  std::unique_ptr<DistArray> array;
+  DeltaChainState chain;
+
+  explicit DeltaSweepHarness(BackendKind kind) : stack(make_stack(kind)) {
+    array = std::make_unique<DistArray>("u", cube(kN), sizeof(double),
+                                        kTasks);
+    array->enable_dirty_tracking();
+  }
+
+  auto attempt(const std::string& prefix, std::int64_t sop) {
+    TaskGroup group(placement_of(kTasks));
+    const bool first = !array->distributed();
+    return group.run([&](TaskContext& ctx) {
+      if (ctx.rank() == 0 && first) {
+        array->install_distribution(DistSpec::block_auto(
+            cube(kN), kTasks, std::vector<Index>(3, 0)));
+      }
+      ctx.barrier();
+      if (first) {
+        fill_assigned_tagged(*array, ctx.rank());
+      } else {
+        // Dirty one point per task: B stores a handful of blocks.
+        const Slice& assigned = array->distribution().assigned(ctx.rank());
+        std::vector<Index> p;
+        for (int k = 0; k < assigned.rank(); ++k) {
+          p.push_back(assigned.range(k).first());
+        }
+        array->local(ctx.rank()).set_f64(p, 1234.5 + sop);
+      }
+      ctx.barrier();
+
+      std::int64_t it = sop;
+      ReplicatedStore store;
+      store.register_i64("it", &it);
+      const std::array<DistArray*, 1> arrays{array.get()};
+      DeltaOptions opts;
+      opts.enabled = true;
+      opts.full_every_k = 4;
+      opts.block_bytes = 512;
+      DrmsCheckpoint engine(*stack.fault, {});
+      (void)engine.write(ctx, prefix, "sweep", sop, store, arrays,
+                         tiny_segment(), nullptr, &opts, &chain);
+    });
+  }
+};
+
+std::uint64_t delta_mutation_count(BackendKind kind) {
+  DeltaSweepHarness h(kind);
+  EXPECT_TRUE(h.attempt("sweep.a", 1).completed);
+  EXPECT_EQ(h.chain.last_kind, GenerationKind::kFull);
+  const std::uint64_t after_a = h.stack.fault->mutation_ops();
+  EXPECT_TRUE(h.attempt("sweep.b", 2).completed);
+  EXPECT_EQ(h.chain.last_kind, GenerationKind::kDelta);
+  return h.stack.fault->mutation_ops() - after_a;
+}
+
+void delta_crash_at_and_check(BackendKind kind, std::uint64_t i,
+                              FaultInjectionBackend::CrashStyle style) {
+  SCOPED_TRACE(std::string(to_string(kind)) + " delta crash index " +
+               std::to_string(i));
+  DeltaSweepHarness h(kind);
+  ASSERT_TRUE(h.attempt("sweep.a", 1).completed);
+
+  h.stack.fault->arm_crash(i, style);
+  const auto result = h.attempt("sweep.b", 2);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(h.stack.fault->crashed());
+  h.stack.fault->disarm();
+
+  // The chain never advanced past the committed base...
+  ASSERT_EQ(h.chain.chain.size(), 1u);
+  EXPECT_EQ(h.chain.chain.front(), "sweep.a");
+
+  // ...the base is the restart candidate, the torn delta is invisible...
+  const auto latest = latest_checkpoint(*h.stack.fault, "sweep");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->prefix, "sweep.a");
+  for (const auto& record : list_checkpoints(*h.stack.fault)) {
+    EXPECT_NE(record.prefix, "sweep.b");
+  }
+
+  // ...fsck flags whatever files the crash left behind, gc reclaims them,
+  // and the base still deep-verifies afterwards.
+  const bool b_has_files = !h.stack.fault->list("sweep.b").empty();
+  bool b_torn = false;
+  for (const auto& state : fsck_scan(*h.stack.fault)) {
+    if (state.prefix == "sweep.b") {
+      EXPECT_FALSE(state.committed);
+      EXPECT_FALSE(state.reclaimable.empty());
+      b_torn = true;
+    }
+  }
+  EXPECT_EQ(b_torn, b_has_files);
+  (void)gc_torn_states(*h.stack.fault);
+  EXPECT_TRUE(h.stack.fault->list("sweep.b").empty());
+  const auto after_gc = latest_checkpoint(*h.stack.fault, "sweep");
+  ASSERT_TRUE(after_gc.has_value());
+  EXPECT_TRUE(verify_checkpoint(*h.stack.fault, *after_gc, /*deep=*/true).ok);
+}
+
+class DeltaCrashSweep : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(DeltaCrashSweep, EveryCrashIndexRecoversToCommittedBase) {
+  const BackendKind kind = GetParam();
+  const std::uint64_t n = delta_mutation_count(kind);
+  ASSERT_GT(n, 0u);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    delta_crash_at_and_check(kind, i,
+                             FaultInjectionBackend::CrashStyle::kStop);
+  }
+}
+
+TEST_P(DeltaCrashSweep, TornFinalWriteLeavesDeltaUncommitted) {
+  const BackendKind kind = GetParam();
+  const std::uint64_t n = delta_mutation_count(kind);
+  ASSERT_GT(n, 0u);
+  delta_crash_at_and_check(kind, n - 1,
+                           FaultInjectionBackend::CrashStyle::kTornWrite);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, DeltaCrashSweep,
+    ::testing::Values(BackendKind::kMemory, BackendKind::kPiofs,
+                      BackendKind::kTiered),
+    [](const auto& info) { return std::string(to_string(info.param)); });
+
 TEST(FaultInjection, MutationOpsCountsOnlyMutations) {
   Stack s = make_stack(BackendKind::kMemory);
   ASSERT_TRUE(

@@ -51,8 +51,8 @@ if [[ -n "${tsan}" ]]; then
   # TSan mode defaults to the scheduler/drain race suites; an explicit
   # TARGETS/CTEST_ARGS pair overrides the bound.
   if [[ -z "${TARGETS:-}" && -z "${CTEST_ARGS:-}" ]]; then
-    TARGETS="test_svc test_store test_streamer test_obs test_recovery test_redundancy"
-    CTEST_ARGS="-R Svc|IoScheduler|TieredBackend|Streamer|Obs|Recovery|Redundan"
+    TARGETS="test_svc test_store test_streamer test_obs test_recovery test_redundancy test_delta"
+    CTEST_ARGS="-R Svc|IoScheduler|TieredBackend|Streamer|Obs|Recovery|Redundan|Delta"
   fi
 fi
 
@@ -127,14 +127,17 @@ fi
 # Release tree. bench_data_plane exits non-zero if the dispatched CRC-32C
 # kernel is not at least 4x the bytewise baseline; bench_contention exits
 # non-zero if the sharded I/O scheduler fails its 2x multi-tenant
-# throughput gate or restores regress behind queued drains (virtual-time
-# model, so sanitizer/host speed cannot skew it).
+# throughput gate or restores regress behind queued drains; bench_delta
+# exits non-zero unless delta generations cut bytes written by >= 30%
+# (and checkpoint time measurably) with a bit-exact chain restore
+# (virtual-time model, so sanitizer/host speed cannot skew it).
 if [[ -z "${TARGETS:-}" && -z "${tsan}" ]]; then
   perf_build="${build}-perf"
   cmake -B "${perf_build}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release \
         -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-  cmake --build "${perf_build}" -j "${jobs}" --target bench_data_plane bench_contention
+  cmake --build "${perf_build}" -j "${jobs}" --target bench_data_plane bench_contention bench_delta
   (cd "${perf_build}/bench" && ./bench_data_plane --quick)
   (cd "${perf_build}/bench" && ./bench_contention --quick)
-  echo "check.sh: data-plane + contention perf smokes passed (Release -O2)"
+  (cd "${perf_build}/bench" && ./bench_delta --quick)
+  echo "check.sh: data-plane + contention + delta perf smokes passed (Release -O2)"
 fi

@@ -173,14 +173,55 @@ int cmd_info(const std::string& dir, const std::string& prefix) {
     if (r.prefix != prefix) {
       continue;
     }
+    const bool delta = r.meta.kind == core::GenerationKind::kDelta;
     std::cout << "prefix:  " << r.prefix << "\n"
               << "app:     " << r.meta.app_name << "\n"
               << "mode:    " << (r.spmd ? "SPMD" : "DRMS") << "\n"
-              << "tasks:   " << r.meta.task_count << "\n"
+              << "kind:    " << core::to_string(r.meta.kind) << "\n";
+    if (delta) {
+      std::cout << "base:    " << r.meta.base_prefix << "\n"
+                << "chain:   depth " << r.meta.chain_depth << " (block "
+                << support::format_bytes(r.meta.delta_block_bytes) << ")\n";
+    }
+    std::cout << "tasks:   " << r.meta.task_count << "\n"
               << "sop:     " << r.meta.sop << "\n"
               << "segment: " << support::format_bytes(r.meta.segment_bytes)
               << "\n";
-    if (!r.meta.arrays.empty()) {
+    if (!r.meta.arrays.empty() && delta) {
+      std::uint64_t raw_total = 0;
+      std::uint64_t stored_total = 0;
+      support::TextTable table(
+          {"array", "index space", "blocks", "raw", "stored", "ratio"});
+      for (const auto& a : r.meta.arrays) {
+        raw_total += a.raw_bytes;
+        stored_total += a.stored_bytes;
+        table.add_row(
+            {a.name, a.box().to_string(),
+             std::to_string(a.dirty_blocks) + "/" +
+                 std::to_string(a.total_blocks),
+             support::format_bytes(a.raw_bytes),
+             support::format_bytes(a.stored_bytes),
+             a.stored_bytes == 0
+                 ? "-"
+                 : support::format_fixed(
+                       static_cast<double>(a.raw_bytes) /
+                           static_cast<double>(a.stored_bytes),
+                       2) + ":1"});
+      }
+      table.print(std::cout);
+      std::cout << "compression: "
+                << support::format_bytes(raw_total) << " raw -> "
+                << support::format_bytes(stored_total) << " stored";
+      if (stored_total > 0) {
+        std::cout << " ("
+                  << support::format_fixed(static_cast<double>(raw_total) /
+                                               static_cast<double>(
+                                                   stored_total),
+                                           2)
+                  << ":1)";
+      }
+      std::cout << "\n";
+    } else if (!r.meta.arrays.empty()) {
       support::TextTable table({"array", "index space", "bytes", "crc"});
       for (const auto& a : r.meta.arrays) {
         table.add_row({a.name, a.box().to_string(),
