@@ -46,7 +46,9 @@
 #include "obs/recorder.hpp"
 #include "piofs/volume.hpp"
 #include "recovery/failure_schedule.hpp"
+#include "recovery/reconfig_policy.hpp"
 #include "recovery/supervisor.hpp"
+#include "sim/cost_model.hpp"
 #include "rt/task_group.hpp"
 #include "store/fault_injection_backend.hpp"
 #include "store/memory_backend.hpp"
@@ -230,12 +232,13 @@ apps::SolverOptions solver_options() {
   return o;
 }
 
-/// The failure-free fingerprint. ONE baseline suffices: the solver's
-/// numerics are distribution-invariant, so the CRC is identical across
-/// task counts, storage backends and restart paths.
-std::uint32_t baseline_crc() {
+/// The failure-free fingerprint at field size `n`. ONE baseline per size
+/// suffices: the solver's numerics are distribution-invariant, so the CRC
+/// is identical across task counts, storage backends and restart paths.
+std::uint32_t baseline_crc_for(core::Index n) {
   store::MemoryBackend storage;
   apps::SolverOptions o = solver_options();
+  o.n = n;
   o.prefix.clear();
   core::DrmsEnv env;
   env.storage = &storage;
@@ -458,11 +461,145 @@ DeltaChainRow run_delta_chain_trial(std::uint32_t baseline,
   return row;
 }
 
+// ---- localized recovery: partial vs full restart ----------------------------
+
+/// One directed single-node-loss trial of the partial-restore path,
+/// run TWICE on identical fresh stacks — once with partial_restore off
+/// (the matched full-restart control) and once with it on. Both runs must
+/// reproduce the failure-free fingerprint; the partial run must keep the
+/// survivors off storage entirely and its simulated restore time must be
+/// strictly below the control's — the paper's localized-recovery claim
+/// (restart cost scales with the failed fraction) in one number.
+struct PartialRow {
+  std::string scenario;  // "shrink" or "same_count"
+  BackendKind backend = BackendKind::kPiofs;
+  core::Index n = 8;
+  bool ok = false;
+  double full_restore_seconds = 0.0;
+  double partial_restore_seconds = 0.0;
+  std::uint64_t restore_read_bytes = 0;   // replacement-task section reads
+  std::uint64_t survivor_read_bytes = 0;  // must stay 0
+  std::uint64_t adopted_sections = 0;
+  std::string problem;
+};
+
+PartialRow run_partial_trial(bool same_count, BackendKind kind,
+                             core::Index n, std::uint32_t baseline,
+                             std::uint64_t seed) {
+  PartialRow row;
+  row.scenario = same_count ? "same_count" : "shrink";
+  row.backend = kind;
+  row.n = n;
+
+  // Simulated storage time makes restore_seconds a deterministic MTTR
+  // signal; every tier of every stack charges the same paper model.
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  const recovery::SameCountPolicy same_count_policy;
+
+  const auto run_once = [&](bool partial, double* restore_seconds,
+                            obs::Recorder* rec) {
+    sim::Machine machine;
+    // The shrink scenario has no spare: losing a node forces t2 = t1 - 1.
+    // The same-count scenario keeps one spare so SameCountPolicy can
+    // refill the lost slot at t2 == t1.
+    machine.node_count = kPreferredTasks + (same_count ? 1 : 0);
+    machine.server_count = machine.node_count;
+    arch::Cluster cluster(machine, nullptr);
+
+    piofs::Volume volume(4);
+    store::PiofsBackend piofs_backend(volume, &cost);
+    store::MemoryBackend memory(0, &cost);
+    std::unique_ptr<store::TieredBackend> tiered;
+    store::StorageBackend* storage = &piofs_backend;
+    if (kind == BackendKind::kTiered) {
+      tiered = std::make_unique<store::TieredBackend>(memory, piofs_backend);
+      storage = tiered.get();
+    }
+
+    recovery::SupervisorOptions o;
+    o.solver = solver_options();
+    o.solver.n = n;
+    o.env.storage = storage;
+    o.env.mode = core::CheckpointMode::kDrms;
+    o.env.recorder = rec;
+    o.preferred_tasks = kPreferredTasks;
+    o.min_tasks = 1;
+    o.seed = seed;
+    o.backoff_base = std::chrono::microseconds(1);
+    o.partial_restore = partial;
+    o.recorder = rec;
+    if (same_count) {
+      o.policy = &same_count_policy;
+    }
+
+    recovery::FailureSchedule schedule;
+    recovery::FailureEvent ev;
+    ev.kind = recovery::FailureKind::kNodeLoss;
+    ev.launch = 0;
+    ev.at_iteration = kCheckpointEvery + 1;  // after the first commit
+    ev.node_ordinal = 2;
+    schedule.events.push_back(ev);
+
+    recovery::RecoverySupervisor supervisor(cluster);
+    const recovery::RecoveryReport report = supervisor.run(o, schedule);
+    if (!report.completed) {
+      return std::string(partial ? "partial" : "full") +
+             " run did not complete";
+    }
+    if (report.outcome.field_crc != baseline) {
+      return std::string(partial ? "partial" : "full") +
+             " run fingerprint mismatch";
+    }
+    if (report.launches.size() != 2) {
+      return std::string("expected exactly one recovery, saw ") +
+             std::to_string(report.launches.size() - 1);
+    }
+    if (report.launches[1].partial != partial) {
+      return std::string(partial ? "partial scope not chosen"
+                                 : "control run restarted partially");
+    }
+    *restore_seconds = report.launches[1].restore_seconds;
+    return std::string();
+  };
+
+  obs::Recorder control_rec;
+  row.problem = run_once(false, &row.full_restore_seconds, &control_rec);
+  if (!row.problem.empty()) {
+    row.ok = false;
+    return row;
+  }
+  obs::Recorder rec;
+  row.problem = run_once(true, &row.partial_restore_seconds, &rec);
+  row.restore_read_bytes = rec.counter("recover.partial.restore_read_bytes");
+  row.survivor_read_bytes =
+      rec.counter("recover.partial.survivor_read_bytes");
+  row.adopted_sections = rec.counter("recover.partial.adopted_sections");
+
+  if (row.problem.empty()) {
+    if (row.survivor_read_bytes != 0) {
+      // The whole point: survivors keep their arrays — zero checkpoint
+      // reads while the replacement slot streams its sections in.
+      row.problem = "survivors read checkpoint data";
+    } else if (row.restore_read_bytes == 0) {
+      row.problem = "replacement task read nothing";
+    } else if (row.adopted_sections == 0) {
+      row.problem = "survivors adopted nothing";
+    } else if (row.full_restore_seconds <= 0.0 ||
+               row.partial_restore_seconds <= 0.0) {
+      row.problem = "restore charged no simulated time";
+    } else if (row.partial_restore_seconds >= row.full_restore_seconds) {
+      row.problem = "partial restore not cheaper than full";
+    }
+  }
+  row.ok = row.problem.empty();
+  return row;
+}
+
 int run_campaign(int count, std::uint64_t base_seed) {
   std::cout << "Chaos campaign: " << count
             << " seeded failure schedules x {DRMS, SPMD} x {memory, "
                "piofs, tiered}\n";
-  const std::uint32_t baseline = baseline_crc();
+  const std::uint32_t baseline = baseline_crc_for(8);
   std::cout << "failure-free baseline field CRC: " << baseline << "\n\n";
 
   recovery::ScheduleShape shape;
@@ -642,6 +779,63 @@ int run_campaign(int count, std::uint64_t base_seed) {
                              : "FAILED: " + delta_row.problem)
             << "\n";
 
+  // Localized recovery: the partial-restore path vs the matched full
+  // restart, across reconfiguration scenarios and storage stacks, plus a
+  // size-scaling pair — growing the job must NOT grow the partial/full
+  // cost ratio, because a partial restart pays for the failed fraction,
+  // not for the job.
+  std::cout << "\nLocalized recovery: partial vs full restart (single node "
+               "loss)\n";
+  std::vector<PartialRow> partial_rows;
+  for (const bool same_count : {false, true}) {
+    for (const BackendKind kind : {BackendKind::kPiofs,
+                                   BackendKind::kTiered}) {
+      partial_rows.push_back(
+          run_partial_trial(same_count, kind, 8, baseline, base_seed));
+    }
+  }
+  partial_rows.push_back(run_partial_trial(/*same_count=*/false,
+                                           BackendKind::kPiofs, 16,
+                                           baseline_crc_for(16), base_seed));
+
+  drms::support::TextTable ptable({"scenario", "backend", "n", "full ms",
+                                   "partial ms", "ratio", "restore KiB",
+                                   "survivor reads", "result"});
+  int partial_failures = 0;
+  double ratio_small = 0.0;
+  double ratio_large = 0.0;
+  for (const auto& row : partial_rows) {
+    const double ratio =
+        row.full_restore_seconds > 0.0
+            ? row.partial_restore_seconds / row.full_restore_seconds
+            : 0.0;
+    if (row.scenario == "shrink" && row.backend == BackendKind::kPiofs) {
+      (row.n == 8 ? ratio_small : ratio_large) = ratio;
+    }
+    ptable.add_row({row.scenario, to_string(row.backend),
+                    std::to_string(row.n),
+                    format_fixed(row.full_restore_seconds * 1e3, 3),
+                    format_fixed(row.partial_restore_seconds * 1e3, 3),
+                    format_fixed(ratio, 3),
+                    std::to_string(row.restore_read_bytes / 1024),
+                    std::to_string(row.survivor_read_bytes),
+                    row.ok ? "OK" : "FAILED"});
+    if (!row.ok) {
+      ++partial_failures;
+      std::cout << "FAILED " << row.scenario << "/" << to_string(row.backend)
+                << " n=" << row.n << ": " << row.problem << "\n";
+    }
+  }
+  ptable.print(std::cout);
+  const bool partial_scales =
+      ratio_small > 0.0 && ratio_large > 0.0 &&
+      ratio_large <= ratio_small + 0.05;
+  if (!partial_scales) {
+    std::cout << "FAILED scaling: partial/full ratio grew with job size ("
+              << format_fixed(ratio_small, 3) << " at n=8 -> "
+              << format_fixed(ratio_large, 3) << " at n=16)\n";
+  }
+
   std::ofstream out("BENCH_recovery.json");
   bench::JsonWriter json(out);
   json.begin_object();
@@ -709,17 +903,36 @@ int run_campaign(int count, std::uint64_t base_seed) {
              static_cast<std::uint64_t>(delta_row.max_chain_depth));
   json.field("mttr_ns", delta_row.mttr_ns);
   json.end_object();
+  json.begin_array("partial");
+  for (const auto& row : partial_rows) {
+    json.begin_object();
+    json.field("scenario", row.scenario);
+    json.field("backend", to_string(row.backend));
+    json.field("n", static_cast<std::uint64_t>(row.n));
+    json.field("ok", row.ok);
+    json.field("full_restore_seconds", row.full_restore_seconds);
+    json.field("partial_restore_seconds", row.partial_restore_seconds);
+    json.field("restore_read_bytes", row.restore_read_bytes);
+    json.field("survivor_read_bytes", row.survivor_read_bytes);
+    json.field("adopted_sections", row.adopted_sections);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
   out << "\n";
   std::cout << "wrote BENCH_recovery.json\n";
 
-  if (failures > 0 || scavenge_failures > 0 || !covered || !delta_row.ok) {
+  if (failures > 0 || scavenge_failures > 0 || !covered || !delta_row.ok ||
+      partial_failures > 0 || !partial_scales) {
     std::cout << "\nCHAOS CAMPAIGN FAILED: " << failures << " of " << count
               << " schedules did not recover"
               << (scavenge_failures > 0 ? " (and the scavenge gate failed)"
                                         : "")
               << (covered ? "" : " (and coverage gaps remain)")
               << (delta_row.ok ? "" : " (and the delta-chain trial failed)")
+              << (partial_failures > 0 || !partial_scales
+                      ? " (and the partial-restore gate failed)"
+                      : "")
               << "\n";
     return 1;
   }

@@ -235,6 +235,7 @@ SolverOutcome run_solver(core::DrmsProgram& program, rt::TaskContext& ctx,
 
   SolverOutcome out;
   out.restarted = drms.restarted();
+  out.partial_restore = drms.partial_restored();
   out.start_iteration = it;
   out.delta = drms.delta();
 

@@ -58,6 +58,9 @@ struct SolverOptions {
 
 struct SolverOutcome {
   bool restarted = false;
+  /// The restore took the partial-scope path (env.partial matched): only
+  /// lost sections were read from storage, survivors adopted in place.
+  bool partial_restore = false;
   std::int64_t start_iteration = 0;
   int delta = 0;
   int checkpoints_written = 0;

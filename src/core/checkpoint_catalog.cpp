@@ -643,7 +643,8 @@ int gc_torn_states(store::StorageBackend& storage,
 
 int gc_superseded_states(store::StorageBackend& storage,
                          const std::string& app_name,
-                         const std::string& prefix_filter, int keep_last_k) {
+                         const std::string& prefix_filter, int keep_last_k,
+                         std::span<const std::string> pinned) {
   const int keep = std::max(keep_last_k, 1);
   // restart_candidates is SOP descending: everything past index keep-1 is
   // superseded.
@@ -666,6 +667,21 @@ int gc_superseded_states(store::StorageBackend& storage,
         // Broken chain: the candidate would not have listed as committed;
         // nothing extra to protect.
       }
+    }
+  }
+  // Pinned generations (a restore in flight, or the next attempt's
+  // fallback target) survive regardless of their SOP rank: keep-newest
+  // alone would reclaim an old-but-good generation the moment newer —
+  // possibly corrupt but still committed — generations fill the keep
+  // slots. Pins get the same chain closure as kept candidates.
+  for (const std::string& pin : pinned) {
+    keep_set.insert(pin);
+    try {
+      for (const auto& member : resolve_checkpoint_chain(storage, pin)) {
+        keep_set.insert(member);
+      }
+    } catch (const support::Error&) {
+      // Not a delta (single-element chain is fine) or already gone.
     }
   }
   int removed = 0;

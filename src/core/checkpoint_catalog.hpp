@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -138,10 +139,17 @@ int gc_torn_states(store::StorageBackend& storage,
 /// preserving bounded fallback depth without unbounded storage growth.
 /// States other applications own are untouched. Returns the number of
 /// states removed. `keep_last_k < 1` is clamped to 1 — the newest state
-/// is never retired by retention.
+/// is never retired by retention. `pinned` prefixes (and, for deltas,
+/// their chains) are NEVER reclaimed regardless of SOP rank — the
+/// supervisor pins a generation from one selection to the next, so
+/// retention cannot pull a generation out from under an in-flight
+/// (possibly partial) restore, or retire a failed launch's fallback
+/// target between attempts while newer-but-corrupt states hold the
+/// keep-newest slots.
 int gc_superseded_states(store::StorageBackend& storage,
                          const std::string& app_name,
                          const std::string& prefix_filter = "",
-                         int keep_last_k = 2);
+                         int keep_last_k = 2,
+                         std::span<const std::string> pinned = {});
 
 }  // namespace drms::core

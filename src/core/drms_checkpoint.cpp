@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/array_fingerprint.hpp"
+#include "core/exchange.hpp"
+#include "core/partial_restore.hpp"
 #include "core/streamer.hpp"
 #include "support/crc32.hpp"
 #include "support/error.hpp"
@@ -619,6 +621,185 @@ void DrmsCheckpoint::restore_array(rt::TaskContext& ctx,
   ctx.barrier();
   timing.arrays_seconds += ctx.sim_time() - t0;
   op_span.end(ctx.sim_time());
+}
+
+std::uint64_t DrmsCheckpoint::restore_array_sections(
+    rt::TaskContext& ctx, const std::string& prefix,
+    const CheckpointMeta& meta, DistArray& array,
+    std::span<const Slice> sections, RestartTiming& timing) {
+  DRMS_EXPECTS_MSG(array.distributed(),
+                   "specify a distribution before loading an array");
+  const ArrayMeta& am = meta.array(array.name());
+  DRMS_EXPECTS_MSG(am.box() == array.global_box() &&
+                       am.elem_size == array.elem_size(),
+                   "checkpointed array shape does not match declaration");
+  ctx.barrier();
+  const double t0 = ctx.sim_time();
+
+  // Decompose every requested section into stream-contiguous runs, then
+  // split each run at the chunk target so several readers can share even
+  // a single big run (the classic outermost-axis split yields exactly
+  // one).
+  const std::size_t elem = array.elem_size();
+  std::vector<StreamRun> chunks;
+  for (const Slice& s : sections) {
+    if (s.empty()) {
+      continue;
+    }
+    DRMS_EXPECTS_MSG(array.global_box().covers(s),
+                     "restore_array_sections: section outside the array box");
+    const Index max_elems =
+        std::max<Index>(1, static_cast<Index>(target_chunk_bytes_ / elem));
+    for (const StreamRun& run :
+         stream_runs(array.global_box(), s, elem)) {
+      std::uint64_t off = run.byte_offset;
+      for (Slice& part : partition_for_stream(run.slice, 1, max_elems)) {
+        StreamRun c;
+        c.bytes = static_cast<std::uint64_t>(part.element_count()) * elem;
+        c.byte_offset = off;
+        off += c.bytes;
+        c.slice = std::move(part);
+        chunks.push_back(std::move(c));
+      }
+    }
+  }
+  std::uint64_t total_bytes = 0;
+  for (const StreamRun& c : chunks) {
+    total_bytes += c.bytes;
+  }
+
+  obs::ScopedSpan op_span(
+      recorder_, "restore", "array_sections", ctx.rank(), t0,
+      {obs::Attr::str("array", array.name()),
+       obs::Attr::num("runs", static_cast<std::int64_t>(chunks.size())),
+       obs::Attr::num("bytes", static_cast<std::int64_t>(total_bytes))});
+  if (chunks.empty()) {
+    ctx.barrier();
+    op_span.end(ctx.sim_time());
+    return 0;
+  }
+
+  // Delta generations read their chain base's stream, then replay blocks.
+  std::vector<std::string> links{prefix};
+  if (meta.kind != GenerationKind::kFull) {
+    links = resolve_checkpoint_chain(storage_, prefix);
+    const CheckpointMeta base_meta =
+        read_checkpoint_meta(storage_, links.front());
+    const ArrayMeta& base_am = base_meta.array(array.name());
+    DRMS_EXPECTS_MSG(base_am.box() == array.global_box() &&
+                         base_am.elem_size == array.elem_size(),
+                     "chain base array shape does not match declaration");
+  }
+
+  const std::string base_name = array_file_name(links.front(), array.name());
+  const store::FileHandle base_file = storage_.open(base_name);
+  const std::vector<Slice> dst_mapped = array.distribution().mapped_slices();
+  const int readers = effective_io_tasks(ctx);
+  const int me = ctx.rank();
+  const int d = array.global_box().rank();
+
+  // Round-robin the runs over `readers` ranks, one exchange round per
+  // group: each active reader pulls its run's raw bytes — as a queued
+  // RESTORE-class item when a session is attached — and one collective
+  // scatters all of the round's runs into the new distribution's mapped
+  // slices at once.
+  for (std::size_t r0 = 0; r0 < chunks.size();
+       r0 += static_cast<std::size_t>(readers)) {
+    const int active = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(readers), chunks.size() - r0));
+    std::vector<Slice> src(static_cast<std::size_t>(ctx.size()),
+                           Slice::empty_of_rank(d));
+    for (int q = 0; q < active; ++q) {
+      const StreamRun& run = chunks[r0 + static_cast<std::size_t>(q)];
+      src[static_cast<std::size_t>(q)] = run.slice;
+    }
+    LocalArray staging;
+    if (me < active) {
+      const StreamRun& run = chunks[r0 + static_cast<std::size_t>(me)];
+      // A run is a consecutive span of the box's element stream, and the
+      // stream visits the run's own index space in its column-major
+      // order, so the raw file bytes land in the staging array as-is.
+      staging = LocalArray(run.slice, elem);
+      const auto read_run = [&] {
+        support::retry_io(
+            [&] { base_file.read_at_into(run.byte_offset, staging.bytes()); },
+            retry_policy("partial-restore read"));
+      };
+      if (io_session_active()) {
+        const double sim_seconds =
+            storage_.charges_time()
+                ? storage_.stream_read_round_seconds(run.bytes, 1, load_,
+                                                     nullptr)
+                : 0.0;
+        io_->submit(*io_job_, svc::Priority::kRestore, base_name, run.bytes,
+                    sim_seconds, read_run)
+            .wait();
+      } else {
+        read_run();
+      }
+    }
+    exchange_sections(ctx, src, me < active ? &staging : nullptr, dst_mapped,
+                      &array.local(me), elem, recorder_);
+  }
+  // One scatter-gather read phase per array: the runs are disjoint spans
+  // of one file pulled by `readers` parallel clients, so the modeled cost
+  // is bytes-proportional with a single per-phase latency — NOT a
+  // latency charge per run, which would make a small partial restore of
+  // many short runs cost more than one big sequential stream and break
+  // the failed-fraction scaling the partial path exists for.
+  if (storage_.charges_time()) {
+    std::uint64_t base_bytes = 0;
+    for (const StreamRun& c : chunks) {
+      base_bytes += c.bytes;
+    }
+    const int width = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(readers),
+                              chunks.size()));
+    ctx.charge(storage_.stream_read_round_seconds(
+        base_bytes, std::max(width, 1), load_,
+        jitter_ ? &ctx.shared_rng() : nullptr));
+  }
+
+  // Delta links, oldest first: replay only the chain blocks that touch
+  // the requested sections. A record whose block also overlaps survivor
+  // regions scatters values identical to the survivors' retained memory
+  // (same SOP), so over-coverage is harmless; blocks never dirtied stay
+  // at the base values just read, exactly as in a full replay. Per-block
+  // CRCs still verify inside apply_delta_blocks.
+  for (std::size_t g = 1; g < links.size(); ++g) {
+    const std::string file_name =
+        delta_array_file_name(links[g], array.name());
+    const store::FileHandle file = storage_.open(file_name);
+    const DeltaFileHeader header = read_delta_header(file, file_name);
+    const std::vector<DeltaBlockRecord> records =
+        read_delta_index(file, header, file_name);
+    const StreamPlan blocks = make_stream_plan(array.global_box(), elem, 1,
+                                               header.block_bytes);
+    if (blocks.chunk_count() != header.total_blocks) {
+      throw support::CorruptCheckpoint(
+          file_name + ": block plan disagrees with the array's shape");
+    }
+    std::vector<DeltaBlockRecord> touching;
+    for (const DeltaBlockRecord& rec : records) {
+      const Slice& block =
+          blocks.chunks[static_cast<std::size_t>(rec.block_index)];
+      for (const Slice& s : sections) {
+        if (!block.intersect(s).empty()) {
+          touching.push_back(rec);
+          total_bytes += rec.stored_bytes;
+          break;
+        }
+      }
+    }
+    const ArrayStreamer streamer(&storage_, load_, target_chunk_bytes_,
+                                 jitter_, recorder_);
+    streamer.apply_delta_blocks(ctx, array, blocks, touching, file, readers);
+  }
+
+  ctx.barrier();
+  timing.arrays_seconds += ctx.sim_time() - t0;
+  op_span.end(ctx.sim_time());
+  return total_bytes;
 }
 
 }  // namespace drms::core

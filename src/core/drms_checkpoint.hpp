@@ -153,6 +153,25 @@ class DrmsCheckpoint {
                      const CheckpointMeta& meta, DistArray& array,
                      RestartTiming& timing);
 
+  /// COLLECTIVE: load ONLY `sections` (disjoint sub-slices of the array's
+  /// global box — a partial restart's lost sections) from the generation
+  /// under `prefix` into the array's current distribution. The checkpoint
+  /// file is the column-major element stream of the global box, so each
+  /// section decomposes into stream-contiguous runs read at computed byte
+  /// offsets; delta generations replay only the chain blocks that touch
+  /// the sections. No whole-stream CRC is checkable on a subset read —
+  /// callers deep-verify the generation first (the supervisor's verify
+  /// phase does); delta blocks keep their per-block CRC checks. With an
+  /// attached I/O session the reads are submitted as RESTORE-class items.
+  /// Returns the bytes read from storage (identical on every task) and
+  /// adds to timing.arrays_seconds.
+  std::uint64_t restore_array_sections(rt::TaskContext& ctx,
+                                       const std::string& prefix,
+                                       const CheckpointMeta& meta,
+                                       DistArray& array,
+                                       std::span<const Slice> sections,
+                                       RestartTiming& timing);
+
   /// Attach a checkpoint-service session: write()'s storage mutations are
   /// submitted to `scheduler` under `job` as FOREGROUND-class items, with
   /// explicit completion barriers preserving the commit ordering

@@ -1,7 +1,9 @@
 #include "core/drms_context.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/exchange.hpp"
 #include "core/streamer.hpp"
 #include "rt/collectives.hpp"
 #include "support/error.hpp"
@@ -167,8 +169,18 @@ void DrmsContext::distribute(DistArray& array, const DistSpec& spec) {
   if (env.mode == CheckpointMode::kDrms) {
     DrmsCheckpoint engine(*env.storage, make_load_context(), env.io_tasks,
                           env.target_chunk_bytes, env.jitter, env.recorder);
-    engine.restore_array(ctx_, env.restart_prefix, *restart_meta_, array,
-                         timing);
+    const RetainedArray* ra =
+        env.partial != nullptr && env.partial->retained != nullptr
+            ? env.partial->retained->find(array.name())
+            : nullptr;
+    if (ra != nullptr) {
+      engine.attach_io_session(env.partial->io, env.partial->io_job);
+      partial_restore_array(engine, *env.partial, *ra, array, timing);
+      partial_restored_ = true;
+    } else {
+      engine.restore_array(ctx_, env.restart_prefix, *restart_meta_, array,
+                           timing);
+    }
   } else {
     SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
                           env.recorder);
@@ -179,6 +191,147 @@ void DrmsContext::distribute(DistArray& array, const DistSpec& spec) {
   if (ctx_.rank() == 0) {
     const std::lock_guard<std::mutex> lock(program_.mutex_);
     program_.last_restart_.arrays_seconds += timing.arrays_seconds;
+  }
+}
+
+void DrmsContext::partial_restore_array(DrmsCheckpoint& engine,
+                                        const PartialRestorePlan& plan,
+                                        const RetainedArray& ra,
+                                        DistArray& array,
+                                        RestartTiming& timing) {
+  const DrmsEnv& env = program_.env_;
+  const RetainedJobState& retained = *plan.retained;
+  DRMS_EXPECTS_MSG(retained.valid && retained.prefix == env.restart_prefix,
+                   "partial restore: retained snapshot does not match the "
+                   "restart generation");
+  DRMS_EXPECTS_MSG(static_cast<int>(ra.assigned.size()) == retained.t1 &&
+                       static_cast<int>(ra.retained.size()) == retained.t1 &&
+                       static_cast<int>(plan.slot_lost.size()) == retained.t1,
+                   "partial restore: slot tables disagree");
+  ctx_.barrier();
+  const double t0 = ctx_.sim_time();
+  obs::ScopedSpan op_span(env.recorder, "recover", "partial_restore",
+                          ctx_.rank(), t0,
+                          {obs::Attr::str("array", array.name()),
+                           obs::Attr::num("lost_slots", plan.lost_count())});
+
+  // (A) Lost cover: the replaced slots' assigned sections stream in from
+  // the generation on storage (chain-aware per-section reads).
+  std::vector<Slice> lost;
+  for (int s = 0; s < retained.t1; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    if (plan.slot_lost[us] != 0 && !ra.assigned[us].empty()) {
+      lost.push_back(ra.assigned[us]);
+    }
+  }
+  const std::uint64_t read_bytes = engine.restore_array_sections(
+      ctx_, env.restart_prefix, *restart_meta_, array, lost, timing);
+
+  // (B) Survivor adoption: each surviving slot's retained section is
+  // scattered into the new distribution's mapped slices, one adopter
+  // rank per slot per round. Pure message passing — zero storage reads
+  // and zero simulated I/O time; together with (A) the scattered
+  // sections cover the whole box (the capture requires a fully assigned
+  // distribution), so shadows come out consistent without a refresh.
+  std::vector<int> survivors;
+  for (int s = 0; s < retained.t1; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    if (plan.slot_lost[us] == 0 && !ra.assigned[us].empty()) {
+      DRMS_EXPECTS_MSG(
+          ra.retained[us].byte_size() ==
+              static_cast<std::uint64_t>(ra.assigned[us].element_count()) *
+                  array.elem_size(),
+          "partial restore: surviving slot has no retained data");
+      survivors.push_back(s);
+    }
+  }
+  const int t2 = ctx_.size();
+  const int me = ctx_.rank();
+  const std::vector<Slice> dst_mapped = array.distribution().mapped_slices();
+  const int d = array.global_box().rank();
+  for (std::size_t r0 = 0; r0 < survivors.size();
+       r0 += static_cast<std::size_t>(t2)) {
+    const int active = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(t2), survivors.size() - r0));
+    std::vector<Slice> src(static_cast<std::size_t>(t2),
+                           Slice::empty_of_rank(d));
+    const LocalArray* my_src = nullptr;
+    for (int q = 0; q < active; ++q) {
+      const auto slot =
+          static_cast<std::size_t>(survivors[r0 + static_cast<std::size_t>(q)]);
+      src[static_cast<std::size_t>(q)] = ra.assigned[slot];
+      if (q == me) {
+        my_src = &ra.retained[slot];
+      }
+    }
+    exchange_sections(ctx_, src, my_src, dst_mapped, &array.local(me),
+                      array.elem_size(), env.recorder);
+  }
+  ctx_.barrier();
+  if (me == 0 && env.recorder != nullptr) {
+    env.recorder->count("recover.partial.restore_read_bytes",
+                        static_cast<std::int64_t>(read_bytes));
+    env.recorder->count("recover.partial.survivor_read_bytes", 0);
+    env.recorder->count("recover.partial.lost_sections",
+                        static_cast<std::int64_t>(lost.size()));
+    env.recorder->count("recover.partial.adopted_sections",
+                        static_cast<std::int64_t>(survivors.size()));
+  }
+  op_span.end(ctx_.sim_time());
+}
+
+void DrmsContext::capture_retained(RetainedJobState& retain,
+                                   const std::string& prefix,
+                                   std::span<DistArray* const> arrays) {
+  // SPMD discipline matching IncrementalState/DeltaChainState: rank 0
+  // lays out the slot tables between barriers, then every task fills its
+  // OWN slot (slot-private, so no write overlaps), and `valid` flips true
+  // only after every slot landed. The copies are taken inside the same
+  // collective that wrote the generation, so they are bit-identical to
+  // the bytes on the volume.
+  ctx_.barrier();
+  if (ctx_.rank() == 0) {
+    retain.valid = false;
+    retain.prefix = prefix;
+    retain.sop = sop_counter_;
+    retain.t1 = ctx_.size();
+    retain.arrays.clear();
+    bool ok = true;
+    for (const DistArray* a : arrays) {
+      if (!a->distributed() || !a->distribution().fully_assigned()) {
+        // Holes in the assignment would leave unowned cells with nothing
+        // to adopt them on a partial restart; such jobs get full scope.
+        ok = false;
+        break;
+      }
+      RetainedArray ra;
+      ra.name = a->name();
+      ra.assigned = a->distribution().assigned_slices();
+      ra.retained.resize(static_cast<std::size_t>(ctx_.size()));
+      retain.arrays.push_back(std::move(ra));
+    }
+    if (!ok) {
+      retain.invalidate();
+    }
+  }
+  ctx_.barrier();
+  if (retain.arrays.size() == arrays.size() && !arrays.empty()) {
+    const int me = ctx_.rank();
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      RetainedArray& ra = retain.arrays[i];
+      const Slice& mine = ra.assigned[static_cast<std::size_t>(me)];
+      if (mine.empty()) {
+        continue;
+      }
+      LocalArray copy(mine, arrays[i]->elem_size());
+      std::as_const(*arrays[i]).local(me).extract(mine, copy.bytes());
+      ra.retained[static_cast<std::size_t>(me)] = std::move(copy);
+    }
+  }
+  ctx_.barrier();
+  if (ctx_.rank() == 0 && retain.arrays.size() == arrays.size() &&
+      !arrays.empty()) {
+    retain.valid = true;
   }
 }
 
@@ -322,6 +475,9 @@ ReconfigResult DrmsContext::do_checkpoint(const std::string& prefix) {
         env.incremental ? &program_.incremental_state_ : nullptr,
         env.delta ? &delta_opts : nullptr,
         env.delta ? &program_.delta_chain_ : nullptr);
+    if (env.retain != nullptr) {
+      capture_retained(*env.retain, prefix, arrays);
+    }
   } else {
     SpmdCheckpoint engine(*env.storage, make_load_context(), env.jitter,
                           env.recorder);

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/drms_checkpoint.hpp"
+#include "core/partial_restore.hpp"
 #include "core/spmd_checkpoint.hpp"
 #include "core/steering.hpp"
 #include "store/storage_backend.hpp"
@@ -96,6 +97,18 @@ struct DrmsEnv {
   /// here (see drms::obs). Null (the default) records nothing and adds
   /// no overhead; recording never perturbs simulated time.
   obs::Recorder* recorder = nullptr;
+  /// Non-null (DRMS mode): every successful checkpoint additionally
+  /// captures a RetainedJobState snapshot — each task's assigned array
+  /// sections, bit-identical to what just committed — enabling a later
+  /// partial restart. Owned by the recovery supervisor; null (the
+  /// default) changes nothing.
+  RetainedJobState* retain = nullptr;
+  /// Non-null: this restart is PARTIAL-scope. distribute() then loads
+  /// only the lost slots' sections from storage and fills the surviving
+  /// slots' sections from the retained snapshot via exchange_sections
+  /// (zero checkpoint reads for survivor data). Null (the default): full
+  /// restore.
+  const PartialRestorePlan* partial = nullptr;
 };
 
 class DrmsContext;
@@ -175,6 +188,11 @@ class DrmsContext {
 
   /// True when this run resumed from a checkpoint.
   [[nodiscard]] bool restarted() const noexcept { return restarted_; }
+  /// True when at least one array was restored through the partial-scope
+  /// path (env.partial matched the retained snapshot).
+  [[nodiscard]] bool partial_restored() const noexcept {
+    return partial_restored_;
+  }
   /// Task count that took the checkpoint (0 when not restarted).
   [[nodiscard]] int checkpoint_task_count() const noexcept;
   /// size() - checkpoint_task_count().
@@ -220,6 +238,17 @@ class DrmsContext {
   [[nodiscard]] sim::LoadContext make_load_context() const;
   [[nodiscard]] std::vector<DistArray*> array_list() const;
   ReconfigResult do_checkpoint(const std::string& prefix);
+  /// COLLECTIVE: partial-scope restore of one array — lost slots' sections
+  /// read from storage, surviving slots' sections adopted from the
+  /// retained snapshot.
+  void partial_restore_array(DrmsCheckpoint& engine,
+                             const PartialRestorePlan& plan,
+                             const RetainedArray& ra, DistArray& array,
+                             RestartTiming& timing);
+  /// COLLECTIVE: snapshot every array's assigned sections into `retain`
+  /// right after a generation committed under `prefix`.
+  void capture_retained(RetainedJobState& retain, const std::string& prefix,
+                        std::span<DistArray* const> arrays);
 
   DrmsProgram& program_;
   rt::TaskContext& ctx_;
@@ -227,6 +256,7 @@ class DrmsContext {
   bool initialized_ = false;
   bool restarted_ = false;
   bool just_restarted_ = false;
+  bool partial_restored_ = false;
   std::int64_t sop_counter_ = 0;
   std::optional<CheckpointMeta> restart_meta_;
   SpmdRestoreCursor spmd_cursor_;

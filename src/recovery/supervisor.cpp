@@ -8,6 +8,8 @@
 
 #include "core/checkpoint_catalog.hpp"
 #include "core/checkpoint_format.hpp"
+#include "core/delta_format.hpp"
+#include "core/partial_restore.hpp"
 #include "rt/task_group.hpp"
 #include "support/error.hpp"
 
@@ -84,6 +86,28 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
   std::vector<char> fired(schedule.events.size(), 0);
   auto outcome_slot = std::make_shared<apps::SolverOutcome>();
 
+  // ---- localized-recovery state ---------------------------------------------
+  // The retained snapshot is (re)captured at every checkpoint of the
+  // CURRENT launch and consulted when deciding the NEXT launch's scope;
+  // slot indices are only meaningful for the launch that captured them,
+  // so the snapshot is consumed (moved into a per-launch plan) or
+  // invalidated at every scope decision.
+  const bool partial_enabled = options.partial_restore && !spmd;
+  core::RetainedJobState retained;
+  std::vector<int> live_nodes;  // node id per slot of the current launch
+  std::set<int> lost_slots;     // current launch's slots on failed nodes
+  bool pool_killed = false;     // kKillPool: every slot's memory is gone
+  bool force_full_next = false;  // failed partial attempt: retry full
+  // Generations a chosen restore may still read (or re-read on a retry);
+  // passed as gc pins from one selection to the NEXT, so retention can
+  // never reclaim a generation mid-restore, nor the fallback target of a
+  // failed launch while newer-but-corrupt generations occupy the
+  // keep-newest slots. Lifetime is deliberately a full launch: dropping
+  // the pin at the first post-restore SOP would let the between-attempt
+  // retention pass (which runs before the next selection can re-pin)
+  // retire the only generation the next attempt can actually verify.
+  std::vector<std::string> pinned;
+
   // Pending MTTR record of the recovery in flight: detect_ns is filled
   // when the failed launch returns, the middle phases while preparing the
   // relaunch, resume_ns once the relaunched solver reaches its first
@@ -105,6 +129,7 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
         case FailureKind::kKillPool:
           fatal_event_ns.store(
               static_cast<std::int64_t>(ns_between(epoch, Clock::now())));
+          pool_killed = true;
           cluster_.kill_pool(options.job_name, "injected failure: task kill");
           break;
         case FailureKind::kNodeLoss: {
@@ -116,6 +141,13 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
               static_cast<std::int64_t>(ns_between(epoch, Clock::now())));
           const int victim =
               nodes[static_cast<std::size_t>(ev.node_ordinal) % nodes.size()];
+          // Slots placed on the victim lose their in-memory state; the
+          // slot list is read by the scope decision after the group joins.
+          for (std::size_t i = 0; i < live_nodes.size(); ++i) {
+            if (live_nodes[i] == victim) {
+              lost_slots.insert(static_cast<int>(i));
+            }
+          }
           cluster_.fail_node(victim);
           if (options.on_node_loss) {
             options.on_node_loss(victim);
@@ -255,6 +287,27 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
       break;
     }
     verify_span.end(-1.0);
+    // Pin the chosen generation (and, for a delta, its whole chain): the
+    // relaunch is about to read it, and retention must not reclaim it —
+    // neither mid-restore nor between attempts while newer-but-corrupt
+    // generations hold the keep-newest slots. The pin drops once the
+    // resumed run commits its first new SOP (the iteration hook clears it
+    // after that gc) or at the next selection.
+    pinned.clear();
+    if (chosen != nullptr) {
+      pinned.push_back(chosen->prefix);
+      if (chosen->meta.kind == core::GenerationKind::kDelta) {
+        try {
+          for (const std::string& link :
+               core::resolve_checkpoint_chain(storage, chosen->prefix)) {
+            pinned.push_back(link);
+          }
+        } catch (const support::Error&) {
+          // A broken chain fails verify/restore on its own; the pin is
+          // best-effort protection, not a validity check.
+        }
+      }
+    }
     report.generation_fallbacks += lr.generations_skipped;
     Clock::time_point t2 = Clock::now();
     if (have_pending) {
@@ -320,8 +373,55 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
       }
     }
 
+    // ---- restart scope: partial only when the retained snapshot mirrors
+    // the chosen generation and some of its capturing slots survived --------
+    const RestartScope scope =
+        partial_enabled && is_restart && chosen != nullptr &&
+                retained.valid && retained.prefix == chosen->prefix &&
+                !force_full_next && !pool_killed && !lost_slots.empty() &&
+                static_cast<int>(lost_slots.size()) < retained.t1
+            ? RestartScope::kPartial
+            : RestartScope::kFull;
+    force_full_next = false;
+    const bool scope_partial = scope == RestartScope::kPartial;
+    lr.partial = scope_partial;
+
+    // A partial restart consumes the snapshot: after the adoption the
+    // slot-to-memory mapping belongs to the NEW launch, which recaptures
+    // at its first checkpoint. Full restarts discard any stale snapshot
+    // for the same reason.
+    core::RetainedJobState plan_snapshot;
+    core::PartialRestorePlan plan;
+    if (scope_partial) {
+      for (const int s : lost_slots) {
+        retained.drop_slot(s);  // the failed nodes' memory is gone
+      }
+      plan_snapshot = std::move(retained);
+      plan.retained = &plan_snapshot;
+      plan.slot_lost.assign(static_cast<std::size_t>(plan_snapshot.t1), 0);
+      for (const int s : lost_slots) {
+        if (s >= 0 && s < plan_snapshot.t1) {
+          plan.slot_lost[static_cast<std::size_t>(s)] = 1;
+        }
+      }
+      plan.io = io;
+      plan.io_job = io != nullptr ? &io_job : nullptr;
+      if (rec != nullptr) {
+        rec->count("recover.partial.attempted");
+      }
+      if (log_ != nullptr) {
+        log_->record(arch::EventKind::kReconfigured,
+                     "job=" + options.job_name + " partial_restore lost=" +
+                         std::to_string(plan.lost_count()) + "/" +
+                         std::to_string(plan_snapshot.t1));
+      }
+    }
+    retained.invalidate();
+
     core::DrmsEnv env = options.env;
     env.restart_prefix = chosen != nullptr ? chosen->prefix : "";
+    env.retain = partial_enabled ? &retained : nullptr;
+    env.partial = scope_partial ? &plan : nullptr;
 
     apps::SolverOptions sopts = options.solver;
     sopts.prefix_for_iteration = [base](std::int64_t it) {
@@ -347,7 +447,7 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
         if (it > 0 && options.solver.checkpoint_every > 0 &&
             it % options.solver.checkpoint_every == 0) {
           (void)core::gc_superseded_states(storage, app, filter,
-                                           options.keep_last_k);
+                                           options.keep_last_k, pinned);
         }
         for (std::size_t e = 0; e < schedule.events.size(); ++e) {
           if (fired[e] == 0 && schedule.events[e].launch == launch &&
@@ -361,6 +461,12 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
         options.solver.on_iteration(it, ctx);
       }
     };
+
+    // Per-launch failure trackers: events fired during THIS launch feed
+    // the NEXT launch's scope decision (group join orders the accesses).
+    live_nodes = nodes;
+    lost_slots.clear();
+    pool_killed = false;
 
     std::unique_ptr<core::DrmsProgram> program =
         apps::make_program(sopts, env, tasks);
@@ -403,11 +509,20 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
           hook_ns >= 0 && static_cast<std::uint64_t>(hook_ns) > launch_off
               ? static_cast<std::uint64_t>(hook_ns) - launch_off
               : ns_between(launch_tp, Clock::now());
+      pending.partial = scope_partial;
       report.recoveries.push_back(pending);
       pending = RecoveryPhases{};
       have_pending = false;
     }
 
+    if (lr.from_checkpoint) {
+      // Simulated restore cost of this launch (deterministic MTTR signal,
+      // unlike the host-clock phase times).
+      lr.restore_seconds = program->last_restart_timing().total_seconds();
+    }
+    if (scope_partial && first_hook_ns.load() >= 0 && rec != nullptr) {
+      rec->count("recover.partial.completed");
+    }
     lr.completed = result.completed;
     lr.killed = result.killed;
     lr.kill_reason = result.kill_reason;
@@ -444,17 +559,35 @@ RecoveryReport RecoverySupervisor::run(const SupervisorOptions& options,
     }
 
     if (!result.errors.empty() && chosen != nullptr) {
-      // The restore (or the run it fed) errored: roll the next attempt
-      // back one generation further.
-      suspects.insert(chosen->prefix);
-      if (rec != nullptr) {
-        rec->count("recover.suspect_marked");
+      if (scope_partial) {
+        // Fallback ladder: a failed partial attempt retries the SAME
+        // generation with full scope before any SOP rollback — the
+        // generation deep-verified clean, so the suspect is the partial
+        // path (stale adoption state), not the data.
+        force_full_next = true;
+        if (rec != nullptr) {
+          rec->count("recover.partial.fallback_full");
+        }
+      } else {
+        // The restore (or the run it fed) errored: roll the next attempt
+        // back one generation further.
+        suspects.insert(chosen->prefix);
+        if (rec != nullptr) {
+          rec->count("recover.suspect_marked");
+        }
       }
     }
     // Trim superseded generations between attempts too, so a kill before
-    // the first SOP of a relaunch cannot grow storage unboundedly.
-    (void)core::gc_superseded_states(storage, app, filter,
-                                     options.keep_last_k);
+    // the first SOP of a relaunch cannot grow storage unboundedly. The
+    // pin keeps the generation the next attempt will re-read. Best
+    // effort: after a storage-level crash the backend may still be
+    // unreachable here — retention must not kill the supervisor; the
+    // next attempt's select surfaces a storage that stays down.
+    try {
+      (void)core::gc_superseded_states(storage, app, filter,
+                                       options.keep_last_k, pinned);
+    } catch (const support::Error&) {
+    }
     std::this_thread::sleep_for(options.backoff_base *
                                 (1 << std::min(launch, 10)));
   }

@@ -43,6 +43,12 @@
 
 namespace drms::recovery {
 
+/// Scope of one restart attempt. kFull bounces the whole job (every task
+/// re-reads its sections from the generation); kPartial keeps the
+/// surviving tasks' in-memory arrays — only the replaced tasks' sections
+/// stream in from storage, and the live tasks redistribute in place.
+enum class RestartScope { kFull, kPartial };
+
 struct SupervisorOptions {
   /// Base solver options. `solver.prefix` is REQUIRED (the generation
   /// base name); the supervisor installs prefix_for_iteration over it, so
@@ -58,6 +64,16 @@ struct SupervisorOptions {
   int max_launches = 8;
   /// Retention depth: newest committed generations kept per SOP.
   int keep_last_k = 3;
+  /// Localized recovery (DRMS mode only): capture a RetainedJobState
+  /// snapshot at every checkpoint and, when a failure leaves some of the
+  /// capturing slots alive, restart with RestartScope::kPartial — the
+  /// replaced tasks read only their sections from the chosen generation
+  /// while survivors keep their arrays and redistribute in place. A
+  /// failed partial attempt falls back to a full restart of the SAME
+  /// generation before any SOP rollback (ladder partial -> full ->
+  /// generation fallback). Default off: behavior is bit-identical to the
+  /// pre-partial supervisor.
+  bool partial_restore = false;
   std::uint64_t seed = 1;
   /// Null: ShrinkToSurvivorsPolicy.
   const ReconfigurationPolicy* policy = nullptr;
@@ -98,6 +114,8 @@ struct RecoveryPhases {
   std::uint64_t verify_ns = 0;
   std::uint64_t reconfigure_ns = 0;
   std::uint64_t resume_ns = 0;
+  /// The resume used RestartScope::kPartial.
+  bool partial = false;
 
   [[nodiscard]] std::uint64_t total_ns() const {
     return detect_ns + select_ns + verify_ns + reconfigure_ns + resume_ns;
@@ -107,6 +125,12 @@ struct RecoveryPhases {
 struct LaunchReport {
   int tasks = 0;
   bool from_checkpoint = false;
+  /// This launch restored with RestartScope::kPartial.
+  bool partial = false;
+  /// Simulated seconds of the restore that brought this launch up (valid
+  /// for from_checkpoint launches that reached the solver; deterministic,
+  /// unlike the host-clock RecoveryPhases).
+  double restore_seconds = 0.0;
   std::string restart_prefix;  // empty for a fresh start
   std::int64_t restart_sop = 0;
   /// Committed candidates rejected before this launch (deep-verify

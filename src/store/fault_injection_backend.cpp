@@ -8,7 +8,8 @@ namespace drms::store {
 namespace {
 
 /// FileObject wrapper routing every mutation through the backend's fault
-/// gate. Reads only check the dead flag (a lost node serves nothing).
+/// gate and every read through the read gate (dead flag + optional
+/// read-indexed crash point for sweeps over read-only restore windows).
 class FaultInjectedFile final : public FileObject {
  public:
   FaultInjectedFile(FaultInjectionBackend& owner, FileHandle inner)
@@ -36,13 +37,13 @@ class FaultInjectedFile final : public FileObject {
 
   [[nodiscard]] std::vector<std::byte> read_at(
       std::uint64_t offset, std::uint64_t count) const override {
-    owner_.check_dead();
+    owner_.before_read();
     return inner_.read_at(offset, count);
   }
 
   void read_at_into(std::uint64_t offset,
                     std::span<std::byte> out) const override {
-    owner_.check_dead();
+    owner_.before_read();
     inner_.read_at_into(offset, out);
   }
 
@@ -80,9 +81,18 @@ void FaultInjectionBackend::arm_crash(std::uint64_t op_index,
   ops_ = 0;
 }
 
+void FaultInjectionBackend::arm_read_crash(std::uint64_t read_index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  read_armed_ = true;
+  read_crash_index_ = read_index;
+  dead_ = false;
+  read_ops_ = 0;
+}
+
 void FaultInjectionBackend::disarm() {
   const std::lock_guard<std::mutex> lock(mutex_);
   armed_ = false;
+  read_armed_ = false;
   dead_ = false;
   transient_budget_ = 0;
 }
@@ -95,6 +105,11 @@ void FaultInjectionBackend::inject_transient_faults(int count) {
 std::uint64_t FaultInjectionBackend::mutation_ops() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return ops_;
+}
+
+std::uint64_t FaultInjectionBackend::read_ops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return read_ops_;
 }
 
 std::uint64_t FaultInjectionBackend::faults_injected() const {
@@ -120,6 +135,21 @@ void FaultInjectionBackend::check_dead() const {
   if (dead_) {
     throw support::IoError(
         "storage unreachable: node lost by injected crash");
+  }
+}
+
+void FaultInjectionBackend::before_read() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_) {
+    throw support::IoError(
+        "storage unreachable: node lost by injected crash");
+  }
+  const std::uint64_t index = read_ops_++;
+  if (read_armed_ && index == read_crash_index_) {
+    ++faults_;
+    dead_ = true;
+    throw support::IoError("injected crash at storage read " +
+                           std::to_string(index));
   }
 }
 

@@ -15,6 +15,10 @@
 //                              with TransientIoError; a retry of the same
 //                              operation then succeeds. Models dropped
 //                              requests beneath the cost model's radar.
+//   arm_read_crash(n)        — the n-th READ (read_at/read_at_into) dies
+//                              instead; restore windows are read-only, so
+//                              this is the crash axis a restore sweep
+//                              needs.
 //
 // mutation_ops() exposes the operation counter so a crash-point sweep can
 // size its index range from a clean dry run. Thread-safe: the checkpoint
@@ -43,10 +47,21 @@ class FaultInjectionBackend final : public StorageBackend {
 
   // ---- fault controls -------------------------------------------------------
   void arm_crash(std::uint64_t op_index, CrashStyle style = CrashStyle::kStop);
+  /// Arm a crash on the n-th READ operation (0-based; read_at and
+  /// read_at_into counted across the whole backend). Restore windows are
+  /// read-only, so a read-indexed crash point is what a sweep over the
+  /// partial-restore window needs; mutation crash points never fire
+  /// there. After the crash the backend is DEAD exactly as with
+  /// arm_crash.
+  void arm_read_crash(std::uint64_t read_index);
   /// Clear the crash point, the dead state, and any transient budget.
   void disarm();
   void inject_transient_faults(int count);
   [[nodiscard]] std::uint64_t mutation_ops() const;
+  /// Read operations observed since construction or the last
+  /// arm_read_crash (which, like arm_crash, resets its counter so sweeps
+  /// can size their index range from a clean dry run).
+  [[nodiscard]] std::uint64_t read_ops() const;
   [[nodiscard]] std::uint64_t faults_injected() const;
   /// True once an armed crash has fired (and until disarm()).
   [[nodiscard]] bool crashed() const;
@@ -120,6 +135,9 @@ class FaultInjectionBackend final : public StorageBackend {
   /// Count one mutation attempt; throws (dead / crash / transient) or
   /// returns whether the op should proceed normally or tear.
   Verdict before_mutation();
+  /// Count one read attempt; throws when dead or when the armed read
+  /// crash-point fires.
+  void before_read();
   void check_dead() const;
   /// Mark the backend dead and throw the crash IoError.
   [[noreturn]] void die(const std::string& why);
@@ -129,9 +147,12 @@ class FaultInjectionBackend final : public StorageBackend {
 
   mutable std::mutex mutex_;
   std::uint64_t ops_ = 0;
+  std::uint64_t read_ops_ = 0;
   std::uint64_t faults_ = 0;
   bool armed_ = false;
+  bool read_armed_ = false;
   std::uint64_t crash_index_ = 0;
+  std::uint64_t read_crash_index_ = 0;
   CrashStyle style_ = CrashStyle::kStop;
   bool dead_ = false;
   int transient_budget_ = 0;

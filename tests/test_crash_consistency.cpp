@@ -6,10 +6,19 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "apps/solver.hpp"
+#include "arch/cluster.hpp"
+#include "recovery/failure_schedule.hpp"
+#include "recovery/supervisor.hpp"
 
 #include "core/checkpoint_catalog.hpp"
 #include "core/drms_checkpoint.hpp"
@@ -518,6 +527,207 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(BackendKind::kMemory, BackendKind::kPiofs,
                       BackendKind::kTiered),
     [](const auto& info) { return std::string(to_string(info.param)); });
+
+// ---- partial-restore read-crash sweep ---------------------------------------
+//
+// A partial restart's bring-up window is READ-only: select reads the
+// meta/commit records, verify deep-reads the chosen generation, and the
+// replacement task streams its sections in while survivors adopt from
+// memory. Killing the storage at EVERY read index inside that window must
+// degrade to a clean full restart of the same generation — never to a
+// corrupted resume or a dead supervisor.
+
+namespace partial_sweep {
+
+constexpr Index kFieldN = 8;
+constexpr int kIterations = 12;
+constexpr int kCheckpointEvery = 3;
+constexpr int kPoolTasks = 4;
+
+drms::apps::SolverOptions sweep_solver_options() {
+  drms::apps::AppSpec spec = drms::apps::AppSpec::sp();
+  spec.arrays.resize(2);
+  spec.private_bytes = 4 * 1024;
+  spec.system_bytes = 4 * 1024;
+  spec.text_bytes = 4 * 1024;
+  drms::apps::SolverOptions o;
+  o.spec = spec;
+  o.n = kFieldN;
+  o.iterations = kIterations;
+  o.checkpoint_every = kCheckpointEvery;
+  o.prefix = "job";
+  return o;
+}
+
+/// The failure-free fingerprint (distribution-invariant, computed once).
+std::uint32_t sweep_baseline_crc() {
+  static const std::uint32_t crc = [] {
+    drms::store::MemoryBackend storage;
+    drms::apps::SolverOptions o = sweep_solver_options();
+    o.prefix.clear();
+    drms::core::DrmsEnv env;
+    env.storage = &storage;
+    auto program = drms::apps::make_program(o, env, kPoolTasks);
+    std::uint32_t out = 0;
+    TaskGroup group(placement_of(kPoolTasks));
+    const auto run = group.run([&](TaskContext& ctx) {
+      const auto outcome = drms::apps::run_solver(*program, ctx, o);
+      if (ctx.rank() == 0) {
+        out = outcome.field_crc;
+      }
+    });
+    EXPECT_TRUE(run.completed);
+    return out;
+  }();
+  return crc;
+}
+
+struct SweepRun {
+  drms::recovery::RecoveryReport report;
+  /// Reads consumed by select + verify on the first recovery (the
+  /// supervisor-thread sub-window a storage crash may not target: the
+  /// sweep starts right after it).
+  std::uint64_t verify_reads = 0;
+  /// Reads from the first recovery's select start to the relaunched
+  /// solver's first iteration (select + verify + restore).
+  std::uint64_t window_reads = 0;
+  std::uint64_t partial_attempts = 0;
+  std::uint64_t partial_fallbacks = 0;
+  std::uint64_t suspects_marked = 0;
+  std::uint64_t survivor_read_bytes = 0;
+};
+
+/// One supervised node-loss run with the fault decorator under the
+/// supervisor. `crash_read_index < 0` is the dry sizing pass; otherwise
+/// the index-th read after the first recovery's select start dies and the
+/// backend stays dead until the next recovery begins.
+SweepRun run_with_read_crash(std::int64_t crash_read_index) {
+  drms::store::MemoryBackend memory;
+  FaultInjectionBackend fault(memory);
+  drms::sim::Machine machine;
+  machine.node_count = kPoolTasks;
+  machine.server_count = kPoolTasks;
+  drms::arch::Cluster cluster(machine, nullptr);
+  drms::obs::Recorder recorder;
+  drms::recovery::RecoverySupervisor supervisor(cluster);
+
+  drms::recovery::SupervisorOptions o;
+  o.solver = sweep_solver_options();
+  o.env.storage = &fault;
+  o.env.recorder = &recorder;
+  o.preferred_tasks = kPoolTasks;
+  o.min_tasks = 1;
+  o.partial_restore = true;
+  o.recorder = &recorder;
+  o.fault = &fault;
+
+  SweepRun out;
+  int recoveries = 0;
+  std::atomic<bool> first_recovery_started{false};
+  std::atomic<bool> window_measured{false};
+
+  // The scavenge hook runs on the supervisor thread before the select
+  // phase of every restart — the exact boundary of the bring-up read
+  // window, and the first point after a crash where the replacement
+  // node's storage path is back (disarm).
+  o.scavenge = [&]() -> drms::store::ScavengeReport {
+    ++recoveries;
+    if (recoveries == 1) {
+      if (crash_read_index < 0) {
+        // Sizing pass: replay select + verify by hand to split the
+        // window, then reset the read counter (an unreachable crash
+        // index) so window_reads counts from the real select start.
+        const std::uint64_t before = fault.read_ops();
+        for (const auto& c : drms::core::restart_candidates(
+                 fault, o.solver.spec.name, o.solver.prefix + ".g")) {
+          if (drms::core::verify_checkpoint(fault, c, /*deep=*/true).ok) {
+            break;
+          }
+        }
+        out.verify_reads = fault.read_ops() - before;
+        fault.arm_read_crash(std::numeric_limits<std::uint64_t>::max());
+      } else {
+        fault.arm_read_crash(
+            static_cast<std::uint64_t>(crash_read_index));
+      }
+      first_recovery_started.store(true);
+    } else {
+      fault.disarm();
+    }
+    return {};
+  };
+  // The supervisor chains this hook after its own: the first iteration of
+  // the relaunched solver marks the end of the restore read window.
+  o.solver.on_iteration = [&](std::int64_t, TaskContext& ctx) {
+    if (ctx.rank() == 0 && first_recovery_started.load() &&
+        !window_measured.exchange(true)) {
+      out.window_reads = fault.read_ops();
+    }
+  };
+
+  drms::recovery::FailureSchedule schedule;
+  drms::recovery::FailureEvent loss;
+  loss.kind = drms::recovery::FailureKind::kNodeLoss;
+  loss.launch = 0;
+  loss.at_iteration = 5;  // after the SOP-3 commit, before SOP 6
+  loss.node_ordinal = 2;
+  schedule.events.push_back(loss);
+
+  out.report = supervisor.run(o, schedule);
+  out.partial_attempts = recorder.counter("recover.partial.attempted");
+  out.partial_fallbacks = recorder.counter("recover.partial.fallback_full");
+  out.suspects_marked = recorder.counter("recover.suspect_marked");
+  out.survivor_read_bytes =
+      recorder.counter("recover.partial.survivor_read_bytes");
+  return out;
+}
+
+TEST(CrashSweepPartialRestore, DryRunSizesTheRestoreReadWindow) {
+  const SweepRun dry = run_with_read_crash(-1);
+  ASSERT_TRUE(dry.report.completed);
+  ASSERT_EQ(dry.report.launches.size(), 2u);
+  EXPECT_TRUE(dry.report.launches[1].partial);
+  EXPECT_EQ(dry.report.outcome.field_crc, sweep_baseline_crc());
+  // The window splits into a non-empty verify sub-window followed by the
+  // replacement task's restore reads.
+  EXPECT_GT(dry.verify_reads, 0u);
+  EXPECT_GT(dry.window_reads, dry.verify_reads);
+  EXPECT_EQ(dry.survivor_read_bytes, 0u);
+}
+
+TEST(CrashSweepPartialRestore, EveryReadCrashFallsBackToAFullRestart) {
+  const SweepRun dry = run_with_read_crash(-1);
+  ASSERT_TRUE(dry.report.completed);
+  ASSERT_GT(dry.window_reads, dry.verify_reads);
+
+  for (std::uint64_t i = dry.verify_reads; i < dry.window_reads; ++i) {
+    SCOPED_TRACE("read crash index " + std::to_string(i));
+    const SweepRun run =
+        run_with_read_crash(static_cast<std::int64_t>(i));
+
+    // The job still finishes, and on the SAME generation: the fallback
+    // ladder retries full scope before any SOP rollback.
+    ASSERT_TRUE(run.report.completed);
+    ASSERT_EQ(run.report.launches.size(), 3u);
+    EXPECT_TRUE(run.report.launches[1].partial);
+    EXPECT_FALSE(run.report.launches[1].completed);
+    EXPECT_FALSE(run.report.launches[1].errors.empty());
+    EXPECT_FALSE(run.report.launches[2].partial);
+    EXPECT_TRUE(run.report.launches[2].from_checkpoint);
+    EXPECT_EQ(run.report.launches[2].restart_prefix, "job.g000003");
+    EXPECT_EQ(run.partial_attempts, 1u);
+    EXPECT_EQ(run.partial_fallbacks, 1u);
+    EXPECT_EQ(run.suspects_marked, 0u);
+
+    // No survivor state corruption: survivors never read checkpoint
+    // data, and the resumed field is bit-identical to the failure-free
+    // baseline.
+    EXPECT_EQ(run.survivor_read_bytes, 0u);
+    EXPECT_EQ(run.report.outcome.field_crc, sweep_baseline_crc());
+  }
+}
+
+}  // namespace partial_sweep
 
 TEST(FaultInjection, MutationOpsCountsOnlyMutations) {
   Stack s = make_stack(BackendKind::kMemory);

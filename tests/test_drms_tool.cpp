@@ -176,4 +176,42 @@ TEST(DrmsTool, GcDryRunWithoutDirectoryIsUsage) {
   EXPECT_EQ(run_tool("gc --dry-run"), 2);
 }
 
+TEST(DrmsTool, RestartPlanPrintsPerSlotRuns) {
+  ExportedState state;
+  const std::string report =
+      run_tool_output("info --restart-plan 0 " + state.dir() + " app.even");
+  EXPECT_NE(report.find("restart plan: app.even, lost slot 0 of 2"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("u"), std::string::npos) << report;
+  // Stream runs start at the beginning of slot 0's assignment.
+  EXPECT_NE(report.find("[0,"), std::string::npos) << report;
+  EXPECT_NE(report.find("total:"), std::string::npos) << report;
+  // One lost slot of two reads half the array stream — the whole point
+  // of the report is this ratio.
+  EXPECT_NE(report.find("(50.0%)"), std::string::npos) << report;
+  EXPECT_NE(report.find("replicated segment"), std::string::npos) << report;
+  // Both slots of the two-task state have a plan.
+  EXPECT_EQ(run_tool("info --restart-plan 1 " + state.dir() + " app.even"), 0);
+}
+
+TEST(DrmsTool, RestartPlanRejectsOutOfRangeSlot) {
+  ExportedState state;
+  EXPECT_EQ(run_tool("info --restart-plan 2 " + state.dir() + " app.even"), 2);
+  EXPECT_EQ(run_tool("info --restart-plan -1 " + state.dir() + " app.even"),
+            2);
+}
+
+TEST(DrmsTool, RestartPlanUnknownPrefixExits1) {
+  ExportedState state;
+  EXPECT_EQ(run_tool("info --restart-plan 0 " + state.dir() + " nothing"), 1);
+}
+
+TEST(DrmsTool, RestartPlanWithMissingArgumentsIsUsage) {
+  ExportedState state;
+  // No prefix, no slot, non-numeric slot: all usage errors.
+  EXPECT_EQ(run_tool("info --restart-plan 0 " + state.dir()), 2);
+  EXPECT_EQ(run_tool("info --restart-plan " + state.dir() + " app.even"), 2);
+}
+
 }  // namespace

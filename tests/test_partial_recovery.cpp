@@ -1,0 +1,497 @@
+// Localized recovery: the partial-restore path (RestartScope::kPartial)
+// and its gating machinery.
+//
+//   - stream_runs: the section -> stream-contiguous byte-run decomposition
+//     that lets a replacement task read ONLY its sections from the
+//     task-count-independent array stream.
+//   - End-to-end partial restarts under node loss: survivors perform zero
+//     checkpoint reads (obs counters), replaced slots stream their
+//     sections in, and the resumed field is bit-identical to the
+//     failure-free baseline.
+//   - The differential property: any seeded (schedule, policy, backend)
+//     triple resumed under the partial supervisor fingerprints identically
+//     to the same failure under the full-restart supervisor.
+//   - Retention pinning: gc_superseded_states can never reclaim a
+//     generation a restart is (or will again be) reading.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "apps/solver.hpp"
+#include "arch/cluster.hpp"
+#include "core/checkpoint_catalog.hpp"
+#include "core/partial_restore.hpp"
+#include "obs/recorder.hpp"
+#include "piofs/volume.hpp"
+#include "recovery/failure_schedule.hpp"
+#include "recovery/reconfig_policy.hpp"
+#include "recovery/supervisor.hpp"
+#include "rt/task_group.hpp"
+#include "sim/cost_model.hpp"
+#include "store/fault_injection_backend.hpp"
+#include "store/memory_backend.hpp"
+#include "store/piofs_backend.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace drms;
+using namespace drms::recovery;
+using drms::rt::TaskContext;
+using drms::rt::TaskGroup;
+using drms::test::placement_of;
+
+constexpr core::Index kN = 8;
+constexpr int kIterations = 12;
+constexpr int kCheckpointEvery = 3;
+
+apps::AppSpec tiny_sp() {
+  apps::AppSpec spec = apps::AppSpec::sp();
+  spec.arrays.resize(2);
+  spec.private_bytes = 4 * 1024;
+  spec.system_bytes = 4 * 1024;
+  spec.text_bytes = 4 * 1024;
+  return spec;
+}
+
+apps::SolverOptions solver_options() {
+  apps::SolverOptions o;
+  o.spec = tiny_sp();
+  o.n = kN;
+  o.iterations = kIterations;
+  o.checkpoint_every = kCheckpointEvery;
+  o.prefix = "job";
+  return o;
+}
+
+/// The failure-free fingerprint (computed once; distribution-invariant).
+std::uint32_t baseline_crc() {
+  static const std::uint32_t crc = [] {
+    store::MemoryBackend storage;
+    apps::SolverOptions o = solver_options();
+    o.prefix.clear();
+    core::DrmsEnv env;
+    env.storage = &storage;
+    auto program = apps::make_program(o, env, 4);
+    std::uint32_t out = 0;
+    TaskGroup group(placement_of(4));
+    const auto run = group.run([&](TaskContext& ctx) {
+      const auto outcome = apps::run_solver(*program, ctx, o);
+      if (ctx.rank() == 0) {
+        out = outcome.field_crc;
+      }
+    });
+    EXPECT_TRUE(run.completed);
+    return out;
+  }();
+  return crc;
+}
+
+sim::Machine machine_of(int nodes) {
+  sim::Machine m;
+  m.node_count = nodes;
+  m.server_count = nodes;
+  return m;
+}
+
+SupervisorOptions supervisor_options(store::StorageBackend& storage) {
+  SupervisorOptions o;
+  o.solver = solver_options();
+  o.env.storage = &storage;
+  o.preferred_tasks = 4;
+  o.min_tasks = 1;
+  return o;
+}
+
+FailureEvent kill_event(int launch, std::int64_t it) {
+  FailureEvent e;
+  e.kind = FailureKind::kKillPool;
+  e.launch = launch;
+  e.at_iteration = it;
+  return e;
+}
+
+FailureEvent node_loss_event(int launch, std::int64_t it, int ordinal) {
+  FailureEvent e;
+  e.kind = FailureKind::kNodeLoss;
+  e.launch = launch;
+  e.at_iteration = it;
+  e.node_ordinal = ordinal;
+  return e;
+}
+
+core::Slice slice3(core::Index x0, core::Index x1, core::Index y0,
+                   core::Index y1, core::Index z0, core::Index z1) {
+  std::vector<core::Range> rs;
+  rs.push_back(core::Range::contiguous(x0, x1));
+  rs.push_back(core::Range::contiguous(y0, y1));
+  rs.push_back(core::Range::contiguous(z0, z1));
+  return core::Slice(std::move(rs));
+}
+
+// ---- stream_runs: section -> byte-run decomposition -------------------------
+
+TEST(StreamRuns, FullBoxIsASingleRunAtOffsetZero) {
+  const core::Slice box = test::cube(4);
+  const auto runs = core::stream_runs(box, box, sizeof(double));
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].byte_offset, 0u);
+  EXPECT_EQ(runs[0].bytes,
+            static_cast<std::uint64_t>(box.element_count()) * sizeof(double));
+}
+
+TEST(StreamRuns, InnerPrefixExtendsTheRunAcrossCoveredAxes) {
+  // Box 4x4x4, column-major (axis 0 fastest). A section covering all of
+  // axis 0 but only y=1..2 breaks into one run per z plane, each run
+  // spanning the fully-covered axis-0 extent times the y sub-range.
+  const core::Slice box = test::cube(4);
+  const core::Slice section = slice3(0, 3, 1, 2, 0, 3);
+  const auto runs = core::stream_runs(box, section, sizeof(double));
+  ASSERT_EQ(runs.size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t z = 0; z < runs.size(); ++z) {
+    // Element offset of (0, 1, z) in the 4x4x4 stream is 4 + 16 z.
+    EXPECT_EQ(runs[z].byte_offset, (4 + 16 * z) * sizeof(double));
+    EXPECT_EQ(runs[z].bytes, 8u * sizeof(double));
+    total += runs[z].bytes;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(section.element_count()) *
+                       sizeof(double));
+}
+
+TEST(StreamRuns, SinglePointIsOneElementRun) {
+  const core::Slice box = test::cube(4);
+  const core::Slice point = slice3(1, 1, 2, 2, 3, 3);
+  const auto runs = core::stream_runs(box, point, sizeof(double));
+  ASSERT_EQ(runs.size(), 1u);
+  // (1, 2, 3) sits at element 1 + 2*4 + 3*16 = 57 of the stream.
+  EXPECT_EQ(runs[0].byte_offset, 57u * sizeof(double));
+  EXPECT_EQ(runs[0].bytes, sizeof(double));
+}
+
+TEST(StreamRuns, RunsCoverDisjointSortedByteRanges) {
+  const core::Slice box = test::cube(5);
+  const core::Slice section = slice3(1, 3, 0, 4, 2, 3);
+  const auto runs = core::stream_runs(box, section, 4);
+  ASSERT_FALSE(runs.empty());
+  std::uint64_t total = 0;
+  std::uint64_t prev_end = 0;
+  for (const auto& r : runs) {
+    EXPECT_GE(r.byte_offset, prev_end);  // sorted and non-overlapping
+    prev_end = r.byte_offset + r.bytes;
+    total += r.bytes;
+  }
+  EXPECT_EQ(total,
+            static_cast<std::uint64_t>(section.element_count()) * 4u);
+}
+
+TEST(StreamRuns, SectionOutsideTheBoxIsAContractViolation) {
+  const core::Slice box = test::cube(4);
+  const core::Slice outside = slice3(0, 3, 1, 4, 0, 3);  // y=4 not in box
+  EXPECT_THROW((void)core::stream_runs(box, outside, 8),
+               support::ContractViolation);
+}
+
+// ---- end-to-end partial restarts --------------------------------------------
+
+TEST(PartialRecovery, NodeLossRestartsPartiallyAndMatchesTheBaseline) {
+  // No spare nodes: losing one shrinks t2 to 3 while three of the four
+  // capturing slots survive -> partial scope.
+  store::MemoryBackend storage;
+  arch::EventLog log;
+  arch::Cluster cluster(machine_of(4), &log);
+  obs::Recorder recorder;
+  RecoverySupervisor supervisor(cluster, &log);
+  SupervisorOptions o = supervisor_options(storage);
+  o.partial_restore = true;
+  o.recorder = &recorder;
+  o.env.recorder = &recorder;
+  FailureSchedule schedule;
+  schedule.events.push_back(node_loss_event(0, 5, 2));
+
+  const RecoveryReport report = supervisor.run(o, schedule);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.launches.size(), 2u);
+  EXPECT_FALSE(report.launches[0].partial);
+  EXPECT_TRUE(report.launches[1].from_checkpoint);
+  EXPECT_TRUE(report.launches[1].partial);
+  EXPECT_EQ(report.launches[1].tasks, 3);
+  EXPECT_TRUE(report.outcome.partial_restore);
+  EXPECT_EQ(report.outcome.field_crc, baseline_crc());
+
+  // The MTTR record carries the scope.
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_TRUE(report.recoveries[0].partial);
+
+  // Survivors performed ZERO checkpoint reads; the replaced slot streamed
+  // its sections in.
+  EXPECT_GE(recorder.counter("recover.partial.attempted"), 1u);
+  EXPECT_GE(recorder.counter("recover.partial.completed"), 1u);
+  EXPECT_EQ(recorder.counter("recover.partial.survivor_read_bytes"), 0u);
+  EXPECT_GT(recorder.counter("recover.partial.restore_read_bytes"), 0u);
+  EXPECT_GT(recorder.counter("recover.partial.lost_sections"), 0u);
+  EXPECT_GT(recorder.counter("recover.partial.adopted_sections"), 0u);
+}
+
+TEST(PartialRecovery, PoolKillForcesFullScope) {
+  // kKillPool wipes every slot's memory: the snapshot has no survivors to
+  // adopt from, so the supervisor must choose a full restart even with
+  // partial_restore on.
+  store::MemoryBackend storage;
+  arch::Cluster cluster(machine_of(6), nullptr);
+  obs::Recorder recorder;
+  RecoverySupervisor supervisor(cluster);
+  SupervisorOptions o = supervisor_options(storage);
+  o.partial_restore = true;
+  o.recorder = &recorder;
+  FailureSchedule schedule;
+  schedule.events.push_back(kill_event(0, 5));
+
+  const RecoveryReport report = supervisor.run(o, schedule);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.launches.size(), 2u);
+  EXPECT_TRUE(report.launches[1].from_checkpoint);
+  EXPECT_FALSE(report.launches[1].partial);
+  EXPECT_FALSE(report.outcome.partial_restore);
+  EXPECT_EQ(recorder.counter("recover.partial.attempted"), 0u);
+  EXPECT_EQ(report.outcome.field_crc, baseline_crc());
+}
+
+TEST(PartialRecovery, SameCountPolicyReplacesTheLostSlot) {
+  // A spare node lets SameCountPolicy relaunch at t2 == t1 == 4: the
+  // replacement task streams slot 2's sections in while the other three
+  // slots adopt from the retained snapshot.
+  store::MemoryBackend storage;
+  arch::Cluster cluster(machine_of(5), nullptr);
+  obs::Recorder recorder;
+  RecoverySupervisor supervisor(cluster);
+  SameCountPolicy policy;
+  SupervisorOptions o = supervisor_options(storage);
+  o.policy = &policy;
+  o.partial_restore = true;
+  o.recorder = &recorder;
+  o.env.recorder = &recorder;
+  FailureSchedule schedule;
+  schedule.events.push_back(node_loss_event(0, 5, 2));
+
+  const RecoveryReport report = supervisor.run(o, schedule);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.launches.size(), 2u);
+  EXPECT_TRUE(report.launches[1].partial);
+  EXPECT_EQ(report.launches[1].tasks, 4);
+  EXPECT_EQ(report.reconfigurations, 0);
+  EXPECT_EQ(recorder.counter("recover.partial.survivor_read_bytes"), 0u);
+  EXPECT_EQ(report.outcome.field_crc, baseline_crc());
+}
+
+TEST(PartialRecovery, DeltaGenerationRestoresPartiallyThroughTheChain) {
+  // With block-level deltas on, the generation chosen after the failure
+  // (g000006) is a delta chained to the g000003 full: the partial path
+  // reads base runs plus only the delta blocks touching the lost
+  // sections.
+  store::MemoryBackend storage;
+  arch::Cluster cluster(machine_of(4), nullptr);
+  obs::Recorder recorder;
+  RecoverySupervisor supervisor(cluster);
+  SupervisorOptions o = supervisor_options(storage);
+  o.partial_restore = true;
+  o.env.delta = true;
+  o.recorder = &recorder;
+  o.env.recorder = &recorder;
+  FailureSchedule schedule;
+  schedule.events.push_back(node_loss_event(0, 7, 2));
+
+  const RecoveryReport report = supervisor.run(o, schedule);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.launches.size(), 2u);
+  EXPECT_TRUE(report.launches[1].partial);
+  EXPECT_EQ(report.launches[1].restart_prefix, "job.g000006");
+  EXPECT_EQ(recorder.counter("recover.partial.survivor_read_bytes"), 0u);
+  EXPECT_GT(recorder.counter("recover.partial.restore_read_bytes"), 0u);
+  EXPECT_EQ(report.outcome.field_crc, baseline_crc());
+}
+
+TEST(PartialRecovery, PartialRestoreIsStrictlyCheaperThanFull) {
+  // Same single-node-loss failure on a charging (PIOFS + paper cost
+  // model) backend, full versus partial scope: the partial restart reads
+  // only the lost slot's sections, so its simulated restore time must be
+  // strictly below the full restart's.
+  const sim::CostModel cost = sim::CostModel::paper_sp16();
+  const auto run_once = [&cost](bool partial) {
+    piofs::Volume volume(4);
+    store::PiofsBackend storage(volume, &cost);
+    arch::Cluster cluster(machine_of(4), nullptr);
+    RecoverySupervisor supervisor(cluster);
+    SupervisorOptions o = supervisor_options(storage);
+    o.partial_restore = partial;
+    FailureSchedule schedule;
+    schedule.events.push_back(node_loss_event(0, 5, 2));
+    return supervisor.run(o, schedule);
+  };
+
+  const RecoveryReport full = run_once(false);
+  const RecoveryReport part = run_once(true);
+  ASSERT_TRUE(full.completed);
+  ASSERT_TRUE(part.completed);
+  ASSERT_EQ(full.launches.size(), 2u);
+  ASSERT_EQ(part.launches.size(), 2u);
+  EXPECT_FALSE(full.launches[1].partial);
+  EXPECT_TRUE(part.launches[1].partial);
+
+  // Identical numerics either way...
+  EXPECT_EQ(full.outcome.field_crc, baseline_crc());
+  EXPECT_EQ(part.outcome.field_crc, baseline_crc());
+
+  // ...but a strictly cheaper restore.
+  EXPECT_GT(full.launches[1].restore_seconds, 0.0);
+  EXPECT_GT(part.launches[1].restore_seconds, 0.0);
+  EXPECT_LT(part.launches[1].restore_seconds,
+            full.launches[1].restore_seconds);
+}
+
+// ---- the differential property ----------------------------------------------
+
+TEST(PartialRecovery, DifferentialSeededSweepMatchesFullRestart) {
+  // Seeded (schedule, machine, backend) triples, each run under BOTH
+  // supervisors: whatever mix of kills, node losses, torn and corrupt
+  // generations the seed produces, the partial-capable supervisor must
+  // fingerprint bit-identically to the full-restart one (and to the
+  // failure-free baseline).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ScheduleShape shape;
+    shape.iterations = kIterations;
+    shape.checkpoint_every = kCheckpointEvery;
+    const FailureSchedule schedule = FailureSchedule::random(seed, shape);
+
+    std::uint32_t crc[2] = {0, 0};
+    for (int partial = 0; partial < 2; ++partial) {
+      store::MemoryBackend inner;
+      store::FaultInjectionBackend storage(inner);
+      arch::Cluster cluster(machine_of(seed % 2 == 0 ? 4 : 6), nullptr);
+      RecoverySupervisor supervisor(cluster);
+      SupervisorOptions o = supervisor_options(storage);
+      o.fault = &storage;
+      o.seed = seed + 1;
+      o.partial_restore = partial == 1;
+      o.backoff_base = std::chrono::microseconds(1);
+
+      const RecoveryReport report = supervisor.run(o, schedule);
+      ASSERT_TRUE(report.completed)
+          << "seed " << seed << " partial " << partial << " schedule "
+          << schedule.describe();
+      crc[partial] = report.outcome.field_crc;
+    }
+    EXPECT_EQ(crc[1], crc[0])
+        << "seed " << seed << " schedule " << schedule.describe();
+    EXPECT_EQ(crc[1], baseline_crc())
+        << "seed " << seed << " schedule " << schedule.describe();
+  }
+}
+
+TEST(PartialRecovery, DifferentialSameCountSweepOnPiofs) {
+  // The same differential property with the other policy/backend corner:
+  // SameCountPolicy over a PIOFS volume with spare nodes.
+  SameCountPolicy policy;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    ScheduleShape shape;
+    shape.iterations = kIterations;
+    shape.checkpoint_every = kCheckpointEvery;
+    const FailureSchedule schedule = FailureSchedule::random(seed, shape);
+
+    std::uint32_t crc[2] = {0, 0};
+    for (int partial = 0; partial < 2; ++partial) {
+      test::TestVolume vol(4);
+      store::FaultInjectionBackend storage(vol.backend());
+      arch::Cluster cluster(machine_of(6), nullptr);
+      RecoverySupervisor supervisor(cluster);
+      SupervisorOptions o = supervisor_options(storage);
+      o.policy = &policy;
+      o.fault = &storage;
+      o.seed = seed + 1;
+      o.partial_restore = partial == 1;
+      o.backoff_base = std::chrono::microseconds(1);
+
+      const RecoveryReport report = supervisor.run(o, schedule);
+      ASSERT_TRUE(report.completed)
+          << "seed " << seed << " partial " << partial << " schedule "
+          << schedule.describe();
+      crc[partial] = report.outcome.field_crc;
+    }
+    EXPECT_EQ(crc[1], crc[0])
+        << "seed " << seed << " schedule " << schedule.describe();
+    EXPECT_EQ(crc[1], baseline_crc())
+        << "seed " << seed << " schedule " << schedule.describe();
+  }
+}
+
+// ---- retention pinning ------------------------------------------------------
+
+TEST(PartialRecovery, GcPinnedGenerationSurvivesRetention) {
+  // Run to completion (generations g3, g6, g9 on the volume), then apply
+  // an aggressive keep-1 retention pass with g000003 pinned: the newest
+  // generation AND the pin must both survive.
+  store::MemoryBackend storage;
+  arch::Cluster cluster(machine_of(6), nullptr);
+  RecoverySupervisor supervisor(cluster);
+  SupervisorOptions o = supervisor_options(storage);
+  const RecoveryReport report = supervisor.run(o);
+  ASSERT_TRUE(report.completed);
+
+  const std::string app = o.solver.spec.name;
+  const std::string filter = o.solver.prefix + ".g";
+  ASSERT_EQ(core::restart_candidates(storage, app, filter).size(), 3u);
+
+  const std::vector<std::string> pins = {"job.g000003"};
+  (void)core::gc_superseded_states(storage, app, filter, 1, pins);
+  const auto kept = core::restart_candidates(storage, app, filter);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].prefix, "job.g000009");  // newest-first order
+  EXPECT_EQ(kept[1].prefix, "job.g000003");
+
+  // Without the pin the same pass trims to the single newest state.
+  (void)core::gc_superseded_states(storage, app, filter, 1);
+  const auto trimmed = core::restart_candidates(storage, app, filter);
+  ASSERT_EQ(trimmed.size(), 1u);
+  EXPECT_EQ(trimmed[0].prefix, "job.g000009");
+}
+
+TEST(PartialRecovery, RetentionCannotReclaimTheGenerationBeingRestored) {
+  // Regression for the reclaim-under-restore hazard: with keep_last_k=1
+  // and a corrupt-but-committed g000006 occupying the keep-newest slot,
+  // launch 2 restores from g000003 and dies before committing anything
+  // new. The between-attempt retention pass must NOT reclaim g000003 (the
+  // generation the next attempt re-reads) just because the corrupt state
+  // outranks it by SOP — the selection pin keeps it alive, so launch 3
+  // restarts from the checkpoint instead of from scratch.
+  store::MemoryBackend storage;
+  arch::Cluster cluster(machine_of(6), nullptr);
+  RecoverySupervisor supervisor(cluster);
+  SupervisorOptions o = supervisor_options(storage);
+  o.keep_last_k = 1;
+  o.backoff_base = std::chrono::microseconds(1);
+  FailureSchedule schedule;
+  schedule.events.push_back(kill_event(0, 5));
+  FailureEvent corrupt;
+  corrupt.kind = FailureKind::kCorruptNewest;
+  corrupt.launch = 1;
+  corrupt.at_iteration = 7;
+  schedule.events.push_back(corrupt);
+  schedule.events.push_back(kill_event(1, 7));
+  schedule.events.push_back(kill_event(2, 4));
+
+  const RecoveryReport report = supervisor.run(o, schedule);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.launches.size(), 4u);
+  // Launch 2 fell back past the corrupt g000006 to g000003...
+  EXPECT_EQ(report.launches[2].restart_prefix, "job.g000003");
+  EXPECT_TRUE(report.launches[2].killed);
+  // ...and after its death, g000003 is still there for launch 3.
+  EXPECT_TRUE(report.launches[3].from_checkpoint);
+  EXPECT_EQ(report.launches[3].restart_prefix, "job.g000003");
+  EXPECT_EQ(report.outcome.field_crc, baseline_crc());
+}
+
+}  // namespace

@@ -51,8 +51,8 @@ if [[ -n "${tsan}" ]]; then
   # TSan mode defaults to the scheduler/drain race suites; an explicit
   # TARGETS/CTEST_ARGS pair overrides the bound.
   if [[ -z "${TARGETS:-}" && -z "${CTEST_ARGS:-}" ]]; then
-    TARGETS="test_svc test_store test_streamer test_obs test_recovery test_redundancy test_delta"
-    CTEST_ARGS="-R Svc|IoScheduler|TieredBackend|Streamer|Obs|Recovery|Redundan|Delta"
+    TARGETS="test_svc test_store test_streamer test_obs test_recovery test_partial_recovery test_redundancy test_delta"
+    CTEST_ARGS="-R Svc|IoScheduler|TieredBackend|Streamer|Obs|Recovery|Redundan|Delta|Partial|StreamRuns"
   fi
 fi
 

@@ -13,6 +13,13 @@
 //   drms_tool remove <dir> <prefix>        delete one state and re-export
 //   drms_tool info   <dir> <prefix>        per-array detail of one state
 //                                          (verifies the stored CRCs)
+//   drms_tool info --restart-plan <slot> <dir> <prefix>
+//                                          per-array stream runs a partial
+//                                          restart would read to replace
+//                                          the given lost slot (canonical
+//                                          block distribution over the
+//                                          checkpoint's task count), vs
+//                                          the full-restore byte count
 //   drms_tool export <dir> <prefix> <dst>  copy one verified state to a
 //                                          fresh directory (migration)
 //   drms_tool fsck   <dir> [prefix]        report committed vs torn states
@@ -44,6 +51,8 @@
 #include <vector>
 
 #include "core/checkpoint_catalog.hpp"
+#include "core/dist_spec.hpp"
+#include "core/partial_restore.hpp"
 #include "obs/instrumented_backend.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace_export.hpp"
@@ -69,6 +78,12 @@ int usage() {
          "  remove <dir> <prefix>        delete a state, rewrite the dir\n"
          "  info   <dir> <prefix>        show per-array details (verifies "
          "CRCs)\n"
+         "  info --restart-plan <slot> <dir> <prefix>\n"
+         "                               stream runs a partial restart "
+         "reads\n"
+         "                               to replace the lost slot vs the "
+         "full-\n"
+         "                               restore bytes\n"
          "  export <dir> <prefix> <dst>  copy one verified state to <dst>\n"
          "  fsck   <dir> [prefix]        report committed vs torn states\n"
          "  gc     [--dry-run] <dir> [prefix]\n"
@@ -235,6 +250,92 @@ int cmd_info(const std::string& dir, const std::string& prefix) {
     const bool ok = verify_and_report(st, r);
     std::cout << "integrity: " << (ok ? "OK" : "CORRUPT") << "\n";
     return ok ? 0 : 1;
+  }
+  std::cerr << "no state with prefix '" << prefix << "'\n";
+  return 1;
+}
+
+/// What a partial restart would read to replace one lost slot: the
+/// slot's assigned sections under the canonical block distribution over
+/// the checkpoint's own task count, decomposed into stream-contiguous
+/// byte runs of each array file. The point of the report is the ratio —
+/// a replacement slot reads ~1/t1 of the state, not all of it.
+int cmd_restart_plan(const std::string& dir, const std::string& prefix,
+                     int lost_slot) {
+  const ToolStore st(dir);
+  for (const auto& r : core::list_checkpoints(st.backend, prefix)) {
+    if (r.prefix != prefix) {
+      continue;
+    }
+    if (r.spmd) {
+      std::cerr << prefix
+                << ": SPMD states restore whole per-task files — no "
+                   "partial plan\n";
+      return 1;
+    }
+    if (lost_slot < 0 || lost_slot >= r.meta.task_count) {
+      std::cerr << "lost slot " << lost_slot << " out of range (t1 = "
+                << r.meta.task_count << ")\n";
+      return 2;
+    }
+    std::cout << "restart plan: " << prefix << ", lost slot " << lost_slot
+              << " of " << r.meta.task_count
+              << " (canonical block distribution)\n";
+    if (r.meta.kind == core::GenerationKind::kDelta) {
+      std::cout << "delta generation (chain depth " << r.meta.chain_depth
+                << "): run offsets address the reconstructed stream — the "
+                   "chain base's ranges are read, then the chain's blocks "
+                   "touching them are replayed\n";
+    }
+    std::uint64_t partial_total = 0;
+    std::uint64_t full_total = 0;
+    support::TextTable table({"array", "section", "runs", "partial",
+                              "full stream", "first byte ranges"});
+    for (const auto& a : r.meta.arrays) {
+      const core::Slice box = a.box();
+      const core::DistSpec spec = core::DistSpec::block_auto(
+          box, r.meta.task_count,
+          std::vector<core::Index>(static_cast<std::size_t>(box.rank()), 0));
+      const core::Slice section = spec.assigned(lost_slot);
+      const auto runs = core::stream_runs(box, section, a.elem_size);
+      std::uint64_t bytes = 0;
+      std::string ranges;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        bytes += runs[i].bytes;
+        if (i < 3) {
+          ranges += (i > 0 ? " " : "") + std::string("[") +
+                    std::to_string(runs[i].byte_offset) + "," +
+                    std::to_string(runs[i].byte_offset + runs[i].bytes) +
+                    ")";
+        } else if (i == 3) {
+          ranges += " ...";
+        }
+      }
+      const std::uint64_t full_bytes =
+          static_cast<std::uint64_t>(box.element_count()) * a.elem_size;
+      partial_total += bytes;
+      full_total += full_bytes;
+      table.add_row({a.name, section.to_string(),
+                     std::to_string(runs.size()),
+                     support::format_bytes(bytes),
+                     support::format_bytes(full_bytes), ranges});
+    }
+    table.print(std::cout);
+    std::cout << "total: " << support::format_bytes(partial_total) << " of "
+              << support::format_bytes(full_total);
+    if (full_total > 0) {
+      std::cout << " ("
+                << support::format_fixed(100.0 *
+                                             static_cast<double>(
+                                                 partial_total) /
+                                             static_cast<double>(full_total),
+                                         1)
+                << "%)";
+    }
+    std::cout << "; plus the replicated segment ("
+              << support::format_bytes(r.meta.segment_bytes)
+              << ") every restart reads\n";
+    return 0;
   }
   std::cerr << "no state with prefix '" << prefix << "'\n";
   return 1;
@@ -429,9 +530,11 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   // `verify` takes an optional --deep flag before the directory, `gc` an
-  // optional --dry-run.
+  // optional --dry-run, `info` an optional --restart-plan <slot>.
   bool deep = false;
   bool dry_run = false;
+  bool restart_plan = false;
+  int lost_slot = -1;
   int arg = 2;
   if (command == "verify" && std::string(argv[arg]) == "--deep") {
     deep = true;
@@ -439,6 +542,19 @@ int main(int argc, char** argv) {
     if (argc <= arg) {
       return usage();
     }
+  }
+  if (command == "info" && std::string(argv[arg]) == "--restart-plan") {
+    restart_plan = true;
+    ++arg;
+    if (argc <= arg + 2) {  // need <slot> <dir> <prefix>
+      return usage();
+    }
+    try {
+      lost_slot = std::stoi(argv[arg]);
+    } catch (const std::exception&) {
+      return usage();
+    }
+    ++arg;
   }
   if (command == "gc" && std::string(argv[arg]) == "--dry-run") {
     dry_run = true;
@@ -457,6 +573,9 @@ int main(int argc, char** argv) {
     }
     if (command == "remove" && argc > 3) {
       return cmd_remove(dir, argv[3]);
+    }
+    if (command == "info" && restart_plan) {
+      return cmd_restart_plan(dir, argv[arg + 1], lost_slot);
     }
     if (command == "info" && argc > 3) {
       return cmd_info(dir, argv[3]);
